@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Subjects are generated once per session; every benchmark then measures
+analysis work only (generation and parsing are *not* part of the timed
+region unless a benchmark explicitly says so).
+"""
+
+import pytest
+
+from repro.spl.benchmarks import (
+    berkeleydb_like,
+    gpl_like,
+    lampiro_like,
+    mm08_like,
+)
+
+
+@pytest.fixture(scope="session")
+def subjects():
+    """All four paper-shaped subjects, fully built (AST+IR+ICFG cached)."""
+    built = {}
+    for name, builder in (
+        ("BerkeleyDB-like", berkeleydb_like),
+        ("GPL-like", gpl_like),
+        ("Lampiro-like", lampiro_like),
+        ("MM08-like", mm08_like),
+    ):
+        product_line = builder()
+        product_line.icfg  # force the pipeline
+        built[name] = product_line
+    return built
+
+
+@pytest.fixture(scope="session")
+def small_subjects(subjects):
+    """The subjects cheap enough for exhaustive A2 enumeration."""
+    return {
+        name: subjects[name]
+        for name in ("GPL-like", "Lampiro-like", "MM08-like")
+    }

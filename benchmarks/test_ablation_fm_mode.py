@@ -1,0 +1,80 @@
+"""Ablation: how the feature model enters the analysis (Section 4.2).
+
+Three variants, all implemented:
+
+- "edge":   conjoin m onto every edge label — early termination already
+            in the (dominant) jump-function construction phase;
+- "seed":   the paper's rejected first attempt — exchange only the start
+            value, terminating early only in the cheap value phase;
+- "ignore": no model at all (the Table 3 "ignored" row).
+
+The paper's claim: "edge" ≈ "ignore" in cost (the early termination pays
+for the constraint work), while "seed" wastes the opportunity.
+"""
+
+import pytest
+
+from repro.analyses import ReachingDefinitionsAnalysis, UninitializedVariablesAnalysis
+from repro.core import SPLLift
+
+MODES = ("edge", "seed", "ignore")
+
+
+@pytest.mark.parametrize("fm_mode", MODES)
+@pytest.mark.parametrize("subject_name", ("GPL-like", "MM08-like"))
+def test_fm_mode_uninit(benchmark, subjects, fm_mode, subject_name):
+    product_line = subjects[subject_name]
+
+    def run():
+        analysis = UninitializedVariablesAnalysis(product_line.icfg)
+        feature_model = (
+            product_line.feature_model if fm_mode != "ignore" else None
+        )
+        return SPLLift(
+            analysis, feature_model=feature_model, fm_mode=fm_mode
+        ).solve()
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert results.stats["jump_functions"] > 0
+
+
+@pytest.mark.parametrize("fm_mode", MODES)
+def test_fm_mode_reaching_definitions(benchmark, subjects, fm_mode):
+    """The heaviest analysis, where construction-phase termination matters
+    most."""
+    product_line = subjects["GPL-like"]
+
+    def run():
+        analysis = ReachingDefinitionsAnalysis(product_line.icfg)
+        feature_model = (
+            product_line.feature_model if fm_mode != "ignore" else None
+        )
+        return SPLLift(
+            analysis, feature_model=feature_model, fm_mode=fm_mode
+        ).solve()
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_edge_mode_never_builds_more_jump_functions(subjects, benchmark):
+    """Invariant behind the design: conjoining m can only kill paths."""
+
+    def run():
+        counts = {}
+        for name, product_line in subjects.items():
+            analysis = UninitializedVariablesAnalysis(product_line.icfg)
+            edge = SPLLift(
+                analysis, feature_model=product_line.feature_model, fm_mode="edge"
+            ).solve()
+            seed = SPLLift(
+                analysis, feature_model=product_line.feature_model, fm_mode="seed"
+            ).solve()
+            counts[name] = (
+                edge.stats["jump_functions"],
+                seed.stats["jump_functions"],
+            )
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (edge_count, seed_count) in counts.items():
+        assert edge_count <= seed_count, name

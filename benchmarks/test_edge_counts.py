@@ -1,0 +1,79 @@
+"""Benchmark: Section 6.2's qualitative observations.
+
+1. Analysis time correlates with the number of jump functions/edges
+   constructed (paper: correlation > 0.99).
+2. A2's full-configuration run constructs almost as many edges as
+   SPLLIFT's single pass — SPLLIFT's extra per-edge constraint cost is
+   what separates them, and it is low.
+"""
+
+import pytest
+
+from repro.analyses import (
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.baselines.a2 import A2Problem
+from repro.core import SPLLift
+from repro.experiments.qualitative import correlation
+from repro.ifds import IFDSSolver
+
+SUBJECT_NAMES = ("BerkeleyDB-like", "GPL-like", "Lampiro-like", "MM08-like")
+ANALYSES = (
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    UninitializedVariablesAnalysis,
+)
+
+
+def test_edge_counts_and_correlation(benchmark, subjects):
+    """Collect (edges, time) across all subject × analysis combinations in
+    one benchmarked sweep, then check the correlation claim."""
+    import time
+
+    def sweep():
+        samples = []
+        for product_line in subjects.values():
+            for analysis_class in ANALYSES:
+                analysis = analysis_class(product_line.icfg)
+                spllift = SPLLift(
+                    analysis, feature_model=product_line.feature_model
+                )
+                started = time.perf_counter()
+                results = spllift.solve()
+                elapsed = time.perf_counter() - started
+                samples.append(
+                    (results.stats["jump_functions"], elapsed, results)
+                )
+        return samples
+
+    samples = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    edges = [float(s[0]) for s in samples]
+    times = [s[1] for s in samples]
+    r = correlation(edges, times)
+    # The paper reports > 0.99 on the JVM; allow slack for Python timer
+    # noise but the correlation must be strong.
+    assert r > 0.9, f"edges/time correlation too weak: {r:.3f}"
+
+
+@pytest.mark.parametrize("subject_name", SUBJECT_NAMES)
+def test_a2_full_config_edge_ratio(benchmark, subjects, subject_name):
+    """SPLLIFT edges vs full-configuration A2 edges (ratio near 1)."""
+    product_line = subjects[subject_name]
+    analysis = ReachingDefinitionsAnalysis(product_line.icfg)
+
+    def run():
+        spllift_results = SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+        solver = IFDSSolver(
+            A2Problem(analysis, frozenset(product_line.features_reachable))
+        )
+        solver.solve()
+        return spllift_results.stats["jump_functions"], solver.stats["path_edges"]
+
+    spllift_edges, a2_edges = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = spllift_edges / a2_edges
+    # "almost as many edges": same order of magnitude.
+    assert 0.3 < ratio < 5.0, ratio

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the concrete interpreter.
+
+Situates the dynamic substrate: one full product execution and a sweep
+over all valid configurations of a small subject.
+"""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.spl import gpl_mini
+
+
+@pytest.fixture(scope="module")
+def product_line():
+    pl = gpl_mini()
+    pl.icfg  # force pipeline
+    return pl
+
+
+def test_single_execution(benchmark, product_line):
+    config = frozenset({"GPLMini", "GraphType", "BFS", "Weighted"})
+
+    def run():
+        return Interpreter(
+            product_line.ir, configuration=config, fuel=50_000
+        ).run()
+
+    trace = benchmark(run)
+    assert trace.completed
+
+
+def test_all_valid_configurations_sweep(benchmark, product_line):
+    configurations = list(product_line.valid_configurations())
+
+    def sweep():
+        completed = 0
+        for config in configurations:
+            trace = Interpreter(
+                product_line.ir, configuration=config, fuel=50_000
+            ).run()
+            completed += trace.completed
+        return completed
+
+    completed = benchmark(sweep)
+    assert completed == len(configurations)
+
+
+def test_interpreter_vs_spllift_cost(benchmark, product_line):
+    """Executing every product vs one SPLLIFT pass — on a subject with few
+    products execution is cheap, but it only *samples* behaviour while the
+    analysis covers all paths of all products."""
+    from repro.analyses import TaintAnalysis
+    from repro.core import SPLLift
+
+    def analyze():
+        analysis = TaintAnalysis(product_line.icfg)
+        return SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+
+    results = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    assert results.stats["jump_functions"] > 0

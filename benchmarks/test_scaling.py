@@ -1,0 +1,40 @@
+"""Benchmark: the headline scaling curve.
+
+SPLLIFT's single pass must stay essentially flat while the number of
+reachable features (and thus A2's configuration count) doubles per step.
+"""
+
+import pytest
+
+from repro.analyses import UninitializedVariablesAnalysis
+from repro.core import SPLLift
+from repro.experiments.scaling import _subject
+
+
+@pytest.mark.parametrize("feature_count", (2, 6, 10, 14))
+def test_spllift_scaling(benchmark, feature_count):
+    product_line = _subject(feature_count, seed=7)
+
+    def run():
+        analysis = UninitializedVariablesAnalysis(product_line.icfg)
+        return SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert results.stats["jump_functions"] > 0
+
+
+def test_scaling_speedup_curve(benchmark):
+    """End-to-end: confirm the speedup grows monotonically with features."""
+    from repro.experiments.scaling import run_scaling
+
+    points = benchmark.pedantic(
+        run_scaling,
+        args=(UninitializedVariablesAnalysis,),
+        kwargs={"feature_counts": (4, 8, 12)},
+        rounds=1,
+        iterations=1,
+    )
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the substrates: BDD engine, solvers, frontend.
+
+Not a paper table — these situate the building blocks so regressions in
+any layer are visible independently of the end-to-end numbers.
+"""
+
+import pytest
+
+from repro.analyses import TaintAnalysis
+from repro.bdd import BDDManager
+from repro.ide.binary import solve_ifds_via_ide
+from repro.ifds import IFDSSolver
+from repro.ir import ICFG, lower_program
+from repro.minijava import derive_product, parse_program
+
+
+class TestBDDMicro:
+    def test_conjunction_chain(self, benchmark):
+        def run():
+            manager = BDDManager()
+            node = manager.true
+            for i in range(60):
+                node = manager.and_(node, manager.var(f"x{i}"))
+            return node
+
+        node = benchmark(run)
+        assert node not in (0, 1)
+
+    def test_xor_ladder_satcount(self, benchmark):
+        """Parity functions are the BDD-friendly worst case for DNF."""
+
+        def run():
+            manager = BDDManager()
+            node = manager.false
+            for i in range(24):
+                node = manager.xor(node, manager.var(f"x{i}"))
+            return manager.satcount(node)
+
+        count = benchmark(run)
+        assert count == 2**23
+
+    def test_feature_model_compilation(self, benchmark, subjects):
+        from repro.constraints import BddConstraintSystem
+        from repro.featuremodel.batory import to_constraint
+
+        product_line = subjects["BerkeleyDB-like"]
+
+        def run():
+            return to_constraint(
+                product_line.feature_model, BddConstraintSystem()
+            )
+
+        constraint = benchmark(run)
+        assert not constraint.is_false
+
+
+class TestSolverMicro:
+    @pytest.fixture(scope="class")
+    def product_icfg(self, subjects):
+        product_line = subjects["GPL-like"]
+        product = derive_product(
+            product_line.ast, frozenset(product_line.features_reachable)
+        )
+        return ICFG.for_entry(lower_program(product))
+
+    def test_ifds_direct(self, benchmark, product_icfg):
+        benchmark(lambda: IFDSSolver(TaintAnalysis(product_icfg)).solve())
+
+    def test_ifds_via_ide_binary(self, benchmark, product_icfg):
+        """The binary-domain IDE embedding's overhead over direct IFDS."""
+        benchmark(lambda: solve_ifds_via_ide(TaintAnalysis(product_icfg)))
+
+
+class TestFrontendMicro:
+    def test_parse(self, benchmark, subjects):
+        source = subjects["BerkeleyDB-like"].source
+        benchmark(parse_program, source)
+
+    def test_lower(self, benchmark, subjects):
+        ast = subjects["BerkeleyDB-like"].ast
+        benchmark(lower_program, ast)
+
+    def test_preprocess(self, benchmark, subjects):
+        product_line = subjects["BerkeleyDB-like"]
+        config = frozenset(product_line.features_reachable)
+        benchmark(derive_product, product_line.ast, config)

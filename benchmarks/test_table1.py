@@ -1,0 +1,35 @@
+"""Benchmark: regenerating Table 1 (benchmark key information).
+
+Times the metric computation per subject — notably the BDD-based valid-
+configuration count, which replaces the paper's enumerate-and-check (the
+step that made BerkeleyDB's count "unknown" there).
+"""
+
+import pytest
+
+from repro.experiments.table1 import Table1Row, render_table1, run_table1
+
+SUBJECT_NAMES = ("BerkeleyDB-like", "GPL-like", "Lampiro-like", "MM08-like")
+
+
+@pytest.mark.parametrize("name", SUBJECT_NAMES)
+def test_valid_configuration_count(benchmark, subjects, name):
+    product_line = subjects[name]
+    count = benchmark(product_line.count_valid_configurations)
+    assert count >= 1
+
+
+@pytest.mark.parametrize("name", SUBJECT_NAMES)
+def test_reachable_features(benchmark, subjects, name):
+    product_line = subjects[name]
+    reachable = benchmark(lambda: product_line.features_reachable)
+    assert len(reachable) >= 1
+
+
+def test_full_table1(benchmark, subjects):
+    """The whole Table 1 pipeline over all four subjects."""
+    pairs = tuple((name, lambda pl=pl: pl) for name, pl in subjects.items())
+    rows = benchmark.pedantic(run_table1, args=(pairs,), rounds=1, iterations=1)
+    assert len(rows) == 4
+    text = render_table1(rows)
+    assert "Table 1" in text

@@ -1,0 +1,98 @@
+"""Benchmark: Table 2 — SPLLIFT vs the A2 baseline.
+
+Reproduces the paper's headline comparison.  For each subject and client
+analysis this file times:
+
+- the single SPLLIFT pass over the whole product line, and
+- one representative A2 configuration run (A2's *total* cost is
+  per-configuration time × #valid configurations; the totals and the
+  cutoff/estimation protocol live in ``python -m repro.experiments table2``
+  and EXPERIMENTS.md — a benchmark suite should not run for hours).
+
+The shape to verify: SPLLIFT's one pass costs only a small multiple of a
+single A2 run, while A2 needs 4 … 6·10^8 runs depending on the subject.
+"""
+
+import pytest
+
+from repro.analyses import (
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.baselines.a2 import A2Problem
+from repro.core import SPLLift
+from repro.ifds import IFDSSolver
+
+SUBJECT_NAMES = ("BerkeleyDB-like", "GPL-like", "Lampiro-like", "MM08-like")
+ANALYSES = (
+    ("possible_types", PossibleTypesAnalysis),
+    ("reaching_definitions", ReachingDefinitionsAnalysis),
+    ("uninitialized_variables", UninitializedVariablesAnalysis),
+)
+
+
+@pytest.mark.parametrize("subject_name", SUBJECT_NAMES)
+@pytest.mark.parametrize("analysis_name,analysis_class", ANALYSES)
+def test_spllift_single_pass(
+    benchmark, subjects, subject_name, analysis_name, analysis_class
+):
+    """One SPLLIFT pass analyzing *all* products of the subject."""
+    product_line = subjects[subject_name]
+
+    def run():
+        analysis = analysis_class(product_line.icfg)
+        return SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert results.stats["jump_functions"] > 0
+
+
+@pytest.mark.parametrize("subject_name", SUBJECT_NAMES)
+@pytest.mark.parametrize("analysis_name,analysis_class", ANALYSES)
+def test_a2_single_configuration(
+    benchmark, subjects, subject_name, analysis_name, analysis_class
+):
+    """One A2 run (full configuration — the paper's estimation anchor).
+
+    Multiply by the subject's #valid configurations for A2's total cost.
+    """
+    product_line = subjects[subject_name]
+    analysis = analysis_class(product_line.icfg)
+    config = frozenset(product_line.features_reachable)
+
+    def run():
+        return IFDSSolver(A2Problem(analysis, config)).solve()
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert results.fact_count() >= 0
+
+
+@pytest.mark.parametrize("subject_name", ("Lampiro-like", "MM08-like"))
+def test_a2_full_campaign_small_subjects(benchmark, subjects, subject_name):
+    """The complete A2 campaign where it is actually feasible (4 and ~33
+    valid configurations) — the honest end-to-end comparison point."""
+    product_line = subjects[subject_name]
+    analysis = UninitializedVariablesAnalysis(product_line.icfg)
+    configurations = list(product_line.valid_configurations())
+
+    def run():
+        total = 0
+        for configuration in configurations:
+            results = IFDSSolver(A2Problem(analysis, configuration)).solve()
+            total += results.fact_count()
+        return total
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_call_graph_construction(benchmark, subjects):
+    """The shared "Soot/CG" prerequisite on the biggest subject."""
+    from repro.experiments.harness import measure_call_graph
+
+    product_line = subjects["BerkeleyDB-like"]
+    benchmark.pedantic(
+        lambda: measure_call_graph(product_line), rounds=3, iterations=1
+    )

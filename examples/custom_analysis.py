@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Lift your own analysis — without changing a single line of it.
+
+The paper's central promise: *any* IFDS analysis can be reused on product
+lines as-is.  This example defines a brand-new analysis (constant-zero
+propagation: "local x is definitely 0"), runs it the traditional way on a
+product, then hands the very same class to SPLLIFT.
+
+Run:  python examples/custom_analysis.py
+"""
+
+from typing import Iterable
+
+from repro import SPLLift
+from repro.analyses.facts import LocalFact
+from repro.ifds import Identity, IFDSProblem, IFDSSolver, Lambda, ZERO
+from repro.ir import Assign, Const, ICFG, Invoke, LocalRef, lower_program
+from repro.minijava import derive_product, parse_program
+from repro.spl import ProductLine
+from repro.featuremodel import parse_feature_model
+
+
+class ZeroAnalysis(IFDSProblem):
+    """IFDS analysis: which locals are definitely assigned the literal 0?
+
+    A deliberately small analysis — gen on ``x = 0``, transfer on copies,
+    kill on any other assignment — but fully inter-procedural via the
+    default identity call flows being overridden below.
+    """
+
+    def normal_flow(self, stmt, succ):
+        if isinstance(stmt, Assign):
+            target = LocalFact(stmt.target)
+            rvalue = stmt.rvalue
+
+            def flow(fact) -> Iterable:
+                if fact is ZERO:
+                    if rvalue == Const(0):
+                        return (ZERO, target)
+                    return (ZERO,)
+                if fact == target:
+                    return ()
+                if isinstance(rvalue, LocalRef) and fact == LocalFact(rvalue.name):
+                    return (fact, target)
+                return (fact,)
+
+            return Lambda(flow)
+        return Identity()
+
+    def call_flow(self, call, callee):
+        def flow(fact):
+            if fact is ZERO:
+                # Passing the literal 0 makes the formal definitely zero.
+                zeros = [
+                    LocalFact(param)
+                    for arg, param in zip(call.args, callee.params)
+                    if arg == Const(0)
+                ]
+                return (ZERO, *zeros)
+            targets = []
+            for arg, param in zip(call.args, callee.params):
+                if isinstance(arg, LocalRef) and fact == LocalFact(arg.name):
+                    targets.append(LocalFact(param))
+            return targets
+
+        return Lambda(flow)
+
+    def return_flow(self, call, callee, exit_stmt, return_site):
+        returned = getattr(exit_stmt, "value", None)
+
+        def flow(fact):
+            if fact is ZERO:
+                return (ZERO,)
+            if (
+                call.result is not None
+                and isinstance(returned, LocalRef)
+                and fact == LocalFact(returned.name)
+            ):
+                return (LocalFact(call.result),)
+            return ()
+
+        return Lambda(flow)
+
+    def call_to_return_flow(self, call, return_site):
+        def flow(fact):
+            if fact is ZERO:
+                return (ZERO,)
+            if call.result is not None and fact == LocalFact(call.result):
+                return ()
+            return (fact,)
+
+        return Lambda(flow)
+
+
+SOURCE = """\
+class Main {
+    void main() {
+        int a = 0;
+        int b = 7;
+        #ifdef (Reset)
+        b = 0;
+        #endif
+        int c = pass(b);
+        print(c);
+    }
+    int pass(int p) {
+        #ifdef (Override)
+        p = 0;
+        #endif
+        return p;
+    }
+}
+"""
+
+
+def main() -> None:
+    model = parse_feature_model(
+        "featuremodel zeros root Zeros { optional Reset optional Override }"
+    )
+    product_line = ProductLine("zeros", SOURCE, model)
+
+    # Traditional use on one product: nothing about the class is SPL-aware.
+    product = derive_product(product_line.ast, {"Reset"})
+    product_icfg = ICFG.for_entry(lower_program(product))
+    plain_results = IFDSSolver(ZeroAnalysis(product_icfg)).solve()
+    print_stmt = next(
+        s for s in product_icfg.reachable_instructions() if type(s).__name__ == "Print"
+    )
+    print(
+        "product {Reset}: c is definitely-zero at print?",
+        LocalFact("c") in plain_results.at(print_stmt),
+    )
+
+    # Lifted use on the whole product line: the same class, unchanged.
+    analysis = ZeroAnalysis(product_line.icfg)
+    results = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+    lifted_print = next(
+        s
+        for s in analysis.icfg.reachable_instructions()
+        if type(s).__name__ == "Print"
+    )
+    constraint = results.constraint_for(lifted_print, LocalFact("c"))
+    print(f"whole SPL: c is definitely-zero at print iff  {constraint}")
+    print(
+        "(expected: Zeros & (Reset | Override) — either resetting b or "
+        "overriding p,\n under the mandatory root feature Zeros)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A device-driver product line: the bugs only some products have.
+
+The scenario the paper's introduction motivates: conditional compilation
+yields subtle mistakes that only manifest in particular products — here an
+*uninitialized variable* that exists exactly when Buffering is disabled,
+and an information leak that exists exactly when a SecureDevice is built
+without Encryption.  SPLLIFT pinpoints both, with the exact feature
+constraints, in one pass and without enumerating the 2^5 products.
+
+Run:  python examples/device_product_line.py
+"""
+
+from repro import SPLLift, TaintAnalysis, UninitializedVariablesAnalysis
+from repro.spl import device_spl
+
+
+def main() -> None:
+    product_line = device_spl()
+    print("=== The device product line ===")
+    print(product_line.source)
+    print(
+        "feature model:",
+        product_line.feature_model.name,
+        "| features:",
+        ", ".join(product_line.feature_model.feature_names),
+    )
+    print(
+        "valid configurations over reachable features:",
+        product_line.count_valid_configurations(),
+        "of",
+        product_line.configurations_reachable,
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # Uninitialized variables: `flush` reads `pending`, which is only
+    # assigned under Buffering.
+    # ------------------------------------------------------------------
+    uninit = UninitializedVariablesAnalysis(product_line.icfg)
+    results = SPLLift(uninit, feature_model=product_line.feature_model).solve()
+    print("=== Potentially uninitialized reads (with feature constraint) ===")
+    for stmt, fact in uninit.use_queries():
+        constraint = results.constraint_for(stmt, fact)
+        if not constraint.is_false:
+            print(f"  {stmt.location}: read of {fact} may be uninitialized iff")
+            print(f"      {constraint}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Taint: SecureDevice.send leaks a secret unless Encryption is on.
+    # ------------------------------------------------------------------
+    taint = TaintAnalysis(product_line.icfg)
+    taint_results = SPLLift(taint, feature_model=product_line.feature_model).solve()
+    print("=== Secret-to-print flows (with feature constraint) ===")
+    for stmt, fact in TaintAnalysis.sink_queries(taint.icfg):
+        constraint = taint_results.constraint_for(stmt, fact)
+        if not constraint.is_false:
+            print(f"  {stmt.location}: {fact} may carry a secret iff")
+            print(f"      {constraint}")
+    print(
+        "  (note: the constraint lacks `Secure` although only SecureDevice\n"
+        "   leaks — the call graph is feature-INsensitive, so `d.send()`\n"
+        "   conservatively dispatches to SecureDevice.send with constraint\n"
+        "   true.  This is exactly the ArrayList/LinkedList imprecision the\n"
+        "   paper documents in Section 5, 'Current Limitations'.)"
+    )
+    print()
+
+    # Reachability as a side effect (Section 3.3): the statements of
+    # SecureDevice.send are only reachable when Secure is enabled.
+    print("=== Reachability constraints (Section 3.3 side effect) ===")
+    secure_send = product_line.ir.method("SecureDevice.send")
+    for instruction in secure_send.instructions:
+        constraint = taint_results.reachability_of(instruction)
+        print(f"  {instruction.location}: reachable iff {constraint}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Emergent interfaces: what a feature provides to and requires from the
+rest of the product line.
+
+The application the paper highlights in Section 7 (Ribeiro et al.): when a
+developer maintains feature code, an *emergent interface* lists the
+data-flow dependencies crossing the feature boundary — computed on demand
+by a feature-sensitive reaching-definitions analysis.  SPLLIFT's speed is
+what makes this practical; here each dependency also carries the exact
+feature constraint under which it exists.
+
+Run:  python examples/emergent_interfaces.py
+"""
+
+from repro.core import compute_emergent_interface
+from repro.featuremodel import parse_feature_model
+from repro.spl import ProductLine
+
+SOURCE = """\
+class Cart {
+    int total;
+    int checkout(int base) {
+        int amount = base;
+        int rebate = 0;
+        #ifdef (Discount)
+        rebate = amount / 10;
+        amount = amount - rebate;
+        #endif
+        #ifdef (Tax)
+        amount = amount + tax(amount);
+        #endif
+        this.total = amount;
+        print(amount);
+        return amount;
+    }
+    int tax(int net) {
+        return net / 5;
+    }
+}
+
+class Main {
+    void main() {
+        Cart cart = new Cart();
+        int paid = cart.checkout(100);
+        print(paid);
+    }
+}
+"""
+
+
+def main() -> None:
+    model = parse_feature_model(
+        """
+        featuremodel shop
+        root Shop {
+            optional Discount
+            optional Tax
+        }
+        """
+    )
+    product_line = ProductLine("shop", SOURCE, model)
+    print(SOURCE)
+    for feature in ("Discount", "Tax"):
+        interface = compute_emergent_interface(
+            product_line.icfg,
+            feature,
+            feature_model=product_line.feature_model,
+        )
+        print(interface)
+        print()
+    print(
+        "Reading the output: maintaining the Discount feature, the developer\n"
+        "sees that `rebate`/`amount` computed inside Discount flow into the\n"
+        "Tax computation, the field store and the prints — and under which\n"
+        "feature combinations each dependency is live."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Typestate on a product line: protocol violations per feature combination.
+
+Typestate verification is one of the IFDS applications the paper cites
+(Fink et al.; Naeem & Lhoták).  Here a stream protocol (open before
+read/write, no use after close) is checked over a product line where the
+opening, the eager close, and the reopening are all features — one
+SPLLIFT pass yields the exact feature constraint of every possible
+violation.
+
+Run:  python examples/typestate_protocol.py
+"""
+
+from repro.analyses.typestate import FILE_PROTOCOL, TypestateAnalysis
+from repro.core import SPLLift
+from repro.featuremodel import parse_feature_model
+from repro.spl import ProductLine
+
+SOURCE = """\
+class File {
+    int open() { return 0; }
+    int close() { return 0; }
+    int read() { return 1; }
+    int write() { return 0; }
+}
+
+class Logger {
+    File sink;
+    int log(File f, int value) {
+        int written = f.write();
+        return written + value;
+    }
+}
+
+class Main {
+    void main() {
+        File f = new File();
+        f.open();
+        int data = f.read();
+        #ifdef (EagerClose)
+        f.close();
+        #endif
+        #ifdef (Audit)
+        Logger logger = new Logger();
+        int r = logger.log(f, data);
+        #endif
+        f.close();
+    }
+}
+"""
+
+
+def main() -> None:
+    model = parse_feature_model(
+        """
+        featuremodel streams
+        root Streams {
+            optional EagerClose
+            optional Audit
+        }
+        """
+    )
+    product_line = ProductLine("streams", SOURCE, model)
+    print(SOURCE)
+
+    analysis = TypestateAnalysis(product_line.icfg, FILE_PROTOCOL)
+    results = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+
+    print("protocol:", FILE_PROTOCOL.name, "| states via", dict(FILE_PROTOCOL.transitions))
+    print()
+    print("possible protocol violations:")
+    any_finding = False
+    for stmt, fact in analysis.violation_queries():
+        constraint = results.constraint_for(stmt, fact)
+        if constraint.is_false:
+            continue
+        any_finding = True
+        print(f"  after {stmt.location}: object {fact.local!r} in state "
+              f"{fact.state!r}")
+        print(f"      iff {constraint}")
+    if not any_finding:
+        print("  none (in any valid product)")
+    print()
+    print(
+        "Reading the output: the write inside the Audit logger and the\n"
+        "final close are both protocol errors exactly when EagerClose is\n"
+        "enabled — the file was already closed.  Disable EagerClose (or\n"
+        "exclude the combination in the feature model) and the constraints\n"
+        "collapse to false."
+    )
+
+
+if __name__ == "__main__":
+    main()

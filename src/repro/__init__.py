@@ -1,0 +1,75 @@
+"""SPLLIFT reproduction: statically analyzing software product lines in
+minutes instead of years (Bodden et al., PLDI 2013).
+
+The package lifts *unmodified* IFDS data-flow analyses to feature-sensitive
+analyses over whole software product lines, by converting them into IDE
+problems whose value domain is Boolean feature constraints backed by BDDs.
+
+Quickstart::
+
+    from repro import SPLLift, TaintAnalysis
+    from repro.spl import figure1
+
+    product_line = figure1()
+    analysis = TaintAnalysis(product_line.icfg)   # plain IFDS analysis
+    results = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+    # results.constraint_for(stmt, fact) -> e.g.  !F & G & !H
+
+Subpackages
+-----------
+- ``repro.bdd`` — from-scratch ROBDD engine,
+- ``repro.constraints`` — feature constraints (BDD and DNF backed),
+- ``repro.featuremodel`` — feature models, Batory translation,
+- ``repro.minijava`` — the Java-like frontend with #ifdef annotations,
+- ``repro.ir`` — Jimple-like IR, CHA call graph, ICFG,
+- ``repro.ifds`` / ``repro.ide`` — the two dataflow frameworks,
+- ``repro.core`` — the SPLLIFT lifting itself,
+- ``repro.analyses`` — taint, possible types, reaching defs, uninit vars,
+- ``repro.baselines`` — A1 (generate-and-analyze) and A2 (config-specific),
+- ``repro.spl`` — product lines, examples, benchmark subjects,
+- ``repro.experiments`` — regenerates the paper's tables.
+"""
+
+from repro.analyses import (
+    PAPER_ANALYSES,
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    TaintAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.baselines import run_a1, solve_a2
+from repro.constraints import BddConstraintSystem, DnfConstraintSystem
+from repro.core import SPLLift, SPLLiftResults
+from repro.featuremodel import FeatureModel, parse_feature_model
+from repro.ifds import IFDSProblem, IFDSSolver
+from repro.ide import IDEProblem, IDESolver
+from repro.ir import ICFG, lower_program
+from repro.minijava import parse_program
+from repro.spl import ProductLine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPLLift",
+    "SPLLiftResults",
+    "TaintAnalysis",
+    "PossibleTypesAnalysis",
+    "ReachingDefinitionsAnalysis",
+    "UninitializedVariablesAnalysis",
+    "PAPER_ANALYSES",
+    "solve_a2",
+    "run_a1",
+    "BddConstraintSystem",
+    "DnfConstraintSystem",
+    "FeatureModel",
+    "parse_feature_model",
+    "IFDSProblem",
+    "IFDSSolver",
+    "IDEProblem",
+    "IDESolver",
+    "ICFG",
+    "lower_program",
+    "parse_program",
+    "ProductLine",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Client analyses — plain IFDS problems, liftable without modification.
+
+The paper's three evaluation clients (Section 6.2) plus the taint analysis
+of the running example:
+
+- :class:`TaintAnalysis` — secret() → print() information flow,
+- :class:`PossibleTypesAnalysis` — allocation-site types per reference,
+- :class:`ReachingDefinitionsAnalysis` — inter-procedural reaching defs,
+- :class:`UninitializedVariablesAnalysis` — may-be-uninitialized locals.
+
+Plus :class:`ConstantPropagation`, a *native* IDE analysis (linear
+constant propagation, the TAPSOFT'96 flagship client) exercising the IDE
+solver with a non-binary value domain.
+"""
+
+from repro.analyses.alias_sets import AliasFact, AliasSetAnalysis
+from repro.analyses.constant_propagation import (
+    BOTTOM,
+    TOP,
+    AffineEdge,
+    AllBottomEdge,
+    ConstantPropagation,
+    CPValue,
+)
+from repro.analyses.facts import (
+    DefFact,
+    FieldFact,
+    LocalFact,
+    TypedField,
+    TypedLocal,
+)
+from repro.analyses.nullness import NullFact, NullnessAnalysis
+from repro.analyses.possible_types import PossibleTypesAnalysis, TypeFact
+from repro.analyses.reaching_definitions import RDFact, ReachingDefinitionsAnalysis
+from repro.analyses.taint import TaintAnalysis, TaintFact
+from repro.analyses.typestate import (
+    FILE_PROTOCOL,
+    TypestateAnalysis,
+    TypestateFact,
+    TypestateProtocol,
+)
+from repro.analyses.uninitialized_variables import (
+    UninitFact,
+    UninitializedVariablesAnalysis,
+    uses_of,
+)
+
+#: The paper's Table 2/3 analysis lineup, in table order.
+PAPER_ANALYSES = (
+    ("Possible Types", PossibleTypesAnalysis),
+    ("Reaching Definitions", ReachingDefinitionsAnalysis),
+    ("Uninitialized Variables", UninitializedVariablesAnalysis),
+)
+
+__all__ = [
+    "LocalFact",
+    "FieldFact",
+    "TypedLocal",
+    "TypedField",
+    "DefFact",
+    "TaintAnalysis",
+    "TaintFact",
+    "PossibleTypesAnalysis",
+    "TypeFact",
+    "ReachingDefinitionsAnalysis",
+    "RDFact",
+    "UninitializedVariablesAnalysis",
+    "UninitFact",
+    "ConstantPropagation",
+    "CPValue",
+    "TOP",
+    "BOTTOM",
+    "AffineEdge",
+    "AllBottomEdge",
+    "TypestateAnalysis",
+    "TypestateProtocol",
+    "TypestateFact",
+    "FILE_PROTOCOL",
+    "NullnessAnalysis",
+    "NullFact",
+    "AliasSetAnalysis",
+    "AliasFact",
+    "uses_of",
+    "PAPER_ANALYSES",
+]

@@ -1,0 +1,183 @@
+"""Alias-set analysis: which locals may refer to the same object?
+
+Alias sets are one of the IFDS applications the paper's introduction
+names (Naeem & Lhoták, ISMM'09: "Efficient alias set analysis using SSA
+form").  A fact is a *set* of locals that may all point to one object —
+demonstrating that IFDS facts need not be atomic (Section 2.1: the
+framework "is oblivious to the concrete abstraction being used").
+
+Semantics (simplified from the cited paper — no SSA, no field-sensitive
+extension):
+
+- an allocation ``x = new C()`` generates the singleton set ``{x}`` and
+  removes ``x`` from every other set (strong update);
+- a copy ``y = x`` adds ``y`` to every set containing ``x`` and removes
+  ``y`` from sets not containing ``x``;
+- any other assignment to ``y`` removes ``y``;
+- across calls the set is renamed to the callee's frame (receiver →
+  ``this``, actuals → formals), dropping out-of-scope members; empty sets
+  die.  Return renames the returned local to the caller's result local.
+
+Lifted, the analysis answers under which feature combinations two locals
+may alias — useful e.g. to constrain when a feature's mutation is visible
+through another feature's reference.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Tuple, Union
+
+from repro.ifds.flowfunctions import FlowFunction, Identity, Lambda
+from repro.ifds.problem import IFDSProblem, ZERO
+from repro.ir.instructions import (
+    Assign,
+    Instruction,
+    Invoke,
+    LocalRef,
+    NewObject,
+    Return,
+)
+from repro.ir.program import IRMethod
+
+__all__ = ["AliasSetAnalysis", "AliasFact"]
+
+#: A fact: the frozenset of locals that may alias one object.
+AliasFact = Union[FrozenSet[str], type(ZERO)]
+
+
+class AliasSetAnalysis(IFDSProblem[AliasFact]):
+    """IFDS may-alias sets over locals (allocation-site free)."""
+
+    # ------------------------------------------------------------------
+    # Normal flow
+    # ------------------------------------------------------------------
+
+    def normal_flow(self, stmt: Instruction, succ: Instruction) -> FlowFunction:
+        if not isinstance(stmt, Assign):
+            return Identity()
+        target = stmt.target
+        rvalue = stmt.rvalue
+
+        def flow(fact: AliasFact) -> Iterable[AliasFact]:
+            if fact is ZERO:
+                if isinstance(rvalue, NewObject):
+                    return (ZERO, frozenset((target,)))
+                return (ZERO,)
+            if isinstance(rvalue, LocalRef) and rvalue.name in fact:
+                return (fact | {target},)
+            without = fact - {target}
+            if not without:
+                return ()  # the object lost its last reference name
+            return (without,)
+
+        return Lambda(flow)
+
+    # ------------------------------------------------------------------
+    # Inter-procedural flow (frame renaming)
+    # ------------------------------------------------------------------
+
+    def call_flow(self, call: Invoke, callee: IRMethod) -> FlowFunction:
+        renames: List[Tuple[str, str]] = []
+        if call.receiver is not None:
+            renames.append((call.receiver.name, "this"))
+        for arg, param in zip(call.args, callee.params):
+            if isinstance(arg, LocalRef):
+                renames.append((arg.name, param))
+
+        def flow(fact: AliasFact) -> Iterable[AliasFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            renamed = frozenset(
+                new for old, new in renames if old in fact
+            )
+            if not renamed:
+                return ()
+            return (renamed,)
+
+        return Lambda(flow)
+
+    def return_flow(
+        self,
+        call: Invoke,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        return_site: Instruction,
+    ) -> FlowFunction:
+        result = call.result
+        returned = exit_stmt.value if isinstance(exit_stmt, Return) else None
+        # The receiver/argument names on the caller side are recovered via
+        # the inverse renaming, so aliasing established inside the callee
+        # between `this`/params is reflected back.
+        inverse: List[Tuple[str, str]] = []
+        if call.receiver is not None:
+            inverse.append(("this", call.receiver.name))
+        for arg, param in zip(call.args, callee.params):
+            if isinstance(arg, LocalRef):
+                inverse.append((param, arg.name))
+
+        def flow(fact: AliasFact) -> Iterable[AliasFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            renamed = set(new for old, new in inverse if old in fact)
+            if (
+                result is not None
+                and isinstance(returned, LocalRef)
+                and returned.name in fact
+            ):
+                renamed.add(result)
+            if not renamed:
+                return ()
+            return (frozenset(renamed),)
+
+        return Lambda(flow)
+
+    def call_to_return_flow(
+        self, call: Invoke, return_site: Instruction
+    ) -> FlowFunction:
+        result = call.result
+
+        def flow(fact: AliasFact) -> Iterable[AliasFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            without = fact - {result} if result is not None else fact
+            if not without:
+                return ()
+            return (without,)
+
+        return Lambda(flow)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def may_alias(results, stmt: Instruction, left: str, right: str) -> bool:
+        """Do ``left`` and ``right`` possibly alias just before ``stmt``?
+
+        Closes transitively over the alias sets at the statement: two
+        locals may alias if they are connected through any chain of
+        overlapping sets (the merge the cited paper performs internally).
+        """
+        if left == right:
+            return True
+        parents = {}
+
+        def find(name: str) -> str:
+            root = name
+            while parents.get(root, root) != root:
+                root = parents[root]
+            parents[name] = root
+            return root
+
+        for fact in results.at(stmt):
+            if fact is ZERO or not fact:
+                continue
+            names = iter(fact)
+            first = find(next(names))
+            for other in names:
+                parents[find(other)] = first
+        return (
+            left in parents
+            and right in parents
+            and find(left) == find(right)
+        )

@@ -1,0 +1,74 @@
+"""Fact abstractions shared by the client analyses.
+
+Facts must be hashable values; the IFDS framework is oblivious to their
+structure (Section 2.1 of the paper).  Locals are naturally method-scoped
+(Jimple locals), fields are abstracted by their declaring class and name —
+i.e. receiver objects are merged, matching the paper's treatment of field
+assignments "in a field-sensitive manner, abstracting from receiver
+objects through their context-insensitive points-to sets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import Instruction
+
+__all__ = ["LocalFact", "FieldFact", "TypedLocal", "TypedField", "DefFact"]
+
+
+@dataclass(frozen=True)
+class LocalFact:
+    """A property (e.g. tainted, uninitialized) of one local variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FieldFact:
+    """A property of a field, merged over all receiver objects."""
+
+    class_name: str
+    field_name: str
+
+    def __repr__(self) -> str:
+        return f"{self.class_name}.{self.field_name}"
+
+
+@dataclass(frozen=True)
+class TypedLocal:
+    """Possible-types fact: local ``name`` may refer to a ``class_name``."""
+
+    name: str
+    class_name: str
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.class_name}"
+
+
+@dataclass(frozen=True)
+class TypedField:
+    """Possible-types fact for a field (receivers merged)."""
+
+    declaring_class: str
+    field_name: str
+    class_name: str
+
+    def __repr__(self) -> str:
+        return f"{self.declaring_class}.{self.field_name}:{self.class_name}"
+
+
+@dataclass(frozen=True)
+class DefFact:
+    """Reaching-definitions fact: ``name`` may hold the value assigned at
+    ``site``.  The variable name is rebound as the definition crosses
+    parameter and return-value assignments."""
+
+    name: str
+    site: Instruction
+
+    def __repr__(self) -> str:
+        return f"{self.name}@{self.site.location}"

@@ -1,0 +1,175 @@
+"""Possible Types: which classes may a reference point to?
+
+One of the paper's three evaluation clients (Section 6.2): "computes the
+possible types for a value reference in the program.  Such information can,
+for instance, be used for virtual-method-call resolution.  We track typing
+information through method boundaries.  Field and array assignments are
+treated with weak updates in a field-sensitive manner, abstracting from
+receiver objects through their context-insensitive points-to sets."
+
+Facts are :class:`~repro.analyses.facts.TypedLocal` (local ``x`` may refer
+to an instance of class ``C``) and :class:`~repro.analyses.facts.TypedField`
+(receiver-merged).  Types originate at allocation sites (``new C()``) and
+at entry-point receivers, and propagate through copies, field loads/stores,
+parameters and return values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Union
+
+from repro.analyses.facts import TypedField, TypedLocal
+from repro.ifds.flowfunctions import FlowFunction, Identity, Lambda
+from repro.ifds.problem import IFDSProblem, ZERO
+from repro.ir.instructions import (
+    Assign,
+    FieldLoad,
+    FieldStore,
+    Instruction,
+    Invoke,
+    LocalRef,
+    NewObject,
+    Return,
+)
+from repro.ir.program import IRMethod
+
+__all__ = ["PossibleTypesAnalysis", "TypeFact"]
+
+TypeFact = Union[TypedLocal, TypedField, type(ZERO)]
+
+
+class PossibleTypesAnalysis(IFDSProblem[TypeFact]):
+    """IFDS possible-types analysis (allocation-site class names)."""
+
+    def initial_seeds(self):
+        seeds = {}
+        for entry in self.icfg.entry_points:
+            facts: Set[TypeFact] = {self.zero}
+            # The harness conjures the entry receiver out of thin air; give
+            # it its static type so virtual dispatch has a starting point.
+            facts.add(TypedLocal("this", entry.class_name))
+            seeds[entry.start_point] = facts
+        return seeds
+
+    # ------------------------------------------------------------------
+    # Normal flow
+    # ------------------------------------------------------------------
+
+    def normal_flow(self, stmt: Instruction, succ: Instruction) -> FlowFunction:
+        if isinstance(stmt, Assign):
+            return self._assign_flow(stmt)
+        if isinstance(stmt, FieldStore):
+            return self._field_store_flow(stmt)
+        return Identity()
+
+    def _assign_flow(self, stmt: Assign) -> FlowFunction:
+        target = stmt.target
+        rvalue = stmt.rvalue
+
+        def flow(fact: TypeFact) -> Iterable[TypeFact]:
+            if fact is ZERO:
+                if isinstance(rvalue, NewObject):
+                    return (ZERO, TypedLocal(target, rvalue.class_name))
+                return (ZERO,)
+            if isinstance(fact, TypedLocal) and fact.name == target:
+                # Strong update — except for the self-copy x = x.
+                if isinstance(rvalue, LocalRef) and rvalue.name == target:
+                    return (fact,)
+                return ()
+            targets: List[TypeFact] = [fact]
+            if isinstance(rvalue, LocalRef) and isinstance(fact, TypedLocal):
+                if fact.name == rvalue.name:
+                    targets.append(TypedLocal(target, fact.class_name))
+            elif isinstance(rvalue, FieldLoad) and isinstance(fact, TypedField):
+                if (
+                    fact.field_name == rvalue.field
+                    and fact.declaring_class == rvalue.field_class
+                ):
+                    targets.append(TypedLocal(target, fact.class_name))
+            return targets
+
+        return Lambda(flow)
+
+    def _field_store_flow(self, stmt: FieldStore) -> FlowFunction:
+        value = stmt.value
+
+        def flow(fact: TypeFact) -> Iterable[TypeFact]:
+            # Weak update: receivers are merged, so nothing is killed.
+            if (
+                isinstance(fact, TypedLocal)
+                and isinstance(value, LocalRef)
+                and fact.name == value.name
+            ):
+                return (
+                    fact,
+                    TypedField(stmt.field_class, stmt.field_name, fact.class_name),
+                )
+            return (fact,)
+
+        return Lambda(flow)
+
+    # ------------------------------------------------------------------
+    # Inter-procedural flow
+    # ------------------------------------------------------------------
+
+    def call_flow(self, call: Invoke, callee: IRMethod) -> FlowFunction:
+        args = call.args
+        params = callee.params
+        receiver = call.receiver
+
+        def flow(fact: TypeFact) -> Iterable[TypeFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if isinstance(fact, TypedField):
+                return (fact,)
+            targets: List[TypeFact] = []
+            if receiver is not None and fact.name == receiver.name:
+                targets.append(TypedLocal("this", fact.class_name))
+            for arg, param in zip(args, params):
+                if isinstance(arg, LocalRef) and fact.name == arg.name:
+                    targets.append(TypedLocal(param, fact.class_name))
+            return targets
+
+        return Lambda(flow)
+
+    def return_flow(
+        self,
+        call: Invoke,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        return_site: Instruction,
+    ) -> FlowFunction:
+        result = call.result
+        returned = exit_stmt.value if isinstance(exit_stmt, Return) else None
+
+        def flow(fact: TypeFact) -> Iterable[TypeFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if isinstance(fact, TypedField):
+                return (fact,)
+            if (
+                result is not None
+                and isinstance(returned, LocalRef)
+                and isinstance(fact, TypedLocal)
+                and fact.name == returned.name
+            ):
+                return (TypedLocal(result, fact.class_name),)
+            return ()
+
+        return Lambda(flow)
+
+    def call_to_return_flow(
+        self, call: Invoke, return_site: Instruction
+    ) -> FlowFunction:
+        result = call.result
+
+        def flow(fact: TypeFact) -> Iterable[TypeFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if isinstance(fact, TypedField):
+                return ()  # fields travel through the callee
+            if result is not None and fact.name == result:
+                return ()
+            return (fact,)
+
+        return Lambda(flow)

@@ -1,0 +1,122 @@
+"""Reaching Definitions, inter-procedural variant.
+
+One of the paper's three evaluation clients (Section 6.2): "a
+reaching-definitions analysis that computes variable definitions for their
+uses.  To obtain inter-procedural flows, we implement a variant that tracks
+definitions through parameter and return-value assignments."
+
+A fact :class:`~repro.analyses.facts.DefFact` ``(name, site)`` states that
+local ``name`` may still hold the value produced by the definition at
+``site``.  Crossing a call rebinds ``name`` from actual to formal; crossing
+a return rebinds the returned local to the caller's result local, keeping
+the original definition site — so a use can be traced to definitions in
+other methods.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from repro.analyses.facts import DefFact
+from repro.ifds.flowfunctions import FlowFunction, Identity, Lambda
+from repro.ifds.problem import IFDSProblem, ZERO
+from repro.ir.instructions import (
+    Assign,
+    Instruction,
+    Invoke,
+    LocalRef,
+    Return,
+)
+from repro.ir.program import IRMethod
+
+__all__ = ["ReachingDefinitionsAnalysis", "RDFact"]
+
+RDFact = Union[DefFact, type(ZERO)]
+
+
+class ReachingDefinitionsAnalysis(IFDSProblem[RDFact]):
+    """IFDS inter-procedural reaching definitions over locals."""
+
+    # ------------------------------------------------------------------
+    # Normal flow
+    # ------------------------------------------------------------------
+
+    def normal_flow(self, stmt: Instruction, succ: Instruction) -> FlowFunction:
+        if isinstance(stmt, Assign):
+            target = stmt.target
+
+            def flow(fact: RDFact) -> Iterable[RDFact]:
+                if fact is ZERO:
+                    return (ZERO, DefFact(target, stmt))
+                if fact.name == target:
+                    return ()  # the new definition kills the old ones
+                return (fact,)
+
+            return Lambda(flow)
+        return Identity()
+
+    # ------------------------------------------------------------------
+    # Inter-procedural flow
+    # ------------------------------------------------------------------
+
+    def call_flow(self, call: Invoke, callee: IRMethod) -> FlowFunction:
+        args = call.args
+        params = callee.params
+
+        def flow(fact: RDFact) -> Iterable[RDFact]:
+            if fact is ZERO:
+                # Parameters are defined by the call itself (the binding of
+                # actuals that are constants still counts as a definition).
+                targets: List[RDFact] = [ZERO]
+                for arg, param in zip(args, params):
+                    if not isinstance(arg, LocalRef):
+                        targets.append(DefFact(param, call))
+                return targets
+            targets = []
+            for arg, param in zip(args, params):
+                if isinstance(arg, LocalRef) and fact.name == arg.name:
+                    # The actual's definition reaches the formal.
+                    targets.append(DefFact(param, fact.site))
+            return targets
+
+        return Lambda(flow)
+
+    def return_flow(
+        self,
+        call: Invoke,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        return_site: Instruction,
+    ) -> FlowFunction:
+        result = call.result
+        returned = exit_stmt.value if isinstance(exit_stmt, Return) else None
+
+        def flow(fact: RDFact) -> Iterable[RDFact]:
+            if fact is ZERO:
+                if result is not None and not isinstance(returned, LocalRef):
+                    # Returning a constant defines the result at the exit.
+                    return (ZERO, DefFact(result, exit_stmt))
+                return (ZERO,)
+            if (
+                result is not None
+                and isinstance(returned, LocalRef)
+                and fact.name == returned.name
+            ):
+                return (DefFact(result, fact.site),)
+            return ()
+
+        return Lambda(flow)
+
+    def call_to_return_flow(
+        self, call: Invoke, return_site: Instruction
+    ) -> FlowFunction:
+        result = call.result
+
+        def flow(fact: RDFact) -> Iterable[RDFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if result is not None and fact.name == result:
+                return ()  # killed: the call defines the result local
+            return (fact,)
+
+        return Lambda(flow)

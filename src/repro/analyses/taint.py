@@ -1,0 +1,178 @@
+"""Taint analysis: does a value from ``secret()`` reach a ``print``?
+
+The running example of the paper (Sections 1 and 2.3).  Facts are tainted
+locals and tainted fields; ``secret()`` is the source, ``print`` the sink.
+Written as a plain IFDS problem — lifting it to product lines requires no
+change to this file (the whole point of SPLLIFT).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple, Union
+
+from repro.analyses.facts import FieldFact, LocalFact
+from repro.ifds.flowfunctions import FlowFunction, Identity, Lambda
+from repro.ifds.problem import IFDSProblem, ZERO
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    FieldLoad,
+    FieldStore,
+    Instruction,
+    Invoke,
+    LocalRef,
+    Print,
+    Return,
+    RValue,
+    SecretValue,
+    UnOp,
+)
+from repro.ir.program import IRMethod
+
+__all__ = ["TaintAnalysis", "TaintFact"]
+
+TaintFact = Union[LocalFact, FieldFact, type(ZERO)]
+
+
+class TaintAnalysis(IFDSProblem[TaintFact]):
+    """IFDS taint analysis over locals and (receiver-merged) fields."""
+
+    # ------------------------------------------------------------------
+    # Normal flow
+    # ------------------------------------------------------------------
+
+    def normal_flow(self, stmt: Instruction, succ: Instruction) -> FlowFunction:
+        if isinstance(stmt, Assign):
+            return self._assign_flow(stmt)
+        if isinstance(stmt, FieldStore):
+            return self._field_store_flow(stmt)
+        return Identity()
+
+    def _assign_flow(self, stmt: Assign) -> FlowFunction:
+        target = LocalFact(stmt.target)
+        rvalue = stmt.rvalue
+
+        def flow(fact: TaintFact) -> Iterable[TaintFact]:
+            if fact is ZERO:
+                if isinstance(rvalue, SecretValue):
+                    return (ZERO, target)
+                return (ZERO,)
+            if self._taints(rvalue, fact):
+                # Covers x = x + ... : the target stays tainted even
+                # though its old value is overwritten.
+                return (fact, target) if fact != target else (fact,)
+            if fact == target:
+                return ()  # strong update: the old value is overwritten
+            return (fact,)
+
+        return Lambda(flow)
+
+    @staticmethod
+    def _taints(rvalue: RValue, fact: TaintFact) -> bool:
+        """Does taint on ``fact`` make the value of ``rvalue`` tainted?"""
+        if isinstance(fact, LocalFact):
+            ref = LocalRef(fact.name)
+            if isinstance(rvalue, LocalRef):
+                return rvalue == ref
+            if isinstance(rvalue, BinOp):
+                return rvalue.left == ref or rvalue.right == ref
+            if isinstance(rvalue, UnOp):
+                return rvalue.operand == ref
+            return False
+        if isinstance(fact, FieldFact):
+            return (
+                isinstance(rvalue, FieldLoad)
+                and rvalue.field == fact.field_name
+                and rvalue.field_class == fact.class_name
+            )
+        return False
+
+    def _field_store_flow(self, stmt: FieldStore) -> FlowFunction:
+        field_fact = FieldFact(stmt.field_class, stmt.field_name)
+        value = stmt.value
+
+        def flow(fact: TaintFact) -> Iterable[TaintFact]:
+            # Weak update: receivers are merged, so the store never kills.
+            if isinstance(fact, LocalFact) and value == LocalRef(fact.name):
+                return (fact, field_fact)
+            return (fact,)
+
+        return Lambda(flow)
+
+    # ------------------------------------------------------------------
+    # Inter-procedural flow
+    # ------------------------------------------------------------------
+
+    def call_flow(self, call: Invoke, callee: IRMethod) -> FlowFunction:
+        args = call.args
+        params = callee.params
+
+        def flow(fact: TaintFact) -> Iterable[TaintFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if isinstance(fact, FieldFact):
+                return (fact,)  # fields are global: visible in the callee
+            targets: List[TaintFact] = []
+            ref = LocalRef(fact.name)
+            for arg, param in zip(args, params):
+                if arg == ref:
+                    targets.append(LocalFact(param))
+            return targets
+
+        return Lambda(flow)
+
+    def return_flow(
+        self,
+        call: Invoke,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        return_site: Instruction,
+    ) -> FlowFunction:
+        result = call.result
+        returned = exit_stmt.value if isinstance(exit_stmt, Return) else None
+
+        def flow(fact: TaintFact) -> Iterable[TaintFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if isinstance(fact, FieldFact):
+                return (fact,)
+            if (
+                result is not None
+                and isinstance(returned, LocalRef)
+                and fact == LocalFact(returned.name)
+            ):
+                return (LocalFact(result),)
+            return ()  # callee locals die at the boundary
+
+        return Lambda(flow)
+
+    def call_to_return_flow(
+        self, call: Invoke, return_site: Instruction
+    ) -> FlowFunction:
+        result = call.result
+
+        def flow(fact: TaintFact) -> Iterable[TaintFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if isinstance(fact, FieldFact):
+                return ()  # fields travel through the callee instead
+            if result is not None and fact == LocalFact(result):
+                return ()  # the call overwrites its result local
+            return (fact,)
+
+        return Lambda(flow)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def sink_queries(
+        icfg,
+    ) -> Tuple[Tuple[Instruction, LocalFact], ...]:
+        """(print statement, fact) pairs to check: a hit is a leak."""
+        queries = []
+        for stmt in icfg.reachable_instructions():
+            if isinstance(stmt, Print) and isinstance(stmt.value, LocalRef):
+                queries.append((stmt, LocalFact(stmt.value.name)))
+        return tuple(queries)

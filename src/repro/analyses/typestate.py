@@ -1,0 +1,221 @@
+"""Typestate analysis: protocol conformance as an IFDS problem.
+
+Typestate verification is one of the flagship IFDS applications the paper
+cites (Fink et al.; Naeem & Lhoták; Bodden).  A *protocol* is a small DFA
+over the methods called on objects of tracked classes; the analysis tracks
+``(local, state)`` facts and reports reaching the error state.
+
+Lifted with SPLLIFT, the analysis answers *under which feature
+combinations* a protocol can be violated — e.g. "the stream may be read
+after close exactly when ¬Buffering ∧ Logging".
+
+Aliasing note: copies create independently-tracked facts (no alias
+analysis), the standard simplification for IFDS typestate demos; the
+paper's cited systems add access-path abstractions on top of the same
+framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.ifds.flowfunctions import FlowFunction, Identity, Lambda
+from repro.ifds.problem import IFDSProblem, ZERO
+from repro.ir.icfg import ICFG
+from repro.ir.instructions import (
+    Assign,
+    Instruction,
+    Invoke,
+    LocalRef,
+    NewObject,
+    Return,
+)
+from repro.ir.program import IRMethod
+
+__all__ = ["TypestateProtocol", "TypestateFact", "TypestateAnalysis", "FILE_PROTOCOL"]
+
+
+@dataclass(frozen=True)
+class TypestateProtocol:
+    """A DFA over method names, applied to objects of tracked classes.
+
+    ``transitions`` maps ``(state, method)`` to the next state; calling a
+    relevant method with no transition from the current state moves to
+    ``error_state``.  Methods not in ``relevant_methods`` are ignored.
+    """
+
+    name: str
+    tracked_classes: FrozenSet[str]
+    initial_state: str
+    error_state: str
+    transitions: Dict[Tuple[str, str], str]
+
+    @property
+    def relevant_methods(self) -> FrozenSet[str]:
+        return frozenset(method for _, method in self.transitions)
+
+    def step(self, state: str, method: str) -> str:
+        if method not in self.relevant_methods:
+            return state
+        if state == self.error_state:
+            return state
+        return self.transitions.get((state, method), self.error_state)
+
+
+#: The classic stream protocol: must open before read, no read after close.
+FILE_PROTOCOL = TypestateProtocol(
+    name="file",
+    tracked_classes=frozenset(("File",)),
+    initial_state="closed",
+    error_state="error",
+    transitions={
+        ("closed", "open"): "opened",
+        ("opened", "read"): "opened",
+        ("opened", "write"): "opened",
+        ("opened", "close"): "closed",
+    },
+)
+
+
+@dataclass(frozen=True)
+class TypestateFact:
+    """Object referenced by ``local`` may be in protocol ``state``."""
+
+    local: str
+    state: str
+
+    def __repr__(self) -> str:
+        return f"{self.local}@{self.state}"
+
+
+class TypestateAnalysis(IFDSProblem):
+    """IFDS typestate checking for one protocol."""
+
+    def __init__(self, icfg: ICFG, protocol: TypestateProtocol = FILE_PROTOCOL) -> None:
+        super().__init__(icfg)
+        self.protocol = protocol
+        self._tracked_with_subclasses = self._expand_tracked()
+
+    def _expand_tracked(self) -> FrozenSet[str]:
+        expanded = set()
+        for class_name in self.protocol.tracked_classes:
+            if class_name in self.icfg.program.classes:
+                expanded.update(self.icfg.program.subtypes(class_name))
+        return frozenset(expanded)
+
+    # ------------------------------------------------------------------
+    # Normal flow
+    # ------------------------------------------------------------------
+
+    def normal_flow(self, stmt: Instruction, succ: Instruction) -> FlowFunction:
+        if isinstance(stmt, Assign):
+            target = stmt.target
+            rvalue = stmt.rvalue
+            protocol = self.protocol
+            tracked = self._tracked_with_subclasses
+
+            def flow(fact) -> Iterable:
+                if fact is ZERO:
+                    if isinstance(rvalue, NewObject) and rvalue.class_name in tracked:
+                        return (ZERO, TypestateFact(target, protocol.initial_state))
+                    return (ZERO,)
+                if fact.local == target:
+                    return ()  # rebinding drops tracking of the old object
+                if isinstance(rvalue, LocalRef) and fact.local == rvalue.name:
+                    return (fact, TypestateFact(target, fact.state))
+                return (fact,)
+
+            return Lambda(flow)
+        return Identity()
+
+    # ------------------------------------------------------------------
+    # Calls: protocol steps happen at call-to-return edges
+    # ------------------------------------------------------------------
+
+    def call_flow(self, call: Invoke, callee: IRMethod) -> FlowFunction:
+        args = call.args
+        params = callee.params
+        receiver = call.receiver
+
+        def flow(fact) -> Iterable:
+            if fact is ZERO:
+                return (ZERO,)
+            targets: List[TypestateFact] = []
+            if receiver is not None and fact.local == receiver.name:
+                targets.append(TypestateFact("this", fact.state))
+            for arg, param in zip(args, params):
+                if isinstance(arg, LocalRef) and fact.local == arg.name:
+                    targets.append(TypestateFact(param, fact.state))
+            return targets
+
+        return Lambda(flow)
+
+    def return_flow(
+        self,
+        call: Invoke,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        return_site: Instruction,
+    ) -> FlowFunction:
+        result = call.result
+        returned = exit_stmt.value if isinstance(exit_stmt, Return) else None
+
+        def flow(fact) -> Iterable:
+            if fact is ZERO:
+                return (ZERO,)
+            if (
+                result is not None
+                and isinstance(returned, LocalRef)
+                and fact.local == returned.name
+            ):
+                return (TypestateFact(result, fact.state),)
+            return ()
+
+        return Lambda(flow)
+
+    def call_to_return_flow(
+        self, call: Invoke, return_site: Instruction
+    ) -> FlowFunction:
+        result = call.result
+        receiver = call.receiver
+        method_name = call.method_name
+        protocol = self.protocol
+        relevant = (
+            method_name in protocol.relevant_methods
+            and call.static_type in self._tracked_with_subclasses
+        )
+
+        def flow(fact) -> Iterable:
+            if fact is ZERO:
+                return (ZERO,)
+            if result is not None and fact.local == result:
+                return ()
+            if relevant and receiver is not None and fact.local == receiver.name:
+                return (TypestateFact(fact.local, protocol.step(fact.state, method_name)),)
+            return (fact,)
+
+        return Lambda(flow)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def violation_queries(self) -> Tuple[Tuple[Instruction, TypestateFact], ...]:
+        """(call statement, error fact) pairs: a hit means the protocol
+        may be violated *by* that call."""
+        queries = []
+        protocol = self.protocol
+        for stmt in self.icfg.reachable_instructions():
+            if not isinstance(stmt, Invoke):
+                continue
+            if stmt.method_name not in protocol.relevant_methods:
+                continue
+            if stmt.static_type not in self._tracked_with_subclasses:
+                continue
+            return_sites = self.icfg.return_sites_of(stmt)
+            for site in return_sites:
+                queries.append(
+                    (site, TypestateFact(stmt.receiver.name, protocol.error_state))
+                )
+        return tuple(queries)

@@ -1,0 +1,177 @@
+"""Uninitialized Variables: may a local be read before it is assigned?
+
+One of the paper's three evaluation clients (Section 6.2): "finds
+potentially uninitialized variables.  Assume a call foo(x), where x is
+potentially uninitialized.  Our analysis will determine that all uses of
+the formal parameter of foo may also access an uninitialized value."
+
+This is the analysis the paper's introduction motivates for SPLs: a plain
+Java program with a potentially undefined local does not compile, but any
+preprocessor accepts the product line and the error only shows up in some
+products.  The lifted analysis reports the exact feature constraint under
+which the uninitialized read happens.
+
+A fact ``LocalFact(x)`` states "local ``x`` may be uninitialized".  All
+source-level locals start uninitialized at method entry (Jimple hoists
+declarations); assignments kill; calls propagate uninitializedness from
+actuals into formals and from returned locals into result locals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple, Union
+
+from repro.analyses.facts import LocalFact
+from repro.ifds.flowfunctions import FlowFunction, Identity, Lambda
+from repro.ifds.problem import IFDSProblem, ZERO
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    FieldLoad,
+    FieldStore,
+    If,
+    Instruction,
+    Invoke,
+    LocalRef,
+    Print,
+    Return,
+    RValue,
+    UnOp,
+)
+from repro.ir.program import IRMethod
+
+__all__ = ["UninitializedVariablesAnalysis", "UninitFact", "uses_of"]
+
+UninitFact = Union[LocalFact, type(ZERO)]
+
+
+def uses_of(stmt: Instruction) -> Tuple[str, ...]:
+    """The locals *read* by a statement (the use sites to report on)."""
+    atoms: List = []
+    if isinstance(stmt, Assign):
+        atoms.extend(_rvalue_atoms(stmt.rvalue))
+    elif isinstance(stmt, FieldStore):
+        atoms.extend((stmt.base, stmt.value))
+    elif isinstance(stmt, If):
+        atoms.extend(_rvalue_atoms(stmt.cond))
+    elif isinstance(stmt, Invoke):
+        atoms.append(stmt.receiver)
+        atoms.extend(stmt.args)
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            atoms.append(stmt.value)
+    elif isinstance(stmt, Print):
+        atoms.append(stmt.value)
+    return tuple(
+        atom.name for atom in atoms if isinstance(atom, LocalRef)
+    )
+
+
+def _rvalue_atoms(rvalue: RValue) -> Tuple:
+    if isinstance(rvalue, BinOp):
+        return (rvalue.left, rvalue.right)
+    if isinstance(rvalue, UnOp):
+        return (rvalue.operand,)
+    if isinstance(rvalue, FieldLoad):
+        return (rvalue.base,)
+    return (rvalue,)
+
+
+class UninitializedVariablesAnalysis(IFDSProblem[UninitFact]):
+    """IFDS may-be-uninitialized analysis over source-level locals."""
+
+    def initial_seeds(self):
+        seeds = {}
+        for entry in self.icfg.entry_points:
+            facts: Set[UninitFact] = {self.zero}
+            facts.update(LocalFact(name) for name in entry.source_locals)
+            seeds[entry.start_point] = facts
+        return seeds
+
+    # ------------------------------------------------------------------
+    # Normal flow
+    # ------------------------------------------------------------------
+
+    def normal_flow(self, stmt: Instruction, succ: Instruction) -> FlowFunction:
+        if isinstance(stmt, Assign):
+            target = LocalFact(stmt.target)
+
+            def flow(fact: UninitFact) -> Iterable[UninitFact]:
+                if fact == target:
+                    return ()  # initialized now
+                return (fact,)
+
+            return Lambda(flow)
+        return Identity()
+
+    # ------------------------------------------------------------------
+    # Inter-procedural flow
+    # ------------------------------------------------------------------
+
+    def call_flow(self, call: Invoke, callee: IRMethod) -> FlowFunction:
+        args = call.args
+        params = callee.params
+        callee_locals = tuple(LocalFact(name) for name in callee.source_locals)
+
+        def flow(fact: UninitFact) -> Iterable[UninitFact]:
+            if fact is ZERO:
+                # The callee's own locals start uninitialized.
+                return (ZERO, *callee_locals)
+            targets: List[UninitFact] = []
+            ref = LocalRef(fact.name)
+            for arg, param in zip(args, params):
+                if arg == ref:
+                    targets.append(LocalFact(param))
+            return targets
+
+        return Lambda(flow)
+
+    def return_flow(
+        self,
+        call: Invoke,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        return_site: Instruction,
+    ) -> FlowFunction:
+        result = call.result
+        returned = exit_stmt.value if isinstance(exit_stmt, Return) else None
+
+        def flow(fact: UninitFact) -> Iterable[UninitFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if (
+                result is not None
+                and isinstance(returned, LocalRef)
+                and fact == LocalFact(returned.name)
+            ):
+                # Returning an uninitialized local taints the result.
+                return (LocalFact(result),)
+            return ()
+
+        return Lambda(flow)
+
+    def call_to_return_flow(
+        self, call: Invoke, return_site: Instruction
+    ) -> FlowFunction:
+        result = call.result
+
+        def flow(fact: UninitFact) -> Iterable[UninitFact]:
+            if fact is ZERO:
+                return (ZERO,)
+            if result is not None and fact == LocalFact(result):
+                return ()  # the call initializes the result local
+            return (fact,)
+
+        return Lambda(flow)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def use_queries(self) -> Tuple[Tuple[Instruction, LocalFact], ...]:
+        """(statement, fact) pairs whose hit means an uninitialized read."""
+        queries = []
+        for stmt in self.icfg.reachable_instructions():
+            for name in uses_of(stmt):
+                queries.append((stmt, LocalFact(name)))
+        return tuple(queries)

@@ -1,0 +1,6 @@
+"""Baselines: A1 (generate-and-analyze) and A2 (configuration-specific)."""
+
+from repro.baselines.a1 import A1Result, A1Run, run_a1
+from repro.baselines.a2 import A2Problem, solve_a2
+
+__all__ = ["A1Result", "A1Run", "run_a1", "A2Problem", "solve_a2"]

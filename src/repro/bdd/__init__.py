@@ -1,0 +1,8 @@
+"""From-scratch reduced ordered BDD engine (substitute for JavaBDD/BuDDy).
+
+See :mod:`repro.bdd.manager` for the engine itself.
+"""
+
+from repro.bdd.manager import BDDError, BDDManager
+
+__all__ = ["BDDManager", "BDDError"]

@@ -1,0 +1,665 @@
+"""A from-scratch reduced ordered binary decision diagram (ROBDD) engine.
+
+The paper (Section 5) attributes much of SPLLIFT's performance to encoding
+feature constraints as reduced BDDs: equality and ``is false`` checks are
+constant time on the canonical representation, and conjunction/disjunction
+are efficient and memoized.  The original implementation used JavaBDD backed
+by BuDDy; this module provides the equivalent engine in pure Python.
+
+Nodes are interned integers managed by a :class:`BDDManager`.  Node ``0`` is
+the ``false`` terminal and node ``1`` the ``true`` terminal.  Every internal
+node is uniquely identified by its ``(level, low, high)`` triple, which makes
+the representation canonical: two BDDs represent the same Boolean function if
+and only if they are the same integer.
+
+Example
+-------
+>>> mgr = BDDManager()
+>>> f, g = mgr.var("F"), mgr.var("G")
+>>> fn = mgr.and_(f, mgr.not_(g))
+>>> mgr.is_false(mgr.and_(fn, g))
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["BDDManager", "BDDError"]
+
+
+class BDDError(Exception):
+    """Raised for invalid BDD operations (unknown variables, foreign nodes)."""
+
+
+# Terminal node ids.  They occupy the two first slots of the node arrays.
+FALSE = 0
+TRUE = 1
+
+# Level assigned to terminal nodes; larger than any variable level.
+_TERMINAL_LEVEL = 1 << 60
+
+
+class BDDManager:
+    """Owns the unique table, operation caches and the variable order.
+
+    All BDD nodes live inside a single manager and are plain ``int`` handles.
+    Handles from different managers must never be mixed; operations check a
+    lightweight invariant (node id must exist in this manager's tables).
+
+    Parameters
+    ----------
+    ordering:
+        Optional initial variable order (first variable = topmost level).
+        Variables can also be created on demand with :meth:`var`; new
+        variables are appended below all existing ones.
+    """
+
+    def __init__(self, ordering: Optional[Sequence[str]] = None) -> None:
+        # Node storage: parallel lists indexed by node id.
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: List[int] = [FALSE, TRUE]  # unused for terminals
+        self._high: List[int] = [FALSE, TRUE]
+        # (level, low, high) -> node id
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Variable bookkeeping.
+        self._var_level: Dict[str, int] = {}
+        self._level_var: List[str] = []
+        # Memoization caches.
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._restrict_cache: Dict[Tuple[int, int, bool], int] = {}
+        self._satcount_cache: Dict[int, int] = {}
+        self._support_cache: Dict[int, frozenset] = {}
+        if ordering is not None:
+            for name in ordering:
+                self.var(name)
+
+    # ------------------------------------------------------------------
+    # Constants and variables
+    # ------------------------------------------------------------------
+
+    @property
+    def false(self) -> int:
+        """The ``false`` terminal."""
+        return FALSE
+
+    @property
+    def true(self) -> int:
+        """The ``true`` terminal."""
+        return TRUE
+
+    def var(self, name: str) -> int:
+        """Return the BDD for variable ``name``, declaring it if necessary.
+
+        Newly declared variables are placed below all existing variables in
+        the order.
+        """
+        level = self._var_level.get(name)
+        if level is None:
+            level = len(self._level_var)
+            self._var_level[name] = level
+            self._level_var.append(name)
+            # Cached counts are normalized against the number of declared
+            # variables, so they are invalidated by a new declaration.
+            self._satcount_cache.clear()
+        return self._mk(level, FALSE, TRUE)
+
+    def nvar(self, name: str) -> int:
+        """Return the BDD for the negation of variable ``name``."""
+        level = self._var_level.get(name)
+        if level is None:
+            self.var(name)
+            level = self._var_level[name]
+        return self._mk(level, TRUE, FALSE)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """All declared variable names in order (topmost first)."""
+        return tuple(self._level_var)
+
+    def has_var(self, name: str) -> bool:
+        """True if ``name`` has been declared in this manager."""
+        return name in self._var_level
+
+    def level_of(self, name: str) -> int:
+        """The order level of variable ``name`` (0 = topmost)."""
+        try:
+            return self._var_level[name]
+        except KeyError:
+            raise BDDError(f"unknown BDD variable: {name!r}") from None
+
+    def var_at_level(self, level: int) -> str:
+        """The variable name sitting at ``level``."""
+        return self._level_var[level]
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)`` (reduced form)."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < len(self._level):
+            raise BDDError(f"node {node} does not belong to this manager")
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the two terminal nodes."""
+        return node <= TRUE
+
+    def is_true(self, node: int) -> bool:
+        """Constant-time check: is this the ``true`` function?"""
+        return node == TRUE
+
+    def is_false(self, node: int) -> bool:
+        """Constant-time check: is this the ``false`` function?
+
+        Because the representation is canonical, a contradictory constraint
+        always reduces to the ``false`` terminal; this check is what enables
+        SPLLIFT's early termination (Section 4.2 of the paper).
+        """
+        return node == FALSE
+
+    def top_var(self, node: int) -> str:
+        """Name of the decision variable at the root of ``node``."""
+        self._check(node)
+        if self.is_terminal(node):
+            raise BDDError("terminal nodes have no decision variable")
+        return self._level_var[self._level[node]]
+
+    def low(self, node: int) -> int:
+        """The ``else`` (variable = false) child."""
+        self._check(node)
+        if self.is_terminal(node):
+            raise BDDError("terminal nodes have no children")
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        """The ``then`` (variable = true) child."""
+        self._check(node)
+        if self.is_terminal(node):
+            raise BDDError("terminal nodes have no children")
+        return self._high[node]
+
+    def node_count(self, node: int) -> int:
+        """Number of distinct internal nodes reachable from ``node``."""
+        self._check(node)
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= TRUE or current in seen:
+                continue
+            seen.add(current)
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return len(seen)
+
+    def total_nodes(self) -> int:
+        """Total number of nodes ever interned (terminals included)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def not_(self, node: int) -> int:
+        """Negation."""
+        self._check(node)
+        cached = self._not_cache.get(node)
+        if cached is not None:
+            return cached
+        if node == FALSE:
+            result = TRUE
+        elif node == TRUE:
+            result = FALSE
+        else:
+            result = self._mk(
+                self._level[node],
+                self.not_(self._low[node]),
+                self.not_(self._high[node]),
+            )
+        self._not_cache[node] = result
+        return result
+
+    def _apply(
+        self,
+        op_name: str,
+        op: Callable[[int, int], Optional[int]],
+        f: int,
+        g: int,
+    ) -> int:
+        """Generic memoized apply.  ``op`` returns a terminal for decided
+        operand pairs and ``None`` when recursion must continue."""
+        decided = op(f, g)
+        if decided is not None:
+            return decided
+        key = (op_name, f, g)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        level_f, level_g = self._level[f], self._level[g]
+        level = min(level_f, level_g)
+        f_low, f_high = (self._low[f], self._high[f]) if level_f == level else (f, f)
+        g_low, g_high = (self._low[g], self._high[g]) if level_g == level else (g, g)
+        result = self._mk(
+            level,
+            self._apply(op_name, op, f_low, g_low),
+            self._apply(op_name, op, f_high, g_high),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    @staticmethod
+    def _and_op(f: int, g: int) -> Optional[int]:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f == g:
+            return f
+        return None
+
+    @staticmethod
+    def _or_op(f: int, g: int) -> Optional[int]:
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == g:
+            return f
+        return None
+
+    @staticmethod
+    def _xor_op(f: int, g: int) -> Optional[int]:
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        return None
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction (commutative; arguments normalized for the cache)."""
+        self._check(f)
+        self._check(g)
+        if g < f:
+            f, g = g, f
+        return self._apply("and", self._and_op, f, g)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction (commutative; arguments normalized for the cache)."""
+        self._check(f)
+        self._check(g)
+        if g < f:
+            f, g = g, f
+        return self._apply("or", self._or_op, f, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        self._check(f)
+        self._check(g)
+        if g < f:
+            f, g = g, f
+        return self._apply("xor", self._xor_op, f, g)
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g`` as ``not f or g``."""
+        return self.or_(self.not_(f), g)
+
+    def iff(self, f: int, g: int) -> int:
+        """Bi-implication ``f <-> g``."""
+        return self.not_(self.xor(f, g))
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f and g) or (not f and h)``."""
+        return self.or_(self.and_(f, g), self.and_(self.not_(f), h))
+
+    def and_all(self, nodes: Iterable[int]) -> int:
+        """Conjunction of all ``nodes`` (``true`` if empty)."""
+        result = TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def or_all(self, nodes: Iterable[int]) -> int:
+        """Disjunction of all ``nodes`` (``false`` if empty)."""
+        result = FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    def entails(self, f: int, g: int) -> bool:
+        """True if ``f`` implies ``g`` for all assignments."""
+        return self.implies(f, g) == TRUE
+
+    def equiv(self, f: int, g: int) -> bool:
+        """True if ``f`` and ``g`` denote the same function.
+
+        On a canonical representation this is pointer equality.
+        """
+        self._check(f)
+        self._check(g)
+        return f == g
+
+    # ------------------------------------------------------------------
+    # Cofactors, evaluation, support
+    # ------------------------------------------------------------------
+
+    def restrict(self, node: int, name: str, value: bool) -> int:
+        """Cofactor of ``node`` with variable ``name`` fixed to ``value``."""
+        self._check(node)
+        level = self.level_of(name)
+        return self._restrict(node, level, value)
+
+    def _restrict(self, node: int, level: int, value: bool) -> int:
+        if self._level[node] > level:
+            # Terminal, or node entirely below the restricted variable on a
+            # branch where the variable was skipped.
+            return node
+        key = (node, level, value)
+        cached = self._restrict_cache.get(key)
+        if cached is not None:
+            return cached
+        node_level = self._level[node]
+        if node_level == level:
+            result = self._high[node] if value else self._low[node]
+        else:
+            result = self._mk(
+                node_level,
+                self._restrict(self._low[node], level, value),
+                self._restrict(self._high[node], level, value),
+            )
+        self._restrict_cache[key] = result
+        return result
+
+    def exists(self, node: int, names: Iterable[str]) -> int:
+        """Existential quantification of ``names`` out of ``node``."""
+        self._check(node)
+        result = node
+        for name in names:
+            if name not in self._var_level:
+                continue
+            level = self._var_level[name]
+            result = self.or_(
+                self._restrict(result, level, False),
+                self._restrict(result, level, True),
+            )
+        return result
+
+    def forall(self, node: int, names: Iterable[str]) -> int:
+        """Universal quantification of ``names`` out of ``node``."""
+        self._check(node)
+        result = node
+        for name in names:
+            if name not in self._var_level:
+                continue
+            level = self._var_level[name]
+            result = self.and_(
+                self._restrict(result, level, False),
+                self._restrict(result, level, True),
+            )
+        return result
+
+    def evaluate(self, node: int, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a total assignment of the node's support.
+
+        Variables missing from ``assignment`` raise :class:`BDDError` when
+        the evaluation actually branches on them.
+        """
+        self._check(node)
+        while node > TRUE:
+            name = self._level_var[self._level[node]]
+            try:
+                value = assignment[name]
+            except KeyError:
+                raise BDDError(
+                    f"assignment does not cover variable {name!r}"
+                ) from None
+            node = self._high[node] if value else self._low[node]
+        return node == TRUE
+
+    def support(self, node: int) -> frozenset:
+        """The set of variable names the function actually depends on."""
+        self._check(node)
+        cached = self._support_cache.get(node)
+        if cached is not None:
+            return cached
+        if node <= TRUE:
+            result: frozenset = frozenset()
+        else:
+            result = (
+                frozenset((self._level_var[self._level[node]],))
+                | self.support(self._low[node])
+                | self.support(self._high[node])
+            )
+        self._support_cache[node] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Model counting and enumeration
+    # ------------------------------------------------------------------
+
+    def satcount(self, node: int, over: Optional[Iterable[str]] = None) -> int:
+        """Number of satisfying assignments.
+
+        By default counts over *all* declared variables.  Pass ``over`` to
+        count over a specific variable set (it must be a superset of the
+        node's support).
+        """
+        self._check(node)
+        if over is None:
+            names = set(self._level_var)
+        else:
+            names = set(over)
+            missing = self.support(node) - names
+            if missing:
+                raise BDDError(
+                    f"satcount variable set misses support variables: "
+                    f"{sorted(missing)}"
+                )
+        raw = self._satcount_raw(node)
+        # _satcount_raw counts over all declared variables below the root;
+        # rescale to the requested variable set.
+        total_declared = len(self._level_var)
+        scale_down = total_declared - len(names & set(self._level_var))
+        extra = len(names - set(self._level_var))
+        count = raw >> scale_down if scale_down >= 0 else raw
+        return count << extra
+
+    def _satcount_raw(self, node: int) -> int:
+        """Satisfying assignments over all declared variables."""
+        total = len(self._level_var)
+        cached = self._satcount_cache.get(node)
+        if cached is not None:
+            return cached
+
+        def rec(current: int) -> int:
+            # Returns count over variables at levels >= level of current,
+            # normalized as if current sat at level `self._level[current]`.
+            if current == FALSE:
+                return 0
+            if current == TRUE:
+                return 1
+            memo = self._satcount_cache.get(current)
+            if memo is not None:
+                return memo
+            level = self._level[current]
+            low, high = self._low[current], self._high[current]
+            low_level = total if low <= TRUE else self._level[low]
+            high_level = total if high <= TRUE else self._level[high]
+            count = rec(low) * (1 << (low_level - level - 1)) + rec(high) * (
+                1 << (high_level - level - 1)
+            )
+            self._satcount_cache[current] = count
+            return count
+
+        root_level = total if node <= TRUE else self._level[node]
+        result = rec(node) * (1 << root_level)
+        return result
+
+    def iter_models(
+        self, node: int, over: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, bool]]:
+        """Yield every satisfying total assignment over ``over``.
+
+        ``over`` defaults to all declared variables; it must cover the
+        node's support.  Deterministic order (variable order, false first).
+        """
+        self._check(node)
+        if over is None:
+            names: Tuple[str, ...] = tuple(self._level_var)
+        else:
+            names = tuple(over)
+            missing = self.support(node) - set(names)
+            if missing:
+                raise BDDError(
+                    f"model variable set misses support variables: "
+                    f"{sorted(missing)}"
+                )
+
+        def rec(index: int, current: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
+            if index == len(names):
+                if current == TRUE:
+                    yield dict(partial)
+                return
+            name = names[index]
+            level = self._var_level.get(name, _TERMINAL_LEVEL)
+            at_this_var = current > TRUE and self._level[current] == level
+            for value in (False, True):
+                if at_this_var:
+                    child = self._high[current] if value else self._low[current]
+                else:
+                    child = current
+                if child == FALSE:
+                    continue
+                partial[name] = value
+                yield from rec(index + 1, child, partial)
+                del partial[name]
+
+        # If `over` is not in manager order, fall back to evaluate-based
+        # enumeration to keep the requested variable order in the output.
+        levels = [self._var_level.get(n, _TERMINAL_LEVEL) for n in names]
+        if levels != sorted(levels):
+            # Reorder internally but emit dicts keyed by all names anyway;
+            # dict key order does not affect semantics.
+            ordered = sorted(names, key=lambda n: self._var_level.get(n, _TERMINAL_LEVEL))
+            for model in self.iter_models(node, ordered):
+                yield {name: model[name] for name in names}
+            return
+        yield from rec(0, node, {})
+
+    def any_model(self, node: int) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment of the node's support, or ``None``.
+
+        Variables outside the support are omitted (free to take any value).
+        """
+        self._check(node)
+        if node == FALSE:
+            return None
+        model: Dict[str, bool] = {}
+        current = node
+        while current > TRUE:
+            name = self._level_var[self._level[current]]
+            if self._low[current] != FALSE:
+                model[name] = False
+                current = self._low[current]
+            else:
+                model[name] = True
+                current = self._high[current]
+        return model
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_expr_string(self, node: int) -> str:
+        """A human-readable sum-of-products rendering (for small BDDs)."""
+        if node == FALSE:
+            return "false"
+        if node == TRUE:
+            return "true"
+        cubes: List[str] = []
+        for cube in self._iter_cubes(node):
+            literals = [
+                name if positive else f"!{name}" for name, positive in cube
+            ]
+            cubes.append(" & ".join(literals))
+        return " | ".join(cubes)
+
+    def _iter_cubes(self, node: int) -> Iterator[Tuple[Tuple[str, bool], ...]]:
+        """Yield the BDD's paths to ``true`` as cubes of literals."""
+        path: List[Tuple[str, bool]] = []
+
+        def rec(current: int) -> Iterator[Tuple[Tuple[str, bool], ...]]:
+            if current == FALSE:
+                return
+            if current == TRUE:
+                yield tuple(path)
+                return
+            name = self._level_var[self._level[current]]
+            path.append((name, False))
+            yield from rec(self._low[current])
+            path.pop()
+            path.append((name, True))
+            yield from rec(self._high[current])
+            path.pop()
+
+        yield from rec(node)
+
+    def to_dot(self, node: int, name: str = "bdd") -> str:
+        """Graphviz DOT rendering of the BDD rooted at ``node``."""
+        self._check(node)
+        lines = [f"digraph {name} {{", "  rankdir=TB;"]
+        lines.append('  n0 [shape=box, label="0"];')
+        lines.append('  n1 [shape=box, label="1"];')
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= TRUE or current in seen:
+                continue
+            seen.add(current)
+            label = self._level_var[self._level[current]]
+            lines.append(f'  n{current} [shape=circle, label="{label}"];')
+            low, high = self._low[current], self._high[current]
+            lines.append(f"  n{current} -> n{low} [style=dashed];")
+            lines.append(f"  n{current} -> n{high} [style=solid];")
+            stack.extend((low, high))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Sizes of the internal caches (for diagnostics and benchmarks)."""
+        return {
+            "nodes": len(self._level),
+            "unique_entries": len(self._unique),
+            "apply_cache": len(self._apply_cache),
+            "not_cache": len(self._not_cache),
+            "restrict_cache": len(self._restrict_cache),
+        }

@@ -1,0 +1,245 @@
+"""The ``spllift`` command-line tool.
+
+Analyze a MiniJava product line from the shell::
+
+    spllift analyze shop.mj --analysis taint --feature-model shop.fm
+    spllift analyze shop.mj --analysis uninit --fm-mode ignore
+    spllift interfaces shop.mj --feature Discount --feature-model shop.fm
+    spllift run shop.mj --config Discount,Tax
+    spllift metrics shop.mj --feature-model shop.fm
+
+``analyze`` prints, per finding, the statement and the feature constraint
+under which it occurs; ``interfaces`` prints a feature's emergent
+interface; ``run`` executes one configuration with the interpreter;
+``metrics`` prints the Table-1-style subject metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analyses import (
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    TaintAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.analyses.typestate import FILE_PROTOCOL, TypestateAnalysis
+from repro.core import SPLLift, compute_emergent_interface
+from repro.core.solver import SPLLiftResults
+from repro.featuremodel import FeatureModel, parse_feature_model
+from repro.interp import Interpreter
+from repro.spl import ProductLine
+from repro.utils import format_count
+
+__all__ = ["main"]
+
+ANALYSES = ("taint", "uninit", "nullness", "types", "rd", "typestate")
+
+
+def _load_product_line(args) -> ProductLine:
+    with open(args.file) as handle:
+        source = handle.read()
+    model = FeatureModel()
+    if getattr(args, "feature_model", None):
+        with open(args.feature_model) as handle:
+            model = parse_feature_model(handle.read())
+    return ProductLine(name=args.file, source=source, feature_model=model, entry=args.entry)
+
+
+def _findings(
+    product_line: ProductLine, analysis_name: str, fm_mode: str
+) -> Tuple[List[Tuple[str, str, str]], SPLLiftResults]:
+    icfg = product_line.icfg
+    feature_model = product_line.feature_model if fm_mode != "ignore" else None
+    if analysis_name == "taint":
+        analysis = TaintAnalysis(icfg)
+        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        queries = [
+            (stmt, fact, f"secret may reach print of {fact}")
+            for stmt, fact in TaintAnalysis.sink_queries(icfg)
+        ]
+    elif analysis_name == "uninit":
+        analysis = UninitializedVariablesAnalysis(icfg)
+        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        queries = [
+            (stmt, fact, f"read of possibly-uninitialized {fact}")
+            for stmt, fact in analysis.use_queries()
+        ]
+    elif analysis_name == "nullness":
+        from repro.analyses.nullness import NullnessAnalysis
+
+        analysis = NullnessAnalysis(icfg)
+        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        queries = [
+            (stmt, fact, f"possible null dereference of {fact}")
+            for stmt, fact in analysis.dereference_queries()
+        ]
+    elif analysis_name == "typestate":
+        analysis = TypestateAnalysis(icfg, FILE_PROTOCOL)
+        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        queries = [
+            (stmt, fact, f"protocol violation: {fact}")
+            for stmt, fact in analysis.violation_queries()
+        ]
+    elif analysis_name in ("types", "rd"):
+        analysis = (
+            PossibleTypesAnalysis(icfg)
+            if analysis_name == "types"
+            else ReachingDefinitionsAnalysis(icfg)
+        )
+        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        # Informational analyses: report all facts at method exits.
+        queries = []
+        for method in icfg.reachable_methods:
+            for exit_point in method.exit_points:
+                for fact in results.results_at(exit_point):
+                    queries.append((exit_point, fact, f"{fact}"))
+    else:
+        raise ValueError(f"unknown analysis {analysis_name!r}")
+    findings = []
+    for stmt, fact, description in queries:
+        constraint = results.finding_constraint(stmt, fact)
+        if not constraint.is_false:
+            findings.append((stmt.location, description, str(constraint)))
+    return findings, results
+
+
+def _cmd_analyze(args) -> int:
+    product_line = _load_product_line(args)
+    findings, results = _findings(product_line, args.analysis, args.fm_mode)
+    if not findings:
+        print(f"{args.analysis}: no findings (in any valid product)")
+        return 0
+    print(f"{args.analysis}: {len(findings)} finding(s)")
+    for location, description, constraint in findings:
+        print(f"  {location}: {description}")
+        print(f"      iff {constraint}")
+    if args.stats:
+        print("\nsolver statistics:")
+        for key, value in results.stats.items():
+            print(f"  {key}: {value}")
+    return 1 if findings else 0
+
+
+def _cmd_interfaces(args) -> int:
+    product_line = _load_product_line(args)
+    interface = compute_emergent_interface(
+        product_line.icfg,
+        args.feature,
+        feature_model=product_line.feature_model,
+    )
+    print(interface)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    product_line = _load_product_line(args)
+    config = frozenset(
+        name for name in (args.config or "").split(",") if name
+    )
+    interpreter = Interpreter(
+        product_line.ir, configuration=config, fuel=args.fuel
+    )
+    trace = interpreter.run(product_line.entry)
+    for _, value in trace.prints:
+        marker = "  [tainted]" if value.tainted else ""
+        print(f"{value.data}{marker}")
+    if trace.uninit_reads:
+        unique = sorted(
+            {(stmt.location, name) for stmt, name in trace.uninit_reads}
+        )
+        print(f"warning: {len(unique)} uninitialized read(s):", file=sys.stderr)
+        for location, name in unique:
+            print(f"  {location}: {name}", file=sys.stderr)
+    if not trace.completed:
+        print(f"execution stopped early: {trace.stop_reason}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    product_line = _load_product_line(args)
+    print(f"file:                     {args.file}")
+    print(f"KLOC:                     {product_line.kloc:.2f}")
+    print(f"features (total):         {product_line.features_total}")
+    reachable = product_line.features_reachable
+    print(f"features (reachable):     {len(reachable)}: {', '.join(reachable)}")
+    print(
+        "configurations (reachable): "
+        f"{format_count(product_line.configurations_reachable)}"
+    )
+    print(
+        "configurations (valid):     "
+        f"{format_count(product_line.count_valid_configurations())}"
+    )
+    icfg = product_line.icfg
+    print(f"reachable methods:        {len(icfg.reachable_methods)}")
+    print(f"reachable statements:     {icfg.instruction_count()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spllift",
+        description="Feature-sensitive static analysis of MiniJava "
+        "product lines (SPLLIFT, PLDI 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p) -> None:
+        p.add_argument("file", help="MiniJava product-line source file")
+        p.add_argument(
+            "--feature-model", help="feature model file (textual format)"
+        )
+        p.add_argument(
+            "--entry", default="Main.main", help="entry point (default Main.main)"
+        )
+
+    analyze = sub.add_parser("analyze", help="run a lifted analysis")
+    common(analyze)
+    analyze.add_argument(
+        "--analysis", choices=ANALYSES, default="taint", help="which analysis"
+    )
+    analyze.add_argument(
+        "--fm-mode",
+        choices=("edge", "seed", "ignore"),
+        default="edge",
+        help="how to use the feature model (Section 4.2)",
+    )
+    analyze.add_argument(
+        "--stats", action="store_true", help="print solver statistics"
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    interfaces = sub.add_parser(
+        "interfaces", help="compute a feature's emergent interface"
+    )
+    common(interfaces)
+    interfaces.add_argument("--feature", required=True, help="feature name")
+    interfaces.set_defaults(handler=_cmd_interfaces)
+
+    run = sub.add_parser("run", help="execute one configuration")
+    common(run)
+    run.add_argument(
+        "--config", default="", help="comma-separated enabled features"
+    )
+    run.add_argument("--fuel", type=int, default=200_000, help="step budget")
+    run.set_defaults(handler=_cmd_run)
+
+    metrics = sub.add_parser("metrics", help="print subject metrics")
+    common(metrics)
+    metrics.set_defaults(handler=_cmd_metrics)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

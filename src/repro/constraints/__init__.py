@@ -1,0 +1,56 @@
+"""Feature constraints: the IDE value domain of SPLLIFT.
+
+Two interchangeable representations:
+
+- :class:`BddConstraintSystem` — reduced BDDs, the representation the paper
+  ships (constant-time equality and ``is_false``).
+- :class:`DnfConstraintSystem` — disjunctive normal form, the representation
+  the paper abandoned; kept for the ablation benchmark.
+
+Plus :mod:`repro.constraints.formula`, the propositional-formula AST and
+parser shared by ``#ifdef`` conditions and feature models.
+"""
+
+from repro.constraints.base import (
+    ConfigurationLike,
+    Constraint,
+    ConstraintSystem,
+    as_assignment,
+)
+from repro.constraints.bddsystem import BddConstraint, BddConstraintSystem
+from repro.constraints.dnf import DnfConstraint, DnfConstraintSystem
+from repro.constraints.formula import (
+    And,
+    FalseConst,
+    Formula,
+    FormulaParseError,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueConst,
+    Var,
+    parse_formula,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintSystem",
+    "ConfigurationLike",
+    "as_assignment",
+    "BddConstraint",
+    "BddConstraintSystem",
+    "DnfConstraint",
+    "DnfConstraintSystem",
+    "Formula",
+    "FormulaParseError",
+    "TrueConst",
+    "FalseConst",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "parse_formula",
+]

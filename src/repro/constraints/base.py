@@ -1,0 +1,130 @@
+"""Abstract interface for feature-constraint systems.
+
+SPLLIFT's IDE value domain ``V`` is the lattice of Boolean feature
+constraints, joined by disjunction.  The paper's implementation represents
+constraints as reduced BDDs (Section 5); an earlier prototype used
+disjunctive normal form and was abandoned for performance reasons.  Both
+representations are provided here behind one interface so the trade-off can
+be benchmarked (see ``benchmarks/test_ablation_constraints.py``).
+
+A :class:`ConstraintSystem` is a factory and algebra; :class:`Constraint`
+objects are immutable handles tied to their system.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Mapping, Union
+
+from repro.constraints.formula import Formula
+
+__all__ = ["Constraint", "ConstraintSystem", "ConfigurationLike", "as_assignment"]
+
+# A product configuration: either the set of *enabled* features (everything
+# else disabled) or an explicit feature -> bool mapping.
+ConfigurationLike = Union[AbstractSet[str], Mapping[str, bool]]
+
+
+def as_assignment(
+    configuration: ConfigurationLike, features: Iterable[str]
+) -> "dict[str, bool]":
+    """Normalize a configuration to a total assignment over ``features``."""
+    if isinstance(configuration, Mapping):
+        return {name: bool(configuration.get(name, False)) for name in features}
+    return {name: name in configuration for name in features}
+
+
+class Constraint:
+    """An immutable Boolean constraint over feature variables.
+
+    Handles support the operators ``&`` (conjunction), ``|`` (disjunction)
+    and ``~`` (negation) and compare equal iff they denote the same function
+    *as far as their representation can tell* (exact for BDDs, syntactic on
+    a normal form for DNF).
+    """
+
+    __slots__ = ()
+
+    @property
+    def system(self) -> "ConstraintSystem":
+        raise NotImplementedError
+
+    def __and__(self, other: "Constraint") -> "Constraint":
+        return self.system.and_(self, other)
+
+    def __or__(self, other: "Constraint") -> "Constraint":
+        return self.system.or_(self, other)
+
+    def __invert__(self) -> "Constraint":
+        return self.system.not_(self)
+
+    @property
+    def is_false(self) -> bool:
+        """True if the constraint is unsatisfiable.
+
+        This is the check that drives SPLLIFT's early termination: an edge
+        whose constraint is ``false`` can never contribute a data flow.
+        """
+        raise NotImplementedError
+
+    @property
+    def is_true(self) -> bool:
+        """True if the constraint is a tautology."""
+        raise NotImplementedError
+
+    def entails(self, other: "Constraint") -> bool:
+        """True if every model of ``self`` satisfies ``other``."""
+        raise NotImplementedError
+
+    def satisfied_by(self, configuration: ConfigurationLike) -> bool:
+        """Evaluate under a concrete product configuration."""
+        raise NotImplementedError
+
+
+class ConstraintSystem:
+    """Factory and algebra for one family of :class:`Constraint` handles."""
+
+    #: Short name used in benchmark output ("bdd" or "dnf").
+    name = "abstract"
+
+    @property
+    def true(self) -> Constraint:
+        """The tautology (the initial value at the program start node)."""
+        raise NotImplementedError
+
+    @property
+    def false(self) -> Constraint:
+        """The unsatisfiable constraint (initial value everywhere else)."""
+        raise NotImplementedError
+
+    def var(self, feature: str) -> Constraint:
+        """The constraint "feature ``feature`` is enabled"."""
+        raise NotImplementedError
+
+    def from_formula(self, formula: Formula) -> Constraint:
+        """Compile a propositional formula into a constraint."""
+        raise NotImplementedError
+
+    def and_(self, left: Constraint, right: Constraint) -> Constraint:
+        raise NotImplementedError
+
+    def or_(self, left: Constraint, right: Constraint) -> Constraint:
+        raise NotImplementedError
+
+    def not_(self, operand: Constraint) -> Constraint:
+        raise NotImplementedError
+
+    def and_all(self, constraints: Iterable[Constraint]) -> Constraint:
+        result = self.true
+        for constraint in constraints:
+            result = self.and_(result, constraint)
+            if result.is_false:
+                break
+        return result
+
+    def or_all(self, constraints: Iterable[Constraint]) -> Constraint:
+        result = self.false
+        for constraint in constraints:
+            result = self.or_(result, constraint)
+            if result.is_true:
+                break
+        return result

@@ -1,0 +1,150 @@
+"""BDD-backed feature constraints (the representation the paper ships).
+
+Constraints are thin wrappers around node ids of a shared
+:class:`~repro.bdd.BDDManager`.  Because ROBDDs are canonical, equality,
+``is_false`` and ``is_true`` are constant-time — exactly the properties
+Section 5 of the paper identifies as crucial for SPLLIFT's performance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+from repro.bdd import BDDManager
+from repro.constraints.base import (
+    ConfigurationLike,
+    Constraint,
+    ConstraintSystem,
+    as_assignment,
+)
+from repro.constraints.formula import Formula, parse_formula
+
+__all__ = ["BddConstraint", "BddConstraintSystem"]
+
+
+class BddConstraint(Constraint):
+    """A feature constraint represented as a node in a shared BDD."""
+
+    __slots__ = ("_system", "_node")
+
+    def __init__(self, system: "BddConstraintSystem", node: int) -> None:
+        self._system = system
+        self._node = node
+
+    @property
+    def system(self) -> "BddConstraintSystem":
+        return self._system
+
+    @property
+    def node(self) -> int:
+        """The underlying BDD node id (exposed for diagnostics)."""
+        return self._node
+
+    @property
+    def is_false(self) -> bool:
+        return self._system.manager.is_false(self._node)
+
+    @property
+    def is_true(self) -> bool:
+        return self._system.manager.is_true(self._node)
+
+    def entails(self, other: Constraint) -> bool:
+        other_node = self._system.coerce(other)._node
+        return self._system.manager.entails(self._node, other_node)
+
+    def satisfied_by(self, configuration: ConfigurationLike) -> bool:
+        manager = self._system.manager
+        assignment = as_assignment(configuration, manager.support(self._node))
+        return manager.evaluate(self._node, assignment)
+
+    def models(
+        self, over: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, bool]]:
+        """All satisfying assignments over ``over`` (default: all features)."""
+        return self._system.manager.iter_models(self._node, over)
+
+    def model_count(self, over: Optional[Iterable[str]] = None) -> int:
+        """Number of satisfying assignments over ``over``."""
+        return self._system.manager.satcount(self._node, over)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BddConstraint)
+            and other._system is self._system
+            and other._node == self._node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._system), self._node))
+
+    def __repr__(self) -> str:
+        return f"BddConstraint({self._system.manager.to_expr_string(self._node)})"
+
+    def __str__(self) -> str:
+        return self._system.manager.to_expr_string(self._node)
+
+
+class BddConstraintSystem(ConstraintSystem):
+    """Constraint system backed by a single shared :class:`BDDManager`."""
+
+    name = "bdd"
+
+    def __init__(self, manager: Optional[BDDManager] = None) -> None:
+        self.manager = manager if manager is not None else BDDManager()
+        self._true = BddConstraint(self, self.manager.true)
+        self._false = BddConstraint(self, self.manager.false)
+        # Intern constraints by node so equal functions share a handle.
+        self._interned: Dict[int, BddConstraint] = {
+            self.manager.true: self._true,
+            self.manager.false: self._false,
+        }
+
+    def _wrap(self, node: int) -> BddConstraint:
+        constraint = self._interned.get(node)
+        if constraint is None:
+            constraint = BddConstraint(self, node)
+            self._interned[node] = constraint
+        return constraint
+
+    def wrap_node(self, node: int) -> BddConstraint:
+        """Wrap a raw node of this system's manager into a constraint."""
+        return self._wrap(node)
+
+    def coerce(self, constraint: Constraint) -> BddConstraint:
+        """Type-check a foreign handle into this system."""
+        if not isinstance(constraint, BddConstraint) or constraint.system is not self:
+            raise TypeError(
+                f"constraint {constraint!r} does not belong to this system"
+            )
+        return constraint
+
+    @property
+    def true(self) -> BddConstraint:
+        return self._true
+
+    @property
+    def false(self) -> BddConstraint:
+        return self._false
+
+    def var(self, feature: str) -> BddConstraint:
+        return self._wrap(self.manager.var(feature))
+
+    def from_formula(self, formula: Formula) -> BddConstraint:
+        return self._wrap(formula.to_bdd(self.manager))
+
+    def parse(self, text: str) -> BddConstraint:
+        """Parse a textual formula directly into a constraint."""
+        return self.from_formula(parse_formula(text))
+
+    def and_(self, left: Constraint, right: Constraint) -> BddConstraint:
+        return self._wrap(
+            self.manager.and_(self.coerce(left).node, self.coerce(right).node)
+        )
+
+    def or_(self, left: Constraint, right: Constraint) -> BddConstraint:
+        return self._wrap(
+            self.manager.or_(self.coerce(left).node, self.coerce(right).node)
+        )
+
+    def not_(self, operand: Constraint) -> BddConstraint:
+        return self._wrap(self.manager.not_(self.coerce(operand).node))

@@ -1,0 +1,235 @@
+"""DNF-backed feature constraints — the representation the paper abandoned.
+
+Section 5: "After some initial experiments with a hand-written data
+structure representing constraints in Disjunctive Normal Form, we switched
+to an implementation based on Binary Decision Diagrams."  This module keeps
+that first design alive so the trade-off can be measured
+(``benchmarks/test_ablation_constraints.py``).
+
+A constraint is a set of *cubes*; a cube is a set of literals
+``(feature, positive)``.  Normalization removes contradictory cubes and
+subsumed cubes, which makes ``is_false`` exact (a normalized DNF is
+unsatisfiable iff it has no cubes).  Equality is syntactic on the normal
+form — sound for fixed-point detection (joins are monotone on the normal
+form) but weaker than the BDD system's canonical equality, which is one of
+the reasons the representation loses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.constraints.base import (
+    ConfigurationLike,
+    Constraint,
+    ConstraintSystem,
+    as_assignment,
+)
+from repro.constraints.formula import (
+    And,
+    FalseConst,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueConst,
+    Var,
+    parse_formula,
+)
+
+__all__ = ["DnfConstraint", "DnfConstraintSystem"]
+
+Literal = Tuple[str, bool]
+Cube = FrozenSet[Literal]
+CubeSet = FrozenSet[Cube]
+
+_EMPTY_CUBE: Cube = frozenset()
+
+
+def _is_contradictory(cube: Cube) -> bool:
+    names = {}
+    for name, positive in cube:
+        if names.setdefault(name, positive) != positive:
+            return True
+    return False
+
+
+def _normalize(cubes: Iterable[Cube]) -> CubeSet:
+    """Drop contradictory cubes, then drop subsumed cubes.
+
+    Cube ``c`` subsumes ``d`` when ``c ⊆ d`` (``c`` is more general).
+    """
+    consistent = [cube for cube in set(cubes) if not _is_contradictory(cube)]
+    consistent.sort(key=len)
+    kept: "list[Cube]" = []
+    for cube in consistent:
+        if not any(existing <= cube for existing in kept):
+            kept.append(cube)
+    return frozenset(kept)
+
+
+class DnfConstraint(Constraint):
+    """A feature constraint as a normalized set of cubes."""
+
+    __slots__ = ("_system", "_cubes")
+
+    def __init__(self, system: "DnfConstraintSystem", cubes: CubeSet) -> None:
+        self._system = system
+        self._cubes = cubes
+
+    @property
+    def system(self) -> "DnfConstraintSystem":
+        return self._system
+
+    @property
+    def cubes(self) -> CubeSet:
+        return self._cubes
+
+    @property
+    def is_false(self) -> bool:
+        return not self._cubes
+
+    @property
+    def is_true(self) -> bool:
+        # The empty cube is the common fast path; fall back to the exact
+        # (and expensive — this is DNF) complement check.
+        if _EMPTY_CUBE in self._cubes:
+            return True
+        return self._system.not_(self).is_false
+
+    def entails(self, other: Constraint) -> bool:
+        coerced = self._system.coerce(other)
+        return self._system.and_(self, self._system.not_(coerced)).is_false
+
+    def satisfied_by(self, configuration: ConfigurationLike) -> bool:
+        features = {name for cube in self._cubes for name, _ in cube}
+        assignment = as_assignment(configuration, features)
+        return any(
+            all(assignment[name] == positive for name, positive in cube)
+            for cube in self._cubes
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DnfConstraint)
+            and other._system is self._system
+            and other._cubes == self._cubes
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._system), self._cubes))
+
+    def __str__(self) -> str:
+        if not self._cubes:
+            return "false"
+        if _EMPTY_CUBE in self._cubes:
+            return "true"
+        rendered = []
+        for cube in sorted(self._cubes, key=sorted):
+            literals = sorted(cube)
+            rendered.append(
+                " & ".join(name if pos else f"!{name}" for name, pos in literals)
+            )
+        return " | ".join(rendered)
+
+    def __repr__(self) -> str:
+        return f"DnfConstraint({self})"
+
+
+class DnfConstraintSystem(ConstraintSystem):
+    """Constraint system over normalized DNF cube sets."""
+
+    name = "dnf"
+
+    def __init__(self) -> None:
+        self._true = DnfConstraint(self, frozenset((_EMPTY_CUBE,)))
+        self._false = DnfConstraint(self, frozenset())
+
+    def coerce(self, constraint: Constraint) -> DnfConstraint:
+        if not isinstance(constraint, DnfConstraint) or constraint.system is not self:
+            raise TypeError(
+                f"constraint {constraint!r} does not belong to this system"
+            )
+        return constraint
+
+    @property
+    def true(self) -> DnfConstraint:
+        return self._true
+
+    @property
+    def false(self) -> DnfConstraint:
+        return self._false
+
+    def var(self, feature: str) -> DnfConstraint:
+        return DnfConstraint(self, frozenset((frozenset(((feature, True),)),)))
+
+    def _literal(self, feature: str, positive: bool) -> DnfConstraint:
+        return DnfConstraint(self, frozenset((frozenset(((feature, positive),)),)))
+
+    def from_formula(self, formula: Formula) -> DnfConstraint:
+        if isinstance(formula, TrueConst):
+            return self._true
+        if isinstance(formula, FalseConst):
+            return self._false
+        if isinstance(formula, Var):
+            return self.var(formula.name)
+        if isinstance(formula, Not):
+            return self.not_(self.from_formula(formula.operand))
+        if isinstance(formula, And):
+            result = self._true
+            for operand in formula.operands:
+                result = self.and_(result, self.from_formula(operand))
+            return result
+        if isinstance(formula, Or):
+            result = self._false
+            for operand in formula.operands:
+                result = self.or_(result, self.from_formula(operand))
+            return result
+        if isinstance(formula, Implies):
+            return self.or_(
+                self.not_(self.from_formula(formula.premise)),
+                self.from_formula(formula.conclusion),
+            )
+        if isinstance(formula, Iff):
+            left = self.from_formula(formula.left)
+            right = self.from_formula(formula.right)
+            return self.or_(
+                self.and_(left, right), self.and_(self.not_(left), self.not_(right))
+            )
+        raise TypeError(f"unsupported formula node: {formula!r}")
+
+    def parse(self, text: str) -> DnfConstraint:
+        """Parse a textual formula directly into a constraint."""
+        return self.from_formula(parse_formula(text))
+
+    def and_(self, left: Constraint, right: Constraint) -> DnfConstraint:
+        left_cubes = self.coerce(left).cubes
+        right_cubes = self.coerce(right).cubes
+        product = (
+            cube_a | cube_b for cube_a in left_cubes for cube_b in right_cubes
+        )
+        return DnfConstraint(self, _normalize(product))
+
+    def or_(self, left: Constraint, right: Constraint) -> DnfConstraint:
+        return DnfConstraint(
+            self, _normalize(self.coerce(left).cubes | self.coerce(right).cubes)
+        )
+
+    def not_(self, operand: Constraint) -> DnfConstraint:
+        # De Morgan: the complement of a DNF is the conjunction of the
+        # complements of its cubes; each cube complement is a clause, i.e. a
+        # small DNF of negated literals.  This blows up combinatorially —
+        # which is part of why the paper abandoned the representation.
+        result = self._true
+        for cube in self.coerce(operand).cubes:
+            clause = DnfConstraint(
+                self,
+                _normalize(
+                    frozenset(((name, not positive),)) for name, positive in cube
+                ),
+            )
+            result = self.and_(result, clause)
+            if result.is_false:
+                break
+        return result

@@ -1,0 +1,370 @@
+"""Propositional formulas over feature names.
+
+`#ifdef` conditions in MiniJava product lines and cross-tree constraints in
+feature models are written as small propositional formulas.  This module
+provides their AST, a parser, an evaluator, and compilation to BDDs.
+
+Grammar (precedence low to high)::
+
+    formula  := iff
+    iff      := implies ( '<->' implies )*
+    implies  := or ( '->' or )*            (right associative)
+    or       := and ( ('||' | '|') and )*
+    and      := unary ( ('&&' | '&') unary )*
+    unary    := '!' unary | atom
+    atom     := 'true' | 'false' | IDENT | '(' formula ')'
+
+Example
+-------
+>>> f = parse_formula("F && !G")
+>>> f.evaluate({"F": True, "G": False})
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.bdd import BDDManager
+
+__all__ = [
+    "Formula",
+    "TrueConst",
+    "FalseConst",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "FormulaParseError",
+    "parse_formula",
+]
+
+
+class FormulaParseError(ValueError):
+    """Raised when a formula string cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class for propositional formulas (immutable, hashable)."""
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Truth value under a total assignment of the formula's variables."""
+        raise NotImplementedError
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        """Compile to a BDD node in ``manager``."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """All variable names mentioned in the formula."""
+        raise NotImplementedError
+
+    # Convenience connective constructors.
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueConst(Formula):
+    """The constant ``true``."""
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return True
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.true
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseConst(Formula):
+    """The constant ``false``."""
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return False
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.false
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A feature variable."""
+
+    name: str
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        try:
+            return assignment[self.name]
+        except KeyError:
+            raise KeyError(
+                f"assignment does not cover feature {self.name!r}"
+            ) from None
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.var(self.name)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.not_(self.operand.to_bdd(manager))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!{_atomic(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction."""
+
+    operands: Tuple[Formula, ...]
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.and_all(op.to_bdd(manager) for op in self.operands)
+
+    def variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            result |= op.variables()
+        return result
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return " && ".join(_atomic(op, within="and") for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction."""
+
+    operands: Tuple[Formula, ...]
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.or_all(op.to_bdd(manager) for op in self.operands)
+
+    def variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            result |= op.variables()
+        return result
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return " || ".join(_atomic(op, within="or") for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``premise -> conclusion``."""
+
+    premise: Formula
+    conclusion: Formula
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return (not self.premise.evaluate(assignment)) or self.conclusion.evaluate(
+            assignment
+        )
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.implies(
+            self.premise.to_bdd(manager), self.conclusion.to_bdd(manager)
+        )
+
+    def variables(self) -> FrozenSet[str]:
+        return self.premise.variables() | self.conclusion.variables()
+
+    def __str__(self) -> str:
+        return f"{_atomic(self.premise)} -> {_atomic(self.conclusion)}"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Bi-implication ``left <-> right``."""
+
+    left: Formula
+    right: Formula
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> int:
+        return manager.iff(self.left.to_bdd(manager), self.right.to_bdd(manager))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_atomic(self.left)} <-> {_atomic(self.right)}"
+
+
+def _atomic(formula: Formula, within: str = "") -> str:
+    """Render ``formula`` with parentheses unless it is atomic enough."""
+    if isinstance(formula, (Var, TrueConst, FalseConst, Not)):
+        return str(formula)
+    if within == "or" and isinstance(formula, And):
+        # && binds tighter than ||, no parens needed.
+        return str(formula)
+    return f"({formula})"
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+_PUNCT = ("<->", "->", "&&", "||", "!", "&", "|", "(", ")")
+
+
+def _tokenize(text: str) -> "list[str]":
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        for punct in _PUNCT:
+            if text.startswith(punct, i):
+                tokens.append(punct)
+                i += len(punct)
+                break
+        else:
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(text[i:j])
+                i = j
+            else:
+                raise FormulaParseError(
+                    f"unexpected character {ch!r} at offset {i} in {text!r}"
+                )
+    return tokens
+
+
+class _FormulaParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    def parse(self) -> Formula:
+        result = self._iff()
+        if self._pos != len(self._tokens):
+            raise FormulaParseError(
+                f"trailing tokens {self._tokens[self._pos:]} in {self._text!r}"
+            )
+        return result
+
+    def _peek(self) -> str:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else ""
+
+    def _next(self) -> str:
+        token = self._peek()
+        if not token:
+            raise FormulaParseError(f"unexpected end of formula in {self._text!r}")
+        self._pos += 1
+        return token
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self._peek() == "<->":
+            self._next()
+            left = Iff(left, self._implies())
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self._peek() == "->":
+            self._next()
+            return Implies(left, self._implies())
+        return left
+
+    def _or(self) -> Formula:
+        operands = [self._and()]
+        while self._peek() in ("||", "|"):
+            self._next()
+            operands.append(self._and())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def _and(self) -> Formula:
+        operands = [self._unary()]
+        while self._peek() in ("&&", "&"):
+            self._next()
+            operands.append(self._unary())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def _unary(self) -> Formula:
+        if self._peek() == "!":
+            self._next()
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Formula:
+        token = self._next()
+        if token == "(":
+            inner = self._iff()
+            closing = self._next()
+            if closing != ")":
+                raise FormulaParseError(
+                    f"expected ')' but found {closing!r} in {self._text!r}"
+                )
+            return inner
+        if token == "true":
+            return TrueConst()
+        if token == "false":
+            return FalseConst()
+        if token[0].isalpha() or token[0] == "_":
+            return Var(token)
+        raise FormulaParseError(f"unexpected token {token!r} in {self._text!r}")
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a propositional formula from its textual form."""
+    return _FormulaParser(text).parse()

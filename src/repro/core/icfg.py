@@ -1,0 +1,77 @@
+"""The feature-annotated (SPL-aware) control-flow graph.
+
+SPLLIFT analyzes the *unpreprocessed* product line, so control flow must
+account for statements that may be disabled:
+
+- a disabled **unconditional branch** (``goto``; Figure 4b) does not
+  execute — control *falls through* to the textually next statement, so an
+  annotated ``goto`` gains a synthetic fall-through successor;
+- a disabled **conditional branch** (Figure 4c) falls through, which is
+  already one of its successors;
+- a disabled **return** falls through as well (it is an unconditional
+  control transfer); the trailing return of every method is unannotated,
+  so there is always something to fall through to;
+- all other statements keep their successors (a disabled normal statement
+  simply computes the identity).
+
+Both SPLLIFT and the configuration-specific baseline ``A2`` run on this
+graph (Section 6.1: "A2 operates on the feature-annotated control-flow
+graph just as SPLLIFT").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ir.icfg import ICFG
+from repro.ir.instructions import Goto, If, Instruction, Return
+
+__all__ = ["LiftedICFG"]
+
+
+class LiftedICFG(ICFG):
+    """An ICFG whose successor relation accounts for disabled statements."""
+
+    def __init__(self, base: ICFG) -> None:
+        # Reuse the base graph's call graph and successor map; do not
+        # recompute. (Deliberately not calling super().__init__.)
+        self.program = base.program
+        self.entry_points = base.entry_points
+        self.call_graph = base.call_graph
+        self._base = base
+        self._successors = dict(base._successors)
+        for method in base.reachable_methods:
+            for instruction in method.instructions:
+                if instruction.annotation is None:
+                    continue
+                if isinstance(instruction, Goto):
+                    fall_through = method.instructions[instruction.index + 1]
+                    target = method.instructions[instruction.target]
+                    successors = (
+                        (target,)
+                        if fall_through is target
+                        else (fall_through, target)
+                    )
+                    self._successors[instruction] = successors
+                elif isinstance(instruction, Return):
+                    fall_through = method.instructions[instruction.index + 1]
+                    self._successors[instruction] = (fall_through,)
+
+    # ------------------------------------------------------------------
+    # Classification helpers used by the lifted flow functions
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def fall_through_of(instruction: Instruction) -> Optional[Instruction]:
+        """The textually next statement (None at the end of a method)."""
+        instructions = instruction.method.instructions
+        if instruction.index + 1 < len(instructions):
+            return instructions[instruction.index + 1]
+        return None
+
+    @staticmethod
+    def branch_target_of(instruction: Instruction) -> Optional[Instruction]:
+        """The explicit branch target of an If/Goto (None otherwise)."""
+        if isinstance(instruction, (If, Goto)):
+            return instruction.method.instructions[instruction.target]
+        return None

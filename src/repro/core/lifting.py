@@ -1,0 +1,337 @@
+"""The SPLLIFT lifting: any IFDS problem becomes an IDE problem over
+feature constraints — without changing a line of the original analysis.
+
+Section 3 of the paper.  For a statement ``s`` annotated with feature
+constraint ``F``, the lifted flow function is ``f_LIFT = f_F ∨ f_¬F``:
+
+- **enabled case** ``f_F``: a copy of the statement's original flow
+  function with every edge labeled ``F``;
+- **disabled case** ``f_¬F``:
+  - the identity labeled ``¬F`` for normal statements and call-to-return
+    edges (Figure 4a),
+  - flow only along the *fall-through* branch for disabled conditional and
+    unconditional branches (Figures 4b, 4c),
+  - the **kill-all** function for call and return edges (Figure 4d) — an
+    identity there would smuggle flow into a callee whose call never
+    happens.
+
+Edges annotated ``F`` in one case and ``¬F`` in the other are implicitly
+annotated ``true``.  Edge labels become IDE edge functions ``λc. c ∧ F``;
+composition along a path conjoins, merging paths disjoins (Section 3.4).
+0-edges are conditionalized like any other edge, so the analysis computes
+reachability constraints as a side effect (Section 3.5).
+
+With a feature model ``m`` (Section 4.2), every edge label ``f`` becomes
+``f ∧ m``; contradictions reduce to ``false`` (= the all-top edge
+function), which the IDE solver drops — terminating infeasible paths
+already during the jump-function construction phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, TypeVar
+
+from repro.constraints.base import Constraint, ConstraintSystem
+from repro.constraints.formula import Formula
+from repro.core.icfg import LiftedICFG
+from repro.ide.edgefunctions import AllTop, EdgeFunction
+from repro.ide.problem import IDEProblem
+from repro.ifds.flowfunctions import FlowFunction, Identity, Union
+from repro.ifds.problem import IFDSProblem
+from repro.ir.instructions import Goto, If, Instruction, Return
+from repro.ir.program import IRMethod
+
+__all__ = ["ConstraintEdge", "LiftedProblem", "FM_MODES"]
+
+D = TypeVar("D", bound=Hashable)
+
+#: How the feature model is taken into account (Section 4.2):
+#: - "edge": conjoin the model onto every edge label (the paper's choice —
+#:   early termination already in the construction phase);
+#: - "seed": keep edges model-free, start the value phase from the model
+#:   constraint instead of true (the paper's rejected first attempt);
+#: - "ignore": do not use the feature model at all.
+FM_MODES = ("edge", "seed", "ignore")
+
+
+class ConstraintEdge(EdgeFunction[Constraint]):
+    """The edge function ``λc. c ∧ A`` for a feature constraint ``A``.
+
+    This family is closed under the IDE operations — composition conjoins
+    and join disjoins the constants — and equality is constant time thanks
+    to the canonical BDD representation.
+    """
+
+    __slots__ = ("constraint",)
+
+    def __init__(self, constraint: Constraint) -> None:
+        self.constraint = constraint
+
+    def compute_target(self, source: Constraint) -> Constraint:
+        return source & self.constraint
+
+    def compose_with(self, second: EdgeFunction[Constraint]) -> EdgeFunction[Constraint]:
+        if isinstance(second, ConstraintEdge):
+            return ConstraintEdge(self.constraint & second.constraint)
+        if isinstance(second, AllTop):
+            return second
+        raise TypeError(f"cannot compose ConstraintEdge with {second!r}")
+
+    def join_with(self, other: EdgeFunction[Constraint]) -> EdgeFunction[Constraint]:
+        if isinstance(other, ConstraintEdge):
+            return ConstraintEdge(self.constraint | other.constraint)
+        if isinstance(other, AllTop):
+            return self
+        raise TypeError(f"cannot join ConstraintEdge with {other!r}")
+
+    def equal_to(self, other: EdgeFunction[Constraint]) -> bool:
+        if isinstance(other, ConstraintEdge):
+            return other.constraint == self.constraint
+        if isinstance(other, AllTop):
+            return self.constraint.is_false
+        return False
+
+    def __repr__(self) -> str:
+        return f"λc. c ∧ ({self.constraint})"
+
+
+class LiftedProblem(IDEProblem[D, Constraint]):
+    """The automatic IFDS→IDE conversion (the ``SPLLIFT`` transformation).
+
+    Wraps an unmodified :class:`~repro.ifds.problem.IFDSProblem`; the
+    wrapped analysis' flow functions are consulted for the enabled case of
+    every statement, and this class supplies the Figure 4 rules plus the
+    constraint edge functions.
+    """
+
+    def __init__(
+        self,
+        inner: IFDSProblem[D],
+        system: ConstraintSystem,
+        feature_model: Optional[Constraint] = None,
+        fm_mode: str = "edge",
+    ) -> None:
+        if fm_mode not in FM_MODES:
+            raise ValueError(f"fm_mode must be one of {FM_MODES}, got {fm_mode!r}")
+        icfg = inner.icfg
+        if not isinstance(icfg, LiftedICFG):
+            icfg = LiftedICFG(icfg)
+            inner.icfg = icfg
+        super().__init__(icfg)
+        self.inner = inner
+        self.system = system
+        self.fm_mode = fm_mode
+        self.feature_model = (
+            feature_model if feature_model is not None else system.true
+        )
+        self._edge_label_fm = (
+            self.feature_model if fm_mode == "edge" else system.true
+        )
+        self._formula_cache: Dict[Formula, Constraint] = {}
+        self._true_edge = ConstraintEdge(system.true & self._edge_label_fm)
+
+    # ------------------------------------------------------------------
+    # Constraint helpers
+    # ------------------------------------------------------------------
+
+    def constraint_of(self, stmt: Instruction) -> Constraint:
+        """The statement's feature annotation as a constraint (``true`` if
+        unannotated)."""
+        formula = stmt.annotation
+        if formula is None:
+            return self.system.true
+        cached = self._formula_cache.get(formula)
+        if cached is None:
+            cached = self.system.from_formula(formula)
+            self._formula_cache[formula] = cached
+        return cached
+
+    def _edge(self, label: Constraint) -> ConstraintEdge:
+        """An edge function for label ``f``, implicitly conjoined with the
+        feature model ``m`` in "edge" mode (Section 4.2)."""
+        return ConstraintEdge(label & self._edge_label_fm)
+
+    # ------------------------------------------------------------------
+    # Value lattice
+    # ------------------------------------------------------------------
+
+    def top_value(self) -> Constraint:
+        return self.system.false
+
+    def bottom_value(self) -> Constraint:
+        return self.system.true
+
+    def join_values(self, left: Constraint, right: Constraint) -> Constraint:
+        return left | right
+
+    def seed_edge_function(self) -> EdgeFunction[Constraint]:
+        return ConstraintEdge(self.system.true)
+
+    def initial_seeds(self):
+        return self.inner.initial_seeds()
+
+    def initial_seed_values(self):
+        # "seed" mode implements the paper's rejected variant: the start
+        # value is the feature model instead of true (Section 4.2).
+        seed = (
+            self.feature_model if self.fm_mode == "seed" else self.system.true
+        )
+        return {
+            stmt: {fact: seed for fact in facts}
+            for stmt, facts in self.initial_seeds().items()
+        }
+
+    # ------------------------------------------------------------------
+    # Flow functions: which exploded-graph edges exist (f_F ∨ f_¬F)
+    # ------------------------------------------------------------------
+
+    def normal_flow(self, stmt: Instruction, succ: Instruction) -> FlowFunction[D]:
+        if stmt.annotation is None:
+            if isinstance(stmt, Return):
+                # Unannotated returns have no successors; nothing to do.
+                return Identity()
+            return self.inner.normal_flow(stmt, succ)
+        fall_through = LiftedICFG.fall_through_of(stmt)
+        target = LiftedICFG.branch_target_of(stmt)
+        if isinstance(stmt, Goto):
+            # Enabled: flow to the target only; disabled: fall through.
+            flows = []
+            if succ is target:
+                flows.append(self.inner.normal_flow(stmt, succ))
+            if succ is fall_through:
+                flows.append(Identity())
+            return _union(flows)
+        if isinstance(stmt, If):
+            if succ is target and succ is not fall_through:
+                return self.inner.normal_flow(stmt, succ)
+            # Fall-through: enabled normal flow or disabled identity.
+            return _union([self.inner.normal_flow(stmt, succ), Identity()])
+        if isinstance(stmt, Return):
+            # Only reached for annotated returns: disabled → fall through.
+            return Identity()
+        # Normal statement: enabled effect or disabled identity (Fig. 4a).
+        return _union([self.inner.normal_flow(stmt, succ), Identity()])
+
+    def call_flow(self, call: Instruction, callee: IRMethod) -> FlowFunction[D]:
+        # Disabled case is kill-all (Fig. 4d), which adds no edges.
+        return self.inner.call_flow(call, callee)
+
+    def return_flow(
+        self,
+        call: Instruction,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        return_site: Instruction,
+    ) -> FlowFunction[D]:
+        # Disabled case is kill-all (Fig. 4d).
+        return self.inner.return_flow(call, callee, exit_stmt, return_site)
+
+    def call_to_return_flow(
+        self, call: Instruction, return_site: Instruction
+    ) -> FlowFunction[D]:
+        inner_flow = self.inner.call_to_return_flow(call, return_site)
+        if call.annotation is None:
+            return inner_flow
+        # Enabled: the analysis' call-to-return flow; disabled: identity
+        # (the call does not happen, locals survive unchanged) — Fig. 4a.
+        return _union([inner_flow, Identity()])
+
+    # ------------------------------------------------------------------
+    # Edge functions: the constraint labels of Figure 4
+    # ------------------------------------------------------------------
+
+    def edge_normal(
+        self, stmt: Instruction, stmt_fact: D, succ: Instruction, succ_fact: D
+    ) -> EdgeFunction[Constraint]:
+        if stmt.annotation is None:
+            return self._true_edge
+        condition = self.constraint_of(stmt)
+        fall_through = LiftedICFG.fall_through_of(stmt)
+        target = LiftedICFG.branch_target_of(stmt)
+        if isinstance(stmt, Goto):
+            enabled = succ is target and self._in_inner_normal(
+                stmt, stmt_fact, succ, succ_fact
+            )
+            disabled = succ is fall_through and succ_fact == stmt_fact
+            return self._label(condition, enabled, disabled)
+        if isinstance(stmt, If):
+            if succ is target and succ is not fall_through:
+                # Branch taken: only possible when enabled (Fig. 4c).
+                return self._edge(condition)
+            enabled = self._in_inner_normal(stmt, stmt_fact, succ, succ_fact)
+            disabled = succ_fact == stmt_fact
+            return self._label(condition, enabled, disabled)
+        if isinstance(stmt, Return):
+            # Synthetic fall-through edge: the disabled case only.
+            return self._edge(~condition)
+        enabled = self._in_inner_normal(stmt, stmt_fact, succ, succ_fact)
+        disabled = succ_fact == stmt_fact
+        return self._label(condition, enabled, disabled)
+
+    def _in_inner_normal(
+        self, stmt: Instruction, stmt_fact: D, succ: Instruction, succ_fact: D
+    ) -> bool:
+        flow = self.inner.normal_flow(stmt, succ)
+        return succ_fact in flow.compute_targets(stmt_fact)
+
+    def _label(
+        self, condition: Constraint, enabled: bool, disabled: bool
+    ) -> EdgeFunction[Constraint]:
+        """Combine the enabled-case label ``F`` and disabled-case label
+        ``¬F`` for one edge; present in both cases means ``true``."""
+        if enabled and disabled:
+            return self._true_edge
+        if enabled:
+            return self._edge(condition)
+        if disabled:
+            return self._edge(~condition)
+        # The solver only asks for edges produced by the flow functions,
+        # so at least one case must apply.
+        raise AssertionError("edge label requested for a non-existent edge")
+
+    def edge_call(
+        self, call: Instruction, call_fact: D, callee: IRMethod, entry_fact: D
+    ) -> EdgeFunction[Constraint]:
+        if call.annotation is None:
+            return self._true_edge
+        return self._edge(self.constraint_of(call))
+
+    def edge_return(
+        self,
+        call: Instruction,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        exit_fact: D,
+        return_site: Instruction,
+        return_fact: D,
+    ) -> EdgeFunction[Constraint]:
+        # The flow happens only if the call occurs *and* the exit statement
+        # itself is enabled (an annotated return that is disabled falls
+        # through instead of returning).
+        label = self.constraint_of(call) & self.constraint_of(exit_stmt)
+        if label.is_true:
+            return self._true_edge
+        return self._edge(label)
+
+    def edge_call_to_return(
+        self, call: Instruction, call_fact: D, return_site: Instruction, return_fact: D
+    ) -> EdgeFunction[Constraint]:
+        if call.annotation is None:
+            return self._true_edge
+        condition = self.constraint_of(call)
+        flow = self.inner.call_to_return_flow(call, return_site)
+        enabled = return_fact in flow.compute_targets(call_fact)
+        disabled = return_fact == call_fact
+        return self._label(condition, enabled, disabled)
+
+
+def _union(flows) -> FlowFunction:
+    """Union of flow functions, avoiding the wrapper for a single one."""
+    flows = [flow for flow in flows if flow is not None]
+    if not flows:
+        from repro.ifds.flowfunctions import KillAll
+
+        return KillAll()
+    if len(flows) == 1:
+        return flows[0]
+    return Union(*flows)

@@ -1,0 +1,171 @@
+"""The SPLLIFT facade: run an unmodified IFDS analysis over a whole SPL.
+
+Usage::
+
+    icfg = ICFG.for_entry(lower_program(parse_program(source)))
+    analysis = TaintAnalysis(icfg)          # a plain IFDS problem
+    spllift = SPLLift(analysis, feature_model=model)
+    results = spllift.solve()
+    results.constraint_for(stmt, fact)      # e.g. !F & G & !H
+
+In cases where the original analysis reports that fact ``d`` may hold at
+statement ``s``, the lifted analysis reports the *feature constraint* under
+which ``d`` may hold at ``s`` (Section 1 of the paper).  As a side effect
+the 0-fact's value gives each statement's reachability constraint
+(Section 3.3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Generic, Hashable, Optional, TypeVar, Union
+
+from repro.constraints.base import Constraint, ConstraintSystem, as_assignment
+from repro.constraints.bddsystem import BddConstraintSystem
+from repro.core.lifting import FM_MODES, LiftedProblem
+from repro.featuremodel.batory import to_constraint
+from repro.featuremodel.model import FeatureModel
+from repro.ide.solver import IDEResults, IDESolver
+from repro.ifds.problem import IFDSProblem, ZERO
+from repro.ir.instructions import Instruction
+
+__all__ = ["SPLLift", "SPLLiftResults"]
+
+D = TypeVar("D", bound=Hashable)
+
+
+class SPLLiftResults(Generic[D]):
+    """Feature constraints per (statement, fact)."""
+
+    def __init__(
+        self,
+        ide_results: IDEResults[D, Constraint],
+        system: ConstraintSystem,
+        feature_model: Constraint,
+        stats: Dict[str, int],
+        solve_seconds: float,
+    ) -> None:
+        self._ide = ide_results
+        self.system = system
+        self.feature_model = feature_model
+        self.stats = stats
+        self.solve_seconds = solve_seconds
+
+    def constraint_for(self, stmt: Instruction, fact: D) -> Constraint:
+        """The constraint under which ``fact`` may hold just before
+        ``stmt`` (``false`` when it cannot hold in any product)."""
+        return self._ide.value_at(stmt, fact)
+
+    def holds_in(self, stmt: Instruction, fact: D, configuration, over=None) -> bool:
+        """Does ``fact`` hold at ``stmt`` for the given configuration?
+
+        With ``over`` given, ``configuration`` is interpreted as a *partial*
+        configuration over exactly the features in ``over`` (e.g. the
+        reachable features); the check then asks whether the constraint is
+        satisfiable by *some* product agreeing with it — which is how the
+        paper compares against A2 runs over reachable-feature
+        configurations.  Without ``over``, features outside the
+        configuration are treated as disabled.
+        """
+        constraint = self.constraint_for(stmt, fact)
+        if constraint.is_false:
+            return False
+        if over is None:
+            return constraint.satisfied_by(configuration)
+        assignment = as_assignment(configuration, over)
+        cube = self.system.and_all(
+            self.system.var(name) if value else ~self.system.var(name)
+            for name, value in assignment.items()
+        )
+        return not (constraint & cube).is_false
+
+    def finding_constraint(self, stmt: Instruction, fact: D) -> Constraint:
+        """The constraint under which a *finding* at ``stmt`` manifests:
+        the fact must reach the statement **and** the statement itself
+        must be enabled.  Use this (not :meth:`constraint_for`) when the
+        statement is the event — a dereference, a print, a use."""
+        constraint = self.constraint_for(stmt, fact)
+        if stmt.annotation is None or constraint.is_false:
+            return constraint
+        return constraint & self.system.from_formula(stmt.annotation)
+
+    def config_is_valid(self, configuration, over) -> bool:
+        """Is this partial configuration (over the features ``over``)
+        extendable to a product satisfying the feature model?"""
+        assignment = as_assignment(configuration, over)
+        cube = self.system.and_all(
+            self.system.var(name) if value else ~self.system.var(name)
+            for name, value in assignment.items()
+        )
+        return not (self.feature_model & cube).is_false
+
+    def results_at(
+        self, stmt: Instruction, include_zero: bool = False
+    ) -> Dict[D, Constraint]:
+        """All facts with a satisfiable constraint at ``stmt``."""
+        return self._ide.results_at(stmt, include_zero=include_zero)
+
+    def reachability_of(self, stmt: Instruction) -> Constraint:
+        """The constraint under which ``stmt`` is reachable at all — the
+        0-fact's value (Section 3.3 of the paper)."""
+        return self._ide.value_at(stmt, ZERO)
+
+    def items(self):
+        """Iterate ``((stmt, fact), constraint)`` pairs."""
+        return self._ide.items()
+
+
+class SPLLift(Generic[D]):
+    """Lift and solve an IFDS analysis over a software product line."""
+
+    def __init__(
+        self,
+        analysis: IFDSProblem[D],
+        feature_model: Optional[Union[Constraint, FeatureModel]] = None,
+        system: Optional[ConstraintSystem] = None,
+        fm_mode: str = "edge",
+    ) -> None:
+        """
+        Parameters
+        ----------
+        analysis:
+            An *unmodified* IFDS problem over the product line's ICFG.
+        feature_model:
+            The product line's feature model — either an already-compiled
+            :class:`Constraint` or a :class:`FeatureModel` (translated via
+            Batory's encoding).  ``None`` means no model (all products).
+        system:
+            The constraint system; defaults to a fresh BDD-backed one.
+        fm_mode:
+            One of ``"edge"`` (paper's choice), ``"seed"`` (rejected
+            variant) or ``"ignore"`` — see Section 4.2.
+        """
+        self.system = system if system is not None else BddConstraintSystem()
+        if feature_model is None:
+            fm_constraint = self.system.true
+        elif isinstance(feature_model, FeatureModel):
+            fm_constraint = to_constraint(feature_model, self.system)
+        else:
+            fm_constraint = feature_model
+        self.feature_model = fm_constraint
+        if fm_mode not in FM_MODES:
+            raise ValueError(f"fm_mode must be one of {FM_MODES}, got {fm_mode!r}")
+        self.fm_mode = fm_mode
+        self.problem = LiftedProblem(
+            analysis, self.system, fm_constraint, fm_mode=fm_mode
+        )
+        self.analysis = analysis
+
+    def solve(self) -> SPLLiftResults[D]:
+        """Run the IDE solver on the lifted problem (one single pass)."""
+        solver = IDESolver(self.problem)
+        started = time.perf_counter()
+        ide_results = solver.solve()
+        elapsed = time.perf_counter() - started
+        return SPLLiftResults(
+            ide_results,
+            self.system,
+            self.feature_model,
+            dict(solver.stats),
+            elapsed,
+        )

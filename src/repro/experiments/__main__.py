@@ -1,0 +1,81 @@
+"""Command-line entry point regenerating the paper's tables.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table2 [--cutoff SECONDS]
+    python -m repro.experiments table3
+    python -m repro.experiments qualitative
+    python -m repro.experiments variance
+    python -m repro.experiments scaling
+    python -m repro.experiments all [--cutoff SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.qualitative import render_qualitative, run_qualitative
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.scaling import render_scaling, run_scaling
+from repro.experiments.variance import render_variance, run_variance
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the SPLLIFT paper's tables on the "
+        "reproduction's benchmark subjects.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=("table1", "table2", "table3", "qualitative", "variance", "scaling", "all"),
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--cutoff",
+        type=float,
+        default=60.0,
+        help="A2 cutoff in seconds before switching to the estimation "
+        "protocol (paper: ten hours; default: 60)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("table1", "all"):
+        print(render_table1(run_table1()))
+        print()
+    if args.experiment in ("table2", "all"):
+        print(render_table2(run_table2(cutoff_seconds=args.cutoff)))
+        print()
+    if args.experiment in ("table3", "all"):
+        print(render_table3(run_table3()))
+        print()
+    if args.experiment in ("qualitative", "all"):
+        print(render_qualitative(run_qualitative()))
+        print()
+    if args.experiment in ("variance", "all"):
+        from repro.analyses import ReachingDefinitionsAnalysis, UninitializedVariablesAnalysis
+        from repro.spl import gpl_like, mm08_like
+
+        reports = [
+            run_variance(mm08_like(), ReachingDefinitionsAnalysis),
+            run_variance(gpl_like(), ReachingDefinitionsAnalysis),
+            run_variance(gpl_like(), UninitializedVariablesAnalysis),
+        ]
+        print(render_variance(reports))
+        print()
+    if args.experiment in ("scaling", "all"):
+        from repro.analyses import UninitializedVariablesAnalysis
+
+        print(render_scaling(run_scaling(UninitializedVariablesAnalysis)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Feature models: structure, Batory translation, valid configurations."""
+
+from repro.featuremodel.batory import to_constraint, to_formula
+from repro.featuremodel.configurations import (
+    count_valid_configurations,
+    iter_valid_configurations,
+    model_constraint,
+    project_onto,
+)
+from repro.featuremodel.model import Feature, FeatureModel, FeatureModelError, Group
+from repro.featuremodel.parser import parse_feature_model
+from repro.featuremodel.printer import render_feature_model
+
+__all__ = [
+    "Feature",
+    "Group",
+    "FeatureModel",
+    "FeatureModelError",
+    "to_formula",
+    "to_constraint",
+    "model_constraint",
+    "project_onto",
+    "count_valid_configurations",
+    "iter_valid_configurations",
+    "parse_feature_model",
+    "render_feature_model",
+]

@@ -1,0 +1,74 @@
+"""Batory's translation of feature models to propositional formulas.
+
+Section 4.1 of the paper, following Batory (SPLC 2005): the model becomes a
+conjunction of
+
+(i)   a bi-implication between every mandatory feature and its parent,
+(ii)  an implication from every optional feature to its parent,
+(iii) a bi-implication from the parent of every OR group to the disjunction
+      of the group's members, and
+(iv)  a bi-implication from the parent of every exclusive-OR group to the
+      conjunction of the pairwise mutual exclusion of its members and the
+      disjunction of its members,
+
+plus the root feature itself (a product always contains the root), an
+implication from every group member to its parent, and all cross-tree
+constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.constraints.base import Constraint, ConstraintSystem
+from repro.constraints.formula import And, Formula, Iff, Implies, Not, Or, TrueConst, Var
+from repro.featuremodel.model import Feature, FeatureModel
+
+__all__ = ["to_formula", "to_constraint"]
+
+
+def to_formula(model: FeatureModel) -> Formula:
+    """The single propositional constraint equivalent to ``model``."""
+    conjuncts: List[Formula] = []
+    if model.root is not None:
+        conjuncts.append(Var(model.root.name))
+        _translate_feature(model.root, conjuncts)
+    conjuncts.extend(model.cross_tree)
+    if not conjuncts:
+        return TrueConst()
+    return And(tuple(conjuncts))
+
+
+def _translate_feature(feature: Feature, conjuncts: List[Formula]) -> None:
+    parent = Var(feature.name)
+    for child, optional in feature.children:
+        child_var = Var(child.name)
+        if optional:
+            conjuncts.append(Implies(child_var, parent))  # (ii)
+        else:
+            conjuncts.append(Iff(child_var, parent))  # (i)
+        _translate_feature(child, conjuncts)
+    for group in feature.groups:
+        members = [Var(member.name) for member in group.members]
+        disjunction: Formula = members[0] if len(members) == 1 else Or(tuple(members))
+        for member_var in members:
+            conjuncts.append(Implies(member_var, parent))
+        if group.kind == "or":
+            conjuncts.append(Iff(parent, disjunction))  # (iii)
+        else:  # xor
+            mutex: List[Formula] = [
+                Not(And((members[i], members[j])))
+                for i in range(len(members))
+                for j in range(i + 1, len(members))
+            ]
+            exactly_one: Formula = (
+                And(tuple(mutex + [disjunction])) if mutex else disjunction
+            )
+            conjuncts.append(Iff(parent, exactly_one))  # (iv)
+        for member in group.members:
+            _translate_feature(member, conjuncts)
+
+
+def to_constraint(model: FeatureModel, system: ConstraintSystem) -> Constraint:
+    """Compile the model's formula into a constraint of ``system``."""
+    return system.from_formula(to_formula(model))

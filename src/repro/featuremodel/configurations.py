@@ -1,0 +1,81 @@
+"""Counting and enumerating valid configurations of a feature model.
+
+The paper's Table 1 reports, per subject, the number of configurations over
+the *reachable* features and how many of those are valid with respect to the
+feature model.  A configuration over a feature subset is valid when it can
+be extended to a valid full configuration — i.e. the feature-model
+constraint with all other features existentially quantified out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
+
+from repro.constraints.bddsystem import BddConstraint, BddConstraintSystem
+from repro.featuremodel.batory import to_formula
+from repro.featuremodel.model import FeatureModel
+
+__all__ = [
+    "model_constraint",
+    "count_valid_configurations",
+    "iter_valid_configurations",
+    "project_onto",
+]
+
+
+def model_constraint(
+    model: FeatureModel, system: BddConstraintSystem
+) -> BddConstraint:
+    """The feature-model constraint, with every tree feature declared.
+
+    Declaring all features (even ones the formula happens not to mention)
+    keeps model counting over the full feature set meaningful.
+    """
+    for name in model.feature_names:
+        system.var(name)
+    return system.from_formula(to_formula(model))
+
+
+def project_onto(
+    constraint: BddConstraint, features: Iterable[str]
+) -> BddConstraint:
+    """Existentially quantify out every variable not in ``features``."""
+    system = constraint.system
+    keep = set(features)
+    drop = [name for name in system.manager.variables if name not in keep]
+    return system.wrap_node(system.manager.exists(constraint.node, drop))
+
+
+def count_valid_configurations(
+    model: FeatureModel,
+    system: Optional[BddConstraintSystem] = None,
+    over: Optional[Sequence[str]] = None,
+) -> int:
+    """Number of valid configurations over ``over`` (default: all features)."""
+    system = system if system is not None else BddConstraintSystem()
+    constraint = model_constraint(model, system)
+    if over is None:
+        return constraint.model_count(model.feature_names)
+    projected = project_onto(constraint, over)
+    return projected.model_count(over)
+
+
+def iter_valid_configurations(
+    model: FeatureModel,
+    system: Optional[BddConstraintSystem] = None,
+    over: Optional[Sequence[str]] = None,
+) -> Iterator[FrozenSet[str]]:
+    """Yield valid configurations as frozensets of enabled features.
+
+    Deterministic order.  With ``over`` given, configurations are projected
+    onto that feature subset (deduplicated).
+    """
+    system = system if system is not None else BddConstraintSystem()
+    constraint = model_constraint(model, system)
+    names: Sequence[str] = (
+        tuple(over) if over is not None else tuple(model.feature_names)
+    )
+    if over is not None:
+        constraint = project_onto(constraint, names)
+    for assignment in constraint.models(names):
+        yield frozenset(name for name, value in assignment.items() if value)

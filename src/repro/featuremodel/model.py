@@ -1,0 +1,173 @@
+"""Feature models: trees of features with groups and cross-tree constraints.
+
+A feature model defines the set of *valid configurations* of a product line
+(Section 4 of the paper).  Following the paper (and Batory, SPLC 2005), a
+model is a rooted tree where every child relationship is *mandatory* or
+*optional*, a parent may additionally own an OR group or an exclusive-OR
+(alternative) group of child features, and arbitrary propositional
+cross-tree constraints may be attached.
+
+:func:`~repro.featuremodel.batory.to_formula` translates a model into a
+single propositional constraint; this module holds the structure plus
+direct (formula-free) semantics used as the testing oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.constraints.base import ConfigurationLike, as_assignment
+from repro.constraints.formula import Formula
+
+__all__ = ["Feature", "Group", "FeatureModel", "FeatureModelError"]
+
+
+class FeatureModelError(ValueError):
+    """Raised for malformed feature models (duplicate names, empty groups)."""
+
+
+@dataclass
+class Group:
+    """An OR (``at least one``) or XOR (``exactly one``) group of features."""
+
+    kind: str  # "or" | "xor"
+    members: List["Feature"]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("or", "xor"):
+            raise FeatureModelError(f"unknown group kind: {self.kind!r}")
+        if not self.members:
+            raise FeatureModelError(f"{self.kind} group must not be empty")
+
+
+@dataclass
+class Feature:
+    """A node in the feature tree.
+
+    ``children`` are (feature, optional?) pairs; ``groups`` are OR/XOR
+    groups whose members are also children of this feature.
+    """
+
+    name: str
+    children: List[Tuple["Feature", bool]] = field(default_factory=list)
+    groups: List[Group] = field(default_factory=list)
+
+    def add_mandatory(self, child: "Feature") -> "Feature":
+        """Attach ``child`` as a mandatory sub-feature; returns ``child``."""
+        self.children.append((child, False))
+        return child
+
+    def add_optional(self, child: "Feature") -> "Feature":
+        """Attach ``child`` as an optional sub-feature; returns ``child``."""
+        self.children.append((child, True))
+        return child
+
+    def add_group(self, kind: str, members: Sequence["Feature"]) -> Group:
+        """Attach an OR/XOR group of new sub-features; returns the group."""
+        group = Group(kind, list(members))
+        self.groups.append(group)
+        return group
+
+    def iter_subtree(self) -> Iterator["Feature"]:
+        """This feature and all descendants, pre-order."""
+        yield self
+        for child, _ in self.children:
+            yield from child.iter_subtree()
+        for group in self.groups:
+            for member in group.members:
+                yield from member.iter_subtree()
+
+
+@dataclass
+class FeatureModel:
+    """A feature tree plus cross-tree constraints.
+
+    The empty model (``root=None``) means "no feature model": every
+    configuration is valid.  That is what SPLLIFT's ``fm_mode='ignore'``
+    uses internally.
+    """
+
+    root: Optional[Feature] = None
+    cross_tree: List[Formula] = field(default_factory=list)
+    name: str = "feature-model"
+
+    def __post_init__(self) -> None:
+        seen: Dict[str, Feature] = {}
+        for feature in self.iter_features():
+            if feature.name in seen:
+                raise FeatureModelError(f"duplicate feature name: {feature.name!r}")
+            seen[feature.name] = feature
+        self._by_name = seen
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def iter_features(self) -> Iterator[Feature]:
+        """All features in the tree, pre-order from the root."""
+        if self.root is not None:
+            yield from self.root.iter_subtree()
+
+    @property
+    def feature_names(self) -> Tuple[str, ...]:
+        """All tree feature names (pre-order).  Cross-tree-only variables
+        are not features and are not listed."""
+        return tuple(feature.name for feature in self.iter_features())
+
+    def feature(self, name: str) -> Feature:
+        """Look up a feature by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FeatureModelError(f"unknown feature: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # ------------------------------------------------------------------
+    # Direct semantics (testing oracle; the analysis uses the Batory
+    # translation + BDDs instead)
+    # ------------------------------------------------------------------
+
+    def is_valid(self, configuration: ConfigurationLike) -> bool:
+        """Decide validity directly from the tree structure.
+
+        This deliberately avoids the Batory translation so it can serve as
+        an independent oracle for it in the test suite.
+        """
+        assignment = as_assignment(configuration, self.feature_names)
+        if self.root is None:
+            ok = True
+        else:
+            ok = assignment.get(self.root.name, False) and self._subtree_valid(
+                self.root, assignment
+            )
+        return ok and all(
+            formula.evaluate(assignment) for formula in self.cross_tree
+        )
+
+    def _subtree_valid(self, feature: Feature, assignment: Dict[str, bool]) -> bool:
+        enabled = assignment[feature.name]
+        for child, optional in feature.children:
+            child_enabled = assignment[child.name]
+            if child_enabled and not enabled:
+                return False  # child without its parent
+            if not optional and enabled and not child_enabled:
+                return False  # missing mandatory child
+            if not self._subtree_valid(child, assignment):
+                return False
+        for group in feature.groups:
+            member_states = [assignment[member.name] for member in group.members]
+            if any(member_states) and not enabled:
+                return False
+            if enabled:
+                count = sum(member_states)
+                if group.kind == "or" and count < 1:
+                    return False
+                if group.kind == "xor" and count != 1:
+                    return False
+            for member in group.members:
+                if not self._subtree_valid(member, assignment):
+                    return False
+        return True

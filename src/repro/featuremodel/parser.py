@@ -1,0 +1,148 @@
+"""Textual format for feature models.
+
+Grammar::
+
+    model      := ('featuremodel' IDENT)? 'root' feature constraint*
+    feature    := IDENT body?
+    body       := '{' item* '}'
+    item       := ('mandatory' | 'optional') feature
+                | ('or' | 'xor') '{' feature+ '}'
+    constraint := 'constraint' <formula> ';'
+
+Example
+-------
+>>> model = parse_feature_model('''
+... featuremodel Demo
+... root App {
+...     mandatory Core
+...     optional Logging
+...     xor { Small Large }
+... }
+... constraint Logging -> Large;
+... ''')
+>>> model.feature_names
+('App', 'Core', 'Logging', 'Small', 'Large')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.constraints.formula import parse_formula
+from repro.featuremodel.model import Feature, FeatureModel, FeatureModelError
+
+__all__ = ["parse_feature_model"]
+
+_TOKEN = re.compile(r"\s*(?:(//[^\n]*)|([A-Za-z_][A-Za-z_0-9]*)|([{};])|(\S))")
+
+_KEYWORDS = ("featuremodel", "root", "mandatory", "optional", "or", "xor", "constraint")
+
+
+def _tokenize(text: str) -> List[Tuple[str, int]]:
+    tokens: List[Tuple[str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            break
+        pos = match.end()
+        comment, word, punct, other = match.groups()
+        if comment is not None:
+            continue
+        if word is not None:
+            tokens.append((word, match.start(2)))
+        elif punct is not None:
+            tokens.append((punct, match.start(3)))
+        elif other is not None:
+            tokens.append((other, match.start(4)))
+    return tokens
+
+
+class _ModelParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    def _peek(self) -> str:
+        return self._tokens[self._pos][0] if self._pos < len(self._tokens) else ""
+
+    def _next(self) -> str:
+        token = self._peek()
+        if not token:
+            raise FeatureModelError("unexpected end of feature model text")
+        self._pos += 1
+        return token
+
+    def _expect(self, expected: str) -> None:
+        token = self._next()
+        if token != expected:
+            raise FeatureModelError(f"expected {expected!r} but found {token!r}")
+
+    def parse(self) -> FeatureModel:
+        name = "feature-model"
+        if self._peek() == "featuremodel":
+            self._next()
+            name = self._next()
+        self._expect("root")
+        root = self._feature()
+        cross_tree = []
+        while self._peek() == "constraint":
+            self._next()
+            cross_tree.append(self._constraint_formula())
+        if self._pos != len(self._tokens):
+            leftover = [token for token, _ in self._tokens[self._pos :]]
+            raise FeatureModelError(f"trailing tokens in feature model: {leftover}")
+        return FeatureModel(root=root, cross_tree=cross_tree, name=name)
+
+    def _feature(self) -> Feature:
+        name = self._next()
+        if name in _KEYWORDS or not (name[0].isalpha() or name[0] == "_"):
+            raise FeatureModelError(f"expected feature name, found {name!r}")
+        feature = Feature(name)
+        if self._peek() == "{":
+            self._next()
+            while self._peek() != "}":
+                self._item(feature)
+            self._next()
+        return feature
+
+    def _item(self, parent: Feature) -> None:
+        keyword = self._next()
+        if keyword == "mandatory":
+            parent.add_mandatory(self._feature())
+        elif keyword == "optional":
+            parent.add_optional(self._feature())
+        elif keyword in ("or", "xor"):
+            self._expect("{")
+            members = []
+            while self._peek() != "}":
+                members.append(self._feature())
+            self._next()
+            parent.add_group(keyword, members)
+        else:
+            raise FeatureModelError(
+                f"expected mandatory/optional/or/xor, found {keyword!r}"
+            )
+
+    def _constraint_formula(self):
+        # Slice the raw source text up to the ';' terminator and hand it to
+        # the formula parser (which has its own multi-char operators).
+        start = self._pos
+        while self._peek() and self._peek() != ";":
+            self._next()
+        if self._peek() != ";":
+            raise FeatureModelError("constraint must be terminated with ';'")
+        begin = self._tokens[start][1]
+        end = self._tokens[self._pos][1]
+        self._next()  # consume ';'
+        try:
+            return parse_formula(self._text[begin:end])
+        except ValueError as error:
+            raise FeatureModelError(f"bad cross-tree constraint: {error}") from error
+
+
+def parse_feature_model(text: str) -> FeatureModel:
+    """Parse a feature model from its textual form."""
+    return _ModelParser(text).parse()

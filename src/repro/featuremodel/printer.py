@@ -1,0 +1,53 @@
+"""Rendering feature models back to the textual format.
+
+Round-trips with :func:`repro.featuremodel.parser.parse_feature_model`:
+``parse(render(model))`` accepts the same configurations as ``model``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.featuremodel.model import Feature, FeatureModel
+
+__all__ = ["render_feature_model"]
+
+_INDENT = "    "
+
+
+def render_feature_model(model: FeatureModel) -> str:
+    """The model in the textual format (parseable)."""
+    lines: List[str] = []
+    if model.name.isidentifier():
+        # Names that are not identifiers (e.g. containing "-") cannot be
+        # expressed in the format; the parser default applies on re-read.
+        lines.append(f"featuremodel {model.name}")
+    if model.root is None:
+        # The format requires a root; an empty model renders as a comment
+        # plus a synthetic never-referenced root would change semantics,
+        # so refuse instead.
+        raise ValueError("cannot render an empty feature model (no root)")
+    _render_feature(model.root, lines, depth=0, prefix="root ")
+    for formula in model.cross_tree:
+        lines.append(f"constraint {formula};")
+    return "\n".join(lines) + "\n"
+
+
+def _render_feature(
+    feature: Feature, lines: List[str], depth: int, prefix: str
+) -> None:
+    indent = _INDENT * depth
+    has_body = bool(feature.children or feature.groups)
+    if not has_body:
+        lines.append(f"{indent}{prefix}{feature.name}")
+        return
+    lines.append(f"{indent}{prefix}{feature.name} {{")
+    for child, optional in feature.children:
+        keyword = "optional " if optional else "mandatory "
+        _render_feature(child, lines, depth + 1, keyword)
+    for group in feature.groups:
+        lines.append(f"{_INDENT * (depth + 1)}{group.kind} {{")
+        for member in group.members:
+            _render_feature(member, lines, depth + 2, "")
+        lines.append(f"{_INDENT * (depth + 1)}}}")
+    lines.append(f"{indent}}}")

@@ -1,0 +1,18 @@
+"""The IDE framework: edge functions, problem interface, two-phase solver."""
+
+from repro.ide.binary import BinaryIDEProblem, ifds_as_ide, solve_ifds_via_ide
+from repro.ide.edgefunctions import AllTop, EdgeFunction, IdentityEdge
+from repro.ide.problem import IDEProblem
+from repro.ide.solver import IDEResults, IDESolver
+
+__all__ = [
+    "EdgeFunction",
+    "IdentityEdge",
+    "AllTop",
+    "IDEProblem",
+    "IDESolver",
+    "IDEResults",
+    "BinaryIDEProblem",
+    "ifds_as_ide",
+    "solve_ifds_via_ide",
+]

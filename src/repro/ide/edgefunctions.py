@@ -1,0 +1,98 @@
+"""Edge functions: the value-domain transformers of the IDE framework.
+
+In IDE (Sagiv, Reps, Horwitz, TAPSOFT'96) every edge of the exploded super
+graph carries a distributive function over a value lattice ``V``.  SPLLIFT
+instantiates ``V`` with feature constraints and edge functions of the form
+``λc. c ∧ A`` (see :mod:`repro.core.lifting`); the binary instantiation in
+:mod:`repro.ide.binary` recovers plain IFDS.
+
+Conventions:
+
+- ``compose_with(second)`` returns "apply ``self``, then ``second``";
+- ``join_with`` merges functions at control-flow merge points and must move
+  values *down* the lattice (toward "more flows possible");
+- ``TOP`` (via :class:`AllTop`) is the neutral element of the join: it maps
+  everything to the lattice top ("this edge carries no flow").
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["EdgeFunction", "IdentityEdge", "AllTop"]
+
+V = TypeVar("V")
+
+
+class EdgeFunction(Generic[V]):
+    """A distributive function ``V -> V`` attached to an exploded-graph edge."""
+
+    def compute_target(self, source: V) -> V:
+        raise NotImplementedError
+
+    def compose_with(self, second: "EdgeFunction[V]") -> "EdgeFunction[V]":
+        """``second ∘ self`` — apply ``self`` first, then ``second``."""
+        raise NotImplementedError
+
+    def join_with(self, other: "EdgeFunction[V]") -> "EdgeFunction[V]":
+        """The join of two edge functions at a merge point."""
+        raise NotImplementedError
+
+    def equal_to(self, other: "EdgeFunction[V]") -> bool:
+        """Semantic equality (drives the solver's fixed-point detection)."""
+        raise NotImplementedError
+
+
+class IdentityEdge(EdgeFunction[V]):
+    """The identity edge function (seeds and plain IFDS edges)."""
+
+    def compute_target(self, source: V) -> V:
+        return source
+
+    def compose_with(self, second: EdgeFunction[V]) -> EdgeFunction[V]:
+        return second
+
+    def join_with(self, other: EdgeFunction[V]) -> EdgeFunction[V]:
+        if isinstance(other, AllTop):
+            return self
+        if other.equal_to(self):
+            return self
+        # Delegate: the other function knows its own domain.
+        return other.join_with(self)
+
+    def equal_to(self, other: EdgeFunction[V]) -> bool:
+        if isinstance(other, IdentityEdge):
+            return True
+        return other.equal_to(self) if not isinstance(other, AllTop) else False
+
+    def __repr__(self) -> str:
+        return "id"
+
+
+class AllTop(EdgeFunction[V]):
+    """Maps every value to top: the edge carries no flow.
+
+    This is the default jump function; a composed function that collapses
+    to all-top is dropped by the solver, which is exactly SPLLIFT's early
+    termination when a constraint contradicts the feature model.
+    """
+
+    def __init__(self, top: V) -> None:
+        self.top = top
+
+    def compute_target(self, source: V) -> V:
+        return self.top
+
+    def compose_with(self, second: EdgeFunction[V]) -> EdgeFunction[V]:
+        # Edge functions are strict (they map top to top), so composing
+        # anything after all-top stays all-top.
+        return self
+
+    def join_with(self, other: EdgeFunction[V]) -> EdgeFunction[V]:
+        return other
+
+    def equal_to(self, other: EdgeFunction[V]) -> bool:
+        return isinstance(other, AllTop) and other.top == self.top
+
+    def __repr__(self) -> str:
+        return "all-top"

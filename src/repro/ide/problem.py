@@ -1,0 +1,113 @@
+"""The IDE problem interface (Sagiv, Reps, Horwitz, TAPSOFT'96).
+
+An IDE problem is an IFDS problem (the four flow-function classes decide
+*which* exploded-graph edges exist) plus, for every edge, an
+:class:`~repro.ide.edgefunctions.EdgeFunction` over a value lattice ``V``
+(which decides what the edge *computes*).  Environments ``{fact -> V}`` are
+transformed along the graph; the solved value at ``(s, d)`` is the join
+over all valid paths.
+
+Every IFDS problem embeds into IDE via the binary lattice
+(:mod:`repro.ide.binary`); SPLLIFT instead uses feature constraints
+(:mod:`repro.core`), exploiting exactly this expressiveness gap
+(Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, TypeVar
+
+from repro.ide.edgefunctions import AllTop, EdgeFunction, IdentityEdge
+from repro.ifds.problem import IFDSProblem
+from repro.ir.instructions import Instruction
+from repro.ir.program import IRMethod
+
+__all__ = ["IDEProblem"]
+
+D = TypeVar("D", bound=Hashable)
+V = TypeVar("V")
+
+
+class IDEProblem(IFDSProblem[D], Generic[D, V]):
+    """Base class for IDE analyses.
+
+    Subclasses provide the value lattice (:meth:`top_value`,
+    :meth:`join_values`), per-edge functions, and seed values.
+    """
+
+    # ------------------------------------------------------------------
+    # The value lattice
+    # ------------------------------------------------------------------
+
+    def top_value(self) -> V:
+        """The neutral element of the join ("no flow reaches this node")."""
+        raise NotImplementedError
+
+    def bottom_value(self) -> V:
+        """The most permissive value (seeds default to this)."""
+        raise NotImplementedError
+
+    def join_values(self, left: V, right: V) -> V:
+        """Join two values at a merge point (moves down, toward bottom)."""
+        raise NotImplementedError
+
+    def all_top(self) -> EdgeFunction[V]:
+        """The all-top edge function (default jump function)."""
+        return AllTop(self.top_value())
+
+    def seed_edge_function(self) -> EdgeFunction[V]:
+        """Jump function seeded at entry points (default: identity)."""
+        return IdentityEdge()
+
+    def initial_seed_values(self) -> Dict[Instruction, Dict[D, V]]:
+        """Seed values for phase II; defaults to bottom at every seed."""
+        return {
+            stmt: {fact: self.bottom_value() for fact in facts}
+            for stmt, facts in self.initial_seeds().items()
+        }
+
+    # ------------------------------------------------------------------
+    # Edge functions, one per flow-function edge
+    # ------------------------------------------------------------------
+
+    def edge_normal(
+        self,
+        stmt: Instruction,
+        stmt_fact: D,
+        succ: Instruction,
+        succ_fact: D,
+    ) -> EdgeFunction[V]:
+        """Function for a normal-flow edge ``(stmt, d) -> (succ, d')``."""
+        raise NotImplementedError
+
+    def edge_call(
+        self,
+        call: Instruction,
+        call_fact: D,
+        callee: IRMethod,
+        entry_fact: D,
+    ) -> EdgeFunction[V]:
+        """Function for a call edge into a callee's start point."""
+        raise NotImplementedError
+
+    def edge_return(
+        self,
+        call: Instruction,
+        callee: IRMethod,
+        exit_stmt: Instruction,
+        exit_fact: D,
+        return_site: Instruction,
+        return_fact: D,
+    ) -> EdgeFunction[V]:
+        """Function for a return edge back to a return site."""
+        raise NotImplementedError
+
+    def edge_call_to_return(
+        self,
+        call: Instruction,
+        call_fact: D,
+        return_site: Instruction,
+        return_fact: D,
+    ) -> EdgeFunction[V]:
+        """Function for an intra-procedural edge across a call site."""
+        raise NotImplementedError

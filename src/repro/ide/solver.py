@@ -1,0 +1,359 @@
+"""The IDE solver: jump-function construction plus value propagation.
+
+Phase I builds *jump functions* — for each reachable exploded-graph node
+``(n, d2)`` and each source fact ``d1`` at the start point of ``n``'s
+method, the composed edge function summarizing all same-level paths from
+``(sp, d1)`` to ``(n, d2)``.  The tabulation mirrors the IFDS solver
+(summaries, incoming map), except that path edges carry edge functions
+merged via ``join_with`` until a fixed point.
+
+Phase II propagates concrete values: seeds flow through jump functions to
+call sites, across call edges into callee start points (phase II(i)), and
+finally to every node via its jump function (phase II(ii)).
+
+The paper's observation that exchanging only the *start value* terminates
+late (Section 4.2) is visible here: phase I dominates the cost, so
+SPLLIFT's feature-model conjunction happens inside the edge functions,
+collapsing contradictory compositions to all-top, which this solver drops
+— ending those paths already during construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Deque,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from repro.ide.edgefunctions import EdgeFunction
+from repro.ide.problem import IDEProblem
+from repro.ir.instructions import Instruction
+from repro.ir.program import IRMethod
+
+__all__ = ["IDESolver", "IDEResults"]
+
+D = TypeVar("D", bound=Hashable)
+V = TypeVar("V")
+
+_JumpKey = Tuple[Hashable, Hashable]  # (source fact d1, target fact d2)
+
+
+class IDEResults(Generic[D, V]):
+    """Solved values per (statement, fact)."""
+
+    def __init__(
+        self,
+        values: Dict[Tuple[Instruction, D], V],
+        top: V,
+        zero: D,
+    ) -> None:
+        self._values = values
+        self._top = top
+        self._zero = zero
+
+    def value_at(self, stmt: Instruction, fact: D) -> V:
+        """The joined value of ``fact`` just before ``stmt`` (top if the
+        node is unreachable)."""
+        return self._values.get((stmt, fact), self._top)
+
+    def results_at(
+        self, stmt: Instruction, include_zero: bool = False
+    ) -> Dict[D, V]:
+        """All non-top facts and their values at ``stmt``."""
+        result: Dict[D, V] = {}
+        for (node, fact), value in self._values.items():
+            if node is not stmt or value == self._top:
+                continue
+            if fact is self._zero and not include_zero:
+                continue
+            result[fact] = value
+        return result
+
+    def non_top_count(self) -> int:
+        return sum(1 for value in self._values.values() if value != self._top)
+
+    def items(self):
+        """Iterate ``((stmt, fact), value)`` pairs (top entries included)."""
+        return self._values.items()
+
+
+class IDESolver(Generic[D, V]):
+    """Two-phase worklist solver for :class:`IDEProblem`.
+
+    ``worklist_order`` selects the iteration order of phase I: ``"fifo"``
+    (default), ``"lifo"``, or ``"random"`` with ``order_seed``.  The fixed
+    point is order-independent, but the amount of work is not — the paper
+    observes "a relatively high variance in the analysis times ... caused
+    by non-determinism in the order in which the IDE solution is computed"
+    (Section 6.2); exposing the order makes that variance measurable
+    (see ``repro.experiments.variance``).
+    """
+
+    def __init__(
+        self,
+        problem: IDEProblem[D, V],
+        worklist_order: str = "fifo",
+        order_seed: int = 0,
+    ) -> None:
+        if worklist_order not in ("fifo", "lifo", "random"):
+            raise ValueError(
+                f"worklist_order must be fifo/lifo/random, got {worklist_order!r}"
+            )
+        self._order = worklist_order
+        if worklist_order == "random":
+            import random as _random
+
+            self._rng = _random.Random(order_seed)
+        self.problem = problem
+        self.icfg = problem.icfg
+        self.stats: Dict[str, int] = {
+            "jump_functions": 0,
+            "flow_applications": 0,
+            "edge_compositions": 0,
+            "value_updates": 0,
+        }
+        # target stmt -> (d1, d2) -> current jump function
+        self._jump: Dict[Instruction, Dict[_JumpKey, EdgeFunction[V]]] = {}
+        self._worklist: Deque[Tuple[D, Instruction, D]] = deque()
+        # (method, entry fact) -> {(exit stmt, exit fact)}
+        self._end_summaries: Dict[
+            Tuple[IRMethod, D], Set[Tuple[Instruction, D]]
+        ] = {}
+        # (method, entry fact) -> {(call stmt, caller source fact, call fact)}
+        self._incoming: Dict[
+            Tuple[IRMethod, D], Set[Tuple[Instruction, D, D]]
+        ] = {}
+        self._all_top = problem.all_top()
+
+    # ==================================================================
+    # Phase I: jump functions
+    # ==================================================================
+
+    def solve(self) -> IDEResults[D, V]:
+        """Run both phases and return the solved values."""
+        self._build_jump_functions()
+        values = self._compute_values()
+        return IDEResults(values, self.problem.top_value(), self.problem.zero)
+
+    def _build_jump_functions(self) -> None:
+        seed_function = self.problem.seed_edge_function()
+        for stmt, facts in self.problem.initial_seeds().items():
+            for fact in facts:
+                self._propagate(fact, stmt, fact, seed_function)
+        while self._worklist:
+            d1, n, d2 = self._pop()
+            f = self._jump_fn(n, d1, d2)
+            if self.icfg.is_call(n):
+                self._process_call(d1, n, d2, f)
+            elif self.icfg.is_exit(n):
+                self._process_exit(d1, n, d2, f)
+                # A disabled `return` in a lifted CFG falls through to its
+                # successor; plain CFGs have none (no-op there).
+                if self.icfg.successors_of(n):
+                    self._process_normal(d1, n, d2, f)
+            else:
+                self._process_normal(d1, n, d2, f)
+
+    def _pop(self) -> Tuple[D, Instruction, D]:
+        if self._order == "fifo":
+            return self._worklist.popleft()
+        if self._order == "lifo":
+            return self._worklist.pop()
+        # random: swap a random element to the end, then pop it.
+        index = self._rng.randrange(len(self._worklist))
+        self._worklist[index], self._worklist[-1] = (
+            self._worklist[-1],
+            self._worklist[index],
+        )
+        return self._worklist.pop()
+
+    def _jump_fn(self, n: Instruction, d1: D, d2: D) -> EdgeFunction[V]:
+        functions = self._jump.get(n)
+        if functions is None:
+            return self._all_top
+        return functions.get((d1, d2), self._all_top)
+
+    def _propagate(
+        self, d1: D, n: Instruction, d2: D, f: EdgeFunction[V]
+    ) -> None:
+        if f.equal_to(self._all_top):
+            return  # no flow — drop the path (early termination)
+        functions = self._jump.setdefault(n, {})
+        key = (d1, d2)
+        old = functions.get(key)
+        joined = f if old is None else old.join_with(f)
+        if old is not None and joined.equal_to(old):
+            return
+        if old is None:
+            self.stats["jump_functions"] += 1
+        functions[key] = joined
+        self._worklist.append((d1, n, d2))
+
+    # ------------------------------------------------------------------
+    # Case: normal statements
+    # ------------------------------------------------------------------
+
+    def _process_normal(
+        self, d1: D, n: Instruction, d2: D, f: EdgeFunction[V]
+    ) -> None:
+        for succ in self.icfg.successors_of(n):
+            flow = self.problem.normal_flow(n, succ)
+            self.stats["flow_applications"] += 1
+            for d3 in flow.compute_targets(d2):
+                edge = self.problem.edge_normal(n, d2, succ, d3)
+                self.stats["edge_compositions"] += 1
+                self._propagate(d1, succ, d3, f.compose_with(edge))
+
+    # ------------------------------------------------------------------
+    # Case: call statements
+    # ------------------------------------------------------------------
+
+    def _process_call(
+        self, d1: D, n: Instruction, d2: D, f: EdgeFunction[V]
+    ) -> None:
+        return_sites = self.icfg.return_sites_of(n)
+        seed_function = self.problem.seed_edge_function()
+        for callee in self.icfg.callees_of(n):
+            call_flow = self.problem.call_flow(n, callee)
+            self.stats["flow_applications"] += 1
+            entry_facts = call_flow.compute_targets(d2)
+            if not entry_facts:
+                continue
+            start = self.icfg.start_point_of(callee)
+            for d3 in entry_facts:
+                self._propagate(d3, start, d3, seed_function)
+                context = (callee, d3)
+                self._incoming.setdefault(context, set()).add((n, d1, d2))
+                for exit_stmt, d4 in self._end_summaries.get(context, set()):
+                    summary = self._jump_fn(exit_stmt, d3, d4)
+                    self._apply_summary(
+                        n, d1, d2, f, callee, d3, exit_stmt, d4, summary, return_sites
+                    )
+        for return_site in return_sites:
+            flow = self.problem.call_to_return_flow(n, return_site)
+            self.stats["flow_applications"] += 1
+            for d3 in flow.compute_targets(d2):
+                edge = self.problem.edge_call_to_return(n, d2, return_site, d3)
+                self.stats["edge_compositions"] += 1
+                self._propagate(d1, return_site, d3, f.compose_with(edge))
+
+    def _apply_summary(
+        self,
+        call: Instruction,
+        caller_source: D,
+        call_fact: D,
+        caller_fn: EdgeFunction[V],
+        callee: IRMethod,
+        entry_fact: D,
+        exit_stmt: Instruction,
+        exit_fact: D,
+        summary_fn: EdgeFunction[V],
+        return_sites: Tuple[Instruction, ...],
+    ) -> None:
+        """Compose caller function, call edge, summary and return edge."""
+        call_edge = self.problem.edge_call(call, call_fact, callee, entry_fact)
+        for return_site in return_sites:
+            flow = self.problem.return_flow(call, callee, exit_stmt, return_site)
+            self.stats["flow_applications"] += 1
+            for d5 in flow.compute_targets(exit_fact):
+                return_edge = self.problem.edge_return(
+                    call, callee, exit_stmt, exit_fact, return_site, d5
+                )
+                self.stats["edge_compositions"] += 3
+                total = (
+                    caller_fn.compose_with(call_edge)
+                    .compose_with(summary_fn)
+                    .compose_with(return_edge)
+                )
+                self._propagate(caller_source, return_site, d5, total)
+
+    # ------------------------------------------------------------------
+    # Case: exit statements
+    # ------------------------------------------------------------------
+
+    def _process_exit(
+        self, d1: D, n: Instruction, d2: D, f: EdgeFunction[V]
+    ) -> None:
+        method = self.icfg.method_of(n)
+        context = (method, d1)
+        self._end_summaries.setdefault(context, set()).add((n, d2))
+        for call, caller_source, call_fact in tuple(
+            self._incoming.get(context, set())
+        ):
+            caller_fn = self._jump_fn(call, caller_source, call_fact)
+            self._apply_summary(
+                call,
+                caller_source,
+                call_fact,
+                caller_fn,
+                method,
+                d1,
+                n,
+                d2,
+                f,
+                self.icfg.return_sites_of(call),
+            )
+
+    # ==================================================================
+    # Phase II: value computation
+    # ==================================================================
+
+    def _compute_values(self) -> Dict[Tuple[Instruction, D], V]:
+        top = self.problem.top_value()
+        values: Dict[Tuple[Instruction, D], V] = {}
+
+        def set_value(stmt: Instruction, fact: D, value: V) -> bool:
+            key = (stmt, fact)
+            old = values.get(key, top)
+            joined = self.problem.join_values(old, value)
+            if joined == old:
+                return False
+            values[key] = joined
+            self.stats["value_updates"] += 1
+            return True
+
+        # Phase II(i): start points and call sites.
+        worklist: Deque[Tuple[Instruction, D]] = deque()
+        for stmt, fact_values in self.problem.initial_seed_values().items():
+            for fact, value in fact_values.items():
+                if set_value(stmt, fact, value):
+                    worklist.append((stmt, fact))
+        while worklist:
+            n, d = worklist.popleft()
+            value = values.get((n, d), top)
+            method = self.icfg.method_of(n)
+            if n is self.icfg.start_point_of(method):
+                for call in self.icfg.call_sites_in(method):
+                    for (d1, d2), f in self._jump.get(call, {}).items():
+                        if d1 != d:
+                            continue
+                        if set_value(call, d2, f.compute_target(value)):
+                            worklist.append((call, d2))
+            if self.icfg.is_call(n):
+                for callee in self.icfg.callees_of(n):
+                    flow = self.problem.call_flow(n, callee)
+                    start = self.icfg.start_point_of(callee)
+                    for d3 in flow.compute_targets(d):
+                        edge = self.problem.edge_call(n, d, callee, d3)
+                        if set_value(start, d3, edge.compute_target(value)):
+                            worklist.append((start, d3))
+
+        # Phase II(ii): every remaining node via its jump function.
+        for method in self.icfg.reachable_methods:
+            start = self.icfg.start_point_of(method)
+            for stmt in method.instructions:
+                if stmt is start:
+                    continue
+                for (d1, d2), f in self._jump.get(stmt, {}).items():
+                    start_value = values.get((start, d1), top)
+                    if start_value == top:
+                        continue
+                    set_value(stmt, d2, f.compute_target(start_value))
+        return values

@@ -1,0 +1,40 @@
+"""The IFDS framework: problem interface, flow functions, tabulation solver."""
+
+from repro.ifds.flowfunctions import (
+    Compose,
+    FlowFunction,
+    Gen,
+    Identity,
+    Kill,
+    KillAll,
+    Lambda,
+    Transfer,
+    Union,
+)
+from repro.ifds.explode import (
+    ExplodedEdge,
+    ExplodedSuperGraph,
+    build_exploded_graph,
+)
+from repro.ifds.problem import IFDSProblem, ZERO, ZeroFact
+from repro.ifds.solver import IFDSResults, IFDSSolver
+
+__all__ = [
+    "FlowFunction",
+    "Identity",
+    "KillAll",
+    "Gen",
+    "Kill",
+    "Transfer",
+    "Lambda",
+    "Compose",
+    "Union",
+    "IFDSProblem",
+    "ZERO",
+    "ZeroFact",
+    "IFDSSolver",
+    "IFDSResults",
+    "ExplodedEdge",
+    "ExplodedSuperGraph",
+    "build_exploded_graph",
+]

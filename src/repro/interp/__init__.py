@@ -1,0 +1,21 @@
+"""Concrete interpreter for MiniJava product lines.
+
+The dynamic-semantics substrate: executes products (or whole product
+lines under a configuration) with shadow taint and initialization
+tracking, providing ground truth for differential testing of the static
+analyses.
+"""
+
+from repro.interp.interpreter import ExecutionTrace, Interpreter, InterpreterError
+from repro.interp.values import ObjectRef, Value, bool_value, int_value, null_value
+
+__all__ = [
+    "Interpreter",
+    "ExecutionTrace",
+    "InterpreterError",
+    "Value",
+    "ObjectRef",
+    "int_value",
+    "bool_value",
+    "null_value",
+]

@@ -1,0 +1,74 @@
+"""Runtime values for the MiniJava interpreter.
+
+Every runtime value carries two shadow bits used by the differential
+tests (and by nothing else):
+
+- ``tainted`` — the value is data-dependent on a ``secret()`` result;
+- ``initialized`` — the value originates from an actual assignment rather
+  than from reading a never-assigned local.
+
+The static analyses are *may* analyses; the interpreter provides the
+ground truth they must over-approximate: every runtime-tainted print must
+be flagged by the taint analysis, every runtime-uninitialized read by the
+uninitialized-variables analysis (see ``tests/interp/test_differential``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Union
+
+__all__ = ["Value", "ObjectRef", "int_value", "bool_value", "null_value", "uninitialized"]
+
+
+@dataclass
+class ObjectRef:
+    """A heap object: its dynamic class and its fields."""
+
+    class_name: str
+    fields: Dict[str, "Value"] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name}#{id(self):x}>"
+
+
+@dataclass(frozen=True)
+class Value:
+    """One runtime value with shadow taint/initialization bits."""
+
+    data: Union[int, bool, ObjectRef, None]
+    tainted: bool = False
+    initialized: bool = True
+
+    @property
+    def is_null(self) -> bool:
+        return self.data is None
+
+    def with_taint(self, tainted: bool) -> "Value":
+        return replace(self, tainted=tainted)
+
+    def __repr__(self) -> str:
+        marks = ""
+        if self.tainted:
+            marks += "🔥"
+        if not self.initialized:
+            marks += "?"
+        return f"{self.data!r}{marks}"
+
+
+def int_value(data: int, tainted: bool = False) -> Value:
+    return Value(int(data), tainted=tainted)
+
+
+def bool_value(data: bool, tainted: bool = False) -> Value:
+    return Value(bool(data), tainted=tainted)
+
+
+def null_value() -> Value:
+    return Value(None)
+
+
+def uninitialized() -> Value:
+    """The value of a declared-but-never-assigned local (reads of it are
+    recorded as uninitialized accesses)."""
+    return Value(0, tainted=False, initialized=False)

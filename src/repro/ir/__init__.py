@@ -1,0 +1,63 @@
+"""Jimple-like IR: instructions, lowering, call graph, ICFG."""
+
+from repro.ir.callgraph import CallGraph, build_call_graph
+from repro.ir.icfg import ICFG
+from repro.ir.instructions import (
+    Assign,
+    Atom,
+    BinOp,
+    Const,
+    Declare,
+    FieldLoad,
+    FieldStore,
+    Goto,
+    If,
+    Instruction,
+    Invoke,
+    LocalRef,
+    NewObject,
+    NondetValue,
+    Print,
+    Return,
+    RValue,
+    SecretValue,
+    UnOp,
+)
+from repro.ir.lowering import INTRINSIC_METHODS, LoweringError, lower_program
+from repro.ir.program import IRClass, IRError, IRMethod, IRProgram
+from repro.ir.verify import IRVerificationError, verify_method, verify_program
+
+__all__ = [
+    "Instruction",
+    "Assign",
+    "Declare",
+    "FieldStore",
+    "If",
+    "Goto",
+    "Invoke",
+    "Return",
+    "Print",
+    "Atom",
+    "Const",
+    "LocalRef",
+    "BinOp",
+    "UnOp",
+    "FieldLoad",
+    "NewObject",
+    "SecretValue",
+    "NondetValue",
+    "RValue",
+    "IRMethod",
+    "IRClass",
+    "IRProgram",
+    "IRError",
+    "lower_program",
+    "LoweringError",
+    "INTRINSIC_METHODS",
+    "CallGraph",
+    "build_call_graph",
+    "ICFG",
+    "verify_program",
+    "verify_method",
+    "IRVerificationError",
+]

@@ -1,0 +1,97 @@
+"""Class-hierarchy-analysis (CHA) call graph.
+
+As in the paper's implementation the call graph is *feature-insensitive*
+(Section 5, "Current Limitations"): a virtual call resolves to the
+implementations in the receiver's static type and all of its subtypes,
+regardless of feature annotations.  SPLLIFT then follows the edges in a
+feature-sensitive fashion through its lifted call flow functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.ir.instructions import Invoke
+from repro.ir.program import IRError, IRMethod, IRProgram
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+
+class CallGraph:
+    """Call edges between IR methods, restricted to the reachable part."""
+
+    def __init__(
+        self,
+        program: IRProgram,
+        entry_points: Tuple[IRMethod, ...],
+        callees: Dict[Invoke, Tuple[IRMethod, ...]],
+        reachable: Tuple[IRMethod, ...],
+    ) -> None:
+        self.program = program
+        self.entry_points = entry_points
+        self._callees = callees
+        self.reachable_methods = reachable
+        self._callers: Dict[IRMethod, List[Invoke]] = {}
+        for call, targets in callees.items():
+            for target in targets:
+                self._callers.setdefault(target, []).append(call)
+
+    def callees(self, call: Invoke) -> Tuple[IRMethod, ...]:
+        """Possible targets of a call site (may be empty for dead calls)."""
+        return self._callees.get(call, ())
+
+    def callers(self, method: IRMethod) -> Tuple[Invoke, ...]:
+        """Call sites that may dispatch to ``method``."""
+        return tuple(self._callers.get(method, ()))
+
+    def call_sites(self) -> Iterator[Invoke]:
+        """All reachable call sites."""
+        return iter(self._callees)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._callees.values())
+
+
+def build_call_graph(
+    program: IRProgram, entry_points: Tuple[IRMethod, ...]
+) -> CallGraph:
+    """Build the CHA call graph of the methods reachable from the entries."""
+    callees: Dict[Invoke, Tuple[IRMethod, ...]] = {}
+    reachable: List[IRMethod] = []
+    seen: Set[IRMethod] = set()
+    worklist: List[IRMethod] = list(entry_points)
+    for entry in entry_points:
+        seen.add(entry)
+    while worklist:
+        method = worklist.pop()
+        reachable.append(method)
+        for instruction in method.instructions:
+            if not isinstance(instruction, Invoke):
+                continue
+            targets = _resolve_targets(program, instruction)
+            callees[instruction] = targets
+            for target in targets:
+                if target not in seen:
+                    seen.add(target)
+                    worklist.append(target)
+    reachable.sort(key=lambda m: m.qualified_name)
+    return CallGraph(program, entry_points, callees, tuple(reachable))
+
+
+def _resolve_targets(program: IRProgram, call: Invoke) -> Tuple[IRMethod, ...]:
+    """CHA: implementations of the method in the static type's subtree."""
+    targets: List[IRMethod] = []
+    seen: Set[IRMethod] = set()
+    for class_name in program.subtypes(call.static_type):
+        resolved = program.resolve_method(class_name, call.method_name)
+        if resolved is not None and resolved not in seen:
+            seen.add(resolved)
+            targets.append(resolved)
+    if not targets:
+        raise IRError(
+            f"call {call.location} to {call.static_type}.{call.method_name} "
+            "has no targets"
+        )
+    targets.sort(key=lambda m: m.qualified_name)
+    return tuple(targets)

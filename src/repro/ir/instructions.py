@@ -1,0 +1,284 @@
+"""Jimple-like three-address instructions.
+
+Soot's Jimple is the IR the paper analyzes: "statements are never nested,
+and all control-flow constructs are reduced to simple conditional and
+unconditional branches".  This module defines the equivalent IR.  The
+statement classes mirror exactly the cases of the paper's Figure 4 lifting
+rules:
+
+- :class:`Assign`, :class:`FieldStore`, :class:`Print`, :class:`Declare` —
+  normal, non-branching statements (Fig. 4a),
+- :class:`Goto` — unconditional branches (Fig. 4b),
+- :class:`If` — conditional branches (Fig. 4c),
+- :class:`Invoke` — call statements (call, return and call-to-return flow
+  functions, Fig. 4a/4d),
+- :class:`Return` — method exits.
+
+Every instruction carries an optional feature ``annotation`` (a
+propositional formula).  Instructions are identity-hashed, globally unique
+program points; ``method`` and ``index`` are assigned when the enclosing
+:class:`~repro.ir.program.IRMethod` is finalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.constraints.formula import Formula
+from repro.minijava.ast import Type
+
+__all__ = [
+    "Atom",
+    "Const",
+    "LocalRef",
+    "RValue",
+    "BinOp",
+    "UnOp",
+    "FieldLoad",
+    "NewObject",
+    "SecretValue",
+    "NondetValue",
+    "Instruction",
+    "Assign",
+    "Declare",
+    "FieldStore",
+    "If",
+    "Goto",
+    "Invoke",
+    "Return",
+    "Print",
+]
+
+
+# ----------------------------------------------------------------------
+# Atoms and right-hand-side values
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal operand (int, bool, or ``None`` for ``null``)."""
+
+    value: Optional[Union[int, bool]]
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class LocalRef:
+    """A reference to a local variable (or parameter, or ``this``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Atom = Union[Const, LocalRef]
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """``left op right`` over atoms."""
+
+    op: str
+    left: Atom
+    right: Atom
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """``op operand`` over an atom."""
+
+    op: str
+    operand: Atom
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class FieldLoad:
+    """``base.field`` — reading an instance field."""
+
+    base: LocalRef
+    field: str
+    field_class: str  # class that declares the field (after resolution)
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field}"
+
+
+@dataclass(frozen=True)
+class NewObject:
+    """``new C()`` — an allocation site."""
+
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"new {self.class_name}()"
+
+
+@dataclass(frozen=True)
+class SecretValue:
+    """The ``secret()`` intrinsic — the taint source of the running example."""
+
+    def __str__(self) -> str:
+        return "secret()"
+
+
+@dataclass(frozen=True)
+class NondetValue:
+    """The ``nondet()`` intrinsic — an arbitrary untainted int (used to
+    make branch conditions genuinely undetermined for the analyses and
+    supplied by a configurable source in the interpreter)."""
+
+    def __str__(self) -> str:
+        return "nondet()"
+
+
+RValue = Union[
+    Const, LocalRef, BinOp, UnOp, FieldLoad, NewObject, SecretValue, NondetValue
+]
+
+
+# ----------------------------------------------------------------------
+# Instructions
+# ----------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Instruction:
+    """Base class: one Jimple-like statement.
+
+    Instructions compare and hash by identity — each is a unique program
+    point in the exploded super graph.
+    """
+
+    annotation: Optional[Formula] = field(default=None, kw_only=True)
+    line: int = field(default=0, kw_only=True)
+    # Backrefs filled in by IRMethod.finalize():
+    method: "object" = field(default=None, kw_only=True, repr=False)
+    index: int = field(default=-1, kw_only=True)
+
+    @property
+    def location(self) -> str:
+        """Human-readable ``Class.method:index`` location string."""
+        if self.method is None:
+            return f"<detached>:{self.index}"
+        return f"{self.method.qualified_name}:{self.index}"
+
+    def _ann(self) -> str:
+        return f"  #if ({self.annotation})" if self.annotation is not None else ""
+
+
+@dataclass(eq=False)
+class Declare(Instruction):
+    """Marks the declaration point of a source-level local (no effect).
+
+    Kept so diagnostics can point at source declarations; the
+    uninitialized-variables analysis seeds its facts at method entry the
+    way Jimple hoists locals.
+    """
+
+    name: str = ""
+
+    def __str__(self) -> str:
+        return f"declare {self.name};{self._ann()}"
+
+
+@dataclass(eq=False)
+class Assign(Instruction):
+    """``target = rvalue`` where rvalue is flat (three-address form)."""
+
+    target: str = ""
+    rvalue: RValue = None
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.rvalue};{self._ann()}"
+
+
+@dataclass(eq=False)
+class FieldStore(Instruction):
+    """``base.field = value``."""
+
+    base: LocalRef = None
+    field_name: str = ""
+    field_class: str = ""
+    value: Atom = None
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field_name} = {self.value};{self._ann()}"
+
+
+@dataclass(eq=False)
+class If(Instruction):
+    """``if (cond) goto target`` — conditional branch, Jimple style."""
+
+    cond: Union[Atom, BinOp, UnOp] = None
+    target: int = -1
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) goto {self.target};{self._ann()}"
+
+
+@dataclass(eq=False)
+class Goto(Instruction):
+    """``goto target`` — unconditional branch."""
+
+    target: int = -1
+
+    def __str__(self) -> str:
+        return f"goto {self.target};{self._ann()}"
+
+
+@dataclass(eq=False)
+class Invoke(Instruction):
+    """``result = receiver.method(args)`` — the only inter-procedural
+    statement.  ``static_type`` is the receiver's declared class, used by
+    the (feature-insensitive) CHA call graph."""
+
+    result: Optional[str] = None
+    receiver: LocalRef = None
+    method_name: str = ""
+    args: Tuple[Atom, ...] = ()
+    static_type: str = ""
+
+    def __str__(self) -> str:
+        prefix = f"{self.result} = " if self.result is not None else ""
+        rendered_args = ", ".join(str(arg) for arg in self.args)
+        return (
+            f"{prefix}{self.receiver}.{self.method_name}({rendered_args});"
+            f"{self._ann()}"
+        )
+
+
+@dataclass(eq=False)
+class Return(Instruction):
+    """``return value?`` — method exit."""
+
+    value: Optional[Atom] = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"return;{self._ann()}"
+        return f"return {self.value};{self._ann()}"
+
+
+@dataclass(eq=False)
+class Print(Instruction):
+    """``print(value)`` — the observable sink."""
+
+    value: Atom = None
+
+    def __str__(self) -> str:
+        return f"print({self.value});{self._ann()}"

@@ -1,0 +1,506 @@
+"""Lowering MiniJava ASTs to the Jimple-like IR.
+
+Follows Soot's Jimple conventions: expressions are flattened into
+three-address form with compiler temporaries (``$t0``, ``$t1``, ...),
+structured control flow becomes explicit conditional/unconditional
+branches, and local declarations are hoisted to the method level.
+
+Feature annotations are conjoined along the nesting path and attached to
+every instruction generated for an annotated statement.  Annotations on
+whole members (methods/fields) are conjoined into each of the member's
+instructions; a method whose annotation is disabled therefore behaves like
+a method with an entirely disabled body (see DESIGN.md for the discussion
+of member-level annotations and dispatch).
+
+Light type checking happens here as a side effect: receivers must have
+class types, called methods and accessed fields must resolve in the class
+hierarchy.  Violations raise :class:`LoweringError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.constraints.formula import And, Formula
+from repro.ir.instructions import (
+    Assign,
+    Atom,
+    BinOp,
+    Const,
+    Declare,
+    FieldLoad,
+    FieldStore,
+    Goto,
+    If,
+    Instruction,
+    Invoke,
+    LocalRef,
+    NewObject,
+    NondetValue,
+    Print,
+    Return,
+    RValue,
+    SecretValue,
+    UnOp,
+)
+from repro.ir.program import IRClass, IRMethod, IRProgram
+from repro.minijava import ast
+
+__all__ = ["lower_program", "LoweringError", "INTRINSIC_METHODS"]
+
+#: Methods understood natively by the analyses rather than resolved via the
+#: class hierarchy.  ``secret()`` produces a tainted int (the paper's running
+#: example); ``nondet()`` produces an arbitrary untainted int.
+INTRINSIC_METHODS = frozenset(("secret", "nondet"))
+
+_COMPARISONS = frozenset(("==", "!=", "<", "<=", ">", ">="))
+_BOOLEAN_OPS = frozenset(("&&", "||"))
+
+
+class LoweringError(ValueError):
+    """Raised when the program cannot be lowered (type errors etc.)."""
+
+
+def lower_program(program: ast.Program) -> IRProgram:
+    """Lower a parsed product line to IR, preserving feature annotations."""
+    skeletons: Dict[str, IRClass] = {}
+    for cls in program.classes:
+        if cls.name in skeletons:
+            raise LoweringError(f"duplicate class {cls.name!r}")
+        fields: Dict[str, ast.Type] = {}
+        for fld in cls.fields:
+            fields[fld.name] = fld.type
+        skeletons[cls.name] = IRClass(cls.name, cls.superclass, fields, {})
+    ir_program = IRProgram(skeletons.values())
+
+    declarations: Dict[Tuple[str, str], ast.MethodDecl] = {}
+    for cls in program.classes:
+        for method in cls.methods:
+            key = (cls.name, method.name)
+            if key in declarations:
+                raise LoweringError(
+                    f"duplicate method {cls.name}.{method.name} "
+                    "(alternative member implementations are not supported; "
+                    "guard statements inside one body instead)"
+                )
+            declarations[key] = method
+
+    for cls in program.classes:
+        for method_decl in cls.methods:
+            lowering = _MethodLowering(ir_program, cls, method_decl, declarations)
+            ir_method = lowering.lower()
+            skeletons[cls.name].methods[method_decl.name] = ir_method
+    return ir_program
+
+
+class _Label:
+    """A forward-reference branch target, resolved after emission."""
+
+    __slots__ = ("index",)
+
+    def __init__(self) -> None:
+        self.index: Optional[int] = None
+
+
+class _MethodLowering:
+    def __init__(
+        self,
+        ir_program: IRProgram,
+        cls: ast.ClassDecl,
+        decl: ast.MethodDecl,
+        declarations: Dict[Tuple[str, str], ast.MethodDecl],
+    ) -> None:
+        self._program = ir_program
+        self._class = cls
+        self._decl = decl
+        self._declarations = declarations
+        self._instructions: List[Instruction] = []
+        self._pending_branches: List[Union[If, Goto]] = []
+        self._local_types: Dict[str, ast.Type] = {"this": ast.Type(cls.name)}
+        self._source_locals: List[str] = []
+        self._temp_counter = 0
+        self._annotations: List[Formula] = (
+            [decl.annotation] if decl.annotation is not None else []
+        )
+        self._line = decl.line
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def lower(self) -> IRMethod:
+        for param in self._decl.params:
+            if param.name in self._local_types:
+                raise LoweringError(
+                    f"{self._qualified}: duplicate parameter {param.name!r}"
+                )
+            self._local_types[param.name] = param.type
+        self._hoist_declarations(self._decl.body)
+        self._block(self._decl.body)
+        self._resolve_branches()
+        method = IRMethod(
+            class_name=self._class.name,
+            name=self._decl.name,
+            params=self._decl.param_names,
+            return_type=self._decl.return_type,
+            instructions=self._instructions,
+            local_types=dict(self._local_types),
+            source_locals=tuple(self._source_locals),
+            annotation=self._decl.annotation,
+        )
+        return method.finalize()
+
+    @property
+    def _qualified(self) -> str:
+        return f"{self._class.name}.{self._decl.name}"
+
+    # ------------------------------------------------------------------
+    # Declarations (Jimple-style hoisting)
+    # ------------------------------------------------------------------
+
+    def _hoist_declarations(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, ast.VarDecl):
+                if stmt.name in self._local_types:
+                    raise LoweringError(
+                        f"{self._qualified}: duplicate local {stmt.name!r}"
+                    )
+                self._local_types[stmt.name] = stmt.type
+                self._source_locals.append(stmt.name)
+            elif isinstance(stmt, ast.Block):
+                self._hoist_declarations(stmt)
+            elif isinstance(stmt, ast.IfStmt):
+                self._hoist_declarations(stmt.then_block)
+                if stmt.else_block is not None:
+                    self._hoist_declarations(stmt.else_block)
+            elif isinstance(stmt, ast.WhileStmt):
+                self._hoist_declarations(stmt.body)
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+
+    def _current_annotation(self) -> Optional[Formula]:
+        if not self._annotations:
+            return None
+        if len(self._annotations) == 1:
+            return self._annotations[0]
+        return And(tuple(self._annotations))
+
+    def _emit(self, instruction: Instruction) -> Instruction:
+        instruction.annotation = self._current_annotation()
+        if instruction.line == 0:
+            instruction.line = self._line
+        self._instructions.append(instruction)
+        return instruction
+
+    def _bind(self, label: _Label) -> None:
+        label.index = len(self._instructions)
+
+    def _emit_branch(self, instruction: Union[If, Goto], label: _Label) -> None:
+        instruction.target = label  # type: ignore[assignment]
+        self._emit(instruction)
+        self._pending_branches.append(instruction)
+
+    def _resolve_branches(self) -> None:
+        end_needed = False
+        for branch in self._pending_branches:
+            label = branch.target
+            assert isinstance(label, _Label) and label.index is not None
+            if label.index == len(self._instructions):
+                end_needed = True
+        if end_needed:
+            # Some branch targets the end of the body; materialize it.
+            self._instructions.append(Return(None))
+        for branch in self._pending_branches:
+            branch.target = branch.target.index  # type: ignore[union-attr]
+
+    def _new_temp(self, temp_type: ast.Type) -> str:
+        name = f"$t{self._temp_counter}"
+        self._temp_counter += 1
+        self._local_types[name] = temp_type
+        return name
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.Stmt) -> None:
+        pushed = stmt.annotation is not None
+        if pushed:
+            self._annotations.append(stmt.annotation)
+        self._line = stmt.line or self._line
+        try:
+            self._statement_body(stmt)
+        finally:
+            if pushed:
+                self._annotations.pop()
+
+    def _statement_body(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is None:
+                self._emit(Declare(name=stmt.name))
+            else:
+                self._assign_local(stmt.name, stmt.init)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._assignment(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._while(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = None if stmt.value is None else self._atom(stmt.value)
+            self._emit(Return(value))
+        elif isinstance(stmt, ast.PrintStmt):
+            self._emit(Print(self._atom(stmt.value)))
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.Call):
+                raise LoweringError(
+                    f"{self._qualified}: expression statement must be a call"
+                )
+            self._call(stmt.expr, result=None)
+        else:
+            raise LoweringError(f"{self._qualified}: unknown statement {stmt!r}")
+
+    def _assignment(self, stmt: ast.AssignStmt) -> None:
+        if isinstance(stmt.target, ast.VarRef):
+            name = stmt.target.name
+            if name not in self._local_types:
+                raise LoweringError(
+                    f"{self._qualified}: assignment to undeclared local {name!r}"
+                )
+            self._assign_local(name, stmt.value)
+        elif isinstance(stmt.target, ast.FieldAccess):
+            base = self._local_atom(stmt.target.receiver)
+            declaring, _ = self._field_info(stmt.target.receiver, stmt.target.field)
+            value = self._atom(stmt.value)
+            self._emit(
+                FieldStore(
+                    base=base,
+                    field_name=stmt.target.field,
+                    field_class=declaring,
+                    value=value,
+                )
+            )
+        else:
+            raise LoweringError(
+                f"{self._qualified}: invalid assignment target {stmt.target!r}"
+            )
+
+    def _assign_local(self, name: str, value: ast.Expr) -> None:
+        if isinstance(value, ast.Call):
+            self._call(value, result=name)
+        else:
+            self._emit(Assign(target=name, rvalue=self._rvalue(value)))
+
+    def _if(self, stmt: ast.IfStmt) -> None:
+        cond = self._branch_condition(stmt.cond)
+        then_label = _Label()
+        end_label = _Label()
+        self._emit_branch(If(cond=cond), then_label)
+        if stmt.else_block is not None:
+            self._block(stmt.else_block)
+        self._emit_branch(Goto(), end_label)
+        self._bind(then_label)
+        self._block(stmt.then_block)
+        self._bind(end_label)
+
+    def _while(self, stmt: ast.WhileStmt) -> None:
+        head_label = _Label()
+        body_label = _Label()
+        end_label = _Label()
+        self._bind(head_label)
+        cond = self._branch_condition(stmt.cond)
+        self._emit_branch(If(cond=cond), body_label)
+        self._emit_branch(Goto(), end_label)
+        self._bind(body_label)
+        self._block(stmt.body)
+        self._emit_branch(Goto(), head_label)
+        self._bind(end_label)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _branch_condition(self, expr: ast.Expr) -> Union[Atom, BinOp, UnOp]:
+        """Flatten a branch condition Jimple-style (comparison of atoms)."""
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARISONS:
+            return BinOp(expr.op, self._atom(expr.left), self._atom(expr.right))
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            return UnOp("!", self._atom(expr.operand))
+        return self._atom(expr)
+
+    def _rvalue(self, expr: ast.Expr) -> RValue:
+        """Flatten an expression into a single-level right-hand side."""
+        if isinstance(expr, (ast.IntLit, ast.BoolLit, ast.NullLit, ast.VarRef, ast.ThisRef)):
+            return self._atom(expr)
+        if isinstance(expr, ast.Binary):
+            return BinOp(expr.op, self._atom(expr.left), self._atom(expr.right))
+        if isinstance(expr, ast.Unary):
+            return UnOp(expr.op, self._atom(expr.operand))
+        if isinstance(expr, ast.FieldAccess):
+            base = self._local_atom(expr.receiver)
+            declaring, _ = self._field_info(expr.receiver, expr.field)
+            return FieldLoad(base=base, field=expr.field, field_class=declaring)
+        if isinstance(expr, ast.New):
+            if expr.class_name not in self._program.classes:
+                raise LoweringError(
+                    f"{self._qualified}: 'new' of unknown class {expr.class_name!r}"
+                )
+            return NewObject(expr.class_name)
+        if isinstance(expr, ast.Call):
+            temp = self._new_temp(self._type_of(expr))
+            self._call(expr, result=temp)
+            return LocalRef(temp)
+        raise LoweringError(f"{self._qualified}: cannot lower expression {expr!r}")
+
+    def _atom(self, expr: ast.Expr) -> Atom:
+        """Flatten an expression all the way to an atom, emitting temps."""
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.NullLit):
+            return Const(None)
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in self._local_types:
+                raise LoweringError(
+                    f"{self._qualified}: use of undeclared local {expr.name!r}"
+                )
+            return LocalRef(expr.name)
+        if isinstance(expr, ast.ThisRef):
+            return LocalRef("this")
+        rvalue = self._rvalue(expr)
+        if isinstance(rvalue, LocalRef):
+            return rvalue  # a call was lowered into a temp already
+        temp = self._new_temp(self._type_of(expr))
+        self._emit(Assign(target=temp, rvalue=rvalue))
+        return LocalRef(temp)
+
+    def _local_atom(self, expr: Optional[ast.Expr]) -> LocalRef:
+        """An atom that must be a local (receivers of calls/field ops)."""
+        atom = self._atom(expr if expr is not None else ast.ThisRef())
+        if isinstance(atom, Const):
+            if atom.value is None:
+                raise LoweringError(
+                    f"{self._qualified}: cannot dereference the null literal"
+                )
+            temp = self._new_temp(self._type_of(expr))
+            self._emit(Assign(target=temp, rvalue=atom))
+            return LocalRef(temp)
+        return atom
+
+    def _call(self, call: ast.Call, result: Optional[str]) -> None:
+        if call.receiver is None and call.method in INTRINSIC_METHODS:
+            if call.args:
+                raise LoweringError(
+                    f"{self._qualified}: intrinsic {call.method}() takes no arguments"
+                )
+            target = result if result is not None else self._new_temp(ast.INT)
+            rvalue: RValue = SecretValue() if call.method == "secret" else NondetValue()
+            self._emit(Assign(target=target, rvalue=rvalue))
+            return
+        receiver_expr = call.receiver if call.receiver is not None else ast.ThisRef()
+        receiver_type = self._type_of(receiver_expr)
+        if not receiver_type.is_class:
+            raise LoweringError(
+                f"{self._qualified}: call {call.method!r} on non-class "
+                f"receiver of type {receiver_type}"
+            )
+        if self._resolve_declaration(receiver_type.name, call.method) is None:
+            raise LoweringError(
+                f"{self._qualified}: no method {call.method!r} in class "
+                f"{receiver_type.name!r} or its supertypes"
+            )
+        receiver = self._local_atom(receiver_expr)
+        args = tuple(self._atom(arg) for arg in call.args)
+        self._emit(
+            Invoke(
+                result=result,
+                receiver=receiver,
+                method_name=call.method,
+                args=args,
+                static_type=receiver_type.name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Static typing (enough to drive CHA and field resolution)
+    # ------------------------------------------------------------------
+
+    def _type_of(self, expr: ast.Expr) -> ast.Type:
+        if isinstance(expr, ast.IntLit):
+            return ast.INT
+        if isinstance(expr, ast.BoolLit):
+            return ast.BOOLEAN
+        if isinstance(expr, ast.NullLit):
+            return ast.Type("null")
+        if isinstance(expr, ast.VarRef):
+            try:
+                return self._local_types[expr.name]
+            except KeyError:
+                raise LoweringError(
+                    f"{self._qualified}: use of undeclared local {expr.name!r}"
+                ) from None
+        if isinstance(expr, ast.ThisRef):
+            return ast.Type(self._class.name)
+        if isinstance(expr, ast.New):
+            return ast.Type(expr.class_name)
+        if isinstance(expr, ast.Binary):
+            return ast.BOOLEAN if expr.op in _COMPARISONS | _BOOLEAN_OPS else ast.INT
+        if isinstance(expr, ast.Unary):
+            return ast.BOOLEAN if expr.op == "!" else ast.INT
+        if isinstance(expr, ast.FieldAccess):
+            _, field_type = self._field_info(expr.receiver, expr.field)
+            return field_type
+        if isinstance(expr, ast.Call):
+            if expr.receiver is None and expr.method in INTRINSIC_METHODS:
+                return ast.INT
+            receiver_expr = (
+                expr.receiver if expr.receiver is not None else ast.ThisRef()
+            )
+            receiver_type = self._type_of(receiver_expr)
+            if not receiver_type.is_class:
+                raise LoweringError(
+                    f"{self._qualified}: call on non-class type {receiver_type}"
+                )
+            declaration = self._resolve_declaration(receiver_type.name, expr.method)
+            if declaration is None:
+                raise LoweringError(
+                    f"{self._qualified}: no method {expr.method!r} in class "
+                    f"{receiver_type.name!r} or its supertypes"
+                )
+            return declaration.return_type
+        raise LoweringError(f"{self._qualified}: cannot type expression {expr!r}")
+
+    def _field_info(
+        self, receiver: Optional[ast.Expr], field_name: str
+    ) -> Tuple[str, ast.Type]:
+        receiver_expr = receiver if receiver is not None else ast.ThisRef()
+        receiver_type = self._type_of(receiver_expr)
+        if not receiver_type.is_class:
+            raise LoweringError(
+                f"{self._qualified}: field access on non-class type {receiver_type}"
+            )
+        resolved = self._program.resolve_field(receiver_type.name, field_name)
+        if resolved is None:
+            raise LoweringError(
+                f"{self._qualified}: no field {field_name!r} in class "
+                f"{receiver_type.name!r} or its supertypes"
+            )
+        return resolved
+
+    def _resolve_declaration(
+        self, class_name: str, method_name: str
+    ) -> Optional[ast.MethodDecl]:
+        for ancestor in self._program.supertypes(class_name):
+            declaration = self._declarations.get((ancestor, method_name))
+            if declaration is not None:
+                return declaration
+        return None

@@ -1,0 +1,182 @@
+"""IR well-formedness verifier.
+
+Like real compiler infrastructures, the IR has invariants that every
+producer (the lowering, hand-built test programs, future frontends) must
+maintain and every consumer may rely on.  :func:`verify_method` /
+:func:`verify_program` check them and raise :class:`IRVerificationError`
+with a precise message:
+
+- instruction back-references (``method``/``index``) are consistent;
+- branch targets are in range and never point at themselves;
+- the last instruction is an *unannotated* return (so disabled returns
+  always have somewhere to fall through to — required by the lifted CFG);
+- every referenced local is declared in ``local_types`` (params, temps,
+  ``this`` and source locals alike);
+- invoke statements reference resolvable classes/methods with matching
+  arity, field operations resolvable fields;
+- annotations only mention features (no free non-feature terms is *not*
+  checked — feature models may add variables — but annotation formulas
+  must be well-formed ``Formula`` instances).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.constraints.formula import Formula
+from repro.ir.instructions import (
+    Assign,
+    Atom,
+    BinOp,
+    Const,
+    Declare,
+    FieldLoad,
+    FieldStore,
+    Goto,
+    If,
+    Instruction,
+    Invoke,
+    LocalRef,
+    Print,
+    Return,
+    UnOp,
+)
+from repro.ir.program import IRMethod, IRProgram
+
+__all__ = ["IRVerificationError", "verify_method", "verify_program"]
+
+
+class IRVerificationError(ValueError):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify_program(program: IRProgram) -> None:
+    """Verify every method of the program."""
+    for method in program.all_methods():
+        verify_method(method, program)
+
+
+def verify_method(method: IRMethod, program: IRProgram = None) -> None:
+    """Verify one method; ``program`` enables cross-class checks."""
+    instructions = method.instructions
+    if not instructions:
+        raise IRVerificationError(f"{method.qualified_name}: empty body")
+    last = instructions[-1]
+    if not isinstance(last, Return):
+        raise IRVerificationError(
+            f"{method.qualified_name}: last instruction is not a return"
+        )
+    if last.annotation is not None:
+        raise IRVerificationError(
+            f"{method.qualified_name}: trailing return must be unannotated"
+        )
+    for index, instruction in enumerate(instructions):
+        where = f"{method.qualified_name}:{index}"
+        if instruction.method is not method:
+            raise IRVerificationError(f"{where}: wrong method back-reference")
+        if instruction.index != index:
+            raise IRVerificationError(
+                f"{where}: index field is {instruction.index}"
+            )
+        if instruction.annotation is not None and not isinstance(
+            instruction.annotation, Formula
+        ):
+            raise IRVerificationError(f"{where}: annotation is not a Formula")
+        if isinstance(instruction, (If, Goto)):
+            target = instruction.target
+            if not isinstance(target, int) or not 0 <= target < len(instructions):
+                raise IRVerificationError(
+                    f"{where}: branch target {target!r} out of range"
+                )
+            if target == index:
+                raise IRVerificationError(f"{where}: self-targeting branch")
+        for name in _locals_referenced(instruction):
+            if name not in method.local_types:
+                raise IRVerificationError(
+                    f"{where}: reference to undeclared local {name!r}"
+                )
+        if program is not None:
+            _verify_resolution(instruction, where, program)
+    for name in method.source_locals:
+        if name not in method.local_types:
+            raise IRVerificationError(
+                f"{method.qualified_name}: source local {name!r} untyped"
+            )
+
+
+def _verify_resolution(
+    instruction: Instruction, where: str, program: IRProgram
+) -> None:
+    if isinstance(instruction, Invoke):
+        if instruction.static_type not in program.classes:
+            raise IRVerificationError(
+                f"{where}: unknown receiver class {instruction.static_type!r}"
+            )
+        target = program.resolve_method(
+            instruction.static_type, instruction.method_name
+        )
+        if target is None:
+            raise IRVerificationError(
+                f"{where}: unresolvable method "
+                f"{instruction.static_type}.{instruction.method_name}"
+            )
+        if len(target.params) != len(instruction.args):
+            raise IRVerificationError(
+                f"{where}: arity mismatch calling {target.qualified_name} "
+                f"({len(instruction.args)} args, {len(target.params)} params)"
+            )
+    elif isinstance(instruction, FieldStore):
+        if program.resolve_field(instruction.field_class, instruction.field_name) is None:
+            raise IRVerificationError(
+                f"{where}: unresolvable field "
+                f"{instruction.field_class}.{instruction.field_name}"
+            )
+    elif isinstance(instruction, Assign) and isinstance(
+        instruction.rvalue, FieldLoad
+    ):
+        load = instruction.rvalue
+        if program.resolve_field(load.field_class, load.field) is None:
+            raise IRVerificationError(
+                f"{where}: unresolvable field {load.field_class}.{load.field}"
+            )
+
+
+def _atoms(values: Iterable) -> List[LocalRef]:
+    return [value for value in values if isinstance(value, LocalRef)]
+
+
+def _locals_referenced(instruction: Instruction) -> List[str]:
+    refs: List[LocalRef] = []
+    if isinstance(instruction, Assign):
+        refs.extend(_rvalue_refs(instruction.rvalue))
+        return [instruction.target] + [ref.name for ref in refs]
+    if isinstance(instruction, Declare):
+        return [instruction.name]
+    if isinstance(instruction, FieldStore):
+        refs.extend(_atoms((instruction.base, instruction.value)))
+    elif isinstance(instruction, If):
+        refs.extend(_rvalue_refs(instruction.cond))
+    elif isinstance(instruction, Invoke):
+        refs.extend(_atoms((instruction.receiver, *instruction.args)))
+        names = [ref.name for ref in refs]
+        if instruction.result is not None:
+            names.append(instruction.result)
+        return names
+    elif isinstance(instruction, Return):
+        if instruction.value is not None:
+            refs.extend(_atoms((instruction.value,)))
+    elif isinstance(instruction, Print):
+        refs.extend(_atoms((instruction.value,)))
+    return [ref.name for ref in refs]
+
+
+def _rvalue_refs(rvalue) -> List[LocalRef]:
+    if isinstance(rvalue, LocalRef):
+        return [rvalue]
+    if isinstance(rvalue, BinOp):
+        return _atoms((rvalue.left, rvalue.right))
+    if isinstance(rvalue, UnOp):
+        return _atoms((rvalue.operand,))
+    if isinstance(rvalue, FieldLoad):
+        return [rvalue.base]
+    return []

@@ -1,0 +1,25 @@
+"""MiniJava: the Java-like frontend of the reproduction.
+
+A small language with classes, single inheritance, virtual calls and
+CIDE-style ``#ifdef`` feature annotations — the substitute for the paper's
+Soot/CIDE toolchain (see DESIGN.md).
+"""
+
+from repro.minijava import ast
+from repro.minijava.lexer import LexError, Token, tokenize
+from repro.minijava.parser import ParseError, parse_program
+from repro.minijava.preprocessor import annotated_features, derive_product
+from repro.minijava.pretty import pretty_print, print_expr
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Token",
+    "LexError",
+    "parse_program",
+    "ParseError",
+    "pretty_print",
+    "print_expr",
+    "derive_product",
+    "annotated_features",
+]

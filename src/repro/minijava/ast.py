@@ -1,0 +1,264 @@
+"""Abstract syntax trees for MiniJava product lines.
+
+Every statement and class member carries an optional *feature annotation*
+(a propositional :class:`~repro.constraints.formula.Formula` over feature
+names).  ``annotation is None`` means the node is part of every product.
+Nested ``#ifdef`` regions stay nested in the AST; consumers conjoin
+annotations along the path from the root (see the preprocessor and the IR
+lowering).
+
+The AST deliberately mirrors what CIDE enforces: annotations wrap whole
+statements or whole members — never sub-expressions — which is the
+discipline SPLLIFT's flow-function lifting relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.constraints.formula import Formula
+
+__all__ = [
+    "Type",
+    "INT",
+    "BOOLEAN",
+    "VOID",
+    "Program",
+    "ClassDecl",
+    "FieldDecl",
+    "MethodDecl",
+    "Param",
+    "Block",
+    "Stmt",
+    "VarDecl",
+    "AssignStmt",
+    "IfStmt",
+    "WhileStmt",
+    "ReturnStmt",
+    "ExprStmt",
+    "PrintStmt",
+    "Expr",
+    "IntLit",
+    "BoolLit",
+    "NullLit",
+    "VarRef",
+    "ThisRef",
+    "FieldAccess",
+    "Binary",
+    "Unary",
+    "Call",
+    "New",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniJava type: ``int``, ``boolean``, ``void`` or a class name."""
+
+    name: str
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.name in ("int", "boolean", "void")
+
+    @property
+    def is_class(self) -> bool:
+        return not self.is_primitive
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = Type("int")
+BOOLEAN = Type("boolean")
+VOID = Type("void")
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class ThisRef(Expr):
+    pass
+
+
+@dataclass
+class FieldAccess(Expr):
+    receiver: Expr
+    field: str
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A method call.  ``receiver is None`` means an implicit ``this`` call
+    (or an intrinsic such as ``secret()``)."""
+
+    receiver: Optional[Expr]
+    method: str
+    args: List[Expr]
+
+
+@dataclass
+class New(Expr):
+    class_name: str
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements.  ``annotation`` is the feature condition
+    written directly on this node (``None`` = unconditional)."""
+
+    annotation: Optional[Formula] = field(default=None, kw_only=True)
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: Type
+    name: str
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr  # VarRef or FieldAccess
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_block: Block
+    else_block: Optional[Block] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Block
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class PrintStmt(Stmt):
+    """``print(e);`` — the observable sink used by the taint analysis."""
+
+    value: Expr
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    type: Type
+    name: str
+
+
+@dataclass
+class FieldDecl:
+    type: Type
+    name: str
+    annotation: Optional[Formula] = None
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    return_type: Type
+    name: str
+    params: List[Param]
+    body: Block
+    annotation: Optional[Formula] = None
+    line: int = 0
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(param.name for param in self.params)
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    superclass: Optional[str]
+    fields: List[FieldDecl]
+    methods: List[MethodDecl]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A whole MiniJava product line (one compilation unit)."""
+
+    classes: List[ClassDecl]
+
+    def class_named(self, name: str) -> ClassDecl:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class named {name!r}")
+
+    def has_class(self, name: str) -> bool:
+        return any(cls.name == name for cls in self.classes)

@@ -1,0 +1,142 @@
+"""Static preprocessor: derive a single product from a product line.
+
+This is the front half of the traditional ``A1`` approach (Section 6.2): for
+a concrete configuration, every annotated node whose condition evaluates to
+false is removed and all remaining annotations are erased, yielding a plain
+MiniJava program like Figure 1b of the paper.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, List, Optional
+
+from repro.constraints.base import ConfigurationLike, as_assignment
+from repro.constraints.formula import Formula
+from repro.minijava.ast import (
+    Block,
+    ClassDecl,
+    FieldDecl,
+    IfStmt,
+    MethodDecl,
+    Program,
+    Stmt,
+    WhileStmt,
+)
+
+__all__ = ["derive_product", "annotated_features"]
+
+
+def annotated_features(program: Program) -> "frozenset[str]":
+    """All feature names mentioned in any annotation of the program."""
+    names: set = set()
+    for cls in program.classes:
+        for fld in cls.fields:
+            if fld.annotation is not None:
+                names |= fld.annotation.variables()
+        for method in cls.methods:
+            if method.annotation is not None:
+                names |= method.annotation.variables()
+            _collect_block(method.body, names)
+    return frozenset(names)
+
+
+def _collect_block(block: Block, names: set) -> None:
+    for stmt in block.statements:
+        _collect_stmt(stmt, names)
+
+
+def _collect_stmt(stmt: Stmt, names: set) -> None:
+    if stmt.annotation is not None:
+        names |= stmt.annotation.variables()
+    if isinstance(stmt, Block):
+        _collect_block(stmt, names)
+    elif isinstance(stmt, IfStmt):
+        _collect_block(stmt.then_block, names)
+        if stmt.else_block is not None:
+            _collect_block(stmt.else_block, names)
+    elif isinstance(stmt, WhileStmt):
+        _collect_block(stmt.body, names)
+
+
+def derive_product(
+    program: Program, configuration: ConfigurationLike
+) -> Program:
+    """Apply the preprocessor for ``configuration``.
+
+    Returns a new program with disabled nodes removed and all annotations
+    erased; the input program is left untouched.
+    """
+    features = annotated_features(program)
+    assignment = as_assignment(configuration, features)
+    classes: List[ClassDecl] = []
+    for cls in program.classes:
+        fields = [
+            _strip_field(fld)
+            for fld in cls.fields
+            if _enabled(fld.annotation, assignment)
+        ]
+        methods = [
+            _strip_method(method, assignment)
+            for method in cls.methods
+            if _enabled(method.annotation, assignment)
+        ]
+        classes.append(
+            ClassDecl(cls.name, cls.superclass, fields, methods, line=cls.line)
+        )
+    return Program(classes)
+
+
+def _enabled(
+    annotation: Optional[Formula], assignment: Dict[str, bool]
+) -> bool:
+    return annotation is None or annotation.evaluate(assignment)
+
+
+def _strip_field(fld: FieldDecl) -> FieldDecl:
+    return FieldDecl(fld.type, fld.name, annotation=None, line=fld.line)
+
+
+def _strip_method(method: MethodDecl, assignment: Dict[str, bool]) -> MethodDecl:
+    return MethodDecl(
+        method.return_type,
+        method.name,
+        list(method.params),
+        _strip_block(method.body, assignment),
+        annotation=None,
+        line=method.line,
+    )
+
+
+def _strip_block(block: Block, assignment: Dict[str, bool]) -> Block:
+    statements: List[Stmt] = []
+    for stmt in block.statements:
+        if not _enabled(stmt.annotation, assignment):
+            continue
+        statements.append(_strip_stmt(stmt, assignment))
+    return Block(statements, line=block.line)
+
+
+def _strip_stmt(stmt: Stmt, assignment: Dict[str, bool]) -> Stmt:
+    if isinstance(stmt, Block):
+        stripped: Stmt = _strip_block(stmt, assignment)
+    elif isinstance(stmt, IfStmt):
+        stripped = IfStmt(
+            copy.deepcopy(stmt.cond),
+            _strip_block(stmt.then_block, assignment),
+            None
+            if stmt.else_block is None
+            else _strip_block(stmt.else_block, assignment),
+            line=stmt.line,
+        )
+    elif isinstance(stmt, WhileStmt):
+        stripped = WhileStmt(
+            copy.deepcopy(stmt.cond),
+            _strip_block(stmt.body, assignment),
+            line=stmt.line,
+        )
+    else:
+        stripped = copy.deepcopy(stmt)
+        stripped.annotation = None
+    stripped.annotation = None
+    return stripped

@@ -1,0 +1,201 @@
+"""Pretty printer for MiniJava ASTs.
+
+Produces parseable source.  Feature annotations are re-emitted as one
+``#ifdef`` region per annotated node, which is semantically equivalent to
+the original grouping.  ``with_annotations=False`` prints the bare program
+(used for derived products and for counting product KLOC).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.constraints.formula import Formula
+from repro.minijava.ast import (
+    AssignStmt,
+    Binary,
+    Block,
+    BoolLit,
+    Call,
+    ClassDecl,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FieldDecl,
+    IfStmt,
+    IntLit,
+    MethodDecl,
+    New,
+    NullLit,
+    PrintStmt,
+    Program,
+    ReturnStmt,
+    Stmt,
+    ThisRef,
+    Unary,
+    VarDecl,
+    VarRef,
+    WhileStmt,
+)
+
+__all__ = ["pretty_print", "print_expr"]
+
+_INDENT = "    "
+
+
+def pretty_print(program: Program, with_annotations: bool = True) -> str:
+    """Render a program back to MiniJava source text."""
+    printer = _Printer(with_annotations)
+    for cls in program.classes:
+        printer.class_decl(cls)
+    return "".join(printer.parts)
+
+
+def print_expr(expr: Expr) -> str:
+    """Render a single expression."""
+    return _expr(expr)
+
+
+class _Printer:
+    def __init__(self, with_annotations: bool) -> None:
+        self.with_annotations = with_annotations
+        self.parts: List[str] = []
+        self._depth = 0
+
+    def _line(self, text: str) -> None:
+        self.parts.append(f"{_INDENT * self._depth}{text}\n")
+
+    def _open_annotation(self, annotation: Optional[Formula]) -> bool:
+        if annotation is None or not self.with_annotations:
+            return False
+        self._line(f"#ifdef ({annotation})")
+        return True
+
+    def _close_annotation(self, opened: bool) -> None:
+        if opened:
+            self._line("#endif")
+
+    def class_decl(self, cls: ClassDecl) -> None:
+        heritage = f" extends {cls.superclass}" if cls.superclass else ""
+        self._line(f"class {cls.name}{heritage} {{")
+        self._depth += 1
+        for fld in cls.fields:
+            self.field_decl(fld)
+        for method in cls.methods:
+            self.method_decl(method)
+        self._depth -= 1
+        self._line("}")
+
+    def field_decl(self, fld: FieldDecl) -> None:
+        opened = self._open_annotation(fld.annotation)
+        self._line(f"{fld.type} {fld.name};")
+        self._close_annotation(opened)
+
+    def method_decl(self, method: MethodDecl) -> None:
+        opened = self._open_annotation(method.annotation)
+        params = ", ".join(f"{p.type} {p.name}" for p in method.params)
+        self._line(f"{method.return_type} {method.name}({params}) {{")
+        self._depth += 1
+        for stmt in method.body.statements:
+            self.statement(stmt)
+        self._depth -= 1
+        self._line("}")
+        self._close_annotation(opened)
+
+    def statement(self, stmt: Stmt) -> None:
+        opened = self._open_annotation(stmt.annotation)
+        if isinstance(stmt, Block):
+            self._line("{")
+            self._depth += 1
+            for inner in stmt.statements:
+                self.statement(inner)
+            self._depth -= 1
+            self._line("}")
+        elif isinstance(stmt, VarDecl):
+            init = f" = {_expr(stmt.init)}" if stmt.init is not None else ""
+            self._line(f"{stmt.type} {stmt.name}{init};")
+        elif isinstance(stmt, AssignStmt):
+            self._line(f"{_expr(stmt.target)} = {_expr(stmt.value)};")
+        elif isinstance(stmt, IfStmt):
+            self._line(f"if ({_expr(stmt.cond)}) {{")
+            self._depth += 1
+            for inner in stmt.then_block.statements:
+                self.statement(inner)
+            self._depth -= 1
+            if stmt.else_block is not None:
+                self._line("} else {")
+                self._depth += 1
+                for inner in stmt.else_block.statements:
+                    self.statement(inner)
+                self._depth -= 1
+            self._line("}")
+        elif isinstance(stmt, WhileStmt):
+            self._line(f"while ({_expr(stmt.cond)}) {{")
+            self._depth += 1
+            for inner in stmt.body.statements:
+                self.statement(inner)
+            self._depth -= 1
+            self._line("}")
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                self._line("return;")
+            else:
+                self._line(f"return {_expr(stmt.value)};")
+        elif isinstance(stmt, PrintStmt):
+            self._line(f"print({_expr(stmt.value)});")
+        elif isinstance(stmt, ExprStmt):
+            self._line(f"{_expr(stmt.expr)};")
+        else:
+            raise TypeError(f"unknown statement node: {stmt!r}")
+        self._close_annotation(opened)
+
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def _expr(expr: Expr, parent_precedence: int = 0) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, NullLit):
+        return "null"
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ThisRef):
+        return "this"
+    if isinstance(expr, FieldAccess):
+        return f"{_expr(expr.receiver, 99)}.{expr.field}"
+    if isinstance(expr, New):
+        return f"new {expr.class_name}()"
+    if isinstance(expr, Call):
+        args = ", ".join(_expr(arg) for arg in expr.args)
+        if expr.receiver is None:
+            return f"{expr.method}({args})"
+        return f"{_expr(expr.receiver, 99)}.{expr.method}({args})"
+    if isinstance(expr, Unary):
+        return f"{expr.op}{_expr(expr.operand, 98)}"
+    if isinstance(expr, Binary):
+        precedence = _PRECEDENCE[expr.op]
+        rendered = (
+            f"{_expr(expr.left, precedence)} {expr.op} "
+            f"{_expr(expr.right, precedence + 1)}"
+        )
+        if precedence < parent_precedence:
+            return f"({rendered})"
+        return rendered
+    raise TypeError(f"unknown expression node: {expr!r}")

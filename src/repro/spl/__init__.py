@@ -1,0 +1,29 @@
+"""Software product lines: container, examples, generator, benchmark subjects."""
+
+from repro.spl.benchmarks import (
+    berkeleydb_like,
+    gpl_like,
+    lampiro_like,
+    mm08_like,
+    paper_subjects,
+)
+from repro.spl.examples import device_spl, figure1, figure1_with_model
+from repro.spl.gpl_mini import gpl_mini
+from repro.spl.generator import SubjectSpec, default_feature_model, generate_subject
+from repro.spl.product_line import ProductLine
+
+__all__ = [
+    "ProductLine",
+    "figure1",
+    "figure1_with_model",
+    "device_spl",
+    "gpl_mini",
+    "SubjectSpec",
+    "generate_subject",
+    "default_feature_model",
+    "berkeleydb_like",
+    "gpl_like",
+    "lampiro_like",
+    "mm08_like",
+    "paper_subjects",
+]

@@ -1,0 +1,210 @@
+"""The four benchmark subjects, shaped after the paper's Table 1.
+
+The paper's subjects (real Java SPLs, analyzed through Soot/CIDE):
+
+    ============  =====  ========  ===========  ============  ========
+    Benchmark     KLOC   features  reachable    reachable     valid
+                         total     features     configs       configs
+    ============  =====  ========  ===========  ============  ========
+    BerkeleyDB    84.0   56        39           55 * 10^10    unknown
+    GPL            1.4   29        19           524,288       1,872
+    Lampiro       45.0   20        2            4             4
+    MM08           5.7   34        9            512           26
+    ============  =====  ========  ===========  ============  ========
+
+This module generates laptop-scale synthetic subjects with the same
+*shape*: the ordering and rough ratios of code size, total-vs-reachable
+feature counts and feature-model constrainedness are preserved, because
+those are what drive the paper's measurements (see DESIGN.md).  Absolute
+sizes are scaled down so that the experiments complete on one machine
+within minutes — like-for-like with the paper's protocol, including the
+cutoff-and-estimate rule for subjects where the per-configuration
+baseline would run for "days" or "years".
+
+All subjects are deterministic (fixed seeds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.constraints.formula import parse_formula
+from repro.featuremodel.model import Feature, FeatureModel
+from repro.spl.generator import SubjectSpec, generate_subject
+from repro.spl.product_line import ProductLine
+
+__all__ = [
+    "berkeleydb_like",
+    "gpl_like",
+    "lampiro_like",
+    "mm08_like",
+    "paper_subjects",
+]
+
+
+def _features(prefix: str, count: int) -> List[str]:
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# BerkeleyDB-like: large code base, many features, barely constrained
+# model — the number of valid configurations is astronomically large
+# ("unknown" in the paper because enumerating them takes years).
+# ----------------------------------------------------------------------
+
+
+def berkeleydb_like() -> ProductLine:
+    reachable = _features("DB", 30)
+    dead = _features("DBX", 12)
+    root = Feature("BerkeleyDB")
+    root.add_mandatory(Feature("Core"))
+    for name in reachable:
+        root.add_optional(Feature(name))
+    for name in dead:
+        root.add_optional(Feature(name))
+    model = FeatureModel(
+        root=root,
+        cross_tree=[
+            parse_formula("DB1 -> DB0"),
+            parse_formula("DB3 -> DB2"),
+        ],
+        name="berkeleydb-like",
+    )
+    spec = SubjectSpec(
+        name="BerkeleyDB-like",
+        seed=84,
+        classes=18,
+        subclass_ratio=0.3,
+        methods_per_class=(3, 5),
+        statements_per_method=(8, 16),
+        annotation_density=0.3,
+        entry_fanout=12,
+        reachable_features=reachable,
+        dead_features=dead,
+        feature_model=model,
+    )
+    return generate_subject(spec)
+
+
+# ----------------------------------------------------------------------
+# GPL-like: small code base, many reachable features, heavily
+# constrained model (hundreds-to-thousands of valid configurations out
+# of half a million).
+# ----------------------------------------------------------------------
+
+
+def gpl_like() -> ProductLine:
+    reachable = _features("G", 12)
+    dead = _features("GX", 6)
+    root = Feature("GPL")
+    root.add_mandatory(Feature("Base"))
+    # xor and or groups multiply small factors, like GPL's algorithms
+    # and graph-type alternatives.
+    root.add_group("xor", [Feature("G0"), Feature("G1"), Feature("G2")])
+    root.add_group("xor", [Feature("G3"), Feature("G4")])
+    root.add_group("or", [Feature("G5"), Feature("G6"), Feature("G7")])
+    for name in ("G8", "G9", "G10", "G11"):
+        root.add_optional(Feature(name))
+    for name in dead:
+        root.add_optional(Feature(name))
+    model = FeatureModel(
+        root=root,
+        cross_tree=[
+            parse_formula("G8 -> G5"),
+            parse_formula("G9 -> G0 || G3"),
+        ],
+        name="gpl-like",
+    )
+    spec = SubjectSpec(
+        name="GPL-like",
+        seed=14,
+        classes=5,
+        subclass_ratio=0.4,
+        methods_per_class=(2, 4),
+        statements_per_method=(6, 12),
+        annotation_density=0.4,
+        entry_fanout=7,
+        reachable_features=reachable,
+        dead_features=dead,
+        feature_model=model,
+    )
+    return generate_subject(spec)
+
+
+# ----------------------------------------------------------------------
+# Lampiro-like: mid-size code base but almost all features dead — only 2
+# reachable, model unconstraining, so just 4 valid configurations.
+# ----------------------------------------------------------------------
+
+
+def lampiro_like() -> ProductLine:
+    reachable = _features("L", 2)
+    dead = _features("LX", 18)
+    model = None  # default: all optional, unconstrained (4 valid configs)
+    spec = SubjectSpec(
+        name="Lampiro-like",
+        seed=45,
+        classes=12,
+        subclass_ratio=0.25,
+        methods_per_class=(3, 5),
+        statements_per_method=(8, 14),
+        annotation_density=0.1,
+        entry_fanout=9,
+        reachable_features=reachable,
+        dead_features=dead,
+        feature_model=model,
+    )
+    return generate_subject(spec)
+
+
+# ----------------------------------------------------------------------
+# MM08-like: small code base, 9 reachable features, constrained model
+# (tens of valid configurations out of 512).
+# ----------------------------------------------------------------------
+
+
+def mm08_like() -> ProductLine:
+    reachable = _features("M", 9)
+    dead = _features("MX", 12)
+    root = Feature("MM08")
+    root.add_mandatory(Feature("Media"))
+    root.add_group("xor", [Feature("M0"), Feature("M1"), Feature("M2")])
+    root.add_group("xor", [Feature("M3"), Feature("M4")])
+    for name in ("M5", "M6", "M7", "M8"):
+        root.add_optional(Feature(name))
+    for name in dead:
+        root.add_optional(Feature(name))
+    model = FeatureModel(
+        root=root,
+        cross_tree=[
+            parse_formula("M6 -> M5"),
+            parse_formula("M7 -> M5"),
+            parse_formula("M8 -> M6"),
+            parse_formula("M7 -> M3"),
+        ],
+        name="mm08-like",
+    )
+    spec = SubjectSpec(
+        name="MM08-like",
+        seed=8,
+        classes=7,
+        subclass_ratio=0.35,
+        methods_per_class=(2, 4),
+        statements_per_method=(6, 12),
+        annotation_density=0.35,
+        entry_fanout=8,
+        reachable_features=reachable,
+        dead_features=dead,
+        feature_model=model,
+    )
+    return generate_subject(spec)
+
+
+def paper_subjects() -> Tuple[Tuple[str, Callable[[], ProductLine]], ...]:
+    """The Table 1/2/3 subject lineup, in the paper's order."""
+    return (
+        ("BerkeleyDB-like", berkeleydb_like),
+        ("GPL-like", gpl_like),
+        ("Lampiro-like", lampiro_like),
+        ("MM08-like", mm08_like),
+    )

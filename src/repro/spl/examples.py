@@ -1,0 +1,126 @@
+"""Hand-written example product lines, starting with the paper's Figure 1."""
+
+from __future__ import annotations
+
+from repro.constraints.formula import parse_formula
+from repro.featuremodel.model import FeatureModel
+from repro.featuremodel.parser import parse_feature_model
+from repro.spl.product_line import ProductLine
+
+__all__ = ["figure1", "figure1_with_model", "device_spl"]
+
+FIGURE1_SOURCE = """\
+class Main {
+    void main() {
+        int x = secret();
+        int y = 0;
+        #ifdef (F)
+        x = 0;
+        #endif
+        #ifdef (G)
+        y = foo(x);
+        #endif
+        print(y);
+    }
+    int foo(int p) {
+        #ifdef (H)
+        p = 0;
+        #endif
+        return p;
+    }
+}
+"""
+
+
+def figure1() -> ProductLine:
+    """The paper's running example (Figure 1a), no feature model.
+
+    The taint analysis must report that ``secret`` may leak into ``print``
+    exactly under the constraint ¬F ∧ G ∧ ¬H.
+    """
+    return ProductLine(
+        name="figure1",
+        source=FIGURE1_SOURCE,
+        feature_model=FeatureModel(root=None, name="figure1"),
+    )
+
+
+def figure1_with_model() -> ProductLine:
+    """Figure 1a under the feature model F ↔ G of Section 1 ("both F and
+    G are either enabled or disabled"), under which the secret cannot
+    leak: (¬F ∧ G ∧ ¬H) ∧ (F ↔ G) = false."""
+    model = FeatureModel(
+        root=None,
+        cross_tree=[parse_formula("F <-> G")],
+        name="figure1-fg",
+    )
+    return ProductLine(
+        name="figure1-with-model", source=FIGURE1_SOURCE, feature_model=model
+    )
+
+
+DEVICE_SOURCE = """\
+class Device {
+    int buffered;
+    int send(int payload) {
+        int checksum = 0;
+        #ifdef (Checksum)
+        checksum = payload % 251;
+        #endif
+        #ifdef (Buffering)
+        this.buffered = payload;
+        #endif
+        return payload + checksum;
+    }
+    int flush() {
+        int pending;
+        #ifdef (Buffering)
+        pending = this.buffered;
+        #endif
+        return pending;
+    }
+}
+
+class SecureDevice extends Device {
+    int send(int payload) {
+        int masked = payload;
+        #ifdef (!Encryption)
+        masked = secret();
+        #endif
+        return masked;
+    }
+}
+
+class Main {
+    void main() {
+        Device d = new Device();
+        #ifdef (Secure)
+        d = new SecureDevice();
+        #endif
+        int code = d.send(42);
+        print(code);
+        int rest = d.flush();
+        print(rest);
+    }
+}
+"""
+
+
+def device_spl() -> ProductLine:
+    """A small device-driver product line exercising virtual dispatch,
+    fields, and an uninitialized-variable bug that only exists when
+    ``Buffering`` is disabled."""
+    model = parse_feature_model(
+        """
+        featuremodel device
+        root DeviceSPL {
+            mandatory Transport
+            optional Buffering
+            optional Checksum
+            optional Secure
+            optional Encryption
+        }
+        constraint Encryption -> Secure;
+        """
+    )
+    return ProductLine(name="device", source=DEVICE_SOURCE, feature_model=model)

@@ -1,0 +1,500 @@
+"""Deterministic generator of synthetic MiniJava product lines.
+
+The paper evaluates on four real Java SPLs (BerkeleyDB, GPL, Lampiro,
+MM08).  Those codebases cannot be consumed by a from-scratch MiniJava
+frontend, so the benchmark subjects are *generated* to match each
+subject's shape — code size, class/method structure, total vs. reachable
+feature counts, annotation density, and feature-model constrainedness
+(see DESIGN.md, "Substitutions").  What drives the paper's measurements is
+the number of valid configurations (A2's exponential factor) and the code
+size (per-run cost); both are controlled here.
+
+Generation is fully deterministic per seed.  Generated programs are
+guaranteed to lower cleanly:
+
+- locals are declared once per method and initialized before use
+  (except deliberate *uninitialized-variable seeds* behind annotations —
+  the bug pattern the paper's introduction motivates);
+- declarations themselves are never annotated, so every derived product
+  compiles too (needed for the A1 baseline);
+- all calls resolve in the class hierarchy by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.formula import And, Formula, Not, Or, Var
+from repro.featuremodel.model import Feature, FeatureModel
+from repro.minijava import ast
+from repro.minijava.pretty import pretty_print
+from repro.spl.product_line import ProductLine
+
+__all__ = ["SubjectSpec", "generate_subject", "default_feature_model"]
+
+
+@dataclass
+class SubjectSpec:
+    """Parameters controlling one synthetic subject."""
+
+    name: str
+    seed: int = 0
+    #: classes besides Main; some become subclasses of earlier ones
+    classes: int = 6
+    subclass_ratio: float = 0.34
+    methods_per_class: Tuple[int, int] = (2, 4)
+    statements_per_method: Tuple[int, int] = (6, 14)
+    #: probability that an (annotatable) statement gets an #ifdef
+    annotation_density: float = 0.3
+    #: how many of the generated methods main() calls directly
+    entry_fanout: int = 6
+    #: features used in reachable annotations
+    reachable_features: Sequence[str] = ()
+    #: features that only occur in dead code / the model
+    dead_features: Sequence[str] = ()
+    #: the feature model (defaults to all-optional over both pools)
+    feature_model: Optional[FeatureModel] = None
+    #: probability of a secret() source / print() sink per method
+    source_density: float = 0.25
+    sink_density: float = 0.5
+    #: probability of an uninitialized-variable bug pattern per method
+    uninit_density: float = 0.15
+
+
+def default_feature_model(
+    name: str, reachable: Sequence[str], dead: Sequence[str]
+) -> FeatureModel:
+    """An unconstrained model: every feature optional under the root."""
+    root_name = "".join(ch if ch.isalnum() else "_" for ch in name) + "_root"
+    root = Feature(root_name)
+    for feature_name in (*reachable, *dead):
+        root.add_optional(Feature(feature_name))
+    return FeatureModel(root=root, name=name)
+
+
+def generate_subject(spec: SubjectSpec) -> ProductLine:
+    """Generate the product line described by ``spec``."""
+    return _Generator(spec).generate()
+
+
+@dataclass
+class _MethodPlan:
+    class_name: str
+    name: str
+    params: Tuple[str, ...]
+    overrides: bool = False
+
+
+class _Generator:
+    def __init__(self, spec: SubjectSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.reachable = list(spec.reachable_features) or ["F0", "F1", "F2"]
+        self.dead = list(spec.dead_features)
+        self.model = spec.feature_model or default_feature_model(
+            spec.name, self.reachable, self.dead
+        )
+        # planned structure
+        self.class_names: List[str] = []
+        self.superclass: Dict[str, Optional[str]] = {}
+        self.fields: Dict[str, List[Tuple[str, ast.Type]]] = {}
+        self.plans: Dict[str, List[_MethodPlan]] = {}
+        self._unused_reachable: List[str] = list(self.reachable)
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def generate(self) -> ProductLine:
+        self._plan_hierarchy()
+        self._plan_methods()
+        classes = [self._emit_class(name) for name in self.class_names]
+        classes.append(self._emit_main())
+        program = ast.Program(classes)
+        source = pretty_print(program)
+        return ProductLine(
+            name=self.spec.name,
+            source=source,
+            feature_model=self.model,
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _plan_hierarchy(self) -> None:
+        for index in range(self.spec.classes):
+            name = f"C{index}"
+            self.class_names.append(name)
+            parent = None
+            if index > 0 and self.rng.random() < self.spec.subclass_ratio:
+                parent = self.rng.choice(self.class_names[:index])
+            self.superclass[name] = parent
+            fields: List[Tuple[str, ast.Type]] = [
+                (f"state{index}", ast.INT),
+            ]
+            if index > 0 and self.rng.random() < 0.6:
+                # An object-typed field enabling inter-class call chains.
+                dep = self.rng.choice(self.class_names[:index])
+                fields.append((f"dep{index}", ast.Type(dep)))
+            self.fields[name] = fields
+
+    def _plan_methods(self) -> None:
+        lo, hi = self.spec.methods_per_class
+        for class_name in self.class_names:
+            plans: List[_MethodPlan] = []
+            count = self.rng.randint(lo, hi)
+            parent = self.superclass[class_name]
+            # Occasionally override an inherited method (CHA dispatch).
+            if parent is not None and self.plans.get(parent):
+                for inherited in self.plans[parent]:
+                    if self.rng.random() < 0.4:
+                        plans.append(
+                            _MethodPlan(
+                                class_name,
+                                inherited.name,
+                                inherited.params,
+                                overrides=True,
+                            )
+                        )
+            for index in range(count):
+                arity = self.rng.randint(1, 2)
+                plans.append(
+                    _MethodPlan(
+                        class_name,
+                        f"{class_name.lower()}_m{index}",
+                        tuple(f"p{i}" for i in range(arity)),
+                    )
+                )
+            self.plans[class_name] = plans
+
+    def _visible_fields(self, class_name: str) -> List[Tuple[str, ast.Type]]:
+        result: List[Tuple[str, ast.Type]] = []
+        current: Optional[str] = class_name
+        while current is not None:
+            result.extend(self.fields[current])
+            current = self.superclass[current]
+        return result
+
+    def _visible_methods(self, class_name: str) -> List[_MethodPlan]:
+        result: List[_MethodPlan] = []
+        seen = set()
+        current: Optional[str] = class_name
+        while current is not None:
+            for plan in self.plans[current]:
+                if plan.name not in seen:
+                    seen.add(plan.name)
+                    result.append(plan)
+            current = self.superclass[current]
+        return result
+
+    # ------------------------------------------------------------------
+    # Annotations
+    # ------------------------------------------------------------------
+
+    def _annotation(self, pool: Sequence[str]) -> Formula:
+        # Prefer features that have not been used yet so every reachable
+        # feature really shows up in the reachable code.
+        if self._unused_reachable and pool is self.reachable:
+            name = self._unused_reachable.pop(
+                self.rng.randrange(len(self._unused_reachable))
+            )
+        else:
+            name = self.rng.choice(list(pool))
+        roll = self.rng.random()
+        if roll < 0.6:
+            return Var(name)
+        if roll < 0.8:
+            return Not(Var(name))
+        other = self.rng.choice(list(pool))
+        if self.rng.random() < 0.5:
+            return And((Var(name), Var(other)))
+        return Or((Var(name), Var(other)))
+
+    def _maybe_annotate(self, stmt: ast.Stmt, pool: Sequence[str]) -> ast.Stmt:
+        if self.rng.random() < self.spec.annotation_density:
+            stmt.annotation = self._annotation(pool)
+        return stmt
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def _emit_class(self, class_name: str) -> ast.ClassDecl:
+        fields = [
+            ast.FieldDecl(fld_type, fld_name)
+            for fld_name, fld_type in self.fields[class_name]
+        ]
+        methods = [
+            self._emit_method(plan) for plan in self.plans[class_name]
+        ]
+        # A couple of dead (never-called) methods carrying dead-feature
+        # annotations, like Lampiro's many dead features.
+        if self.dead and self.rng.random() < 0.8:
+            methods.append(self._emit_dead_method(class_name))
+        return ast.ClassDecl(
+            class_name, self.superclass[class_name], fields, methods
+        )
+
+    def _emit_dead_method(self, class_name: str) -> ast.MethodDecl:
+        body: List[ast.Stmt] = [
+            ast.VarDecl(ast.INT, "d0", ast.IntLit(self.rng.randrange(100)))
+        ]
+        for index, feature_name in enumerate(self.dead):
+            if self.rng.random() < 0.5:
+                continue
+            assign = ast.AssignStmt(
+                ast.VarRef("d0"),
+                ast.Binary("+", ast.VarRef("d0"), ast.IntLit(index)),
+            )
+            assign.annotation = Var(feature_name)
+            body.append(assign)
+        body.append(ast.ReturnStmt(ast.VarRef("d0")))
+        return ast.MethodDecl(
+            ast.INT, f"{class_name.lower()}_dead", [], ast.Block(body)
+        )
+
+    def _emit_method(self, plan: _MethodPlan) -> ast.MethodDecl:
+        emitter = _BodyEmitter(self, plan)
+        return emitter.emit()
+
+    def _emit_main(self) -> ast.ClassDecl:
+        statements: List[ast.Stmt] = []
+        # Instantiate a few classes (virtual dispatch roots).
+        object_locals: List[Tuple[str, str]] = []
+        roots = [name for name in self.class_names]
+        self.rng.shuffle(roots)
+        for index, class_name in enumerate(roots[: max(2, self.spec.classes // 2)]):
+            local = f"o{index}"
+            statements.append(
+                ast.VarDecl(ast.Type(class_name), local, ast.New(class_name))
+            )
+            object_locals.append((local, class_name))
+        statements.append(ast.VarDecl(ast.INT, "acc", ast.IntLit(0)))
+        # Call a fan-out of methods, sometimes behind annotations.
+        calls = 0
+        attempts = 0
+        while calls < self.spec.entry_fanout and attempts < 100:
+            attempts += 1
+            local, class_name = self.rng.choice(object_locals)
+            visible = self._visible_methods(class_name)
+            if not visible:
+                continue
+            plan = self.rng.choice(visible)
+            args: List[ast.Expr] = [
+                ast.IntLit(self.rng.randrange(50)) for _ in plan.params
+            ]
+            call = ast.Call(ast.VarRef(local), plan.name, args)
+            stmt: ast.Stmt = ast.AssignStmt(ast.VarRef("acc"), call)
+            self._maybe_annotate(stmt, self.reachable)
+            statements.append(stmt)
+            calls += 1
+        statements.append(ast.PrintStmt(ast.VarRef("acc")))
+        main = ast.MethodDecl(ast.VOID, "main", [], ast.Block(statements))
+        return ast.ClassDecl("Main", None, [], [main])
+
+
+class _BodyEmitter:
+    """Emits one method body with a guaranteed-well-formed local pool."""
+
+    def __init__(self, generator: _Generator, plan: _MethodPlan) -> None:
+        self.g = generator
+        self.rng = generator.rng
+        self.plan = plan
+        self.spec = generator.spec
+        self.int_locals: List[str] = list(plan.params)
+        self.object_locals: List[Tuple[str, str]] = []
+        self.local_counter = 0
+        self.statements: List[ast.Stmt] = []
+
+    def emit(self) -> ast.MethodDecl:
+        lo, hi = self.spec.statements_per_method
+        budget = self.rng.randint(lo, hi)
+        self._emit_prologue()
+        for _ in range(budget):
+            self._emit_statement()
+        if self.rng.random() < self.spec.uninit_density:
+            self._emit_uninit_pattern()
+        if self.rng.random() < self.spec.sink_density:
+            self.statements.append(
+                self.g._maybe_annotate(
+                    ast.PrintStmt(ast.VarRef(self._int_local())),
+                    self.g.reachable,
+                )
+            )
+        # An occasional annotated early return (exercises the lifted
+        # return rules), then the mandatory final return.
+        if self.rng.random() < 0.3:
+            early = ast.ReturnStmt(ast.VarRef(self._int_local()))
+            early.annotation = self.g._annotation(self.g.reachable)
+            self.statements.append(early)
+        self.statements.append(ast.ReturnStmt(ast.VarRef(self._int_local())))
+        params = [ast.Param(ast.INT, name) for name in self.plan.params]
+        return ast.MethodDecl(
+            ast.INT, self.plan.name, params, ast.Block(self.statements)
+        )
+
+    # ------------------------------------------------------------------
+    # Locals
+    # ------------------------------------------------------------------
+
+    def _fresh_name(self) -> str:
+        name = f"v{self.local_counter}"
+        self.local_counter += 1
+        return name
+
+    def _int_local(self) -> str:
+        return self.rng.choice(self.int_locals)
+
+    def _int_expr(self) -> ast.Expr:
+        roll = self.rng.random()
+        if roll < 0.3:
+            return ast.IntLit(self.rng.randrange(100))
+        if roll < 0.6:
+            return ast.VarRef(self._int_local())
+        op = self.rng.choice(["+", "-", "*"])
+        return ast.Binary(op, ast.VarRef(self._int_local()), self._int_expr())
+
+    def _emit_prologue(self) -> None:
+        # A couple of initialized int locals (declarations unannotated).
+        for _ in range(self.rng.randint(1, 3)):
+            name = self._fresh_name()
+            self.statements.append(ast.VarDecl(ast.INT, name, self._int_expr()))
+            self.int_locals.append(name)
+        # Sometimes a source.
+        if self.rng.random() < self.spec.source_density:
+            name = self._fresh_name()
+            self.statements.append(
+                ast.VarDecl(ast.INT, name, ast.Call(None, "secret", []))
+            )
+            self.int_locals.append(name)
+        # An object local if a dep field is visible (enables call chains).
+        for fld_name, fld_type in self.g._visible_fields(self.plan.class_name):
+            if fld_type.is_class:
+                name = self._fresh_name()
+                self.statements.append(
+                    ast.VarDecl(
+                        fld_type,
+                        name,
+                        ast.FieldAccess(ast.ThisRef(), fld_name),
+                    )
+                )
+                self.object_locals.append((name, fld_type.name))
+                break
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _emit_statement(self) -> None:
+        emitters: List[Callable[[], Optional[ast.Stmt]]] = [
+            self._assign,
+            self._assign,
+            self._field_store,
+            self._field_load,
+            self._call,
+            self._call,
+            self._if,
+            self._while,
+        ]
+        stmt = self.rng.choice(emitters)()
+        if stmt is not None:
+            self.statements.append(
+                self.g._maybe_annotate(stmt, self.g.reachable)
+            )
+
+    def _assign(self) -> ast.Stmt:
+        return ast.AssignStmt(ast.VarRef(self._int_local()), self._int_expr())
+
+    def _field_store(self) -> Optional[ast.Stmt]:
+        int_fields = [
+            name
+            for name, ftype in self.g._visible_fields(self.plan.class_name)
+            if not ftype.is_class
+        ]
+        if not int_fields:
+            return None
+        return ast.AssignStmt(
+            ast.FieldAccess(ast.ThisRef(), self.rng.choice(int_fields)),
+            ast.VarRef(self._int_local()),
+        )
+
+    def _field_load(self) -> Optional[ast.Stmt]:
+        int_fields = [
+            name
+            for name, ftype in self.g._visible_fields(self.plan.class_name)
+            if not ftype.is_class
+        ]
+        if not int_fields:
+            return None
+        return ast.AssignStmt(
+            ast.VarRef(self._int_local()),
+            ast.FieldAccess(ast.ThisRef(), self.rng.choice(int_fields)),
+        )
+
+    def _call_target(self) -> Optional[Tuple[ast.Expr, _MethodPlan]]:
+        candidates: List[Tuple[ast.Expr, _MethodPlan]] = []
+        # this-calls (avoid trivial self-recursion most of the time)
+        for plan in self.g._visible_methods(self.plan.class_name):
+            if plan.name != self.plan.name or self.rng.random() < 0.1:
+                candidates.append((ast.ThisRef(), plan))
+        for local, class_name in self.object_locals:
+            for plan in self.g._visible_methods(class_name):
+                candidates.append((ast.VarRef(local), plan))
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _call(self) -> Optional[ast.Stmt]:
+        target = self._call_target()
+        if target is None:
+            return None
+        receiver, plan = target
+        args: List[ast.Expr] = [
+            ast.VarRef(self._int_local()) for _ in plan.params
+        ]
+        return ast.AssignStmt(
+            ast.VarRef(self._int_local()),
+            ast.Call(receiver, plan.name, args),
+        )
+
+    def _if(self) -> ast.Stmt:
+        cond = ast.Binary(
+            self.rng.choice(["<", ">", "==", "!="]),
+            ast.VarRef(self._int_local()),
+            ast.IntLit(self.rng.randrange(50)),
+        )
+        then_block = ast.Block([self._assign()])
+        else_block = ast.Block([self._assign()]) if self.rng.random() < 0.5 else None
+        return ast.IfStmt(cond, then_block, else_block)
+
+    def _while(self) -> ast.Stmt:
+        counter = self._int_local()
+        cond = ast.Binary("<", ast.VarRef(counter), ast.IntLit(10))
+        body = ast.Block(
+            [
+                ast.AssignStmt(
+                    ast.VarRef(counter),
+                    ast.Binary("+", ast.VarRef(counter), ast.IntLit(1)),
+                )
+            ]
+        )
+        return ast.WhileStmt(cond, body)
+
+    def _emit_uninit_pattern(self) -> None:
+        """The bug pattern of the paper's introduction: initialization
+        behind a feature, use outside it."""
+        name = self._fresh_name()
+        self.statements.append(ast.VarDecl(ast.INT, name))
+        init = ast.AssignStmt(ast.VarRef(name), self._int_expr())
+        init.annotation = self.g._annotation(self.g.reachable)
+        self.statements.append(init)
+        self.statements.append(
+            ast.AssignStmt(
+                ast.VarRef(self._int_local()),
+                ast.Binary("+", ast.VarRef(name), ast.IntLit(1)),
+            )
+        )
+        self.int_locals.append(name)

@@ -1,0 +1,189 @@
+"""A hand-written miniature of GPL, the Graph Product Line.
+
+GPL (Lopez-Herrejon & Batory) is one of the paper's four evaluation
+subjects: a product line of graph algorithms where the graph
+representation and the algorithms are features.  This miniature keeps its
+character in MiniJava: an adjacency-list graph over fixed-size node
+buffers, a search skeleton whose strategy (BFS vs. DFS order) is an
+exclusive-or feature choice, optional edge weights, optional connectivity
+counting, and an optional cycle check that requires the search.
+
+Written by hand (not generated) so integration tests can pin down exact
+constraints; also serves as the richest parsing/lowering fixture.
+"""
+
+from __future__ import annotations
+
+from repro.featuremodel.parser import parse_feature_model
+from repro.spl.product_line import ProductLine
+
+__all__ = ["gpl_mini"]
+
+GPL_MINI_SOURCE = """\
+class Node {
+    int id;
+    int visited;
+    Node next;
+    int mark() {
+        int was = this.visited;
+        this.visited = 1;
+        return was;
+    }
+}
+
+class Edge {
+    Node source;
+    Node target;
+    int weight;
+    int cost() {
+        int w = 1;
+        #ifdef (Weighted)
+        w = this.weight;
+        #endif
+        return w;
+    }
+}
+
+class Graph {
+    Node nodes;
+    Edge edges;
+    int nodeCount;
+    int edgeCount;
+
+    Node addNode(int id) {
+        Node created = new Node();
+        created.id = id;
+        created.next = this.nodes;
+        this.nodes = created;
+        this.nodeCount = this.nodeCount + 1;
+        return created;
+    }
+
+    Edge connect(Node a, Node b) {
+        Edge created = new Edge();
+        created.source = a;
+        created.target = b;
+        #ifdef (Weighted)
+        created.weight = a.id + b.id;
+        #endif
+        this.edges = created;
+        this.edgeCount = this.edgeCount + 1;
+        return created;
+    }
+
+    int search(Node start) {
+        int order = 0;
+        #ifdef (BFS)
+        order = this.bfs(start);
+        #endif
+        #ifdef (DFS)
+        order = this.dfs(start, 0);
+        #endif
+        return order;
+    }
+
+    int bfs(Node start) {
+        int seen = 0;
+        Node current = start;
+        while (seen < this.nodeCount) {
+            int was = current.mark();
+            if (was == 0) {
+                seen = seen + 1;
+            }
+            current = current.next;
+            if (current == null) {
+                return seen;
+            }
+        }
+        return seen;
+    }
+
+    int dfs(Node node, int depth) {
+        int was = node.mark();
+        if (was == 1) {
+            return depth;
+        }
+        Node following = node.next;
+        if (following == null) {
+            return depth + 1;
+        }
+        return this.dfs(following, depth + 1);
+    }
+
+    int components() {
+        int count = 0;
+        #ifdef (Connected)
+        Node current = this.nodes;
+        while (current != null) {
+            if (current.visited == 0) {
+                count = count + 1;
+                int size = this.search(current);
+            }
+            current = current.next;
+        }
+        #endif
+        return count;
+    }
+
+    int hasCycle() {
+        int found = 0;
+        #ifdef (Cycle)
+        int reached = this.search(this.nodes);
+        if (reached < this.edgeCount) {
+            found = 1;
+        }
+        #endif
+        return found;
+    }
+
+    int totalWeight() {
+        int total = 0;
+        Edge current = this.edges;
+        #ifdef (Weighted)
+        total = current.cost();
+        #endif
+        return total;
+    }
+}
+
+class Main {
+    void main() {
+        Graph g = new Graph();
+        Node a = g.addNode(1);
+        Node b = g.addNode(2);
+        Node c = g.addNode(3);
+        Edge ab = g.connect(a, b);
+        Edge bc = g.connect(b, c);
+        int reached = g.search(a);
+        print(reached);
+        int comps = g.components();
+        print(comps);
+        int cyclic = g.hasCycle();
+        print(cyclic);
+        int weight = g.totalWeight();
+        print(weight);
+    }
+}
+"""
+
+GPL_MINI_MODEL = """
+featuremodel gpl_mini
+root GPLMini {
+    mandatory GraphType
+    optional Weighted
+    xor { BFS DFS }
+    optional Connected
+    optional Cycle
+}
+constraint Cycle -> DFS;
+constraint Connected -> BFS;
+"""
+
+
+def gpl_mini() -> ProductLine:
+    """The miniature Graph Product Line with its feature model."""
+    return ProductLine(
+        name="gpl-mini",
+        source=GPL_MINI_SOURCE,
+        feature_model=parse_feature_model(GPL_MINI_MODEL),
+    )

@@ -1,0 +1,6 @@
+"""Shared utilities: duration formatting, table rendering."""
+
+from repro.utils.tables import render_table
+from repro.utils.timing import format_count, format_duration, format_estimate
+
+__all__ = ["format_duration", "format_estimate", "format_count", "render_table"]

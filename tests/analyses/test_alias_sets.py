@@ -1,0 +1,129 @@
+"""Tests for the alias-set analysis, plain and lifted."""
+
+import pytest
+
+from repro.analyses.alias_sets import AliasSetAnalysis
+from repro.core import SPLLift
+from repro.ifds import IFDSSolver
+from repro.ir import ICFG, Print, lower_program
+from repro.minijava import parse_program
+
+BOX = "class Box { int v; }\n"
+
+
+def solve(body, extra=""):
+    source = BOX + f"class Main {{ void main() {{ {body} }} {extra} }}"
+    icfg = ICFG.for_entry(lower_program(parse_program(source)))
+    problem = AliasSetAnalysis(icfg)
+    return icfg, problem, IFDSSolver(problem).solve()
+
+
+def at_exit(icfg, method="Main.main"):
+    return icfg.program.method(method).instructions[-1]
+
+
+class TestIntraProcedural:
+    def test_copy_aliases(self):
+        icfg, problem, results = solve("Box a = new Box(); Box b = a; print(1);")
+        stmt = at_exit(icfg)
+        assert AliasSetAnalysis.may_alias(results, stmt, "a", "b")
+
+    def test_distinct_allocations_do_not_alias(self):
+        icfg, problem, results = solve("Box a = new Box(); Box b = new Box();")
+        stmt = at_exit(icfg)
+        assert not AliasSetAnalysis.may_alias(results, stmt, "a", "b")
+
+    def test_reassignment_breaks_alias(self):
+        icfg, problem, results = solve(
+            "Box a = new Box(); Box b = a; b = new Box();"
+        )
+        stmt = at_exit(icfg)
+        assert not AliasSetAnalysis.may_alias(results, stmt, "a", "b")
+
+    def test_chain_of_copies(self):
+        icfg, problem, results = solve(
+            "Box a = new Box(); Box b = a; Box c = b;"
+        )
+        stmt = at_exit(icfg)
+        assert AliasSetAnalysis.may_alias(results, stmt, "a", "c")
+
+    def test_branch_may_alias(self):
+        icfg, problem, results = solve(
+            """
+            Box a = new Box();
+            Box b = new Box();
+            int c = nondet();
+            if (c < 1) { b = a; }
+            print(c);
+            """
+        )
+        stmt = at_exit(icfg)
+        assert AliasSetAnalysis.may_alias(results, stmt, "a", "b")
+
+    def test_self_alias_trivially_true(self):
+        icfg, problem, results = solve("Box a = new Box();")
+        assert AliasSetAnalysis.may_alias(results, at_exit(icfg), "a", "a")
+
+
+class TestInterProcedural:
+    def test_identity_function_preserves_alias(self):
+        icfg, problem, results = solve(
+            "Box a = new Box(); Box b = same(a);",
+            extra="Box same(Box p) { return p; }",
+        )
+        stmt = at_exit(icfg)
+        assert AliasSetAnalysis.may_alias(results, stmt, "a", "b")
+
+    def test_fresh_object_from_callee_does_not_alias(self):
+        icfg, problem, results = solve(
+            "Box a = new Box(); Box b = fresh();",
+            extra="Box fresh() { Box made = new Box(); return made; }",
+        )
+        stmt = at_exit(icfg)
+        assert not AliasSetAnalysis.may_alias(results, stmt, "a", "b")
+
+    def test_alias_visible_inside_callee(self):
+        icfg, problem, results = solve(
+            "Box a = new Box(); consume(a, a);",
+            extra="void consume(Box p, Box q) { print(1); }",
+        )
+        consume_exit = at_exit(icfg, "Main.consume")
+        assert AliasSetAnalysis.may_alias(results, consume_exit, "p", "q")
+
+    def test_unrelated_arguments_do_not_alias_in_callee(self):
+        icfg, problem, results = solve(
+            "Box a = new Box(); Box b = new Box(); consume(a, b);",
+            extra="void consume(Box p, Box q) { print(1); }",
+        )
+        consume_exit = at_exit(icfg, "Main.consume")
+        assert not AliasSetAnalysis.may_alias(results, consume_exit, "p", "q")
+
+
+class TestLifted:
+    def test_alias_constraint(self):
+        """a and b alias exactly when the Share feature is enabled."""
+        source = BOX + """
+        class Main {
+            void main() {
+                Box a = new Box();
+                Box b = new Box();
+                #ifdef (Share)
+                b = a;
+                #endif
+                print(1);
+            }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        problem = AliasSetAnalysis(icfg)
+        results = SPLLift(problem).solve()
+        stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        # The set {a, b} holds exactly under Share.
+        shared = results.constraint_for(stmt, frozenset({"a", "b"}))
+        assert str(shared) == "Share"
+        # The singleton {b} (its own fresh object) survives exactly when
+        # the aliasing assignment does NOT overwrite it.
+        alone = results.constraint_for(stmt, frozenset({"b"}))
+        assert str(alone) == "!Share"

@@ -1,0 +1,245 @@
+"""Tests for linear constant propagation (the native IDE client)."""
+
+import pytest
+
+from repro.analyses import BOTTOM, TOP, ConstantPropagation
+from repro.analyses.constant_propagation import AffineEdge, AllBottomEdge, _linear_of
+from repro.ide import IDESolver
+from repro.interp import Interpreter
+from repro.ir import BinOp, Const, LocalRef, Print, UnOp, lower_program
+from repro.ir.icfg import ICFG
+from repro.minijava import parse_program
+
+
+def solve(source):
+    icfg = ICFG.for_entry(lower_program(parse_program(source)))
+    problem = ConstantPropagation(icfg)
+    return icfg, IDESolver(problem).solve()
+
+
+def constant_before_print(icfg, results):
+    stmt = next(s for s in icfg.reachable_instructions() if isinstance(s, Print))
+    return ConstantPropagation.constant_at(results, stmt, stmt.value.name)
+
+
+class TestEdgeAlgebra:
+    def test_affine_application(self):
+        assert AffineEdge(2, 3).compute_target(5) == 13
+        assert AffineEdge(0, 7).compute_target(BOTTOM) == 7
+        assert AffineEdge(2, 3).compute_target(BOTTOM) is BOTTOM
+
+    def test_composition(self):
+        # v -> 2v+3 then v -> 5v+1 is v -> 10v+16
+        composed = AffineEdge(2, 3).compose_with(AffineEdge(5, 1))
+        assert composed.equal_to(AffineEdge(10, 16))
+
+    def test_composition_with_constant_forgets(self):
+        composed = AllBottomEdge().compose_with(AffineEdge(0, 9))
+        assert composed.equal_to(AffineEdge(0, 9))
+
+    def test_join_equal(self):
+        assert AffineEdge(1, 2).join_with(AffineEdge(1, 2)).equal_to(AffineEdge(1, 2))
+
+    def test_join_unequal_is_bottom(self):
+        joined = AffineEdge(0, 1).join_with(AffineEdge(0, 2))
+        assert isinstance(joined, AllBottomEdge)
+
+
+class TestLinearDecomposition:
+    def test_constant(self):
+        assert _linear_of(Const(5)) == (None, 0, 5)
+
+    def test_copy(self):
+        assert _linear_of(LocalRef("y")) == ("y", 1, 0)
+
+    def test_add_sub_constants(self):
+        assert _linear_of(BinOp("+", LocalRef("y"), Const(3))) == ("y", 1, 3)
+        assert _linear_of(BinOp("-", LocalRef("y"), Const(3))) == ("y", 1, -3)
+        assert _linear_of(BinOp("+", Const(3), LocalRef("y"))) == ("y", 1, 3)
+
+    def test_multiply(self):
+        assert _linear_of(BinOp("*", LocalRef("y"), Const(4))) == ("y", 4, 0)
+        assert _linear_of(BinOp("*", Const(4), LocalRef("y"))) == ("y", 4, 0)
+
+    def test_negation(self):
+        assert _linear_of(UnOp("-", LocalRef("y"))) == ("y", -1, 0)
+
+    def test_two_variables_is_nonlinear(self):
+        assert _linear_of(BinOp("+", LocalRef("y"), LocalRef("z"))) is None
+
+    def test_constant_folding(self):
+        assert _linear_of(BinOp("+", Const(2), Const(3))) == (None, 0, 5)
+        assert _linear_of(BinOp("*", Const(2), Const(3))) == (None, 0, 6)
+
+
+class TestIntraProcedural:
+    def test_simple_constant(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = 7; print(x); } }"
+        )
+        assert constant_before_print(icfg, results) == 7
+
+    def test_linear_chain(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = 7; int y = x * 2 + 1; print(y); } }"
+        )
+        assert constant_before_print(icfg, results) == 15
+
+    def test_nondet_is_bottom(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = nondet(); print(x); } }"
+        )
+        assert constant_before_print(icfg, results) is BOTTOM
+
+    def test_branch_agreeing_values_stay_constant(self):
+        icfg, results = solve(
+            """
+            class Main { void main() {
+                int c = nondet();
+                int x = 0;
+                if (c < 1) { x = 5; } else { x = 5; }
+                print(x);
+            } }
+            """
+        )
+        assert constant_before_print(icfg, results) == 5
+
+    def test_branch_conflicting_values_are_bottom(self):
+        icfg, results = solve(
+            """
+            class Main { void main() {
+                int c = nondet();
+                int x = 0;
+                if (c < 1) { x = 5; } else { x = 6; }
+                print(x);
+            } }
+            """
+        )
+        assert constant_before_print(icfg, results) is BOTTOM
+
+    def test_loop_incremented_is_bottom(self):
+        icfg, results = solve(
+            """
+            class Main { void main() {
+                int i = 0;
+                while (i < 3) { i = i + 1; }
+                print(i);
+            } }
+            """
+        )
+        assert constant_before_print(icfg, results) is BOTTOM
+
+    def test_untracked_local_is_top(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = 1; print(x); } }"
+        )
+        stmt = next(s for s in icfg.reachable_instructions() if isinstance(s, Print))
+        assert ConstantPropagation.constant_at(results, stmt, "nope") is TOP
+
+
+class TestInterProcedural:
+    def test_constant_through_call(self):
+        """The classic LCP test: x = id(7) where id is linear."""
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int x = inc(7); print(x); }
+                int inc(int n) { return n + 1; }
+            }
+            """
+        )
+        assert constant_before_print(icfg, results) == 8
+
+    def test_context_sensitivity(self):
+        """Two call sites with different constants: each result exact."""
+        icfg, results = solve(
+            """
+            class Main {
+                void main() {
+                    int a = inc(10);
+                    int b = inc(20);
+                    print(a);
+                    print(b);
+                }
+                int inc(int n) { return n + 1; }
+            }
+            """
+        )
+        prints = [
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        ]
+        assert ConstantPropagation.constant_at(results, prints[0], "a") == 11
+        assert ConstantPropagation.constant_at(results, prints[1], "b") == 21
+
+    def test_formal_merges_to_bottom_inside_callee(self):
+        """Inside the callee the formal joins both contexts to ⊥, yet the
+        per-call-site results above stay precise — exactly the IDE
+        context-sensitivity story."""
+        icfg, results = solve(
+            """
+            class Main {
+                void main() {
+                    int a = inc(10);
+                    int b = inc(20);
+                    print(a);
+                }
+                int inc(int n) { return n + 1; }
+            }
+            """
+        )
+        inc = icfg.program.method("Main.inc")
+        exit_stmt = inc.exit_points[0]
+        assert ConstantPropagation.constant_at(results, exit_stmt, "n") is BOTTOM
+
+    def test_constant_return(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int x = fortytwo(); print(x); }
+                int fortytwo() { return 42; }
+            }
+            """
+        )
+        assert constant_before_print(icfg, results) == 42
+
+    def test_linear_chain_through_two_calls(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int x = f(3); print(x); }
+                int f(int n) { return g(n * 2) + 1; }
+                int g(int m) { return m + 10; }
+            }
+            """
+        )
+        assert constant_before_print(icfg, results) == 17
+
+
+class TestDifferentialAgainstInterpreter:
+    @pytest.mark.parametrize("seed", [3, 8, 21])
+    def test_constants_match_execution(self, seed):
+        """Where the analysis claims a constant at a print, the executed
+        value must equal it (on annotation-free generated programs)."""
+        from repro.spl.generator import SubjectSpec, generate_subject
+
+        spec = SubjectSpec(
+            name=f"cp-{seed}",
+            seed=seed,
+            classes=4,
+            entry_fanout=5,
+            annotation_density=0.0,
+            reachable_features=("A",),
+            source_density=0.0,
+        )
+        product_line = generate_subject(spec)
+        icfg = product_line.icfg
+        results = IDESolver(ConstantPropagation(icfg)).solve()
+        trace = Interpreter(product_line.ir, fuel=50_000).run()
+        for stmt, value in trace.prints:
+            if not isinstance(value.data, int):
+                continue
+            predicted = ConstantPropagation.constant_at(
+                results, stmt, stmt.value.name
+            )
+            if predicted not in (TOP, BOTTOM):
+                assert predicted == value.data, (stmt.location, predicted, value)

@@ -1,0 +1,140 @@
+"""Tests for the null-pointer analysis, plain and lifted."""
+
+import pytest
+
+from repro.analyses.facts import FieldFact, LocalFact
+from repro.analyses.nullness import NullnessAnalysis
+from repro.core import SPLLift
+from repro.ifds import IFDSSolver
+from repro.ir import ICFG, lower_program
+from repro.minijava import parse_program
+
+BOX = "class Box { int v; Box next; int get() { return this.v; } }\n"
+
+
+def solve(body, extra=""):
+    source = BOX + f"class Main {{ void main() {{ {body} }} {extra} }}"
+    icfg = ICFG.for_entry(lower_program(parse_program(source)))
+    problem = NullnessAnalysis(icfg)
+    return problem, IFDSSolver(problem).solve()
+
+
+def npe_sites(problem, results):
+    return sorted(
+        {
+            stmt.location
+            for stmt, fact in problem.dereference_queries()
+            if fact in results.at(stmt)
+        }
+    )
+
+
+class TestPlainNullness:
+    def test_null_literal_flagged(self):
+        problem, results = solve("Box b = null; int x = b.get();")
+        assert npe_sites(problem, results)
+
+    def test_allocation_is_clean(self):
+        problem, results = solve("Box b = new Box(); int x = b.get();")
+        assert not npe_sites(problem, results)
+
+    def test_reassignment_to_new_clears(self):
+        problem, results = solve(
+            "Box b = null; b = new Box(); int x = b.get();"
+        )
+        assert not npe_sites(problem, results)
+
+    def test_copy_propagates(self):
+        problem, results = solve("Box a = null; Box b = a; int x = b.get();")
+        assert npe_sites(problem, results)
+
+    def test_branch_merge(self):
+        problem, results = solve(
+            """
+            int c = nondet();
+            Box b = new Box();
+            if (c < 1) { b = null; }
+            int x = b.get();
+            """
+        )
+        assert npe_sites(problem, results)
+
+    def test_unassigned_field_may_be_null(self):
+        problem, results = solve(
+            "Box b = new Box(); Box n = b.next; int x = n.get();"
+        )
+        assert npe_sites(problem, results)
+
+    def test_field_store_and_load(self):
+        problem, results = solve(
+            "Box b = new Box(); b.next = null; Box n = b.next; int x = n.get();"
+        )
+        assert npe_sites(problem, results)
+
+    def test_null_through_parameter(self):
+        problem, results = solve(
+            "use(null);",
+            extra="void use(Box p) { int x = p.get(); }",
+        )
+        assert any("use" in site for site in npe_sites(problem, results))
+
+    def test_null_through_return(self):
+        problem, results = solve(
+            "Box b = maybe(); int x = b.get();",
+            extra="Box maybe() { return null; }",
+        )
+        assert npe_sites(problem, results)
+
+    def test_non_null_return_clean(self):
+        problem, results = solve(
+            "Box b = fresh(); int x = b.get();",
+            extra="Box fresh() { Box made = new Box(); return made; }",
+        )
+        assert not npe_sites(problem, results)
+
+
+class TestLiftedNullness:
+    def test_constraint_for_feature_guarded_null(self):
+        source = BOX + """
+        class Main {
+            void main() {
+                Box b = new Box();
+                #ifdef (Reset)
+                b = null;
+                #endif
+                int x = b.get();
+            }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        problem = NullnessAnalysis(icfg)
+        results = SPLLift(problem).solve()
+        constraints = [
+            results.constraint_for(stmt, fact)
+            for stmt, fact in problem.dereference_queries()
+        ]
+        non_false = [c for c in constraints if not c.is_false]
+        assert len(non_false) == 1
+        assert str(non_false[0]) == "Reset"
+
+    def test_guarded_initialization(self):
+        source = BOX + """
+        class Main {
+            void main() {
+                Box b = null;
+                #ifdef (Init)
+                b = new Box();
+                #endif
+                int x = b.get();
+            }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        problem = NullnessAnalysis(icfg)
+        results = SPLLift(problem).solve()
+        (hit,) = [
+            results.constraint_for(stmt, fact)
+            for stmt, fact in problem.dereference_queries()
+            if not results.constraint_for(stmt, fact).is_false
+        ]
+        assert str(hit) == "!Init"

@@ -1,0 +1,149 @@
+"""Unit tests for the inter-procedural reaching-definitions analysis."""
+
+import pytest
+
+from repro.analyses import DefFact, ReachingDefinitionsAnalysis
+from repro.ifds import IFDSSolver
+from repro.ir import Assign, ICFG, Invoke, Print, Return, lower_program
+from repro.minijava import parse_program
+
+
+def solve(source):
+    icfg = ICFG.for_entry(lower_program(parse_program(source)))
+    return icfg, IFDSSolver(ReachingDefinitionsAnalysis(icfg)).solve()
+
+
+def defs_of(results, stmt, name):
+    return {f.site for f in results.at(stmt) if isinstance(f, DefFact) and f.name == name}
+
+
+def stmt_at(icfg, method, index):
+    return icfg.program.method(method).instructions[index]
+
+
+class TestIntraProcedural:
+    def test_definition_reaches_use(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = 1; print(x); } }"
+        )
+        print_stmt = stmt_at(icfg, "Main.main", 1)
+        assert defs_of(results, print_stmt, "x") == {stmt_at(icfg, "Main.main", 0)}
+
+    def test_redefinition_kills(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = 1; x = 2; print(x); } }"
+        )
+        print_stmt = stmt_at(icfg, "Main.main", 2)
+        assert defs_of(results, print_stmt, "x") == {stmt_at(icfg, "Main.main", 1)}
+
+    def test_branches_merge_definitions(self):
+        icfg, results = solve(
+            """
+            class Main { void main() {
+                int c = nondet();
+                int x = 1;
+                if (c < 1) { x = 2; }
+                print(x);
+            } }
+            """
+        )
+        print_stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        assert len(defs_of(results, print_stmt, "x")) == 2
+
+    def test_loop_definition_reaches_itself(self):
+        icfg, results = solve(
+            """
+            class Main { void main() {
+                int x = 0;
+                while (x < 3) { x = x + 1; }
+                print(x);
+            } }
+            """
+        )
+        print_stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        assert len(defs_of(results, print_stmt, "x")) == 2  # init + loop body
+
+
+class TestInterProcedural:
+    SOURCE = """
+    class Main {
+        void main() {
+            int x = 1;
+            int y = pass(x);
+            print(y);
+        }
+        int pass(int p) { return p; }
+    }
+    """
+
+    def test_argument_definition_reaches_formal(self):
+        icfg, results = solve(self.SOURCE)
+        x_def = stmt_at(icfg, "Main.main", 0)
+        pass_return = stmt_at(icfg, "Main.pass", 0)
+        assert defs_of(results, pass_return, "p") == {x_def}
+
+    def test_definition_traced_through_return(self):
+        """The paper's "variant that tracks definitions through parameter
+        and return-value assignments": y's value is x's definition."""
+        icfg, results = solve(self.SOURCE)
+        print_stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        x_def = stmt_at(icfg, "Main.main", 0)
+        assert defs_of(results, print_stmt, "y") == {x_def}
+
+    def test_constant_return_defines_at_exit(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int y = fresh(); print(y); }
+                int fresh() { return 42; }
+            }
+            """
+        )
+        print_stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        (site,) = defs_of(results, print_stmt, "y")
+        assert isinstance(site, Return)
+
+    def test_constant_argument_defines_at_call(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int y = pass(7); print(y); }
+                int pass(int p) { return p; }
+            }
+            """
+        )
+        pass_exit = stmt_at(icfg, "Main.pass", 0)
+        (site,) = defs_of(results, pass_exit, "p")
+        assert isinstance(site, Invoke)
+
+    def test_call_kills_previous_result_definitions(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int y = 1; y = pass(2); print(y); }
+                int pass(int p) { return p; }
+            }
+            """
+        )
+        print_stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        sites = defs_of(results, print_stmt, "y")
+        first_def = stmt_at(icfg, "Main.main", 0)
+        assert first_def not in sites
+        assert len(sites) == 1
+
+    def test_callee_locals_invisible_to_caller(self):
+        icfg, results = solve(self.SOURCE)
+        print_stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        assert not defs_of(results, print_stmt, "p")

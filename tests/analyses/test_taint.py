@@ -1,0 +1,168 @@
+"""Unit tests for the taint analysis (plain, unlifted)."""
+
+import pytest
+
+from repro.analyses import FieldFact, LocalFact, TaintAnalysis
+from repro.ifds import IFDSSolver
+from repro.ir import ICFG, Print, lower_program
+from repro.minijava import parse_program
+
+
+def solve(source):
+    icfg = ICFG.for_entry(lower_program(parse_program(source)))
+    return icfg, IFDSSolver(TaintAnalysis(icfg)).solve()
+
+
+def facts_before_print(icfg, results):
+    stmt = next(s for s in icfg.reachable_instructions() if isinstance(s, Print))
+    return results.at(stmt)
+
+
+class TestLocalFlows:
+    def test_source_taints(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = secret(); print(x); } }"
+        )
+        assert LocalFact("x") in facts_before_print(icfg, results)
+
+    def test_copy_propagates(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = secret(); int y = x; print(y); } }"
+        )
+        facts = facts_before_print(icfg, results)
+        assert {LocalFact("x"), LocalFact("y")} <= set(facts)
+
+    def test_arithmetic_propagates(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = secret(); int y = x + 1; print(y); } }"
+        )
+        assert LocalFact("y") in facts_before_print(icfg, results)
+
+    def test_overwrite_kills(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = secret(); x = 0; print(x); } }"
+        )
+        assert LocalFact("x") not in facts_before_print(icfg, results)
+
+    def test_constant_does_not_taint(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = 1; print(x); } }"
+        )
+        assert not facts_before_print(icfg, results)
+
+    def test_self_assignment_keeps_taint(self):
+        icfg, results = solve(
+            "class Main { void main() { int x = secret(); x = x + 0; print(x); } }"
+        )
+        assert LocalFact("x") in facts_before_print(icfg, results)
+
+
+class TestFieldFlows:
+    def test_store_then_load(self):
+        icfg, results = solve(
+            """
+            class Main {
+                int f;
+                void main() { this.f = secret(); int y = this.f; print(y); }
+            }
+            """
+        )
+        facts = facts_before_print(icfg, results)
+        assert LocalFact("y") in facts
+        assert FieldFact("Main", "f") in facts
+
+    def test_weak_update_never_untaints(self):
+        icfg, results = solve(
+            """
+            class Main {
+                int f;
+                void main() {
+                    this.f = secret();
+                    this.f = 0;
+                    int y = this.f;
+                    print(y);
+                }
+            }
+            """
+        )
+        # Weak updates: the clean store does not kill (receivers merged).
+        assert LocalFact("y") in facts_before_print(icfg, results)
+
+    def test_field_through_method(self):
+        icfg, results = solve(
+            """
+            class Main {
+                int f;
+                void main() { poison(); int y = this.f; print(y); }
+                void poison() { this.f = secret(); }
+            }
+            """
+        )
+        assert LocalFact("y") in facts_before_print(icfg, results)
+
+
+class TestInterProcedural:
+    def test_param_return_chain(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int x = secret(); int y = pass(x); print(y); }
+                int pass(int p) { return p; }
+            }
+            """
+        )
+        assert LocalFact("y") in facts_before_print(icfg, results)
+
+    def test_untainted_result_kills_previous_taint(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int y = secret(); y = zero(); print(y); }
+                int zero() { return 0; }
+            }
+            """
+        )
+        assert LocalFact("y") not in facts_before_print(icfg, results)
+
+    def test_second_argument_position(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int x = secret(); int y = second(0, x); print(y); }
+                int second(int a, int b) { return b; }
+            }
+            """
+        )
+        assert LocalFact("y") in facts_before_print(icfg, results)
+
+    def test_unused_argument_does_not_leak(self):
+        icfg, results = solve(
+            """
+            class Main {
+                void main() { int x = secret(); int y = first(0, x); print(y); }
+                int first(int a, int b) { return a; }
+            }
+            """
+        )
+        assert LocalFact("y") not in facts_before_print(icfg, results)
+
+    def test_sink_queries_cover_prints_of_locals(self):
+        source = "class Main { void main() { int x = 1; print(x); print(2); } }"
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        queries = TaintAnalysis.sink_queries(icfg)
+        # print(2) prints a constant — not a query
+        assert len(queries) == 1
+        assert queries[0][1] == LocalFact("x")
+
+    def test_virtual_dispatch_joins_targets(self):
+        icfg, results = solve(
+            """
+            class A { int get() { return 0; } }
+            class B extends A { int get() { return secret(); } }
+            class Main {
+                void main() { A a = new A(); int y = a.get(); print(y); }
+            }
+            """
+        )
+        # CHA: both A.get and B.get are possible — conservative leak.
+        assert LocalFact("y") in facts_before_print(icfg, results)

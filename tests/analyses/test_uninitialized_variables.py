@@ -1,0 +1,170 @@
+"""Unit tests for the uninitialized-variables analysis."""
+
+import pytest
+
+from repro.analyses import (
+    LocalFact,
+    UninitializedVariablesAnalysis,
+    uses_of,
+)
+from repro.ifds import IFDSSolver
+from repro.ir import ICFG, Print, lower_program
+from repro.minijava import parse_program
+
+
+def solve(source):
+    icfg = ICFG.for_entry(lower_program(parse_program(source)))
+    problem = UninitializedVariablesAnalysis(icfg)
+    return icfg, problem, IFDSSolver(problem).solve()
+
+
+def uninit_reads(icfg, problem, results):
+    return [
+        (stmt.location, fact.name)
+        for stmt, fact in problem.use_queries()
+        if fact in results.at(stmt)
+    ]
+
+
+class TestIntraProcedural:
+    def test_declared_but_never_assigned(self):
+        icfg, problem, results = solve(
+            "class Main { void main() { int x; print(x); } }"
+        )
+        assert ("Main.main:1", "x") in uninit_reads(icfg, problem, results)
+
+    def test_initialized_declaration_is_clean(self):
+        icfg, problem, results = solve(
+            "class Main { void main() { int x = 1; print(x); } }"
+        )
+        assert not uninit_reads(icfg, problem, results)
+
+    def test_assignment_initializes(self):
+        icfg, problem, results = solve(
+            "class Main { void main() { int x; x = 1; print(x); } }"
+        )
+        assert ("Main.main:2", "x") not in uninit_reads(icfg, problem, results)
+
+    def test_partial_initialization_in_branch(self):
+        icfg, problem, results = solve(
+            """
+            class Main { void main() {
+                int c = nondet();
+                int x;
+                if (c < 1) { x = 1; }
+                print(x);
+            } }
+            """
+        )
+        reads = uninit_reads(icfg, problem, results)
+        assert any(name == "x" for _, name in reads)
+
+    def test_initialization_in_both_branches(self):
+        icfg, problem, results = solve(
+            """
+            class Main { void main() {
+                int c = nondet();
+                int x;
+                if (c < 1) { x = 1; } else { x = 2; }
+                print(x);
+            } }
+            """
+        )
+        reads = [r for r in uninit_reads(icfg, problem, results) if r[1] == "x"]
+        # x is initialized on every path to the print
+        print_reads = [r for r in reads if "Print" in r[0] or True]
+        icfg_print = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        assert LocalFact("x") not in results.at(icfg_print)
+
+
+class TestInterProcedural:
+    def test_uninitialized_actual_taints_formal(self):
+        """The paper's example: foo(x) with x potentially uninitialized —
+        all uses of foo's formal may access an uninitialized value."""
+        icfg, problem, results = solve(
+            """
+            class Main {
+                void main() { int x; int y = foo(x); }
+                int foo(int p) { print(p); return p; }
+            }
+            """
+        )
+        reads = uninit_reads(icfg, problem, results)
+        assert any(name == "p" for _, name in reads)
+
+    def test_initialized_actual_keeps_formal_clean(self):
+        icfg, problem, results = solve(
+            """
+            class Main {
+                void main() { int x = 1; int y = foo(x); }
+                int foo(int p) { print(p); return p; }
+            }
+            """
+        )
+        reads = uninit_reads(icfg, problem, results)
+        assert not any(name == "p" for _, name in reads)
+
+    def test_uninitialized_return_value(self):
+        icfg, problem, results = solve(
+            """
+            class Main {
+                void main() { int y = bad(); print(y); }
+                int bad() { int u; return u; }
+            }
+            """
+        )
+        reads = uninit_reads(icfg, problem, results)
+        assert any(name == "y" for _, name in reads)
+
+    def test_call_initializes_result(self):
+        icfg, problem, results = solve(
+            """
+            class Main {
+                void main() { int y; y = good(); print(y); }
+                int good() { return 1; }
+            }
+            """
+        )
+        icfg_print = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        assert LocalFact("y") not in results.at(icfg_print)
+
+    def test_callee_locals_seeded_per_call(self):
+        icfg, problem, results = solve(
+            """
+            class Main {
+                void main() { int a = helper(); }
+                int helper() { int u; print(u); return 0; }
+            }
+            """
+        )
+        reads = uninit_reads(icfg, problem, results)
+        assert any(name == "u" for _, name in reads)
+
+
+class TestUsesOf:
+    def test_uses_extraction(self):
+        source = """
+        class Main {
+            int f;
+            void main() {
+                int a = 1;
+                int b = a + 2;
+                this.f = b;
+                int c = this.f;
+                if (c < 1) { print(c); }
+                int d = pass(b);
+                print(d);
+            }
+            int pass(int p) { return p; }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        main = icfg.program.method("Main.main")
+        used = set()
+        for instr in main.instructions:
+            used.update(uses_of(instr))
+        assert {"a", "b", "c", "d", "this"} <= used

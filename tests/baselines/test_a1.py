@@ -1,0 +1,69 @@
+"""Tests for the A1 generate-and-analyze baseline."""
+
+import pytest
+
+from repro.analyses import TaintAnalysis
+from repro.baselines import run_a1
+from repro.core import SPLLift
+from repro.spl import figure1
+
+
+@pytest.fixture(scope="module")
+def figure1_runs():
+    product_line = figure1()
+    configurations = list(product_line.valid_configurations())
+    outcome = run_a1(product_line.ast, configurations, TaintAnalysis)
+    return product_line, outcome
+
+
+class TestA1:
+    def test_analyzes_every_product(self, figure1_runs):
+        product_line, outcome = figure1_runs
+        assert outcome.product_count == 8
+
+    def test_products_differ(self, figure1_runs):
+        _, outcome = figure1_runs
+        sizes = {run.icfg.instruction_count() for run in outcome.runs}
+        assert len(sizes) > 1  # preprocessing really removed code
+
+    def test_timings_recorded(self, figure1_runs):
+        _, outcome = figure1_runs
+        assert outcome.total_seconds > 0
+        for run in outcome.runs:
+            assert run.seconds >= 0
+            assert run.build_seconds >= 0
+
+    def test_exactly_one_product_leaks(self, figure1_runs):
+        _, outcome = figure1_runs
+        leaking = []
+        for run in outcome.runs:
+            hit = any(
+                fact in run.results.at(stmt)
+                for stmt, fact in TaintAnalysis.sink_queries(run.icfg)
+            )
+            if hit:
+                leaking.append(run.configuration)
+        assert leaking == [frozenset({"G"})]
+
+    def test_a1_agrees_with_spllift(self, figure1_runs):
+        """The generate-and-analyze ground truth against the single-pass
+        lifted result, per configuration, at the sink."""
+        product_line, outcome = figure1_runs
+        analysis = TaintAnalysis(product_line.icfg)
+        lifted = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+        (stmt, fact) = TaintAnalysis.sink_queries(analysis.icfg)[0]
+        constraint = lifted.constraint_for(stmt, fact)
+        for run in outcome.runs:
+            product_leak = any(
+                f in run.results.at(s)
+                for s, f in TaintAnalysis.sink_queries(run.icfg)
+            )
+            assert product_leak == constraint.satisfied_by(run.configuration)
+
+    def test_cutoff_stops_early(self):
+        product_line = figure1()
+        configurations = list(product_line.valid_configurations())
+        outcome = run_a1(
+            product_line.ast, configurations, TaintAnalysis, cutoff_seconds=0.0
+        )
+        assert outcome.product_count == 1  # stopped after the first run

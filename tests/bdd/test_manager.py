@@ -1,0 +1,278 @@
+"""Unit tests for the ROBDD engine."""
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestTerminals:
+    def test_constants_distinct(self, mgr):
+        assert mgr.true != mgr.false
+
+    def test_is_true_false(self, mgr):
+        assert mgr.is_true(mgr.true)
+        assert mgr.is_false(mgr.false)
+        assert not mgr.is_true(mgr.false)
+        assert not mgr.is_false(mgr.true)
+
+    def test_terminals_are_terminal(self, mgr):
+        assert mgr.is_terminal(mgr.true)
+        assert mgr.is_terminal(mgr.false)
+
+    def test_terminal_has_no_children(self, mgr):
+        with pytest.raises(BDDError):
+            mgr.low(mgr.true)
+        with pytest.raises(BDDError):
+            mgr.high(mgr.false)
+        with pytest.raises(BDDError):
+            mgr.top_var(mgr.true)
+
+
+class TestVariables:
+    def test_var_is_interned(self, mgr):
+        assert mgr.var("x") == mgr.var("x")
+
+    def test_distinct_vars_distinct_nodes(self, mgr):
+        assert mgr.var("x") != mgr.var("y")
+
+    def test_nvar_is_negation(self, mgr):
+        assert mgr.nvar("x") == mgr.not_(mgr.var("x"))
+
+    def test_declaration_order_is_variable_order(self, mgr):
+        mgr.var("a")
+        mgr.var("b")
+        assert mgr.variables == ("a", "b")
+        assert mgr.level_of("a") < mgr.level_of("b")
+
+    def test_explicit_ordering(self):
+        mgr = BDDManager(ordering=["z", "y", "x"])
+        assert mgr.variables == ("z", "y", "x")
+
+    def test_var_structure(self, mgr):
+        x = mgr.var("x")
+        assert mgr.top_var(x) == "x"
+        assert mgr.low(x) == mgr.false
+        assert mgr.high(x) == mgr.true
+
+    def test_unknown_variable_level(self, mgr):
+        with pytest.raises(BDDError):
+            mgr.level_of("nope")
+
+    def test_has_var(self, mgr):
+        assert not mgr.has_var("x")
+        mgr.var("x")
+        assert mgr.has_var("x")
+
+
+class TestBooleanOps:
+    def test_and_truth_table(self, mgr):
+        t, f = mgr.true, mgr.false
+        assert mgr.and_(t, t) == t
+        assert mgr.and_(t, f) == f
+        assert mgr.and_(f, t) == f
+        assert mgr.and_(f, f) == f
+
+    def test_or_truth_table(self, mgr):
+        t, f = mgr.true, mgr.false
+        assert mgr.or_(t, t) == t
+        assert mgr.or_(t, f) == t
+        assert mgr.or_(f, t) == t
+        assert mgr.or_(f, f) == f
+
+    def test_not_involution(self, mgr):
+        x = mgr.var("x")
+        assert mgr.not_(mgr.not_(x)) == x
+
+    def test_excluded_middle(self, mgr):
+        x = mgr.var("x")
+        assert mgr.or_(x, mgr.not_(x)) == mgr.true
+        assert mgr.and_(x, mgr.not_(x)) == mgr.false
+
+    def test_xor(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.xor(x, x) == mgr.false
+        assert mgr.xor(x, mgr.false) == x
+        assert mgr.xor(x, mgr.true) == mgr.not_(x)
+        assert mgr.xor(x, y) == mgr.xor(y, x)
+
+    def test_implies(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.implies(mgr.false, x) == mgr.true
+        assert mgr.implies(x, mgr.true) == mgr.true
+        assert mgr.implies(x, x) == mgr.true
+        assert mgr.implies(mgr.and_(x, y), x) == mgr.true
+
+    def test_iff(self, mgr):
+        x = mgr.var("x")
+        assert mgr.iff(x, x) == mgr.true
+        assert mgr.iff(x, mgr.not_(x)) == mgr.false
+
+    def test_ite(self, mgr):
+        x, y, z = mgr.var("x"), mgr.var("y"), mgr.var("z")
+        ite = mgr.ite(x, y, z)
+        for vx in (False, True):
+            for vy in (False, True):
+                for vz in (False, True):
+                    expected = vy if vx else vz
+                    assert (
+                        mgr.evaluate(ite, {"x": vx, "y": vy, "z": vz}) == expected
+                    )
+
+    def test_and_all_or_all(self, mgr):
+        xs = [mgr.var(f"x{i}") for i in range(4)]
+        conj = mgr.and_all(xs)
+        disj = mgr.or_all(xs)
+        assert mgr.evaluate(conj, {f"x{i}": True for i in range(4)})
+        assert not mgr.evaluate(conj, {"x0": False, "x1": True, "x2": True, "x3": True})
+        assert mgr.evaluate(disj, {"x0": False, "x1": False, "x2": True, "x3": False})
+        assert mgr.and_all([]) == mgr.true
+        assert mgr.or_all([]) == mgr.false
+
+    def test_canonicity_same_function_same_node(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        # De Morgan: !(x & y) == !x | !y — canonical representation means
+        # node equality.
+        assert mgr.not_(mgr.and_(x, y)) == mgr.or_(mgr.not_(x), mgr.not_(y))
+
+    def test_entails_and_equiv(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.entails(mgr.and_(x, y), x)
+        assert not mgr.entails(x, mgr.and_(x, y))
+        assert mgr.equiv(x, x)
+        assert not mgr.equiv(x, y)
+
+
+class TestRestrictAndQuantify:
+    def test_restrict_var(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        f = mgr.and_(x, y)
+        assert mgr.restrict(f, "x", True) == y
+        assert mgr.restrict(f, "x", False) == mgr.false
+
+    def test_restrict_missing_from_support(self, mgr):
+        x = mgr.var("x")
+        mgr.var("y")
+        assert mgr.restrict(x, "y", True) == x
+
+    def test_exists(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        f = mgr.and_(x, y)
+        assert mgr.exists(f, ["x"]) == y
+        assert mgr.exists(f, ["x", "y"]) == mgr.true
+        assert mgr.exists(mgr.false, ["x"]) == mgr.false
+
+    def test_forall(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        f = mgr.or_(x, y)
+        assert mgr.forall(f, ["x"]) == y
+        assert mgr.forall(mgr.true, ["x", "y"]) == mgr.true
+
+    def test_evaluate_requires_coverage(self, mgr):
+        x = mgr.var("x")
+        with pytest.raises(BDDError):
+            mgr.evaluate(x, {})
+
+    def test_support(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        mgr.var("z")
+        assert mgr.support(mgr.and_(x, y)) == {"x", "y"}
+        assert mgr.support(mgr.true) == frozenset()
+        # z cancels out of (z | !z) & x
+        f = mgr.and_(mgr.or_(mgr.var("z"), mgr.nvar("z")), x)
+        assert mgr.support(f) == {"x"}
+
+
+class TestCounting:
+    def test_satcount_simple(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.satcount(mgr.true) == 4
+        assert mgr.satcount(mgr.false) == 0
+        assert mgr.satcount(x) == 2
+        assert mgr.satcount(mgr.and_(x, y)) == 1
+        assert mgr.satcount(mgr.or_(x, y)) == 3
+
+    def test_satcount_over_subset(self, mgr):
+        x = mgr.var("x")
+        mgr.var("y")
+        assert mgr.satcount(x, over=["x"]) == 1
+
+    def test_satcount_over_superset(self, mgr):
+        x = mgr.var("x")
+        assert mgr.satcount(x, over=["x", "w1", "w2"]) == 4
+
+    def test_satcount_missing_support_raises(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        with pytest.raises(BDDError):
+            mgr.satcount(mgr.and_(x, y), over=["x"])
+
+    def test_satcount_invalidated_by_new_declaration(self, mgr):
+        x = mgr.var("x")
+        assert mgr.satcount(x) == 1
+        mgr.var("y")
+        assert mgr.satcount(x) == 2
+
+    def test_iter_models(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        models = list(mgr.iter_models(mgr.or_(x, y)))
+        assert len(models) == 3
+        assert {"x": False, "y": True} in models
+        assert {"x": True, "y": False} in models
+        assert {"x": True, "y": True} in models
+
+    def test_iter_models_deterministic(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        f = mgr.or_(x, y)
+        assert list(mgr.iter_models(f)) == list(mgr.iter_models(f))
+
+    def test_iter_models_count_matches_satcount(self, mgr):
+        xs = [mgr.var(f"x{i}") for i in range(4)]
+        f = mgr.or_(mgr.and_(xs[0], xs[1]), mgr.xor(xs[2], xs[3]))
+        assert len(list(mgr.iter_models(f))) == mgr.satcount(f)
+
+    def test_any_model(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.any_model(mgr.false) is None
+        model = mgr.any_model(mgr.and_(x, mgr.not_(y)))
+        assert model == {"x": True, "y": False}
+
+
+class TestRendering:
+    def test_expr_string_terminals(self, mgr):
+        assert mgr.to_expr_string(mgr.true) == "true"
+        assert mgr.to_expr_string(mgr.false) == "false"
+
+    def test_expr_string_roundtrips_semantics(self, mgr):
+        from repro.constraints.formula import parse_formula
+
+        x, y, z = mgr.var("x"), mgr.var("y"), mgr.var("z")
+        f = mgr.or_(mgr.and_(x, mgr.not_(y)), z)
+        reparsed = parse_formula(mgr.to_expr_string(f)).to_bdd(mgr)
+        assert reparsed == f
+
+    def test_to_dot_contains_nodes(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        dot = mgr.to_dot(mgr.and_(x, y))
+        assert "digraph" in dot
+        assert 'label="x"' in dot
+        assert 'label="y"' in dot
+
+    def test_node_count(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.node_count(mgr.true) == 0
+        assert mgr.node_count(x) == 1
+        assert mgr.node_count(mgr.and_(x, y)) == 2
+
+    def test_cache_stats_keys(self, mgr):
+        stats = mgr.cache_stats()
+        assert set(stats) >= {"nodes", "unique_entries", "apply_cache"}
+
+
+class TestForeignNodes:
+    def test_node_id_out_of_range(self, mgr):
+        with pytest.raises(BDDError):
+            mgr.not_(12345)

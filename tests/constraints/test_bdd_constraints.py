@@ -1,0 +1,85 @@
+"""Tests for the BDD-backed constraint system."""
+
+import pytest
+
+from repro.constraints import BddConstraintSystem, parse_formula
+
+
+@pytest.fixture
+def system():
+    return BddConstraintSystem()
+
+
+class TestBasics:
+    def test_true_false(self, system):
+        assert system.true.is_true
+        assert system.false.is_false
+        assert not system.true.is_false
+        assert not system.false.is_true
+
+    def test_var(self, system):
+        f = system.var("F")
+        assert not f.is_true and not f.is_false
+        assert str(f) == "F"
+
+    def test_operators(self, system):
+        f, g = system.var("F"), system.var("G")
+        assert (f & ~f).is_false
+        assert (f | ~f).is_true
+        assert (f & g) == (g & f)
+
+    def test_interning_same_function_same_handle(self, system):
+        f, g = system.var("F"), system.var("G")
+        assert (~(f & g)) is ((~f) | (~g))
+
+    def test_parse(self, system):
+        constraint = system.parse("!F && G")
+        assert constraint == (~system.var("F")) & system.var("G")
+
+    def test_from_formula(self, system):
+        constraint = system.from_formula(parse_formula("F -> G"))
+        assert constraint.satisfied_by({"G"})
+        assert constraint.satisfied_by(set())
+        assert not constraint.satisfied_by({"F"})
+
+    def test_entails(self, system):
+        f, g = system.var("F"), system.var("G")
+        assert (f & g).entails(f)
+        assert not f.entails(f & g)
+
+    def test_satisfied_by_set_and_mapping(self, system):
+        constraint = system.parse("F && !G")
+        assert constraint.satisfied_by({"F"})
+        assert constraint.satisfied_by({"F": True, "G": False})
+        assert not constraint.satisfied_by({"F", "G"})
+
+    def test_model_count(self, system):
+        constraint = system.parse("F || G")
+        assert constraint.model_count(["F", "G"]) == 3
+
+    def test_models(self, system):
+        constraint = system.parse("F && !G")
+        models = list(constraint.models(["F", "G"]))
+        assert models == [{"F": True, "G": False}]
+
+    def test_and_all_or_all_short_circuit(self, system):
+        f = system.var("F")
+        assert system.and_all([f, ~f, system.var("G")]).is_false
+        assert system.or_all([f, ~f]).is_true
+        assert system.and_all([]).is_true
+        assert system.or_all([]).is_false
+
+    def test_foreign_constraint_rejected(self, system):
+        other = BddConstraintSystem()
+        with pytest.raises(TypeError):
+            system.and_(system.true, other.true)
+
+    def test_hash_equality(self, system):
+        a = system.parse("F && G")
+        b = system.var("F") & system.var("G")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_contains_expression(self, system):
+        assert "F" in repr(system.var("F"))

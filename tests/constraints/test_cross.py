@@ -1,0 +1,72 @@
+"""Cross-validation: the DNF and BDD constraint systems agree semantically."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import BddConstraintSystem, DnfConstraintSystem
+from repro.constraints.formula import (
+    And,
+    FalseConst,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueConst,
+    Var,
+)
+
+VARS = ("p", "q", "r")
+
+
+def formulas():
+    base = st.one_of(
+        st.sampled_from([TrueConst(), FalseConst()]),
+        st.sampled_from(VARS).map(Var),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(And),
+            st.tuples(children, children).map(Or),
+            st.tuples(children, children).map(lambda t: Implies(*t)),
+            st.tuples(children, children).map(lambda t: Iff(*t)),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+def assignments():
+    for bits in itertools.product((False, True), repeat=len(VARS)):
+        yield dict(zip(VARS, bits))
+
+
+@given(formulas())
+@settings(max_examples=150, deadline=None)
+def test_dnf_and_bdd_agree_pointwise(formula):
+    bdd = BddConstraintSystem().from_formula(formula)
+    dnf = DnfConstraintSystem().from_formula(formula)
+    for assignment in assignments():
+        expected = formula.evaluate(assignment)
+        assert bdd.satisfied_by(assignment) == expected
+        assert dnf.satisfied_by(assignment) == expected
+
+
+@given(formulas())
+@settings(max_examples=150, deadline=None)
+def test_dnf_and_bdd_agree_on_falseness(formula):
+    bdd = BddConstraintSystem().from_formula(formula)
+    dnf = DnfConstraintSystem().from_formula(formula)
+    assert bdd.is_false == dnf.is_false
+    assert bdd.is_true == dnf.is_true
+
+
+@given(formulas(), formulas())
+@settings(max_examples=100, deadline=None)
+def test_dnf_and_bdd_agree_on_entailment(f, g):
+    bdd_system = BddConstraintSystem()
+    dnf_system = DnfConstraintSystem()
+    bdd_result = bdd_system.from_formula(f).entails(bdd_system.from_formula(g))
+    dnf_result = dnf_system.from_formula(f).entails(dnf_system.from_formula(g))
+    assert bdd_result == dnf_result

@@ -1,0 +1,92 @@
+"""Tests for the DNF-backed constraint system (the paper's rejected design)."""
+
+import pytest
+
+from repro.constraints import DnfConstraintSystem
+from repro.constraints.dnf import _normalize
+
+
+@pytest.fixture
+def system():
+    return DnfConstraintSystem()
+
+
+class TestNormalization:
+    def test_contradictory_cube_removed(self):
+        cube = frozenset((("F", True), ("F", False)))
+        assert _normalize([cube]) == frozenset()
+
+    def test_subsumed_cube_removed(self):
+        general = frozenset((("F", True),))
+        specific = frozenset((("F", True), ("G", True)))
+        assert _normalize([general, specific]) == frozenset([general])
+
+    def test_unrelated_cubes_kept(self):
+        a = frozenset((("F", True),))
+        b = frozenset((("G", True),))
+        assert _normalize([a, b]) == frozenset([a, b])
+
+
+class TestAlgebra:
+    def test_true_false(self, system):
+        assert system.true.is_true
+        assert system.false.is_false
+
+    def test_is_false_exact(self, system):
+        f = system.var("F")
+        assert (f & ~f).is_false
+
+    def test_is_true_via_complement(self, system):
+        f = system.var("F")
+        assert (f | ~f).is_true
+
+    def test_operators(self, system):
+        f, g = system.var("F"), system.var("G")
+        conj = f & g
+        assert conj.satisfied_by({"F", "G"})
+        assert not conj.satisfied_by({"F"})
+        disj = f | g
+        assert disj.satisfied_by({"G"})
+        assert not disj.satisfied_by(set())
+
+    def test_negation_de_morgan(self, system):
+        f, g = system.var("F"), system.var("G")
+        lhs = ~(f & g)
+        rhs = (~f) | (~g)
+        # Syntactic equality on the normal form.
+        assert lhs == rhs
+
+    def test_entails(self, system):
+        f, g = system.var("F"), system.var("G")
+        assert (f & g).entails(f)
+        assert not f.entails(g)
+
+    def test_distribution(self, system):
+        f, g, h = system.var("F"), system.var("G"), system.var("H")
+        assert (f & (g | h)) == ((f & g) | (f & h))
+
+    def test_absorption_via_subsumption(self, system):
+        f, g = system.var("F"), system.var("G")
+        assert (f | (f & g)) == f
+
+    def test_parse(self, system):
+        constraint = system.parse("(F -> G) && F")
+        assert constraint.satisfied_by({"F", "G"})
+        assert not constraint.satisfied_by({"F"})
+        assert not constraint.satisfied_by(set())
+
+    def test_iff_via_formula(self, system):
+        constraint = system.parse("F <-> G")
+        assert constraint.satisfied_by(set())
+        assert constraint.satisfied_by({"F", "G"})
+        assert not constraint.satisfied_by({"F"})
+
+    def test_foreign_constraint_rejected(self, system):
+        other = DnfConstraintSystem()
+        with pytest.raises(TypeError):
+            system.or_(system.true, other.false)
+
+    def test_str_rendering(self, system):
+        assert str(system.true) == "true"
+        assert str(system.false) == "false"
+        assert "F" in str(system.var("F"))

@@ -1,0 +1,117 @@
+"""Tests for the propositional formula AST and parser."""
+
+import pytest
+
+from repro.constraints.formula import (
+    And,
+    FalseConst,
+    FormulaParseError,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueConst,
+    Var,
+    parse_formula,
+)
+
+
+class TestParsing:
+    def test_single_variable(self):
+        assert parse_formula("F") == Var("F")
+
+    def test_constants(self):
+        assert parse_formula("true") == TrueConst()
+        assert parse_formula("false") == FalseConst()
+
+    def test_negation(self):
+        assert parse_formula("!F") == Not(Var("F"))
+        assert parse_formula("!!F") == Not(Not(Var("F")))
+
+    def test_conjunction_flattens(self):
+        assert parse_formula("A && B && C") == And((Var("A"), Var("B"), Var("C")))
+
+    def test_disjunction(self):
+        assert parse_formula("A || B") == Or((Var("A"), Var("B")))
+
+    def test_single_char_operators(self):
+        assert parse_formula("A & B") == And((Var("A"), Var("B")))
+        assert parse_formula("A | B") == Or((Var("A"), Var("B")))
+
+    def test_precedence_and_over_or(self):
+        parsed = parse_formula("A || B && C")
+        assert parsed == Or((Var("A"), And((Var("B"), Var("C")))))
+
+    def test_parentheses(self):
+        parsed = parse_formula("(A || B) && C")
+        assert parsed == And((Or((Var("A"), Var("B"))), Var("C")))
+
+    def test_implication_right_associative(self):
+        parsed = parse_formula("A -> B -> C")
+        assert parsed == Implies(Var("A"), Implies(Var("B"), Var("C")))
+
+    def test_iff(self):
+        assert parse_formula("A <-> B") == Iff(Var("A"), Var("B"))
+
+    def test_implication_binds_looser_than_or(self):
+        parsed = parse_formula("A || B -> C")
+        assert parsed == Implies(Or((Var("A"), Var("B"))), Var("C"))
+
+    def test_underscore_names(self):
+        assert parse_formula("_f_1") == Var("_f_1")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "&& A", "A &&", "(A", "A)", "A @ B", "! "]
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(FormulaParseError):
+            parse_formula(bad)
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        formula = parse_formula("(A -> B) && !C")
+        assert formula.evaluate({"A": True, "B": True, "C": False})
+        assert not formula.evaluate({"A": True, "B": False, "C": False})
+        assert not formula.evaluate({"A": False, "B": False, "C": True})
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(KeyError):
+            parse_formula("A").evaluate({})
+
+    def test_variables(self):
+        assert parse_formula("A && (B || !C)").variables() == {"A", "B", "C"}
+        assert parse_formula("true").variables() == frozenset()
+
+
+class TestStrRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "F",
+            "!F",
+            "A && B",
+            "A || B && C",
+            "(A || B) && C",
+            "A -> B",
+            "A <-> B",
+            "!(A && B)",
+            "true",
+            "false",
+            "A && !B || C",
+        ],
+    )
+    def test_str_reparses_to_same_formula(self, text):
+        formula = parse_formula(text)
+        assert parse_formula(str(formula)) == formula
+
+
+class TestOperators:
+    def test_dunder_connectives(self):
+        a, b = Var("A"), Var("B")
+        assert (a & b) == And((a, b))
+        assert (a | b) == Or((a, b))
+        assert (~a) == Not(a)
+
+    def test_hashable(self):
+        assert len({parse_formula("A && B"), parse_formula("A && B")}) == 1

@@ -1,0 +1,144 @@
+"""Tests for emergent interfaces (Section 7 application)."""
+
+import pytest
+
+from repro.core.emergent import compute_emergent_interface
+from repro.ir import ICFG, lower_program
+from repro.minijava import parse_program
+
+SOURCE = """
+class Main {
+    void main() {
+        int base = 10;
+        int extra = 0;
+        #ifdef (Discount)
+        extra = base / 2;
+        #endif
+        int total = base + extra;
+        print(total);
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def interface():
+    icfg = ICFG.for_entry(lower_program(parse_program(SOURCE)))
+    return compute_emergent_interface(icfg, "Discount")
+
+
+class TestEmergentInterface:
+    def test_provides_the_discounted_value(self, interface):
+        provided_vars = {dep.variable for dep in interface.provides}
+        assert "extra" in provided_vars
+
+    def test_requires_the_base_value(self, interface):
+        required_vars = {dep.variable for dep in interface.requires}
+        assert "base" in required_vars
+
+    def test_provide_constraint_is_discount(self, interface):
+        extra_deps = [d for d in interface.provides if d.variable == "extra"]
+        assert extra_deps
+        for dep in extra_deps:
+            assert str(dep.constraint) == "Discount"
+
+    def test_unrelated_flows_excluded(self, interface):
+        # base -> total is entirely outside the feature: not in the interface.
+        for dep in interface.provides + interface.requires:
+            assert not (dep.variable == "base" and "total" in str(dep.use))
+
+    def test_str_rendering(self, interface):
+        text = str(interface)
+        assert "Discount" in text
+        assert "provides" in text and "requires" in text
+
+
+class TestInterProceduralInterface:
+    def test_requires_through_annotated_call(self):
+        source = """
+        class Main {
+            void main() {
+                int raw = 5;
+                int cooked = 0;
+                #ifdef (Cook)
+                cooked = prepare(raw);
+                #endif
+                print(cooked);
+            }
+            int prepare(int v) { return v * 2; }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        interface = compute_emergent_interface(icfg, "Cook")
+        required = {dep.variable for dep in interface.requires}
+        assert "raw" in required
+
+    def test_provides_from_annotated_code_in_callee(self):
+        """A definition under the feature inside a *callee* flows out to an
+        unannotated use in the caller — the boundary crossing is detected
+        through the rebinding of the reaching definition."""
+        source = """
+        class Main {
+            void main() {
+                int cooked = prepare(5);
+                print(cooked);
+            }
+            int prepare(int v) {
+                int r = v;
+                #ifdef (Cook)
+                r = v * 2;
+                #endif
+                return r;
+            }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        interface = compute_emergent_interface(icfg, "Cook")
+        provided = {dep.variable for dep in interface.provides}
+        assert "cooked" in provided
+
+    def test_feature_with_no_dependencies(self):
+        source = """
+        class Main {
+            void main() {
+                #ifdef (Independent)
+                int a = 1;
+                print(a);
+                #endif
+                int b = 2;
+                print(b);
+            }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        interface = compute_emergent_interface(icfg, "Independent")
+        assert not interface.provides
+        assert not interface.requires
+
+    def test_feature_model_filters_dependencies(self):
+        from repro.constraints import BddConstraintSystem
+        from repro.analyses import ReachingDefinitionsAnalysis
+        from repro.core import SPLLift
+
+        source = """
+        class Main {
+            void main() {
+                int x = 1;
+                int y = 0;
+                #ifdef (F)
+                y = x;
+                #endif
+                print(y);
+            }
+        }
+        """
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        system = BddConstraintSystem()
+        analysis = ReachingDefinitionsAnalysis(icfg)
+        results = SPLLift(
+            analysis, feature_model=system.parse("!F"), system=system
+        ).solve()
+        interface = compute_emergent_interface(icfg, "F", results=results)
+        # Under the model F is never enabled: the interface is empty.
+        assert not interface.provides
+        assert not interface.requires

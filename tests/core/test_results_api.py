@@ -1,0 +1,102 @@
+"""Coverage of the SPLLiftResults public API."""
+
+import pytest
+
+from repro.analyses import LocalFact, TaintAnalysis
+from repro.core import SPLLift
+from repro.spl import device_spl, figure1
+
+
+@pytest.fixture(scope="module")
+def figure1_results():
+    product_line = figure1()
+    analysis = TaintAnalysis(product_line.icfg)
+    spllift = SPLLift(analysis, feature_model=product_line.feature_model)
+    return product_line, analysis, spllift.solve()
+
+
+class TestResultsAPI:
+    def test_constraint_for_unreachable_fact_is_false(self, figure1_results):
+        _, analysis, results = figure1_results
+        stmt = analysis.icfg.entry_points[0].start_point
+        assert results.constraint_for(stmt, LocalFact("nonsense")).is_false
+
+    def test_holds_in_full_configuration(self, figure1_results):
+        _, analysis, results = figure1_results
+        (stmt, fact) = TaintAnalysis.sink_queries(analysis.icfg)[0]
+        assert results.holds_in(stmt, fact, {"G"})
+        assert not results.holds_in(stmt, fact, {"F", "G"})
+
+    def test_holds_in_partial_configuration(self, figure1_results):
+        _, analysis, results = figure1_results
+        (stmt, fact) = TaintAnalysis.sink_queries(analysis.icfg)[0]
+        # Over only {G}: some extension (¬F, ¬H) admits the leak.
+        assert results.holds_in(stmt, fact, {"G"}, over=("G",))
+        assert not results.holds_in(stmt, fact, set(), over=("G",))
+
+    def test_results_at_excludes_zero_by_default(self, figure1_results):
+        _, analysis, results = figure1_results
+        from repro.ifds import ZERO
+
+        stmt = analysis.icfg.entry_points[0].start_point
+        assert ZERO not in results.results_at(stmt)
+        assert ZERO in results.results_at(stmt, include_zero=True)
+
+    def test_items_iterates_pairs(self, figure1_results):
+        _, _, results = figure1_results
+        items = list(results.items())
+        assert items
+        (stmt, fact), value = items[0]
+        assert hasattr(stmt, "location")
+
+    def test_stats_and_timing(self, figure1_results):
+        _, _, results = figure1_results
+        assert results.stats["jump_functions"] > 0
+        assert results.solve_seconds > 0
+
+    def test_finding_constraint_unannotated_equals_constraint_for(
+        self, figure1_results
+    ):
+        _, analysis, results = figure1_results
+        (stmt, fact) = TaintAnalysis.sink_queries(analysis.icfg)[0]
+        assert stmt.annotation is None
+        assert results.finding_constraint(stmt, fact) == results.constraint_for(
+            stmt, fact
+        )
+
+    def test_finding_constraint_conjoins_annotation(self):
+        product_line = device_spl()
+        analysis = TaintAnalysis(product_line.icfg)
+        results = SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+        # Pick an annotated statement with a reachable zero fact.
+        from repro.ifds import ZERO
+
+        annotated = next(
+            s
+            for s in product_line.icfg.reachable_instructions()
+            if s.annotation is not None
+            and not results.constraint_for(s, ZERO).is_false
+        )
+        finding = results.finding_constraint(annotated, ZERO)
+        annotation = results.system.from_formula(annotated.annotation)
+        assert finding.entails(annotation)
+
+    def test_config_is_valid(self):
+        product_line = device_spl()
+        analysis = TaintAnalysis(product_line.icfg)
+        results = SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+        features = product_line.features_reachable
+        assert results.config_is_valid({"Buffering"}, features)
+        # Encryption without Secure violates the model.
+        assert not results.config_is_valid({"Encryption"}, features)
+
+    def test_reachability_of_unreached_statement(self):
+        product_line = figure1()
+        analysis = TaintAnalysis(product_line.icfg)
+        system_results = SPLLift(analysis).solve()
+        foo = product_line.ir.method("Main.foo")
+        assert str(system_results.reachability_of(foo.start_point)) == "G"

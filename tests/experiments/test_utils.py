@@ -1,0 +1,69 @@
+"""Tests for duration formatting and table rendering."""
+
+import pytest
+
+from repro.utils import format_count, format_duration, format_estimate, render_table
+
+
+class TestFormatDuration:
+    def test_sub_second(self):
+        assert format_duration(0.5) == "0.50s"
+
+    def test_seconds(self):
+        assert format_duration(42) == "42s"
+
+    def test_minutes(self):
+        assert format_duration(126) == "2m06s"
+
+    def test_hours(self):
+        # the paper's 9h03m39s renders as 9h04m at our granularity
+        assert format_duration(9 * 3600 + 3 * 60 + 39) == "9h04m"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestFormatEstimate:
+    def test_days(self):
+        assert format_estimate(3 * 86400.0) == "≈3 days"
+
+    def test_years(self):
+        text = format_estimate(2.5 * 365 * 86400.0)
+        assert text.startswith("≈") and "years" in text
+
+    def test_below_a_day(self):
+        assert format_estimate(3600.0).startswith("≈")
+
+
+class TestFormatCount:
+    def test_small(self):
+        assert format_count(1872) == "1,872"
+
+    def test_large_scientific(self):
+        text = format_count(55 * 10**10)
+        assert "10^" in text
+
+    def test_paper_berkeleydb_number(self):
+        assert format_count(550_000_000_000) == "55·10^10"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ("A", "Long header"),
+            [("x", "1"), ("longer", "2")],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Long header" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("A",), [("x", "y")])
+
+    def test_empty_rows(self):
+        text = render_table(("A", "B"), [])
+        assert "A" in text

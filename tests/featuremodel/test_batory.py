@@ -1,0 +1,130 @@
+"""Batory translation vs. the direct tree semantics (Section 4.1).
+
+The translation and :meth:`FeatureModel.is_valid` are implemented
+independently, so exhaustive comparison over all assignments is a strong
+correctness check — including on randomly generated feature trees.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.formula import parse_formula
+from repro.featuremodel import Feature, FeatureModel, to_formula
+
+
+def assignments(names):
+    for bits in itertools.product((False, True), repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+def assert_translation_matches(model: FeatureModel):
+    formula = to_formula(model)
+    names = model.feature_names
+    extra = sorted(set().union(*(c.variables() for c in model.cross_tree))- set(names)) if model.cross_tree else []
+    all_names = list(names) + list(extra)
+    for assignment in assignments(all_names):
+        assert formula.evaluate(assignment) == model.is_valid(assignment), (
+            assignment,
+            str(formula),
+        )
+
+
+class TestTranslationUnit:
+    def test_empty_model_is_true(self):
+        assert to_formula(FeatureModel()).evaluate({}) is True
+
+    def test_root_only(self):
+        model = FeatureModel(root=Feature("A"))
+        assert_translation_matches(model)
+
+    def test_mandatory(self):
+        root = Feature("A")
+        root.add_mandatory(Feature("B"))
+        assert_translation_matches(FeatureModel(root=root))
+
+    def test_optional(self):
+        root = Feature("A")
+        root.add_optional(Feature("B"))
+        assert_translation_matches(FeatureModel(root=root))
+
+    def test_or_group(self):
+        root = Feature("A")
+        root.add_group("or", [Feature("X"), Feature("Y"), Feature("Z")])
+        assert_translation_matches(FeatureModel(root=root))
+
+    def test_xor_group(self):
+        root = Feature("A")
+        root.add_group("xor", [Feature("X"), Feature("Y"), Feature("Z")])
+        assert_translation_matches(FeatureModel(root=root))
+
+    def test_singleton_groups(self):
+        root = Feature("A")
+        root.add_group("or", [Feature("X")])
+        root.add_group("xor", [Feature("Y")])
+        assert_translation_matches(FeatureModel(root=root))
+
+    def test_nested_tree(self):
+        root = Feature("A")
+        sub = Feature("B")
+        root.add_optional(sub)
+        sub.add_mandatory(Feature("C"))
+        sub.add_group("xor", [Feature("X"), Feature("Y")])
+        assert_translation_matches(FeatureModel(root=root))
+
+    def test_cross_tree(self):
+        root = Feature("A")
+        root.add_optional(Feature("B"))
+        root.add_optional(Feature("C"))
+        model = FeatureModel(
+            root=root, cross_tree=[parse_formula("B -> C"), parse_formula("!(B && C) || A")]
+        )
+        assert_translation_matches(model)
+
+    def test_deep_group_members_with_children(self):
+        root = Feature("A")
+        member = Feature("X")
+        member.add_optional(Feature("X1"))
+        root.add_group("or", [member, Feature("Y")])
+        assert_translation_matches(FeatureModel(root=root))
+
+
+def random_model(seed: int, max_features: int = 7) -> FeatureModel:
+    rng = random.Random(seed)
+    root = Feature("f0")
+    frontier = [root]
+    total = rng.randint(1, max_features)
+    created = 1
+    while created < total and frontier:
+        parent = rng.choice(frontier)
+        kind = rng.random()
+        if kind < 0.35:
+            child = Feature(f"f{created}")
+            created += 1
+            parent.add_mandatory(child)
+            frontier.append(child)
+        elif kind < 0.7:
+            child = Feature(f"f{created}")
+            created += 1
+            parent.add_optional(child)
+            frontier.append(child)
+        else:
+            size = min(rng.randint(2, 3), total - created)
+            if size < 1:
+                continue
+            members = []
+            for _ in range(size):
+                member = Feature(f"f{created}")
+                created += 1
+                members.append(member)
+                frontier.append(member)
+            parent.add_group(rng.choice(("or", "xor")), members)
+    return FeatureModel(root=root)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=80, deadline=None)
+def test_translation_matches_semantics_on_random_trees(seed):
+    assert_translation_matches(random_model(seed))

@@ -1,0 +1,96 @@
+"""Valid-configuration counting and enumeration vs. brute force."""
+
+import itertools
+
+from repro.constraints import BddConstraintSystem
+from repro.featuremodel import (
+    Feature,
+    FeatureModel,
+    count_valid_configurations,
+    iter_valid_configurations,
+    model_constraint,
+    parse_feature_model,
+    project_onto,
+)
+
+
+def brute_force_valid(model):
+    names = model.feature_names
+    for bits in itertools.product((False, True), repeat=len(names)):
+        assignment = dict(zip(names, bits))
+        if model.is_valid(assignment):
+            yield frozenset(n for n, v in assignment.items() if v)
+
+
+def demo_model():
+    return parse_feature_model(
+        """
+        root App {
+            mandatory Core
+            optional Logging
+            xor { Small Large }
+        }
+        constraint Logging -> Large;
+        """
+    )
+
+
+class TestCounting:
+    def test_count_matches_brute_force(self):
+        model = demo_model()
+        expected = len(list(brute_force_valid(model)))
+        assert count_valid_configurations(model) == expected == 3
+
+    def test_enumeration_matches_brute_force(self):
+        model = demo_model()
+        assert set(iter_valid_configurations(model)) == set(
+            brute_force_valid(model)
+        )
+
+    def test_every_enumerated_configuration_is_valid(self):
+        model = demo_model()
+        for config in iter_valid_configurations(model):
+            assert model.is_valid(config)
+
+    def test_empty_model_counts_everything(self):
+        assert count_valid_configurations(FeatureModel()) == 1  # no features
+
+    def test_count_over_subset(self):
+        model = demo_model()
+        # Projection onto {Logging}: both values are extendable.
+        assert count_valid_configurations(model, over=["Logging"]) == 2
+
+    def test_projection(self):
+        model = demo_model()
+        system = BddConstraintSystem()
+        constraint = model_constraint(model, system)
+        projected = project_onto(constraint, ["Small", "Large"])
+        # exactly-one still holds after projection
+        assert projected.model_count(["Small", "Large"]) == 2
+
+    def test_projection_drops_unlisted_vars(self):
+        model = demo_model()
+        system = BddConstraintSystem()
+        constraint = model_constraint(model, system)
+        projected = project_onto(constraint, ["Logging"])
+        support = system.manager.support(projected.node)
+        assert support <= {"Logging"}
+
+    def test_enumeration_over_subset_deduplicates(self):
+        model = demo_model()
+        configs = list(iter_valid_configurations(model, over=["Logging"]))
+        assert sorted(configs, key=sorted) == [frozenset(), frozenset({"Logging"})]
+
+    def test_deterministic_enumeration(self):
+        model = demo_model()
+        assert list(iter_valid_configurations(model)) == list(
+            iter_valid_configurations(model)
+        )
+
+    def test_larger_model_count(self):
+        root = Feature("R")
+        root.add_group("or", [Feature(f"O{i}") for i in range(4)])
+        model = FeatureModel(root=root)
+        # The root is always part of a product, so the or-group must have
+        # at least one member: 2^4 - 1 combinations.
+        assert count_valid_configurations(model) == 15

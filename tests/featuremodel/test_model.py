@@ -1,0 +1,107 @@
+"""Tests for the feature-model structure and its direct semantics."""
+
+import pytest
+
+from repro.constraints.formula import parse_formula
+from repro.featuremodel import Feature, FeatureModel, FeatureModelError
+
+
+def simple_model() -> FeatureModel:
+    root = Feature("App")
+    root.add_mandatory(Feature("Core"))
+    root.add_optional(Feature("Logging"))
+    root.add_group("xor", [Feature("Small"), Feature("Large")])
+    return FeatureModel(root=root, name="simple")
+
+
+class TestStructure:
+    def test_feature_names_preorder(self):
+        model = simple_model()
+        assert model.feature_names == ("App", "Core", "Logging", "Small", "Large")
+
+    def test_lookup(self):
+        model = simple_model()
+        assert model.feature("Core").name == "Core"
+        assert "Logging" in model
+        assert "Nope" not in model
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(FeatureModelError):
+            simple_model().feature("Nope")
+
+    def test_duplicate_names_rejected(self):
+        root = Feature("A")
+        root.add_optional(Feature("A"))
+        with pytest.raises(FeatureModelError):
+            FeatureModel(root=root)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(FeatureModelError):
+            Feature("A").add_group("or", [])
+
+    def test_bad_group_kind_rejected(self):
+        with pytest.raises(FeatureModelError):
+            Feature("A").add_group("nand", [Feature("B")])
+
+    def test_empty_model(self):
+        model = FeatureModel()
+        assert model.feature_names == ()
+        assert model.is_valid(set())
+        assert model.is_valid({"anything"})
+
+
+class TestDirectSemantics:
+    def test_root_required(self):
+        model = simple_model()
+        assert not model.is_valid({"Core", "Small"})
+
+    def test_mandatory_child(self):
+        model = simple_model()
+        assert not model.is_valid({"App", "Small"})  # missing Core
+        assert model.is_valid({"App", "Core", "Small"})
+
+    def test_child_requires_parent(self):
+        root = Feature("A")
+        optional = Feature("B")
+        root.add_optional(optional)
+        nested = Feature("C")
+        optional.add_optional(nested)
+        model = FeatureModel(root=root)
+        assert not model.is_valid({"A", "C"})  # C without B
+        assert model.is_valid({"A", "B", "C"})
+
+    def test_xor_exactly_one(self):
+        model = simple_model()
+        base = {"App", "Core"}
+        assert not model.is_valid(base)  # zero of the group
+        assert model.is_valid(base | {"Small"})
+        assert model.is_valid(base | {"Large"})
+        assert not model.is_valid(base | {"Small", "Large"})
+
+    def test_or_at_least_one(self):
+        root = Feature("A")
+        root.add_group("or", [Feature("X"), Feature("Y")])
+        model = FeatureModel(root=root)
+        assert not model.is_valid({"A"})
+        assert model.is_valid({"A", "X"})
+        assert model.is_valid({"A", "X", "Y"})
+
+    def test_group_member_requires_parent(self):
+        root = Feature("A")
+        sub = Feature("B")
+        root.add_optional(sub)
+        sub.add_group("xor", [Feature("X"), Feature("Y")])
+        model = FeatureModel(root=root)
+        assert not model.is_valid({"A", "X"})  # X without B
+        assert model.is_valid({"A", "B", "X"})
+        # With B disabled the group is simply not active.
+        assert model.is_valid({"A"})
+
+    def test_cross_tree_constraint(self):
+        root = Feature("A")
+        root.add_optional(Feature("B"))
+        root.add_optional(Feature("C"))
+        model = FeatureModel(root=root, cross_tree=[parse_formula("B -> C")])
+        assert model.is_valid({"A", "C"})
+        assert model.is_valid({"A", "B", "C"})
+        assert not model.is_valid({"A", "B"})

@@ -1,0 +1,118 @@
+"""Tests for the textual feature-model format."""
+
+import pytest
+
+from repro.constraints.formula import Implies, Var
+from repro.featuremodel import FeatureModelError, parse_feature_model
+
+
+class TestParser:
+    def test_minimal(self):
+        model = parse_feature_model("root A")
+        assert model.feature_names == ("A",)
+
+    def test_named_model(self):
+        model = parse_feature_model("featuremodel demo root A")
+        assert model.name == "demo"
+
+    def test_children_kinds(self):
+        model = parse_feature_model(
+            """
+            root App {
+                mandatory Core
+                optional Logging
+            }
+            """
+        )
+        root = model.root
+        assert [(c.name, optional) for c, optional in root.children] == [
+            ("Core", False),
+            ("Logging", True),
+        ]
+
+    def test_groups(self):
+        model = parse_feature_model(
+            """
+            root App {
+                or { A B }
+                xor { X Y Z }
+            }
+            """
+        )
+        groups = model.root.groups
+        assert groups[0].kind == "or"
+        assert [m.name for m in groups[0].members] == ["A", "B"]
+        assert groups[1].kind == "xor"
+        assert len(groups[1].members) == 3
+
+    def test_nesting(self):
+        model = parse_feature_model(
+            """
+            root App {
+                optional Sub {
+                    mandatory Inner
+                    xor { L R }
+                }
+            }
+            """
+        )
+        assert model.feature_names == ("App", "Sub", "Inner", "L", "R")
+
+    def test_constraints(self):
+        model = parse_feature_model(
+            """
+            root App { optional A optional B }
+            constraint A -> B;
+            """
+        )
+        assert model.cross_tree == [Implies(Var("A"), Var("B"))]
+
+    def test_multiple_constraints(self):
+        model = parse_feature_model(
+            """
+            root App { optional A optional B optional C }
+            constraint A -> B;
+            constraint !(B && C);
+            """
+        )
+        assert len(model.cross_tree) == 2
+
+    def test_comments(self):
+        model = parse_feature_model(
+            """
+            // a comment
+            root App { optional A }  // trailing
+            """
+        )
+        assert model.feature_names == ("App", "A")
+
+    def test_semantics_of_parsed_model(self):
+        model = parse_feature_model(
+            """
+            root App {
+                mandatory Core
+                xor { S L }
+            }
+            constraint S -> Core;
+            """
+        )
+        assert model.is_valid({"App", "Core", "S"})
+        assert not model.is_valid({"App", "Core", "S", "L"})
+        assert not model.is_valid({"App", "S"})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "root",
+            "root A { mandatory }",
+            "root A { weird B }",
+            "root A { or { } }",
+            "root A constraint A -> ;",
+            "root A constraint A -> B",  # missing semicolon
+            "root A trailing",
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(FeatureModelError):
+            parse_feature_model(bad)

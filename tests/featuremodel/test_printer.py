@@ -1,0 +1,75 @@
+"""Round-trip tests for the feature-model printer."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.featuremodel import (
+    FeatureModel,
+    parse_feature_model,
+    render_feature_model,
+)
+from repro.featuremodel.parser import parse_feature_model as parse
+from tests.featuremodel.test_batory import random_model
+
+
+def same_semantics(a: FeatureModel, b: FeatureModel) -> bool:
+    """Compare models via BDD equivalence of their Batory formulas
+    (brute force would be 2^44 assignments for the benchmark models)."""
+    from repro.bdd import BDDManager
+    from repro.featuremodel import to_formula
+
+    if a.feature_names != b.feature_names:
+        return False
+    manager = BDDManager()
+    return to_formula(a).to_bdd(manager) == to_formula(b).to_bdd(manager)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        model = parse(
+            """
+            featuremodel demo
+            root App {
+                mandatory Core
+                optional Logging
+                xor { S L }
+            }
+            constraint Logging -> L;
+            """
+        )
+        rendered = render_feature_model(model)
+        assert same_semantics(model, parse(rendered))
+
+    def test_nested_groups(self):
+        model = parse(
+            """
+            root A {
+                or { X { optional X1 } Y }
+                optional B { mandatory C }
+            }
+            """
+        )
+        assert same_semantics(model, parse(render_feature_model(model)))
+
+    def test_name_preserved(self):
+        model = parse("featuremodel fancy root R")
+        assert parse(render_feature_model(model)).name == "fancy"
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            render_feature_model(FeatureModel())
+
+    def test_benchmark_models_round_trip(self):
+        from repro.spl.benchmarks import paper_subjects
+
+        for _, builder in paper_subjects():
+            model = builder().feature_model
+            assert same_semantics(model, parse(render_feature_model(model)))
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_models_round_trip(self, seed):
+        model = random_model(seed)
+        assert same_semantics(model, parse(render_feature_model(model)))

@@ -1,0 +1,105 @@
+"""Tests for the generic edge functions and the constraint edge algebra."""
+
+import pytest
+
+from repro.constraints import BddConstraintSystem
+from repro.core.lifting import ConstraintEdge
+from repro.ide import AllTop, IdentityEdge
+
+
+@pytest.fixture
+def system():
+    return BddConstraintSystem()
+
+
+class TestGenericEdgeFunctions:
+    def test_identity(self):
+        identity = IdentityEdge()
+        assert identity.compute_target("v") == "v"
+        assert identity.compose_with(AllTop(False)).equal_to(AllTop(False))
+        assert identity.equal_to(IdentityEdge())
+
+    def test_all_top(self):
+        all_top = AllTop(False)
+        assert all_top.compute_target(True) is False
+        assert all_top.compose_with(IdentityEdge()) is all_top
+        assert all_top.join_with(IdentityEdge()).equal_to(IdentityEdge())
+        assert all_top.equal_to(AllTop(False))
+        assert not all_top.equal_to(IdentityEdge())
+
+    def test_identity_join_with_all_top(self):
+        identity = IdentityEdge()
+        assert identity.join_with(AllTop(False)).equal_to(identity)
+
+
+class TestConstraintEdge:
+    def test_compute_target_conjoins(self, system):
+        f = system.var("F")
+        edge = ConstraintEdge(f)
+        assert edge.compute_target(system.true) == f
+        assert edge.compute_target(~f).is_false
+
+    def test_compose_conjoins(self, system):
+        f, g = system.var("F"), system.var("G")
+        composed = ConstraintEdge(f).compose_with(ConstraintEdge(g))
+        assert isinstance(composed, ConstraintEdge)
+        assert composed.constraint == (f & g)
+
+    def test_join_disjoins(self, system):
+        f, g = system.var("F"), system.var("G")
+        joined = ConstraintEdge(f).join_with(ConstraintEdge(g))
+        assert joined.constraint == (f | g)
+
+    def test_contradiction_equals_all_top(self, system):
+        f = system.var("F")
+        contradiction = ConstraintEdge(f).compose_with(ConstraintEdge(~f))
+        assert contradiction.equal_to(AllTop(system.false))
+
+    def test_compose_with_all_top_is_all_top(self, system):
+        all_top = AllTop(system.false)
+        result = ConstraintEdge(system.var("F")).compose_with(all_top)
+        assert result is all_top
+
+    def test_join_with_all_top_is_self(self, system):
+        edge = ConstraintEdge(system.var("F"))
+        assert edge.join_with(AllTop(system.false)) is edge
+
+    def test_equality_is_constraint_equality(self, system):
+        f, g = system.var("F"), system.var("G")
+        lhs = ConstraintEdge(~(f & g))
+        rhs = ConstraintEdge((~f) | (~g))
+        assert lhs.equal_to(rhs)  # canonical BDDs: same function, equal
+
+    def test_paper_section_3_4_composition(self, system):
+        """Constraints along a path conjoin; merge points disjoin."""
+        f, g, h = system.var("F"), system.var("G"), system.var("H")
+        path1 = (
+            ConstraintEdge(system.true)
+            .compose_with(ConstraintEdge(~f))
+            .compose_with(ConstraintEdge(g))
+            .compose_with(ConstraintEdge(~h))
+        )
+        path2 = ConstraintEdge(system.false)
+        merged = path1.join_with(path2)
+        assert merged.constraint == system.parse("!F && G && !H")
+
+    def test_algebra_is_closed(self, system):
+        """compose/join of λc.c∧A functions stay in the family — the
+        property that makes the lifting encodable in IDE (Section 8)."""
+        edges = [
+            ConstraintEdge(system.var("F")),
+            ConstraintEdge(~system.var("G")),
+            ConstraintEdge(system.true),
+            ConstraintEdge(system.false),
+        ]
+        for left in edges:
+            for right in edges:
+                assert isinstance(left.compose_with(right), ConstraintEdge)
+                assert isinstance(left.join_with(right), ConstraintEdge)
+
+    def test_type_errors(self, system):
+        edge = ConstraintEdge(system.var("F"))
+        with pytest.raises(TypeError):
+            edge.compose_with(IdentityEdge())
+        with pytest.raises(TypeError):
+            edge.join_with(IdentityEdge())

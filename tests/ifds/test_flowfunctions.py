@@ -1,0 +1,106 @@
+"""Tests for the flow-function combinators (Figure 2 of the paper)."""
+
+from repro.ifds import (
+    Compose,
+    Gen,
+    Identity,
+    Kill,
+    KillAll,
+    Lambda,
+    Transfer,
+    Union,
+    ZERO,
+)
+
+
+class TestIdentity:
+    def test_maps_fact_to_itself(self):
+        assert Identity().compute_targets("a") == {"a"}
+        assert Identity().compute_targets(ZERO) == {ZERO}
+
+    def test_singleton(self):
+        assert Identity() is Identity()
+
+
+class TestKillAll:
+    def test_maps_everything_to_empty(self):
+        assert KillAll().compute_targets("a") == frozenset()
+        assert KillAll().compute_targets(ZERO) == frozenset()
+
+    def test_singleton(self):
+        assert KillAll() is KillAll()
+
+
+class TestGenKill:
+    def test_gen_from_zero(self):
+        """Figure 2's α: generates a (and keeps 0)."""
+        gen = Gen({"a"}, ZERO)
+        assert gen.compute_targets(ZERO) == {ZERO, "a"}
+
+    def test_gen_passes_other_facts(self):
+        gen = Gen({"a"}, ZERO)
+        assert gen.compute_targets("b") == {"b"}
+
+    def test_kill(self):
+        kill = Kill({"b"})
+        assert kill.compute_targets("b") == frozenset()
+        assert kill.compute_targets("a") == {"a"}
+        assert kill.compute_targets(ZERO) == {ZERO}
+
+    def test_figure2_alpha(self):
+        """α = gen {a} composed with kill {b}."""
+        alpha = Compose(Kill({"b"}), Gen({"a"}, ZERO))
+        assert alpha.compute_targets(ZERO) == {ZERO, "a"}
+        assert alpha.compute_targets("b") == frozenset()
+        assert alpha.compute_targets("c") == {"c"}
+
+    def test_figure2_beta(self):
+        """β: kills a, generates b, leaves c untouched."""
+        beta = Compose(Kill({"a"}), Gen({"b"}, ZERO))
+        assert beta.compute_targets("a") == frozenset()
+        assert beta.compute_targets(ZERO) == {ZERO, "b"}
+        assert beta.compute_targets("c") == {"c"}
+
+
+class TestTransfer:
+    def test_non_locally_separable_assignment(self):
+        """Section 2.1's p = x: x keeps its value, p gets x's, old p dies."""
+        transfer = Transfer("p", "x")
+        assert transfer.compute_targets("x") == {"x", "p"}
+        assert transfer.compute_targets("p") == frozenset()
+        assert transfer.compute_targets(ZERO) == {ZERO}
+        assert transfer.compute_targets("q") == {"q"}
+
+
+class TestCombinators:
+    def test_lambda(self):
+        double = Lambda(lambda fact: [fact, fact.upper()] if fact != ZERO else [ZERO])
+        assert double.compute_targets("a") == {"a", "A"}
+
+    def test_compose_order(self):
+        first = Lambda(lambda f: ["b"] if f == "a" else [f])
+        second = Lambda(lambda f: ["c"] if f == "b" else [f])
+        assert Compose(first, second).compute_targets("a") == {"c"}
+
+    def test_compose_distributes(self):
+        fan_out = Lambda(lambda f: ["x", "y"] if f == "a" else [f])
+        mark = Lambda(lambda f: [f + "!"])
+        assert Compose(fan_out, mark).compute_targets("a") == {"x!", "y!"}
+
+    def test_union(self):
+        union = Union(Identity(), Lambda(lambda f: ["extra"]))
+        assert union.compute_targets("a") == {"a", "extra"}
+
+    def test_union_empty(self):
+        assert Union().compute_targets("a") == frozenset()
+
+    def test_reprs(self):
+        for fn in (
+            Identity(),
+            KillAll(),
+            Gen({"a"}, ZERO),
+            Kill({"a"}),
+            Transfer("p", "x"),
+            Union(Identity()),
+        ):
+            assert repr(fn)

@@ -1,0 +1,164 @@
+"""Differential testing: static may-analyses vs. concrete executions.
+
+Soundness, checked end to end: whatever actually happens in *some*
+execution of *some* product must be predicted by the static analyses —
+
+- every runtime-tainted ``print`` must be a taint-analysis hit (for A2 on
+  the executed configuration, and for SPLLIFT with a constraint admitting
+  it);
+- every runtime read of an uninitialized local must be flagged by the
+  uninitialized-variables analysis at that statement.
+
+Executions and analyses share IR instruction identities, so events line
+up exactly.  Multiple ``nondet()`` schedules drive different paths.
+"""
+
+import random
+
+import pytest
+
+from repro.analyses import (
+    LocalFact,
+    TaintAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.baselines import solve_a2
+from repro.core import SPLLift
+from repro.interp import Interpreter
+from repro.spl import device_spl, figure1
+from repro.spl.generator import SubjectSpec, generate_subject
+
+NONDET_SCHEDULES = {
+    "zeros": lambda: (lambda: 0),
+    "ones": lambda: (lambda: 1),
+    "random": lambda: random.Random(1234).randrange,
+}
+
+
+def schedules():
+    yield "zeros", lambda: 0
+    yield "ones", lambda: 1
+    rng = random.Random(99)
+    yield "random", lambda: rng.randrange(10)
+
+
+def execute(product_line, config, nondet):
+    interpreter = Interpreter(
+        product_line.ir, configuration=config, fuel=50_000, nondet_source=nondet
+    )
+    return interpreter.run()
+
+
+def check_taint_soundness(product_line, configs):
+    analysis = TaintAnalysis(product_line.icfg)
+    lifted = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+    features = product_line.features_reachable
+    for config in configs:
+        a2_results = solve_a2(analysis, config)
+        for _, nondet in schedules():
+            trace = execute(product_line, config, nondet)
+            # deduplicate: loops can produce the same event thousands of
+            # times, and one check per (statement, fact) suffices
+            events = {stmt for stmt, _ in trace.tainted_prints}
+            for stmt in sorted(events, key=lambda s: s.location):
+                fact = LocalFact(stmt.value.name)
+                assert fact in a2_results.at(stmt), (
+                    "A2 missed a runtime taint",
+                    stmt.location,
+                    sorted(config),
+                )
+                assert lifted.holds_in(stmt, fact, config, over=features), (
+                    "SPLLIFT missed a runtime taint",
+                    stmt.location,
+                    sorted(config),
+                )
+
+
+def check_uninit_soundness(product_line, configs):
+    analysis = UninitializedVariablesAnalysis(product_line.icfg)
+    lifted = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+    features = product_line.features_reachable
+    for config in configs:
+        a2_results = solve_a2(analysis, config)
+        for _, nondet in schedules():
+            trace = execute(product_line, config, nondet)
+            events = set(trace.uninit_reads)
+            for stmt, name in sorted(events, key=lambda e: (e[0].location, e[1])):
+                fact = LocalFact(name)
+                assert fact in a2_results.at(stmt), (
+                    "A2 missed a runtime uninitialized read",
+                    stmt.location,
+                    name,
+                    sorted(config),
+                )
+                assert lifted.holds_in(stmt, fact, config, over=features), (
+                    "SPLLIFT missed a runtime uninitialized read",
+                    stmt.location,
+                    name,
+                    sorted(config),
+                )
+
+
+class TestHandWrittenSubjects:
+    def test_figure1_taint(self):
+        product_line = figure1()
+        check_taint_soundness(
+            product_line, list(product_line.valid_configurations())
+        )
+
+    def test_device_taint(self):
+        product_line = device_spl()
+        check_taint_soundness(
+            product_line, list(product_line.valid_configurations())
+        )
+
+    def test_device_uninit(self):
+        product_line = device_spl()
+        check_uninit_soundness(
+            product_line, list(product_line.valid_configurations())
+        )
+
+
+class TestGeneratedSubjects:
+    @pytest.mark.parametrize("seed", [5, 17, 23, 41])
+    def test_generated_taint_and_uninit(self, seed):
+        spec = SubjectSpec(
+            name=f"diff-{seed}",
+            seed=seed,
+            classes=4,
+            methods_per_class=(2, 3),
+            statements_per_method=(4, 8),
+            annotation_density=0.35,
+            entry_fanout=5,
+            reachable_features=("A", "B", "C"),
+            source_density=0.5,
+            sink_density=0.8,
+            uninit_density=0.4,
+        )
+        product_line = generate_subject(spec)
+        configs = list(product_line.valid_configurations())
+        check_taint_soundness(product_line, configs)
+        check_uninit_soundness(product_line, configs)
+
+    @pytest.mark.parametrize("seed", [2, 6, 9])
+    def test_executions_actually_observe_events(self, seed):
+        """Guard against vacuous soundness checks: across the generated
+        subjects and schedules, at least some runs must produce events."""
+        spec = SubjectSpec(
+            name=f"events-{seed}",
+            seed=seed,
+            classes=4,
+            entry_fanout=6,
+            annotation_density=0.3,
+            reachable_features=("A", "B"),
+            source_density=0.9,
+            sink_density=0.9,
+            uninit_density=0.8,
+        )
+        product_line = generate_subject(spec)
+        total_events = 0
+        for config in product_line.valid_configurations():
+            for _, nondet in schedules():
+                trace = execute(product_line, config, nondet)
+                total_events += len(trace.prints) + len(trace.uninit_reads)
+        assert total_events > 0

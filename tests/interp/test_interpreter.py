@@ -1,0 +1,261 @@
+"""Unit tests for the MiniJava interpreter."""
+
+import pytest
+
+from repro.interp import Interpreter, InterpreterError
+from repro.ir import lower_program
+from repro.minijava import derive_product, parse_program
+from repro.spl.examples import FIGURE1_SOURCE
+
+
+def run(source, configuration=None, **kwargs):
+    program = lower_program(parse_program(source))
+    return Interpreter(program, configuration=configuration, **kwargs).run()
+
+
+def run_main(body, extra="", **kwargs):
+    return run(f"class Main {{ void main() {{ {body} }} {extra} }}", **kwargs)
+
+
+class TestArithmeticAndControl:
+    def test_arithmetic(self):
+        trace = run_main("int x = 2 + 3 * 4; print(x);")
+        assert trace.printed_data() == [14]
+
+    def test_division_and_modulo(self):
+        trace = run_main("int x = 17 / 5; int y = 17 % 5; print(x); print(y);")
+        assert trace.printed_data() == [3, 2]
+
+    def test_division_by_zero_stops(self):
+        trace = run_main("int z = 0; int x = 1 / z; print(x);")
+        assert not trace.completed
+        assert "division by zero" in trace.stop_reason
+
+    def test_comparisons_and_negation(self):
+        trace = run_main(
+            "boolean b = 3 < 5; if (b) { print(1); } if (!b) { print(0); }"
+        )
+        assert trace.printed_data() == [1]
+
+    def test_if_else(self):
+        trace = run_main(
+            "int x = 10; if (x < 5) { print(1); } else { print(2); }"
+        )
+        assert trace.printed_data() == [2]
+
+    def test_while_loop(self):
+        trace = run_main(
+            "int i = 0; int s = 0; while (i < 5) { s = s + i; i = i + 1; } print(s);"
+        )
+        assert trace.printed_data() == [10]
+
+    def test_fuel_exhaustion(self):
+        trace = run_main(
+            "int i = 0; while (i < 1) { i = 0; } print(i);", fuel=100
+        )
+        assert not trace.completed
+        assert "fuel" in trace.stop_reason
+
+    def test_unary_minus(self):
+        trace = run_main("int x = 5; print(-x);")
+        assert trace.printed_data() == [-5]
+
+
+class TestObjectsAndCalls:
+    def test_method_call_and_return(self):
+        trace = run_main(
+            "int y = twice(21); print(y);",
+            extra="int twice(int n) { return n + n; }",
+        )
+        assert trace.printed_data() == [42]
+
+    def test_fields_default_to_zero(self):
+        trace = run_main(
+            "int x = this.f; print(x);",
+            extra="int f;",
+        ).printed_data()
+        assert trace == [0]
+
+    def test_field_store_load(self):
+        trace = run_main(
+            "this.f = 7; int x = this.f; print(x);", extra="int f;"
+        )
+        assert trace.printed_data() == [7]
+
+    def test_objects_have_separate_fields(self):
+        source = """
+        class Box { int v; }
+        class Main { void main() {
+            Box a = new Box();
+            Box b = new Box();
+            a.v = 1;
+            b.v = 2;
+            print(a.v);
+            print(b.v);
+        } }
+        """
+        assert run(source).printed_data() == [1, 2]
+
+    def test_dynamic_dispatch(self):
+        source = """
+        class A { int id() { return 1; } }
+        class B extends A { int id() { return 2; } }
+        class Main { void main() {
+            A x = new A();
+            A y = new B();
+            print(x.id());
+            print(y.id());
+        } }
+        """
+        assert run(source).printed_data() == [1, 2]
+
+    def test_inherited_method(self):
+        source = """
+        class A { int id() { return 7; } }
+        class B extends A { }
+        class Main { void main() { B b = new B(); print(b.id()); } }
+        """
+        assert run(source).printed_data() == [7]
+
+    def test_recursion(self):
+        trace = run_main(
+            "print(fib(10));",
+            extra="""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            """,
+        )
+        assert trace.printed_data() == [55]
+
+    def test_depth_limit(self):
+        trace = run_main(
+            "int x = down(0); print(x);",
+            extra="int down(int n) { return down(n + 1); }",
+            max_depth=50,
+        )
+        assert not trace.completed
+        assert "depth" in trace.stop_reason
+
+    def test_null_dereference_stops(self):
+        source = """
+        class Box { int v; }
+        class Main { void main() {
+            Box b = new Box();
+            b = null;
+            int x = b.v;
+            print(x);
+        } }
+        """
+        trace = run(source)
+        assert not trace.completed
+        assert "null" in trace.stop_reason
+
+
+class TestShadowBits:
+    def test_secret_is_tainted(self):
+        trace = run_main("int x = secret(); print(x);")
+        assert len(trace.tainted_prints) == 1
+
+    def test_taint_through_arithmetic(self):
+        trace = run_main("int x = secret(); int y = x + 1; print(y);")
+        assert len(trace.tainted_prints) == 1
+
+    def test_overwrite_untaints(self):
+        trace = run_main("int x = secret(); x = 0; print(x);")
+        assert not trace.tainted_prints
+
+    def test_custom_secret_source(self):
+        trace = run_main(
+            "print(secret());", secret_source=lambda: 1234
+        )
+        assert trace.printed_data() == [1234]
+
+    def test_nondet_source(self):
+        values = iter([5, 6])
+        trace = run_main(
+            "print(nondet()); print(nondet());",
+            nondet_source=lambda: next(values),
+        )
+        assert trace.printed_data() == [5, 6]
+
+    def test_uninit_read_recorded(self):
+        trace = run_main("int u; print(u);")
+        assert [(name) for _, name in trace.uninit_reads] == ["u"]
+
+    def test_initialized_read_clean(self):
+        trace = run_main("int u = 1; print(u);")
+        assert not trace.uninit_reads
+
+    def test_uninit_through_call(self):
+        trace = run_main(
+            "int u; int y = pass(u); print(y);",
+            extra="int pass(int p) { return p; }",
+        )
+        names = [name for _, name in trace.uninit_reads]
+        # read of u at the call, read of p at the return, read of y at print
+        assert "u" in names and "p" in names and "y" in names
+
+
+class TestProductLines:
+    @pytest.mark.parametrize(
+        "config,expected_prints,expected_taints",
+        [
+            (set(), [0], 0),
+            ({"G"}, [42], 1),
+            ({"F", "G"}, [0], 0),
+            ({"G", "H"}, [0], 0),
+            ({"F", "G", "H"}, [0], 0),
+        ],
+    )
+    def test_figure1_per_configuration(
+        self, config, expected_prints, expected_taints
+    ):
+        program = lower_program(parse_program(FIGURE1_SOURCE))
+        trace = Interpreter(program, configuration=config).run()
+        assert trace.printed_data() == expected_prints
+        assert len(trace.tainted_prints) == expected_taints
+
+    def test_product_line_execution_matches_product_execution(self):
+        """Interpreting the SPL under c ≡ interpreting preprocess(c)."""
+        program_ast = parse_program(FIGURE1_SOURCE)
+        spl_program = lower_program(program_ast)
+        for config in (set(), {"G"}, {"F", "G"}, {"G", "H"}, {"F", "G", "H"}):
+            spl_trace = Interpreter(spl_program, configuration=config).run()
+            product = lower_program(derive_product(program_ast, config))
+            product_trace = Interpreter(product).run()
+            assert spl_trace.printed_data() == product_trace.printed_data()
+
+    def test_annotated_program_without_configuration_rejected(self):
+        program = lower_program(parse_program(FIGURE1_SOURCE))
+        with pytest.raises(InterpreterError):
+            Interpreter(program).run()
+
+    def test_disabled_early_return_falls_through(self):
+        source = """
+        class Main {
+            void main() { print(choose()); }
+            int choose() {
+                #ifdef (R) return 1; #endif
+                return 2;
+            }
+        }
+        """
+        program = lower_program(parse_program(source))
+        assert Interpreter(program, configuration={"R"}).run().printed_data() == [1]
+        assert Interpreter(program, configuration=set()).run().printed_data() == [2]
+
+    def test_disabled_loop_skipped(self):
+        source = """
+        class Main { void main() {
+            int i = 0;
+            #ifdef (Loop)
+            while (i < 3) { i = i + 1; }
+            #endif
+            print(i);
+        } }
+        """
+        program = lower_program(parse_program(source))
+        assert Interpreter(program, configuration={"Loop"}).run().printed_data() == [3]
+        assert Interpreter(program, configuration=set()).run().printed_data() == [0]

@@ -1,0 +1,65 @@
+"""Unit tests for runtime values and shadow bits."""
+
+import pytest
+
+from repro.interp.values import (
+    ObjectRef,
+    Value,
+    bool_value,
+    int_value,
+    null_value,
+    uninitialized,
+)
+
+
+class TestValues:
+    def test_int_value(self):
+        value = int_value(42)
+        assert value.data == 42
+        assert not value.tainted
+        assert value.initialized
+
+    def test_tainted_int(self):
+        assert int_value(1, tainted=True).tainted
+
+    def test_bool_value(self):
+        assert bool_value(True).data is True
+        assert bool_value(False).data is False
+
+    def test_null(self):
+        value = null_value()
+        assert value.is_null
+        assert value.data is None
+
+    def test_uninitialized(self):
+        value = uninitialized()
+        assert not value.initialized
+        assert not value.tainted
+
+    def test_with_taint(self):
+        value = int_value(5).with_taint(True)
+        assert value.tainted and value.data == 5
+        # immutable: the original is untouched
+        assert not int_value(5).tainted
+
+    def test_repr_markers(self):
+        assert "🔥" in repr(int_value(1, tainted=True))
+        assert "?" in repr(uninitialized())
+        assert repr(int_value(3)) == "3"
+
+
+class TestObjectRef:
+    def test_fields_are_per_object(self):
+        a, b = ObjectRef("Box"), ObjectRef("Box")
+        a.fields["v"] = int_value(1)
+        assert "v" not in b.fields
+
+    def test_class_name(self):
+        assert ObjectRef("Widget").class_name == "Widget"
+
+    def test_repr(self):
+        assert "Widget" in repr(ObjectRef("Widget"))
+
+    def test_value_wrapping_object_not_null(self):
+        value = Value(ObjectRef("Box"))
+        assert not value.is_null

@@ -1,0 +1,115 @@
+"""Tests for the CHA call graph."""
+
+import pytest
+
+from repro.ir import ICFG, Invoke, IRError, build_call_graph, lower_program
+from repro.minijava import parse_program
+
+HIERARCHY = """
+class List { int add(int x) { return x; } }
+class ArrayList extends List { int add(int x) { return x + 1; } }
+class LinkedList extends List { int add(int x) { return x + 2; } }
+class Main {
+    void main() {
+        List l = new ArrayList();
+        int r = l.add(1);
+        print(r);
+    }
+}
+"""
+
+
+def build(source):
+    program = lower_program(parse_program(source))
+    return program, build_call_graph(program, (program.method("Main.main"),))
+
+
+class TestCHA:
+    def test_virtual_call_resolves_to_all_subtypes(self):
+        program, cg = build(HIERARCHY)
+        call = next(iter(cg.call_sites()))
+        targets = {m.qualified_name for m in cg.callees(call)}
+        # Feature-insensitive CHA: all three implementations (the paper's
+        # ArrayList/LinkedList example, Section 5).
+        assert targets == {"List.add", "ArrayList.add", "LinkedList.add"}
+
+    def test_reachable_methods(self):
+        program, cg = build(HIERARCHY)
+        names = {m.qualified_name for m in cg.reachable_methods}
+        assert names == {"Main.main", "List.add", "ArrayList.add", "LinkedList.add"}
+
+    def test_callers(self):
+        program, cg = build(HIERARCHY)
+        target = program.method("LinkedList.add")
+        callers = cg.callers(target)
+        assert len(callers) == 1
+        assert isinstance(callers[0], Invoke)
+
+    def test_static_type_narrows_dispatch(self):
+        source = HIERARCHY.replace("List l = new ArrayList();", "ArrayList l = new ArrayList();")
+        program, cg = build(source)
+        call = next(iter(cg.call_sites()))
+        targets = {m.qualified_name for m in cg.callees(call)}
+        # static type ArrayList: only ArrayList.add (it has no subclasses)
+        assert targets == {"ArrayList.add"}
+
+    def test_inherited_method_resolution(self):
+        source = """
+        class Base { int m() { return 1; } }
+        class Sub extends Base { }
+        class Main { void main() { Sub s = new Sub(); int x = s.m(); } }
+        """
+        program, cg = build(source)
+        call = next(iter(cg.call_sites()))
+        targets = {m.qualified_name for m in cg.callees(call)}
+        assert targets == {"Base.m"}
+
+    def test_unreachable_methods_excluded(self):
+        source = """
+        class Main {
+            void main() { int x = used(); }
+            int used() { return 1; }
+            int dead() { return 2; }
+        }
+        """
+        program, cg = build(source)
+        names = {m.qualified_name for m in cg.reachable_methods}
+        assert "Main.dead" not in names
+
+    def test_transitive_reachability(self):
+        source = """
+        class Main {
+            void main() { int x = a(); }
+            int a() { return b(); }
+            int b() { return 1; }
+        }
+        """
+        program, cg = build(source)
+        names = {m.qualified_name for m in cg.reachable_methods}
+        assert names == {"Main.main", "Main.a", "Main.b"}
+
+    def test_recursion_handled(self):
+        source = """
+        class Main {
+            void main() { int x = fib(5); }
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+        }
+        """
+        program, cg = build(source)
+        assert {m.qualified_name for m in cg.reachable_methods} == {
+            "Main.main",
+            "Main.fib",
+        }
+
+    def test_edge_count(self):
+        program, cg = build(HIERARCHY)
+        assert cg.edge_count == 3
+
+    def test_deterministic_target_order(self):
+        program, cg = build(HIERARCHY)
+        call = next(iter(cg.call_sites()))
+        names = [m.qualified_name for m in cg.callees(call)]
+        assert names == sorted(names)

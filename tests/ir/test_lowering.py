@@ -1,0 +1,295 @@
+"""Tests for AST → Jimple-like IR lowering."""
+
+import pytest
+
+from repro.constraints.formula import And, Var
+from repro.ir import (
+    Assign,
+    BinOp,
+    Const,
+    Declare,
+    FieldLoad,
+    FieldStore,
+    Goto,
+    If,
+    Invoke,
+    LocalRef,
+    LoweringError,
+    NewObject,
+    Print,
+    Return,
+    SecretValue,
+    lower_program,
+)
+from repro.minijava import parse_program
+
+
+def lower_main(body: str, extra: str = ""):
+    program = parse_program(
+        f"class Main {{ void main() {{ {body} }} {extra} }}"
+    )
+    return lower_program(program).method("Main.main")
+
+
+class TestBasicLowering:
+    def test_var_decl_with_init(self):
+        method = lower_main("int x = 1;")
+        assert isinstance(method.instructions[0], Assign)
+        assert method.instructions[0].target == "x"
+        assert method.instructions[0].rvalue == Const(1)
+
+    def test_var_decl_without_init_emits_declare(self):
+        method = lower_main("int x;")
+        assert isinstance(method.instructions[0], Declare)
+        assert method.instructions[0].name == "x"
+
+    def test_implicit_trailing_return(self):
+        method = lower_main("int x = 1;")
+        assert isinstance(method.instructions[-1], Return)
+
+    def test_no_duplicate_trailing_return(self):
+        method = lower_main("return;")
+        returns = [i for i in method.instructions if isinstance(i, Return)]
+        assert len(returns) == 1
+
+    def test_expression_flattening_creates_temps(self):
+        method = lower_main("int x = 1 + 2 * 3;")
+        # 2 * 3 goes into a temp, then 1 + temp into x.
+        assigns = [i for i in method.instructions if isinstance(i, Assign)]
+        assert assigns[0].target.startswith("$t")
+        assert assigns[1].target == "x"
+        assert isinstance(assigns[1].rvalue, BinOp)
+
+    def test_secret_intrinsic(self):
+        method = lower_main("int x = secret();")
+        assert method.instructions[0].rvalue == SecretValue()
+
+    def test_nondet_intrinsic(self):
+        from repro.ir import NondetValue
+
+        method = lower_main("int x = nondet();")
+        assert method.instructions[0].rvalue == NondetValue()
+
+    def test_print(self):
+        method = lower_main("int x = 1; print(x);")
+        assert isinstance(method.instructions[1], Print)
+
+    def test_print_of_expression_flattens(self):
+        method = lower_main("int x = 1; print(x + 1);")
+        kinds = [type(i).__name__ for i in method.instructions]
+        assert kinds[:3] == ["Assign", "Assign", "Print"]
+
+    def test_source_locals_exclude_temps_and_params(self):
+        program = parse_program(
+            "class Main { void main() { } int m(int p) { int a; int b = p + 1 + 2; return b; } }"
+        )
+        method = lower_program(program).method("Main.m")
+        assert set(method.source_locals) == {"a", "b"}
+        assert "p" in method.local_types
+        assert "this" in method.local_types
+
+
+class TestControlFlow:
+    def test_if_shape(self):
+        method = lower_main("int x = 1; if (x < 2) { x = 3; } print(x);")
+        if_instr = next(i for i in method.instructions if isinstance(i, If))
+        goto = next(i for i in method.instructions if isinstance(i, Goto))
+        # branch target is the then-block, goto jumps over it
+        then_target = method.instructions[if_instr.target]
+        assert isinstance(then_target, Assign) and then_target.rvalue == Const(3)
+        assert isinstance(method.instructions[goto.target], Print)
+
+    def test_if_else_shape(self):
+        method = lower_main(
+            "int x = 1; if (x < 2) { x = 3; } else { x = 4; } print(x);"
+        )
+        if_instr = next(i for i in method.instructions if isinstance(i, If))
+        # fall-through (else) comes right after the If
+        else_instr = method.instructions[if_instr.index + 1]
+        assert isinstance(else_instr, Assign) and else_instr.rvalue == Const(4)
+
+    def test_while_shape(self):
+        method = lower_main("int x = 0; while (x < 3) { x = x + 1; } print(x);")
+        if_instr = next(i for i in method.instructions if isinstance(i, If))
+        gotos = [i for i in method.instructions if isinstance(i, Goto)]
+        # loop-back goto targets the condition evaluation (head)
+        assert any(g.target <= if_instr.index for g in gotos)
+
+    def test_branch_condition_is_flat(self):
+        method = lower_main("int x = 1; if (x + 1 < 2 * 3) { x = 0; }")
+        if_instr = next(i for i in method.instructions if isinstance(i, If))
+        assert isinstance(if_instr.cond, BinOp)
+        assert isinstance(if_instr.cond.left, LocalRef)
+
+    def test_if_at_method_end_gets_return_target(self):
+        method = lower_main("int x = 1; if (x < 2) { x = 3; }")
+        # all branch targets must be valid indices
+        for instr in method.instructions:
+            if isinstance(instr, (If, Goto)):
+                assert 0 <= instr.target < len(method.instructions)
+        assert isinstance(method.instructions[-1], Return)
+
+
+class TestCallsAndFields:
+    EXTRA = "int foo(int p) { return p; }"
+
+    def test_call_lowering(self):
+        method = lower_main("int y = foo(1);", self.EXTRA)
+        invoke = next(i for i in method.instructions if isinstance(i, Invoke))
+        assert invoke.result == "y"
+        assert invoke.receiver == LocalRef("this")
+        assert invoke.method_name == "foo"
+        assert invoke.static_type == "Main"
+        assert invoke.args == (Const(1),)
+
+    def test_call_in_expression_gets_temp(self):
+        method = lower_main("int y = foo(1) + 2;", self.EXTRA)
+        invoke = next(i for i in method.instructions if isinstance(i, Invoke))
+        assert invoke.result.startswith("$t")
+
+    def test_call_statement_without_result(self):
+        method = lower_main("foo(1);", self.EXTRA)
+        invoke = next(i for i in method.instructions if isinstance(i, Invoke))
+        assert invoke.result is None
+
+    def test_field_store_and_load(self):
+        program = parse_program(
+            """
+            class A { int f;
+                void set() { this.f = 1; }
+                int get() { return this.f; }
+            }
+            class Main { void main() { } }
+            """
+        )
+        ir = lower_program(program)
+        store = ir.method("A.set").instructions[0]
+        assert isinstance(store, FieldStore)
+        assert store.field_class == "A"
+        load = ir.method("A.get").instructions[0]
+        assert isinstance(load.rvalue, FieldLoad)
+
+    def test_inherited_field_resolves_to_declaring_class(self):
+        program = parse_program(
+            """
+            class A { int f; }
+            class B extends A { void set() { this.f = 1; } }
+            class Main { void main() { } }
+            """
+        )
+        store = lower_program(program).method("B.set").instructions[0]
+        assert store.field_class == "A"
+
+    def test_new_object(self):
+        method = lower_main("Main m = new Main();")
+        assert method.instructions[0].rvalue == NewObject("Main")
+
+    def test_receiver_static_type(self):
+        program = parse_program(
+            """
+            class A { int m() { return 1; } }
+            class Main { void main() { A a = new A(); int x = a.m(); } }
+            """
+        )
+        method = lower_program(program).method("Main.main")
+        invoke = next(i for i in method.instructions if isinstance(i, Invoke))
+        assert invoke.static_type == "A"
+
+
+class TestAnnotations:
+    def test_statement_annotation_attached(self):
+        method = lower_main("int x = 0; #ifdef (F) x = 1; #endif")
+        annotated = method.instructions[1]
+        assert annotated.annotation == Var("F")
+
+    def test_annotation_propagates_into_compound(self):
+        method = lower_main(
+            "int x = 0; #ifdef (F) if (x < 1) { x = 2; } #endif print(x);"
+        )
+        if_instr = next(i for i in method.instructions if isinstance(i, If))
+        assert if_instr.annotation == Var("F")
+        then_assign = method.instructions[if_instr.target]
+        assert then_assign.annotation == Var("F")
+
+    def test_temps_inherit_annotation(self):
+        method = lower_main("int x = 0; #ifdef (F) x = x + 1 * x; #endif")
+        for instr in method.instructions[1:-1]:
+            assert instr.annotation == Var("F")
+
+    def test_member_annotation_conjoined(self):
+        program = parse_program(
+            """
+            class Main {
+                void main() { }
+                #ifdef (M)
+                int m() {
+                    int a = 0;
+                    #ifdef (N) a = 1; #endif
+                    return a;
+                }
+                #endif
+            }
+            """
+        )
+        method = lower_program(program).method("Main.m")
+        assert method.annotation == Var("M")
+        assert method.instructions[0].annotation == Var("M")
+        assert method.instructions[1].annotation == And((Var("M"), Var("N")))
+
+    def test_trailing_return_after_annotated_return(self):
+        method = lower_main("int x = 0; #ifdef (F) return x; #endif")
+        assert isinstance(method.instructions[-1], Return)
+        assert method.instructions[-1].annotation is None
+        assert method.instructions[-2].annotation == Var("F")
+
+
+class TestErrors:
+    def test_undeclared_local_use(self):
+        with pytest.raises(LoweringError):
+            lower_main("int x = y;")
+
+    def test_undeclared_assignment_target(self):
+        with pytest.raises(LoweringError):
+            lower_main("x = 1;")
+
+    def test_duplicate_local(self):
+        with pytest.raises(LoweringError):
+            lower_main("int x = 1; int x = 2;")
+
+    def test_duplicate_param(self):
+        with pytest.raises(LoweringError):
+            lower_program(
+                parse_program("class Main { void main() {} int m(int p, int p) { return p; } }")
+            )
+
+    def test_unknown_method(self):
+        with pytest.raises(LoweringError):
+            lower_main("int x = nope();")
+
+    def test_unknown_field(self):
+        with pytest.raises(LoweringError):
+            lower_main("this.nope = 1;")
+
+    def test_unknown_class(self):
+        with pytest.raises(LoweringError):
+            lower_main("int x = 0; Foo f = new Foo();")
+
+    def test_call_on_primitive(self):
+        with pytest.raises(LoweringError):
+            lower_main("int x = 1; int y = x.m();")
+
+    def test_null_dereference(self):
+        with pytest.raises(LoweringError):
+            lower_main("int x = null.f;")
+
+    def test_duplicate_method(self):
+        with pytest.raises(LoweringError):
+            lower_program(
+                parse_program(
+                    "class Main { void main() {} int m() { return 1; } int m() { return 2; } }"
+                )
+            )
+
+    def test_intrinsic_with_args(self):
+        with pytest.raises(LoweringError):
+            lower_main("int x = secret(1);")

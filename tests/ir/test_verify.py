@@ -1,0 +1,121 @@
+"""Tests for the IR verifier — and verification of everything we build."""
+
+import pytest
+
+from repro.constraints.formula import Var
+from repro.ir import Assign, Const, Goto, LocalRef, Return, lower_program
+from repro.ir.program import IRMethod
+from repro.ir.verify import IRVerificationError, verify_method, verify_program
+from repro.minijava import parse_program
+from repro.minijava.ast import INT, Type
+
+
+def make_method(instructions, local_types=None, params=()):
+    method = IRMethod(
+        class_name="T",
+        name="m",
+        params=tuple(params),
+        return_type=INT,
+        instructions=instructions,
+        local_types=dict(local_types or {}),
+    )
+    method.local_types.setdefault("this", Type("T"))
+    return method.finalize()
+
+
+class TestVerifierRejects:
+    def test_missing_trailing_return(self):
+        method = make_method([Assign(target="x", rvalue=Const(1))], {"x": INT})
+        # finalize adds a return; sabotage it
+        method.instructions.pop()
+        with pytest.raises(IRVerificationError, match="not a return"):
+            verify_method(method)
+
+    def test_annotated_trailing_return(self):
+        method = make_method([Return(None)], {})
+        method.instructions[-1].annotation = Var("F")
+        with pytest.raises(IRVerificationError, match="unannotated"):
+            verify_method(method)
+
+    def test_branch_out_of_range(self):
+        method = make_method([Goto(target=99), Return(None)], {})
+        with pytest.raises(IRVerificationError, match="out of range"):
+            verify_method(method)
+
+    def test_self_branch(self):
+        method = make_method([Goto(target=0), Return(None)], {})
+        with pytest.raises(IRVerificationError, match="self-targeting"):
+            verify_method(method)
+
+    def test_undeclared_local(self):
+        method = make_method(
+            [Assign(target="x", rvalue=LocalRef("ghost")), Return(None)],
+            {"x": INT},
+        )
+        with pytest.raises(IRVerificationError, match="ghost"):
+            verify_method(method)
+
+    def test_bad_backreference(self):
+        method = make_method([Return(None)], {})
+        method.instructions[0].index = 5
+        with pytest.raises(IRVerificationError, match="index"):
+            verify_method(method)
+
+    def test_unresolvable_call(self):
+        program = lower_program(
+            parse_program("class Main { void main() { int x = 1; } }")
+        )
+        main = program.method("Main.main")
+        from repro.ir import Invoke
+
+        bogus = Invoke(
+            result=None,
+            receiver=LocalRef("this"),
+            method_name="ghost",
+            args=(),
+            static_type="Main",
+        )
+        bogus.method = main
+        bogus.index = 0
+        main.instructions.insert(0, bogus)
+        main.finalize()
+        with pytest.raises(IRVerificationError, match="unresolvable method"):
+            verify_program(program)
+
+
+class TestEverythingWeBuildVerifies:
+    def test_examples_verify(self):
+        from repro.spl import device_spl, figure1, gpl_mini
+
+        for builder in (figure1, device_spl, gpl_mini):
+            product_line = builder()
+            verify_program(product_line.ir)
+
+    def test_benchmark_subjects_verify(self):
+        from repro.spl.benchmarks import paper_subjects
+
+        for _, builder in paper_subjects():
+            verify_program(builder().ir)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_subjects_verify(self, seed):
+        from repro.spl.generator import SubjectSpec, generate_subject
+
+        spec = SubjectSpec(
+            name=f"verify-{seed}",
+            seed=seed,
+            classes=5,
+            entry_fanout=6,
+            reachable_features=("A", "B", "C"),
+        )
+        verify_program(generate_subject(spec).ir)
+
+    def test_all_products_of_figure1_verify(self):
+        from repro.minijava import derive_product
+        from repro.spl import figure1
+
+        product_line = figure1()
+        for config in product_line.valid_configurations():
+            verify_program(
+                lower_program(derive_product(product_line.ast, config))
+            )

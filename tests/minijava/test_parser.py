@@ -1,0 +1,232 @@
+"""Tests for the MiniJava parser, including #ifdef handling."""
+
+import pytest
+
+from repro.constraints.formula import And, Not, Or, Var
+from repro.minijava import ParseError, parse_program
+from repro.minijava.ast import (
+    AssignStmt,
+    Binary,
+    Call,
+    ExprStmt,
+    FieldAccess,
+    IfStmt,
+    IntLit,
+    New,
+    PrintStmt,
+    ReturnStmt,
+    VarDecl,
+    VarRef,
+    WhileStmt,
+)
+
+
+def parse_main_body(body: str):
+    program = parse_program(f"class Main {{ void main() {{ {body} }} }}")
+    return program.classes[0].methods[0].body.statements
+
+
+class TestDeclarations:
+    def test_class_with_extends(self):
+        program = parse_program("class A {} class B extends A {}")
+        assert program.classes[1].superclass == "A"
+
+    def test_fields_and_methods(self):
+        program = parse_program(
+            """
+            class A {
+                int f;
+                A next;
+                int m(int x, boolean b) { return x; }
+                void n() { }
+            }
+            """
+        )
+        cls = program.classes[0]
+        assert [f.name for f in cls.fields] == ["f", "next"]
+        assert cls.fields[1].type.name == "A"
+        assert [m.name for m in cls.methods] == ["m", "n"]
+        assert cls.methods[0].param_names == ("x", "b")
+        assert cls.methods[0].return_type.name == "int"
+
+    def test_class_lookup(self):
+        program = parse_program("class A {} class B {}")
+        assert program.class_named("B").name == "B"
+        assert program.has_class("A")
+        with pytest.raises(KeyError):
+            program.class_named("C")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        (stmt,) = parse_main_body("int x = 1;")
+        assert isinstance(stmt, VarDecl)
+        assert stmt.name == "x"
+        assert isinstance(stmt.init, IntLit)
+
+    def test_var_decl_class_type(self):
+        (stmt,) = parse_main_body("A a = new A();")
+        assert stmt.type.name == "A"
+        assert isinstance(stmt.init, New)
+
+    def test_assignment(self):
+        stmts = parse_main_body("int x = 0; x = 2;")
+        assert isinstance(stmts[1], AssignStmt)
+        assert isinstance(stmts[1].target, VarRef)
+
+    def test_field_assignment(self):
+        (stmt,) = parse_main_body("this.f = 1;")
+        assert isinstance(stmt.target, FieldAccess)
+
+    def test_if_else(self):
+        (stmt,) = parse_main_body("if (x < 1) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, IfStmt)
+        assert stmt.else_block is not None
+
+    def test_while(self):
+        (stmt,) = parse_main_body("while (x < 10) { x = x + 1; }")
+        assert isinstance(stmt, WhileStmt)
+
+    def test_return_forms(self):
+        stmts = parse_main_body("return; ")
+        assert isinstance(stmts[0], ReturnStmt)
+        assert stmts[0].value is None
+        (stmt,) = parse_main_body("return x + 1;")
+        assert isinstance(stmt.value, Binary)
+
+    def test_print(self):
+        (stmt,) = parse_main_body("print(x);")
+        assert isinstance(stmt, PrintStmt)
+
+    def test_call_statement(self):
+        (stmt,) = parse_main_body("foo(1, 2);")
+        assert isinstance(stmt, ExprStmt)
+        assert isinstance(stmt.expr, Call)
+        assert stmt.expr.receiver is None
+
+    def test_method_call_on_receiver(self):
+        (stmt,) = parse_main_body("o.m(1);")
+        assert stmt.expr.method == "m"
+
+    def test_line_numbers(self):
+        stmts = parse_main_body("int x = 1;\nint y = 2;")
+        assert stmts[1].line == stmts[0].line + 1
+
+
+class TestExpressions:
+    def test_precedence(self):
+        (stmt,) = parse_main_body("int x = 1 + 2 * 3;")
+        assert stmt.init.op == "+"
+        assert stmt.init.right.op == "*"
+
+    def test_comparison_precedence(self):
+        (stmt,) = parse_main_body("boolean b = 1 + 2 < 4;")
+        assert stmt.init.op == "<"
+
+    def test_logical_operators(self):
+        (stmt,) = parse_main_body("boolean b = x < 1 && y < 2 || z < 3;")
+        assert stmt.init.op == "||"
+
+    def test_chained_field_and_call(self):
+        (stmt,) = parse_main_body("int x = a.b.m(1).f;")  # parses as postfix chain
+        assert isinstance(stmt.init, FieldAccess)
+        assert isinstance(stmt.init.receiver, Call)
+
+    def test_parenthesized(self):
+        (stmt,) = parse_main_body("int x = (1 + 2) * 3;")
+        assert stmt.init.op == "*"
+
+    def test_unary(self):
+        (stmt,) = parse_main_body("int x = -y;")
+        assert stmt.init.op == "-"
+
+
+class TestIfdef:
+    def test_simple_annotation(self):
+        stmts = parse_main_body("#ifdef (F) x = 1; #endif")
+        assert stmts[0].annotation == Var("F")
+
+    def test_annotation_covers_multiple_statements(self):
+        stmts = parse_main_body("#ifdef (F) x = 1; y = 2; #endif")
+        assert [s.annotation for s in stmts] == [Var("F"), Var("F")]
+
+    def test_else_branch_negates(self):
+        stmts = parse_main_body("#ifdef (F) x = 1; #else x = 2; #endif")
+        assert stmts[0].annotation == Var("F")
+        assert stmts[1].annotation == Not(Var("F"))
+
+    def test_nesting_conjoins(self):
+        stmts = parse_main_body(
+            "#ifdef (F) #ifdef (G) x = 1; #endif #endif"
+        )
+        assert stmts[0].annotation == And((Var("F"), Var("G")))
+
+    def test_complex_condition(self):
+        stmts = parse_main_body("#ifdef (F && !G || H) x = 1; #endif")
+        annotation = stmts[0].annotation
+        assert isinstance(annotation, Or)
+
+    def test_condition_with_implication(self):
+        stmts = parse_main_body("#ifdef (F -> G) x = 1; #endif")
+        assert stmts[0].annotation is not None
+
+    def test_annotated_members(self):
+        program = parse_program(
+            """
+            class A {
+                #ifdef (F)
+                int f;
+                int m() { return 1; }
+                #endif
+            }
+            """
+        )
+        cls = program.classes[0]
+        assert cls.fields[0].annotation == Var("F")
+        assert cls.methods[0].annotation == Var("F")
+
+    def test_annotated_member_else(self):
+        program = parse_program(
+            """
+            class A {
+                #ifdef (F)
+                int m() { return 1; }
+                #else
+                int n() { return 2; }
+                #endif
+            }
+            """
+        )
+        cls = program.classes[0]
+        assert cls.methods[0].annotation == Var("F")
+        assert cls.methods[1].annotation == Not(Var("F"))
+
+    def test_annotation_wraps_compound_statement(self):
+        stmts = parse_main_body(
+            "#ifdef (F) if (x < 1) { y = 1; } #endif"
+        )
+        assert isinstance(stmts[0], IfStmt)
+        assert stmts[0].annotation == Var("F")
+        # inner statements carry no direct annotation; nesting is implicit
+        assert stmts[0].then_block.statements[0].annotation is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class",
+            "class A",
+            "class A {",
+            "class A { int }",
+            "class A { int m( { } }",
+            "class Main { void main() { 1 = x; } }",
+            "class Main { void main() { x + 1; } }",  # not a call
+            "class Main { void main() { #ifdef (F) x = 1; } }",  # no #endif
+            "class Main { void main() { if x { } } }",
+            "class Main { void main() { return 1 } }",  # missing ;
+        ],
+    )
+    def test_parse_errors(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)

@@ -1,0 +1,148 @@
+"""Tests for product derivation (the preprocessor)."""
+
+import pytest
+
+from repro.minijava import (
+    annotated_features,
+    derive_product,
+    parse_program,
+    pretty_print,
+)
+from repro.spl.examples import FIGURE1_SOURCE
+
+
+@pytest.fixture
+def figure1_ast():
+    return parse_program(FIGURE1_SOURCE)
+
+
+class TestAnnotatedFeatures:
+    def test_figure1(self, figure1_ast):
+        assert annotated_features(figure1_ast) == {"F", "G", "H"}
+
+    def test_members_counted(self):
+        program = parse_program(
+            "class A { #ifdef (M) int f; int m() { return 1; } #endif }"
+        )
+        assert annotated_features(program) == {"M"}
+
+    def test_nested_blocks_counted(self):
+        program = parse_program(
+            """
+            class A { int m() {
+                if (1 < 2) {
+                    #ifdef (Deep) int x = 1; #endif
+                }
+                while (1 < 2) {
+                    #ifdef (Loop) int y = 1; #endif
+                }
+                return 0;
+            } }
+            """
+        )
+        assert annotated_features(program) == {"Deep", "Loop"}
+
+
+class TestDerivation:
+    def test_figure1b_product(self, figure1_ast):
+        product = derive_product(figure1_ast, {"G"})
+        printed = pretty_print(product)
+        assert "#ifdef" not in printed
+        assert "y = foo(x);" in printed
+        assert "x = 0;" not in printed  # F disabled
+        assert "p = 0;" not in printed  # H disabled
+
+    def test_all_enabled(self, figure1_ast):
+        product = derive_product(figure1_ast, {"F", "G", "H"})
+        printed = pretty_print(product)
+        assert "x = 0;" in printed
+        assert "p = 0;" in printed
+
+    def test_none_enabled(self, figure1_ast):
+        product = derive_product(figure1_ast, set())
+        printed = pretty_print(product)
+        assert "y = foo(x);" not in printed
+
+    def test_original_untouched(self, figure1_ast):
+        before = pretty_print(figure1_ast)
+        derive_product(figure1_ast, {"F"})
+        assert pretty_print(figure1_ast) == before
+
+    def test_member_removal(self):
+        program = parse_program(
+            "class A { #ifdef (M) int extra() { return 1; } #endif "
+            "int keep() { return 2; } }"
+        )
+        without = derive_product(program, set())
+        assert [m.name for m in without.classes[0].methods] == ["keep"]
+        with_feature = derive_product(program, {"M"})
+        assert [m.name for m in with_feature.classes[0].methods] == [
+            "extra",
+            "keep",
+        ]
+
+    def test_field_removal(self):
+        program = parse_program("class A { #ifdef (M) int f; #endif }")
+        assert derive_product(program, set()).classes[0].fields == []
+        assert len(derive_product(program, {"M"}).classes[0].fields) == 1
+
+    def test_else_region(self):
+        program = parse_program(
+            """
+            class Main { void main() {
+                int x = 0;
+                #ifdef (F) x = 1; #else x = 2; #endif
+                print(x);
+            } }
+            """
+        )
+        with_f = pretty_print(derive_product(program, {"F"}))
+        without_f = pretty_print(derive_product(program, set()))
+        assert "x = 1;" in with_f and "x = 2;" not in with_f
+        assert "x = 2;" in without_f and "x = 1;" not in without_f
+
+    def test_nested_regions(self):
+        program = parse_program(
+            """
+            class Main { void main() {
+                #ifdef (F) #ifdef (G) int x = 1; #endif #endif
+            } }
+            """
+        )
+        assert "int x" in pretty_print(derive_product(program, {"F", "G"}))
+        assert "int x" not in pretty_print(derive_product(program, {"F"}))
+        assert "int x" not in pretty_print(derive_product(program, {"G"}))
+
+    def test_statements_inside_compounds(self):
+        program = parse_program(
+            """
+            class Main { void main() {
+                int y = 0;
+                if (y < 1) {
+                    #ifdef (F) y = 1; #endif
+                    y = 2;
+                }
+                while (y < 5) {
+                    #ifdef (F) y = 3; #endif
+                    y = 4;
+                }
+            } }
+            """
+        )
+        without = pretty_print(derive_product(program, set()))
+        assert "y = 1;" not in without
+        assert "y = 3;" not in without
+        assert "y = 2;" in without and "y = 4;" in without
+
+    def test_negated_condition(self):
+        program = parse_program(
+            "class Main { void main() { #ifdef (!F) int x = 1; #endif } }"
+        )
+        assert "int x" in pretty_print(derive_product(program, set()))
+        assert "int x" not in pretty_print(derive_product(program, {"F"}))
+
+    def test_mapping_configuration(self, figure1_ast):
+        product = derive_product(figure1_ast, {"F": True, "G": False, "H": False})
+        printed = pretty_print(product)
+        assert "x = 0;" in printed
+        assert "y = foo(x);" not in printed

@@ -1,0 +1,72 @@
+"""Pretty printer round-trip tests."""
+
+import pytest
+
+from repro.minijava import parse_program, pretty_print
+from repro.spl.examples import DEVICE_SOURCE, FIGURE1_SOURCE
+
+
+def normalize(program):
+    """Stable normal form: print, reparse, print again."""
+    return pretty_print(parse_program(pretty_print(program)))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [FIGURE1_SOURCE, DEVICE_SOURCE])
+    def test_examples_round_trip(self, source):
+        program = parse_program(source)
+        printed = pretty_print(program)
+        reparsed = parse_program(printed)
+        assert pretty_print(reparsed) == printed
+
+    def test_annotations_preserved(self):
+        program = parse_program(FIGURE1_SOURCE)
+        printed = pretty_print(program)
+        assert "#ifdef (F)" in printed
+        assert "#ifdef (G)" in printed
+        assert "#endif" in printed
+
+    def test_without_annotations(self):
+        program = parse_program(FIGURE1_SOURCE)
+        printed = pretty_print(program, with_annotations=False)
+        assert "#ifdef" not in printed
+        # still parseable, all statements kept
+        reparsed = parse_program(printed)
+        assert len(reparsed.classes) == len(program.classes)
+
+    def test_nested_annotation_printed_as_conjunction(self):
+        source = """
+        class Main { void main() {
+            #ifdef (F) #ifdef (G) int x = 1; #endif #endif
+        } }
+        """
+        printed = pretty_print(parse_program(source))
+        assert "#ifdef (F && G)" in printed
+
+    def test_expression_precedence_survives(self):
+        source = "class Main { void main() { int x = (1 + 2) * 3; } }"
+        printed = pretty_print(parse_program(source))
+        assert "(1 + 2) * 3" in printed
+
+    def test_else_chain(self):
+        source = """
+        class Main { void main() {
+            if (x < 1) { y = 1; } else { y = 2; }
+        } }
+        """
+        program = parse_program(
+            source.replace("x <", "0 <").replace("y =", "int y0 =", 1).replace(
+                "y = 2", "int y1 = 2"
+            )
+        )
+        printed = pretty_print(program)
+        assert "} else {" in printed
+
+    def test_generated_subjects_round_trip(self):
+        from repro.spl.generator import SubjectSpec, generate_subject
+
+        spec = SubjectSpec(name="rt", seed=7, classes=4, entry_fanout=4,
+                           reachable_features=("A", "B", "C"))
+        product_line = generate_subject(spec)
+        program = parse_program(product_line.source)
+        assert pretty_print(program) == product_line.source

@@ -1,0 +1,56 @@
+"""Tests for the hand-written example product lines."""
+
+import pytest
+
+from repro.analyses import LocalFact, TaintAnalysis, UninitializedVariablesAnalysis
+from repro.core import SPLLift
+from repro.spl import device_spl, figure1, figure1_with_model
+
+
+class TestFigure1:
+    def test_metrics(self):
+        product_line = figure1()
+        assert product_line.features_reachable == ("F", "G", "H")
+        assert product_line.configurations_reachable == 8
+
+    def test_with_model_restricts(self):
+        product_line = figure1_with_model()
+        # F <-> G halves the space: 4 valid configurations.
+        assert product_line.count_valid_configurations() == 4
+
+
+class TestDeviceSPL:
+    def test_builds(self):
+        product_line = device_spl()
+        assert {m.qualified_name for m in product_line.icfg.reachable_methods} == {
+            "Main.main",
+            "Device.send",
+            "Device.flush",
+            "SecureDevice.send",
+        }
+
+    def test_uninit_bug_requires_no_buffering(self):
+        product_line = device_spl()
+        analysis = UninitializedVariablesAnalysis(product_line.icfg)
+        results = SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+        flush = product_line.ir.method("Device.flush")
+        return_stmt = flush.exit_points[0]
+        constraint = results.constraint_for(return_stmt, LocalFact("pending"))
+        assert not constraint.is_false
+        # The bug happens exactly when Buffering is off (within valid products).
+        assert constraint.entails(~results.system.var("Buffering"))
+        assert not constraint.satisfied_by(
+            {"DeviceSPL", "Transport", "Buffering"}
+        )
+
+    def test_leak_impossible_with_encryption(self):
+        product_line = device_spl()
+        analysis = TaintAnalysis(product_line.icfg)
+        results = SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+        (stmt, fact) = TaintAnalysis.sink_queries(analysis.icfg)[0]
+        constraint = results.constraint_for(stmt, fact)
+        assert constraint.entails(~results.system.var("Encryption"))

@@ -1,0 +1,117 @@
+"""Tests for the synthetic SPL subject generator."""
+
+import pytest
+
+from repro.ir import ICFG
+from repro.minijava import parse_program
+from repro.spl.benchmarks import paper_subjects
+from repro.spl.generator import SubjectSpec, generate_subject
+
+
+def small_spec(seed=1, **overrides):
+    defaults = dict(
+        name="gen-test",
+        seed=seed,
+        classes=5,
+        methods_per_class=(2, 3),
+        statements_per_method=(4, 8),
+        annotation_density=0.3,
+        entry_fanout=5,
+        reachable_features=("A", "B", "C"),
+        dead_features=("DX",),
+    )
+    defaults.update(overrides)
+    return SubjectSpec(**defaults)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        first = generate_subject(small_spec(seed=3))
+        second = generate_subject(small_spec(seed=3))
+        assert first.source == second.source
+
+    def test_different_seeds_differ(self):
+        assert (
+            generate_subject(small_spec(seed=1)).source
+            != generate_subject(small_spec(seed=2)).source
+        )
+
+    def test_parses_and_lowers(self):
+        product_line = generate_subject(small_spec())
+        assert product_line.icfg.instruction_count() > 0
+
+    def test_reachable_features_all_used(self):
+        product_line = generate_subject(small_spec())
+        assert set(product_line.features_reachable) == {"A", "B", "C"}
+
+    def test_dead_features_not_reachable(self):
+        product_line = generate_subject(small_spec())
+        assert "DX" not in product_line.features_reachable
+        # ... but they do occur in the (dead) source code.
+        assert "DX" in product_line.features_annotated
+
+    def test_entry_exists(self):
+        product_line = generate_subject(small_spec())
+        assert product_line.ir.method("Main.main") is not None
+
+    def test_every_valid_product_lowers(self):
+        """Derived products must compile (decls are never annotated)."""
+        from repro.ir import lower_program
+        from repro.minijava import derive_product
+
+        product_line = generate_subject(small_spec(seed=9))
+        count = 0
+        for config in product_line.valid_configurations():
+            product = derive_product(product_line.ast, config)
+            program = lower_program(product)
+            ICFG.for_entry(program)
+            count += 1
+        assert count == 8  # 3 free features
+
+    def test_feature_model_default_unconstrained(self):
+        product_line = generate_subject(small_spec())
+        assert product_line.count_valid_configurations() == 8
+
+    def test_scaling_parameters(self):
+        small = generate_subject(small_spec(classes=3, entry_fanout=3))
+        big = generate_subject(
+            small_spec(classes=12, methods_per_class=(4, 6), entry_fanout=10)
+        )
+        assert big.kloc > small.kloc
+
+
+class TestPaperSubjects:
+    @pytest.mark.parametrize("name,builder", paper_subjects())
+    def test_subject_builds_and_lowers(self, name, builder):
+        product_line = builder()
+        assert product_line.icfg.instruction_count() > 0
+
+    def test_table1_shape_preserved(self):
+        subjects = {name: builder() for name, builder in paper_subjects()}
+        reach = {
+            name: len(pl.features_reachable) for name, pl in subjects.items()
+        }
+        # Shape of the paper's Table 1: BerkeleyDB >> GPL > MM08 > Lampiro
+        assert reach["BerkeleyDB-like"] > reach["GPL-like"]
+        assert reach["GPL-like"] > reach["MM08-like"]
+        assert reach["MM08-like"] > reach["Lampiro-like"]
+        assert reach["Lampiro-like"] == 2
+
+    def test_lampiro_like_has_4_valid_configs(self):
+        from repro.spl.benchmarks import lampiro_like
+
+        assert lampiro_like().count_valid_configurations() == 4
+
+    def test_berkeleydb_like_is_astronomical(self):
+        from repro.spl.benchmarks import berkeleydb_like
+
+        product_line = berkeleydb_like()
+        assert product_line.count_valid_configurations() > 10**8
+
+    def test_constrained_models_prune(self):
+        from repro.spl.benchmarks import gpl_like, mm08_like
+
+        gpl = gpl_like()
+        assert gpl.count_valid_configurations() < gpl.configurations_reachable
+        mm08 = mm08_like()
+        assert mm08.count_valid_configurations() < mm08.configurations_reachable

@@ -1,0 +1,177 @@
+"""Tests for the ``spllift`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+from repro.spl.examples import FIGURE1_SOURCE
+
+FM_TEXT = """
+featuremodel fig1
+root Fig1 { optional F optional G optional H }
+"""
+
+DEVICE_FM = """
+featuremodel fig1
+root Fig1 { optional F optional G optional H }
+constraint F <-> G;
+"""
+
+
+@pytest.fixture
+def spl_file(tmp_path):
+    path = tmp_path / "fig1.mj"
+    path.write_text(FIGURE1_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def fm_file(tmp_path):
+    path = tmp_path / "fig1.fm"
+    path.write_text(FM_TEXT)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_taint_finds_leak(self, spl_file, fm_file, capsys):
+        rc = main(["analyze", spl_file, "--analysis", "taint", "--feature-model", fm_file])
+        out = capsys.readouterr().out
+        assert rc == 1  # findings present
+        assert "!F & G & !H" in out
+
+    def test_taint_without_model(self, spl_file, capsys):
+        rc = main(["analyze", spl_file, "--analysis", "taint"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "!F & G & !H" in out
+
+    def test_constraining_model_removes_finding(self, spl_file, tmp_path, capsys):
+        fm = tmp_path / "strict.fm"
+        fm.write_text(DEVICE_FM)
+        rc = main(
+            ["analyze", spl_file, "--analysis", "taint", "--feature-model", str(fm)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no findings" in out
+
+    def test_fm_mode_ignore(self, spl_file, tmp_path, capsys):
+        fm = tmp_path / "strict.fm"
+        fm.write_text(DEVICE_FM)
+        rc = main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--feature-model",
+                str(fm),
+                "--fm-mode",
+                "ignore",
+            ]
+        )
+        assert rc == 1  # without the model the leak is reported
+
+    def test_uninit_analysis(self, tmp_path, capsys):
+        source = tmp_path / "u.mj"
+        source.write_text(
+            "class Main { void main() { int u;\n#ifdef (Init)\nu = 1;\n#endif\nprint(u); } }"
+        )
+        rc = main(["analyze", str(source), "--analysis", "uninit"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "!Init" in out
+
+    def test_stats_flag(self, spl_file, capsys):
+        main(["analyze", spl_file, "--analysis", "taint", "--stats"])
+        out = capsys.readouterr().out
+        assert "jump_functions" in out
+
+    def test_rd_informational(self, spl_file, capsys):
+        rc = main(["analyze", spl_file, "--analysis", "rd"])
+        assert rc == 1
+        assert "@" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_configuration(self, spl_file, capsys):
+        rc = main(["run", spl_file, "--config", "G"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "42  [tainted]" in captured.out
+
+    def test_run_empty_configuration(self, spl_file, capsys):
+        rc = main(["run", spl_file, "--config", ""])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out.strip() == "0"
+
+    def test_run_reports_uninit(self, tmp_path, capsys):
+        source = tmp_path / "u.mj"
+        source.write_text("class Main { void main() { int u; print(u); } }")
+        rc = main(["run", str(source)])
+        captured = capsys.readouterr()
+        assert "uninitialized read" in captured.err
+
+    def test_run_incomplete_execution(self, tmp_path, capsys):
+        source = tmp_path / "loop.mj"
+        source.write_text(
+            "class Main { void main() { int i = 0; while (i < 1) { i = 0; } } }"
+        )
+        rc = main(["run", str(source), "--fuel", "100"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "stopped early" in captured.err
+
+
+class TestInterfacesAndMetrics:
+    def test_interfaces(self, spl_file, capsys):
+        rc = main(["interfaces", spl_file, "--feature", "G"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "emergent interface of feature 'G'" in out
+
+    def test_metrics(self, spl_file, fm_file, capsys):
+        rc = main(["metrics", spl_file, "--feature-model", fm_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "features (reachable):     3" in out
+        assert "configurations (valid):     8" in out
+
+    def test_metrics_without_model(self, spl_file, capsys):
+        rc = main(["metrics", spl_file])
+        assert rc == 0
+
+
+class TestMoreAnalyses:
+    def test_nullness_analysis(self, tmp_path, capsys):
+        source = tmp_path / "n.mj"
+        source.write_text(
+            "class Box { int get() { return 1; } }\n"
+            "class Main { void main() {\n"
+            "Box b = new Box();\n"
+            "#ifdef (Drop)\nb = null;\n#endif\n"
+            "int x = b.get(); } }"
+        )
+        rc = main(["analyze", str(source), "--analysis", "nullness"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "Drop" in out
+
+    def test_typestate_analysis(self, tmp_path, capsys):
+        source = tmp_path / "t.mj"
+        source.write_text(
+            "class File { int open() { return 0; } int read() { return 0; }"
+            " int write() { return 0; } int close() { return 0; } }\n"
+            "class Main { void main() {\n"
+            "File f = new File();\n"
+            "#ifdef (Open)\nf.open();\n#endif\n"
+            "int x = f.read(); } }"
+        )
+        rc = main(["analyze", str(source), "--analysis", "typestate"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "!Open" in out
+
+    def test_types_analysis(self, spl_file, capsys):
+        rc = main(["analyze", spl_file, "--analysis", "types"])
+        assert rc == 1  # informational facts at exits

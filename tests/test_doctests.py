@@ -1,0 +1,22 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.bdd.manager
+import repro.constraints.formula
+import repro.featuremodel.parser
+
+MODULES = [
+    repro.bdd.manager,
+    repro.constraints.formula,
+    repro.featuremodel.parser,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

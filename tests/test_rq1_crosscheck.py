@@ -1,0 +1,146 @@
+"""RQ1 (Section 6.1): cross-checking SPLLIFT against the A2 oracle.
+
+The paper's correctness methodology, reproduced in full:
+
+- "Whenever A2 computes a fact r for some configuration c, we fetch
+  SPLLIFT's computed feature constraint C for r (at the same statement),
+  and check that C allows for c" — SPLLIFT is not overly restrictive
+  (sound);
+- "we traverse all of SPLLIFT's results (r, c) for the given fixed c, and
+  check that the instance of A2 for c computed each such r as well" —
+  SPLLIFT reports no false positives relative to A2 (precise).
+
+Both directions are checked for every analysis on the running example,
+hand-written SPLs, and generated subjects, over every configuration of
+the reachable features.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analyses import (
+    NullnessAnalysis,
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    TaintAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.baselines import solve_a2
+from repro.core import SPLLift
+from repro.spl import device_spl, figure1
+from repro.spl.generator import SubjectSpec, generate_subject
+
+ANALYSES = [
+    TaintAnalysis,
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    UninitializedVariablesAnalysis,
+    NullnessAnalysis,
+]
+
+
+def crosscheck(product_line, analysis_class, configurations=None):
+    """Run the full two-direction RQ1 check; returns #configs checked."""
+    analysis = analysis_class(product_line.icfg)
+    results = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+    features = product_line.features_reachable
+    if configurations is None:
+        configurations = [
+            frozenset(f for f, b in zip(features, bits) if b)
+            for bits in itertools.product((False, True), repeat=len(features))
+        ]
+    checked = 0
+    for config in configurations:
+        # Only compare on valid configurations: SPLLIFT conjoins the
+        # feature model, A2 does not filter by it.
+        if not results.config_is_valid(config, features):
+            continue
+        a2_results = solve_a2(analysis, config)
+        checked += 1
+        for stmt in analysis.icfg.reachable_instructions():
+            a2_facts = a2_results.at(stmt)
+            for fact in a2_facts:
+                assert results.holds_in(stmt, fact, config, over=features), (
+                    "SPLLIFT overly restrictive",
+                    stmt.location,
+                    fact,
+                    sorted(config),
+                )
+            for fact, constraint in results.results_at(stmt).items():
+                if results.holds_in(stmt, fact, config, over=features):
+                    assert fact in a2_facts, (
+                        "SPLLIFT false positive vs A2",
+                        stmt.location,
+                        fact,
+                        sorted(config),
+                        str(constraint),
+                    )
+    assert checked > 0
+    return checked
+
+
+@pytest.mark.parametrize("analysis_class", ANALYSES)
+def test_figure1_all_configurations(analysis_class):
+    assert crosscheck(figure1(), analysis_class) == 8
+
+
+@pytest.mark.parametrize("analysis_class", ANALYSES)
+def test_device_spl_all_configurations(analysis_class):
+    crosscheck(device_spl(), analysis_class)
+
+
+@pytest.mark.parametrize("analysis_class", ANALYSES)
+@pytest.mark.parametrize("seed", [11, 29, 47])
+def test_generated_subjects(analysis_class, seed):
+    spec = SubjectSpec(
+        name=f"rq1-{seed}",
+        seed=seed,
+        classes=4,
+        methods_per_class=(2, 3),
+        statements_per_method=(4, 8),
+        annotation_density=0.35,
+        entry_fanout=5,
+        reachable_features=("A", "B", "C"),
+    )
+    crosscheck(generate_subject(spec), analysis_class)
+
+
+class TestHypothesisDrivenSubjects:
+    """Property-based RQ1: random subject shapes, full oracle cross-check."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        density=st.floats(min_value=0.1, max_value=0.6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_subjects_crosscheck_taint(self, seed, density):
+        spec = SubjectSpec(
+            name=f"rq1-hyp-{seed}",
+            seed=seed,
+            classes=3,
+            methods_per_class=(2, 3),
+            statements_per_method=(3, 6),
+            annotation_density=density,
+            entry_fanout=4,
+            reachable_features=("A", "B"),
+        )
+        crosscheck(generate_subject(spec), TaintAnalysis)
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_subjects_crosscheck_uninit(self, seed):
+        spec = SubjectSpec(
+            name=f"rq1-hypu-{seed}",
+            seed=seed,
+            classes=3,
+            methods_per_class=(2, 3),
+            statements_per_method=(3, 6),
+            annotation_density=0.4,
+            entry_fanout=4,
+            reachable_features=("A", "B"),
+            uninit_density=0.5,
+        )
+        crosscheck(generate_subject(spec), UninitializedVariablesAnalysis)

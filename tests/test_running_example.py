@@ -1,0 +1,146 @@
+"""End-to-end tests of the paper's running example (Figures 1, 3, 5).
+
+These are the paper's own acceptance criteria:
+
+- the derived product for ¬F ∧ G ∧ ¬H leaks the secret (Figure 1b / 3);
+- SPLLIFT computes exactly the constraint ¬F ∧ G ∧ ¬H for the leak in a
+  single pass over the product line (Figure 5, Section 3.5);
+- under the feature model F ↔ G the leak constraint becomes false
+  (Section 1).
+"""
+
+import itertools
+
+import pytest
+
+from repro.analyses import LocalFact, TaintAnalysis
+from repro.core import SPLLift
+from repro.ifds import IFDSSolver, build_exploded_graph
+from repro.ir import ICFG, Print, lower_program
+from repro.minijava import derive_product, parse_program
+from repro.spl import figure1, figure1_with_model
+
+FEATURES = ("F", "G", "H")
+
+
+@pytest.fixture(scope="module")
+def lifted():
+    product_line = figure1()
+    analysis = TaintAnalysis(product_line.icfg)
+    results = SPLLift(analysis, feature_model=product_line.feature_model).solve()
+    return product_line, analysis, results
+
+
+def leak_constraint(analysis, results):
+    (query,) = TaintAnalysis.sink_queries(analysis.icfg)
+    stmt, fact = query
+    return results.constraint_for(stmt, fact)
+
+
+class TestFigure5:
+    def test_leak_constraint_is_not_f_and_g_and_not_h(self, lifted):
+        product_line, analysis, results = lifted
+        constraint = leak_constraint(analysis, results)
+        expected = results.system.parse("!F && G && !H")
+        assert constraint == expected
+
+    def test_single_pass_covers_all_products(self, lifted):
+        """Check the constraint against all 8 preprocessed products."""
+        product_line, analysis, results = lifted
+        constraint = leak_constraint(analysis, results)
+        for bits in itertools.product((False, True), repeat=3):
+            config = {f for f, b in zip(FEATURES, bits) if b}
+            product = derive_product(product_line.ast, config)
+            icfg = ICFG.for_entry(lower_program(product))
+            product_results = IFDSSolver(TaintAnalysis(icfg)).solve()
+            leaked = any(
+                fact in product_results.at(stmt)
+                for stmt, fact in TaintAnalysis.sink_queries(icfg)
+            )
+            assert leaked == constraint.satisfied_by(config), config
+
+    def test_only_one_of_eight_products_leaks(self, lifted):
+        product_line, analysis, results = lifted
+        constraint = leak_constraint(analysis, results)
+        assert constraint.model_count(FEATURES) == 1
+        (model,) = constraint.models(FEATURES)
+        assert model == {"F": False, "G": True, "H": False}
+
+
+class TestFeatureModel:
+    def test_f_iff_g_makes_leak_impossible(self):
+        product_line = figure1_with_model()
+        analysis = TaintAnalysis(product_line.icfg)
+        results = SPLLift(
+            analysis, feature_model=product_line.feature_model
+        ).solve()
+        assert leak_constraint(analysis, results).is_false
+
+    def test_section1_equation(self):
+        """(¬F ∧ G ∧ ¬H) ∧ (F ↔ G) = false."""
+        from repro.constraints import BddConstraintSystem
+
+        system = BddConstraintSystem()
+        assert (system.parse("!F && G && !H") & system.parse("F <-> G")).is_false
+
+
+class TestFigure3:
+    def test_exploded_graph_of_product(self):
+        product = derive_product(figure1().ast, {"G"})
+        icfg = ICFG.for_entry(lower_program(product))
+        graph = build_exploded_graph(TaintAnalysis(icfg))
+        # The violating path from (secret-assign, 0) to (print, y) exists.
+        print_stmt = next(
+            s for s in icfg.reachable_instructions() if isinstance(s, Print)
+        )
+        assert (print_stmt, LocalFact("y")) in graph.nodes
+        dot = graph.to_dot()
+        assert "digraph" in dot
+
+    def test_exploded_graph_edge_kinds(self):
+        product = derive_product(figure1().ast, {"G"})
+        icfg = ICFG.for_entry(lower_program(product))
+        graph = build_exploded_graph(TaintAnalysis(icfg))
+        kinds = {edge.kind for edge in graph.edges}
+        assert kinds == {"normal", "call", "return", "call-to-return"}
+
+
+class TestReachability:
+    """Section 3.3: 0-fact values are reachability constraints."""
+
+    def test_unconditional_statements_reachable_everywhere(self, lifted):
+        product_line, analysis, results = lifted
+        main = product_line.ir.method("Main.main")
+        for instruction in main.instructions:
+            assert results.reachability_of(instruction).is_true
+
+    def test_callee_reachability(self, lifted):
+        """foo's body is only reachable through the G-annotated call."""
+        product_line, analysis, results = lifted
+        foo = product_line.ir.method("Main.foo")
+        for instruction in foo.instructions:
+            constraint = results.reachability_of(instruction)
+            assert str(constraint) == "G"
+
+    def test_code_unreachable_under_model(self):
+        source = """
+        class Main {
+            void main() {
+                int x = 0;
+                #ifdef (A) x = helper(); #endif
+                print(x);
+            }
+            int helper() { return 1; }
+        }
+        """
+        from repro.constraints import BddConstraintSystem
+
+        system = BddConstraintSystem()
+        icfg = ICFG.for_entry(lower_program(parse_program(source)))
+        analysis = TaintAnalysis(icfg)
+        results = SPLLift(
+            analysis, feature_model=system.parse("!A"), system=system
+        ).solve()
+        helper = icfg.program.method("Main.helper")
+        for instruction in helper.instructions:
+            assert results.reachability_of(instruction).is_false
