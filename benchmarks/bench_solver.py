@@ -1,0 +1,227 @@
+"""Machine-readable solver benchmark harness.
+
+Times the IDE/SPLLIFT hot path over the four paper-shaped subjects and the
+solver micro-benchmarks, then writes a JSON report to ``BENCH_solver.json``
+so successive PRs have a perf trajectory to compare against.  Run it as::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py [-o BENCH_solver.json]
+                                                     [--rounds 3] [--quick]
+
+Per benchmark the report records minimum and mean wall time over ``rounds``
+runs, the solver's work counters (jump functions, flow applications, edge
+compositions, value updates) and — for lifted runs — the edge-algebra
+cache counters (compose/join hits and misses, interned edge count) with
+derived hit rates.  Unlike the pytest-benchmark suites this output is
+stable, diffable and cheap enough for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.analyses import (
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+    TaintAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.core import SPLLift
+from repro.ide.binary import solve_ifds_via_ide
+from repro.ifds import IFDSSolver
+from repro.ir import ICFG, lower_program
+from repro.minijava import derive_product
+from repro.spl.benchmarks import (
+    berkeleydb_like,
+    gpl_like,
+    lampiro_like,
+    mm08_like,
+)
+from repro.utils.timing import best_of
+
+SUBJECT_BUILDERS = (
+    ("BerkeleyDB-like", berkeleydb_like),
+    ("GPL-like", gpl_like),
+    ("Lampiro-like", lampiro_like),
+    ("MM08-like", mm08_like),
+)
+ANALYSES = (
+    ("possible_types", PossibleTypesAnalysis),
+    ("reaching_definitions", ReachingDefinitionsAnalysis),
+    ("uninitialized_variables", UninitializedVariablesAnalysis),
+)
+
+_CACHE_KEYS = (
+    "compose_cache_hits",
+    "compose_cache_misses",
+    "join_cache_hits",
+    "join_cache_misses",
+    "interned_edges",
+)
+
+
+def _hit_rate(hits: int, misses: int) -> Optional[float]:
+    total = hits + misses
+    if total == 0:
+        return None
+    return round(hits / total, 4)
+
+
+def _cache_summary(stats: Dict[str, int]) -> Dict[str, object]:
+    summary: Dict[str, object] = {
+        key: stats[key] for key in _CACHE_KEYS if key in stats
+    }
+    if "compose_cache_hits" in stats:
+        summary["compose_hit_rate"] = _hit_rate(
+            stats["compose_cache_hits"], stats["compose_cache_misses"]
+        )
+    if "join_cache_hits" in stats:
+        summary["join_hit_rate"] = _hit_rate(
+            stats["join_cache_hits"], stats["join_cache_misses"]
+        )
+    return summary
+
+
+def _record(
+    name: str, fn: Callable[[], Dict[str, int]], rounds: int
+) -> Dict[str, object]:
+    """Time ``fn`` (which returns solver stats) and package one report row."""
+    measured = best_of(fn, rounds=rounds)
+    stats: Dict[str, int] = measured["result"]  # type: ignore[assignment]
+    row: Dict[str, object] = {
+        "benchmark": name,
+        "min_seconds": round(measured["min_seconds"], 6),
+        "mean_seconds": round(measured["mean_seconds"], 6),
+        "rounds": measured["rounds"],
+        "stats": dict(stats),
+    }
+    cache = _cache_summary(stats)
+    if cache:
+        row["cache"] = cache
+    print(
+        f"  {name:<55s} {row['min_seconds']*1000.0:10.2f} ms (min of {rounds})",
+        flush=True,
+    )
+    return row
+
+
+def _git_revision(repo_root: Path) -> Optional[str]:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=repo_root,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def run_benchmarks(rounds: int, quick: bool) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+
+    print("building subjects ...", flush=True)
+    subjects = {}
+    for name, builder in SUBJECT_BUILDERS:
+        product_line = builder()
+        product_line.icfg  # force parse/lower/ICFG outside the timed region
+        subjects[name] = product_line
+
+    # --- SPLLIFT single passes (the Table 2 hot path) -----------------
+    print("spllift single passes:", flush=True)
+    subject_names = ("GPL-like",) if quick else tuple(subjects)
+    analyses = ANALYSES[:1] if quick else ANALYSES
+    for subject_name in subject_names:
+        product_line = subjects[subject_name]
+        for analysis_name, analysis_class in analyses:
+
+            def run(pl=product_line, cls=analysis_class) -> Dict[str, int]:
+                results = SPLLift(
+                    cls(pl.icfg), feature_model=pl.feature_model
+                ).solve()
+                return results.stats
+
+            rows.append(
+                _record(
+                    f"spllift/{subject_name}/{analysis_name}", run, rounds
+                )
+            )
+
+    # --- solver micro-benchmarks (binary IDE embedding vs direct IFDS)
+    print("solver micro-benchmarks:", flush=True)
+    product = derive_product(
+        subjects["GPL-like"].ast,
+        frozenset(subjects["GPL-like"].features_reachable),
+    )
+    product_icfg = ICFG.for_entry(lower_program(product))
+
+    def run_ifds_direct() -> Dict[str, int]:
+        solver = IFDSSolver(TaintAnalysis(product_icfg))
+        solver.solve()
+        return solver.stats
+
+    def run_ifds_via_ide() -> Dict[str, int]:
+        results = solve_ifds_via_ide(TaintAnalysis(product_icfg))
+        del results
+        return {}
+
+    rows.append(_record("micro/ifds_direct/taint", run_ifds_direct, rounds))
+    rows.append(
+        _record("micro/ifds_via_ide_binary/taint", run_ifds_via_ide, rounds)
+    )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_solver.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one subject, one analysis — the CI smoke configuration",
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+    if not args.output.parent.is_dir():
+        # Fail before the (long) benchmark run, not after it.
+        parser.error(f"output directory does not exist: {args.output.parent}")
+
+    repo_root = Path(__file__).resolve().parent.parent
+    rows = run_benchmarks(rounds=args.rounds, quick=args.quick)
+    report = {
+        "schema": "bench_solver/v1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "git_revision": _git_revision(repo_root),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": args.rounds,
+        "quick": args.quick,
+        "benchmarks": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,8 @@ class BDDManager:
         self._level_var: List[str] = []
         # Memoization caches.
         self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._apply_hits = 0
+        self._apply_misses = 0
         self._not_cache: Dict[int, int] = {}
         self._restrict_cache: Dict[Tuple[int, int, bool], int] = {}
         self._satcount_cache: Dict[int, int] = {}
@@ -253,7 +255,9 @@ class BDDManager:
         key = (op_name, f, g)
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self._apply_hits += 1
             return cached
+        self._apply_misses += 1
         level_f, level_g = self._level[f], self._level[g]
         level = min(level_f, level_g)
         f_low, f_high = (self._low[f], self._high[f]) if level_f == level else (f, f)
@@ -660,6 +664,8 @@ class BDDManager:
             "nodes": len(self._level),
             "unique_entries": len(self._unique),
             "apply_cache": len(self._apply_cache),
+            "apply_cache_hits": self._apply_hits,
+            "apply_cache_misses": self._apply_misses,
             "not_cache": len(self._not_cache),
             "restrict_cache": len(self._restrict_cache),
         }

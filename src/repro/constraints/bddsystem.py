@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, Optional, Sequence
 
 from repro.bdd import BDDManager
+from repro.bdd.manager import FALSE as _FALSE, TRUE as _TRUE
 from repro.constraints.base import (
     ConfigurationLike,
     Constraint,
@@ -42,11 +43,12 @@ class BddConstraint(Constraint):
 
     @property
     def is_false(self) -> bool:
-        return self._system.manager.is_false(self._node)
+        # Canonical representation: constant-time, no manager round-trip.
+        return self._node == _FALSE
 
     @property
     def is_true(self) -> bool:
-        return self._system.manager.is_true(self._node)
+        return self._node == _TRUE
 
     def entails(self, other: Constraint) -> bool:
         other_node = self._system.coerce(other)._node
@@ -137,14 +139,29 @@ class BddConstraintSystem(ConstraintSystem):
         return self.from_formula(parse_formula(text))
 
     def and_(self, left: Constraint, right: Constraint) -> BddConstraint:
-        return self._wrap(
-            self.manager.and_(self.coerce(left).node, self.coerce(right).node)
-        )
+        # Trivial cases short-circuit before touching the BDD engine: the
+        # lifted hot path conjoins with `true` (unannotated statements) and
+        # with itself (re-walked paths) constantly.
+        a, b = self.coerce(left), self.coerce(right)
+        node_a, node_b = a._node, b._node
+        if node_a == node_b or node_b == _TRUE:
+            return a
+        if node_a == _TRUE:
+            return b
+        if node_a == _FALSE or node_b == _FALSE:
+            return self._false
+        return self._wrap(self.manager.and_(node_a, node_b))
 
     def or_(self, left: Constraint, right: Constraint) -> BddConstraint:
-        return self._wrap(
-            self.manager.or_(self.coerce(left).node, self.coerce(right).node)
-        )
+        a, b = self.coerce(left), self.coerce(right)
+        node_a, node_b = a._node, b._node
+        if node_a == node_b or node_b == _FALSE:
+            return a
+        if node_a == _FALSE:
+            return b
+        if node_a == _TRUE or node_b == _TRUE:
+            return self._true
+        return self._wrap(self.manager.or_(node_a, node_b))
 
     def not_(self, operand: Constraint) -> BddConstraint:
         return self._wrap(self.manager.not_(self.coerce(operand).node))

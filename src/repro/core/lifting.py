@@ -41,7 +41,7 @@ from repro.ifds.problem import IFDSProblem
 from repro.ir.instructions import Goto, If, Instruction, Return
 from repro.ir.program import IRMethod
 
-__all__ = ["ConstraintEdge", "LiftedProblem", "FM_MODES"]
+__all__ = ["ConstraintEdge", "EdgeFunctionTable", "LiftedProblem", "FM_MODES"]
 
 D = TypeVar("D", bound=Hashable)
 
@@ -60,32 +60,57 @@ class ConstraintEdge(EdgeFunction[Constraint]):
     This family is closed under the IDE operations — composition conjoins
     and join disjoins the constants — and equality is constant time thanks
     to the canonical BDD representation.
+
+    Edges created through an :class:`EdgeFunctionTable` are *flyweights*:
+    one unique instance per distinct constraint, so semantic equality
+    degenerates to ``a is b`` and compose/join results are memoized.
+    Directly constructed edges (no table) keep the original allocating
+    behaviour — the table is an optimization, not a semantic change.
     """
 
-    __slots__ = ("constraint",)
+    __slots__ = ("constraint", "_table", "is_top")
 
-    def __init__(self, constraint: Constraint) -> None:
+    def __init__(
+        self, constraint: Constraint, _table: "EdgeFunctionTable" = None
+    ) -> None:
         self.constraint = constraint
+        self._table = _table
+        # λc. c ∧ false maps everything to top ("no flow"): precomputing the
+        # flag lets the solver drop such edges with one attribute load.
+        self.is_top = constraint.is_false
 
     def compute_target(self, source: Constraint) -> Constraint:
         return source & self.constraint
 
     def compose_with(self, second: EdgeFunction[Constraint]) -> EdgeFunction[Constraint]:
         if isinstance(second, ConstraintEdge):
+            table = self._table
+            if table is not None and second._table is table:
+                return table.compose(self, second)
             return ConstraintEdge(self.constraint & second.constraint)
         if isinstance(second, AllTop):
             return second
         raise TypeError(f"cannot compose ConstraintEdge with {second!r}")
 
     def join_with(self, other: EdgeFunction[Constraint]) -> EdgeFunction[Constraint]:
+        if other is self:
+            return self
         if isinstance(other, ConstraintEdge):
+            table = self._table
+            if table is not None and other._table is table:
+                return table.join(self, other)
             return ConstraintEdge(self.constraint | other.constraint)
         if isinstance(other, AllTop):
             return self
         raise TypeError(f"cannot join ConstraintEdge with {other!r}")
 
     def equal_to(self, other: EdgeFunction[Constraint]) -> bool:
+        if other is self:
+            return True
         if isinstance(other, ConstraintEdge):
+            if self._table is not None and other._table is self._table:
+                # Flyweights: distinct instances mean distinct constraints.
+                return False
             return other.constraint == self.constraint
         if isinstance(other, AllTop):
             return self.constraint.is_false
@@ -93,6 +118,89 @@ class ConstraintEdge(EdgeFunction[Constraint]):
 
     def __repr__(self) -> str:
         return f"λc. c ∧ ({self.constraint})"
+
+
+class EdgeFunctionTable:
+    """Per-problem flyweight intern table and memoized constraint algebra.
+
+    The paper attributes SPLLIFT's constant factors to cheap canonical
+    constraint operations (Section 5): equality and ``is false`` are
+    constant time on BDDs, and conjunction/disjunction are memoized.  This
+    table provides the same dividends at the edge-function level:
+
+    - :meth:`edge` interns one unique :class:`ConstraintEdge` per distinct
+      constraint, so the solver's fixed-point check is ``a is b``;
+    - :meth:`compose`/:meth:`join` memoize results keyed on the operand
+      *identities* (valid precisely because operands are interned), with
+      commutative-key normalization — ``A ∧ B`` and ``B ∧ A`` share one
+      entry.  Underneath, the constraint operation itself still hits the
+      BDD manager's apply cache; this cache avoids even that descent plus
+      the re-wrapping on repeat compositions along hot paths.
+
+    Hit/miss counters are exported into ``IDESolver.stats`` via
+    :meth:`LiftedProblem.edge_cache_stats`.
+    """
+
+    __slots__ = ("system", "_edges", "_compose_cache", "_join_cache", "stats")
+
+    def __init__(self, system: ConstraintSystem) -> None:
+        self.system = system
+        self._edges: Dict[Constraint, ConstraintEdge] = {}
+        self._compose_cache: Dict[tuple, ConstraintEdge] = {}
+        self._join_cache: Dict[tuple, ConstraintEdge] = {}
+        self.stats: Dict[str, int] = {
+            "compose_cache_hits": 0,
+            "compose_cache_misses": 0,
+            "join_cache_hits": 0,
+            "join_cache_misses": 0,
+        }
+
+    def edge(self, constraint: Constraint) -> ConstraintEdge:
+        """The unique interned edge function ``λc. c ∧ constraint``."""
+        interned = self._edges.get(constraint)
+        if interned is None:
+            interned = ConstraintEdge(constraint, _table=self)
+            self._edges[constraint] = interned
+        return interned
+
+    @property
+    def interned_count(self) -> int:
+        return len(self._edges)
+
+    # Both operations are commutative, so operand pairs are normalized to
+    # one cache key.  Keys use ``id()`` of the *interned* operands — the
+    # table keeps every interned edge alive, which makes ids stable, and
+    # interning makes them unique per constraint.
+
+    def compose(self, first: ConstraintEdge, second: ConstraintEdge) -> ConstraintEdge:
+        key_a, key_b = id(first), id(second)
+        key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+        cached = self._compose_cache.get(key)
+        if cached is not None:
+            self.stats["compose_cache_hits"] += 1
+            return cached
+        self.stats["compose_cache_misses"] += 1
+        result = self.edge(first.constraint & second.constraint)
+        self._compose_cache[key] = result
+        return result
+
+    def join(self, first: ConstraintEdge, second: ConstraintEdge) -> ConstraintEdge:
+        key_a, key_b = id(first), id(second)
+        key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+        cached = self._join_cache.get(key)
+        if cached is not None:
+            self.stats["join_cache_hits"] += 1
+            return cached
+        self.stats["join_cache_misses"] += 1
+        result = self.edge(first.constraint | second.constraint)
+        self._join_cache[key] = result
+        return result
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Counters in the shape ``IDESolver.stats`` reports them."""
+        stats = dict(self.stats)
+        stats["interned_edges"] = len(self._edges)
+        return stats
 
 
 class LiftedProblem(IDEProblem[D, Constraint]):
@@ -128,7 +236,9 @@ class LiftedProblem(IDEProblem[D, Constraint]):
             self.feature_model if fm_mode == "edge" else system.true
         )
         self._formula_cache: Dict[Formula, Constraint] = {}
-        self._true_edge = ConstraintEdge(system.true & self._edge_label_fm)
+        self.edge_table = EdgeFunctionTable(system)
+        self._true_edge = self.edge_table.edge(system.true & self._edge_label_fm)
+        self._seed_edge = self.edge_table.edge(system.true)
 
     # ------------------------------------------------------------------
     # Constraint helpers
@@ -147,9 +257,13 @@ class LiftedProblem(IDEProblem[D, Constraint]):
         return cached
 
     def _edge(self, label: Constraint) -> ConstraintEdge:
-        """An edge function for label ``f``, implicitly conjoined with the
-        feature model ``m`` in "edge" mode (Section 4.2)."""
-        return ConstraintEdge(label & self._edge_label_fm)
+        """The interned edge function for label ``f``, implicitly conjoined
+        with the feature model ``m`` in "edge" mode (Section 4.2)."""
+        return self.edge_table.edge(label & self._edge_label_fm)
+
+    def edge_cache_stats(self) -> Dict[str, int]:
+        """Edge-algebra cache counters (merged into ``IDESolver.stats``)."""
+        return self.edge_table.cache_stats()
 
     # ------------------------------------------------------------------
     # Value lattice
@@ -165,7 +279,7 @@ class LiftedProblem(IDEProblem[D, Constraint]):
         return left | right
 
     def seed_edge_function(self) -> EdgeFunction[Constraint]:
-        return ConstraintEdge(self.system.true)
+        return self._seed_edge
 
     def initial_seeds(self):
         return self.inner.initial_seeds()

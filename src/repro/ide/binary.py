@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, TypeVar
 
-from repro.ide.edgefunctions import EdgeFunction, IdentityEdge
+from repro.ide.edgefunctions import AllTop, EdgeFunction, IdentityEdge
 from repro.ide.problem import IDEProblem
 from repro.ide.solver import IDEResults, IDESolver
 from repro.ifds.flowfunctions import FlowFunction
@@ -34,6 +34,17 @@ class BinaryIDEProblem(IDEProblem[D, bool]):
     def __init__(self, ifds_problem: IFDSProblem[D]) -> None:
         super().__init__(ifds_problem.icfg)
         self.ifds_problem = ifds_problem
+        # One all-top per problem: with a single flyweight instance the
+        # solver's drop/fixed-point checks reduce to pointer comparisons.
+        self._all_top: AllTop = AllTop(False)
+
+    def all_top(self) -> EdgeFunction[bool]:
+        return self._all_top
+
+    def seed_edge_function(self) -> EdgeFunction[bool]:
+        # The shared identity singleton; every edge below returns it too,
+        # so compositions never allocate in the binary embedding.
+        return _IDENTITY
 
     # Facts and flows delegate unchanged.
     def initial_seeds(self):

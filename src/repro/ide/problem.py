@@ -66,6 +66,13 @@ class IDEProblem(IFDSProblem[D], Generic[D, V]):
             for stmt, facts in self.initial_seeds().items()
         }
 
+    def edge_cache_stats(self) -> Dict[str, int]:
+        """Edge-algebra cache counters, merged into ``IDESolver.stats``
+        after the solve.  Problems without a memoized edge algebra (e.g.
+        the binary embedding) report nothing; the lifted problem reports
+        its intern-table counters (see ``repro.core.lifting``)."""
+        return {}
+
     # ------------------------------------------------------------------
     # Edge functions, one per flow-function edge
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from typing import (
     Generic,
     Hashable,
     List,
+    Optional,
     Set,
     Tuple,
     TypeVar,
@@ -42,8 +43,6 @@ __all__ = ["IDESolver", "IDEResults"]
 D = TypeVar("D", bound=Hashable)
 V = TypeVar("V")
 
-_JumpKey = Tuple[Hashable, Hashable]  # (source fact d1, target fact d2)
-
 
 class IDEResults(Generic[D, V]):
     """Solved values per (statement, fact)."""
@@ -57,24 +56,40 @@ class IDEResults(Generic[D, V]):
         self._values = values
         self._top = top
         self._zero = zero
+        # stmt -> {fact -> value}, non-top entries only; built on the first
+        # `results_at` so per-statement queries are O(facts at stmt), not
+        # O(all (stmt, fact) pairs in the program).
+        self._by_stmt: Optional[Dict[Instruction, Dict[D, V]]] = None
 
     def value_at(self, stmt: Instruction, fact: D) -> V:
         """The joined value of ``fact`` just before ``stmt`` (top if the
         node is unreachable)."""
         return self._values.get((stmt, fact), self._top)
 
+    def _stmt_index(self) -> Dict[Instruction, Dict[D, V]]:
+        if self._by_stmt is None:
+            index: Dict[Instruction, Dict[D, V]] = {}
+            for (node, fact), value in self._values.items():
+                if value == self._top:
+                    continue
+                row = index.get(node)
+                if row is None:
+                    row = index[node] = {}
+                row[fact] = value
+            self._by_stmt = index
+        return self._by_stmt
+
     def results_at(
         self, stmt: Instruction, include_zero: bool = False
     ) -> Dict[D, V]:
         """All non-top facts and their values at ``stmt``."""
-        result: Dict[D, V] = {}
-        for (node, fact), value in self._values.items():
-            if node is not stmt or value == self._top:
-                continue
-            if fact is self._zero and not include_zero:
-                continue
-            result[fact] = value
-        return result
+        row = self._stmt_index().get(stmt)
+        if row is None:
+            return {}
+        if include_zero:
+            return dict(row)
+        zero = self._zero
+        return {fact: value for fact, value in row.items() if fact is not zero}
 
     def non_top_count(self) -> int:
         return sum(1 for value in self._values.values() if value != self._top)
@@ -118,10 +133,21 @@ class IDESolver(Generic[D, V]):
             "flow_applications": 0,
             "edge_compositions": 0,
             "value_updates": 0,
+            "worklist_deduped": 0,
+            "compose_cache_hits": 0,
+            "compose_cache_misses": 0,
+            "join_cache_hits": 0,
+            "join_cache_misses": 0,
+            "interned_edges": 0,
         }
-        # target stmt -> (d1, d2) -> current jump function
-        self._jump: Dict[Instruction, Dict[_JumpKey, EdgeFunction[V]]] = {}
+        # Two-level jump index: target stmt -> d1 -> d2 -> jump function.
+        # The nesting lets phase II enumerate exactly the pairs whose source
+        # fact matches, instead of scanning all (d1, d2) pairs per statement.
+        self._jump: Dict[Instruction, Dict[D, Dict[D, EdgeFunction[V]]]] = {}
         self._worklist: Deque[Tuple[D, Instruction, D]] = deque()
+        # Entries currently enqueued; re-joining a pending entry must not
+        # enqueue it twice — its single pop reads the latest joined function.
+        self._pending: Set[Tuple[D, Instruction, D]] = set()
         # (method, entry fact) -> {(exit stmt, exit fact)}
         self._end_summaries: Dict[
             Tuple[IRMethod, D], Set[Tuple[Instruction, D]]
@@ -131,6 +157,37 @@ class IDESolver(Generic[D, V]):
             Tuple[IRMethod, D], Set[Tuple[Instruction, D, D]]
         ] = {}
         self._all_top = problem.all_top()
+        # Exploded-successor memos.  Flow functions and edge functions
+        # depend only on (statement, fact) — never on the path's source
+        # fact d1 — so the solver caches, per (n, d2), the tuple of
+        # (successor, d3, edge function) it produces.  Re-walks of the same
+        # exploded node with a different d1 (the common case in phase I)
+        # then skip flow-function application and edge construction.
+        self._normal_cache: Dict[
+            Tuple[Instruction, D],
+            Tuple[Tuple[Instruction, D, EdgeFunction[V]], ...],
+        ] = {}
+        self._c2r_cache: Dict[
+            Tuple[Instruction, D],
+            Tuple[Tuple[Instruction, D, EdgeFunction[V]], ...],
+        ] = {}
+        # (call, d2) -> ((callee, callee start, entry facts), ...)
+        self._call_cache: Dict[
+            Tuple[Instruction, D],
+            Tuple[Tuple[IRMethod, Instruction, Tuple[D, ...]], ...],
+        ] = {}
+        # (call, exit stmt, exit fact) -> ((return site, d5, edge), ...)
+        self._return_cache: Dict[
+            Tuple[Instruction, Instruction, D],
+            Tuple[Tuple[Instruction, D, EdgeFunction[V]], ...],
+        ] = {}
+        # Statement kind (0 normal, 1 call, 2 exit, 3 exit-with-successors),
+        # resolved once per statement instead of per worklist pop.
+        self._kind_cache: Dict[Instruction, int] = {}
+        # Flow functions are pure per ICFG edge; constructing them (closure
+        # allocation in the client analyses) is cached per edge so memo
+        # misses for further facts at the same edge skip it.
+        self._flow_cache: Dict[tuple, object] = {}
 
     # ==================================================================
     # Phase I: jump functions
@@ -140,6 +197,7 @@ class IDESolver(Generic[D, V]):
         """Run both phases and return the solved values."""
         self._build_jump_functions()
         values = self._compute_values()
+        self.stats.update(self.problem.edge_cache_stats())
         return IDEResults(values, self.problem.top_value(), self.problem.zero)
 
     def _build_jump_functions(self) -> None:
@@ -147,54 +205,95 @@ class IDESolver(Generic[D, V]):
         for stmt, facts in self.problem.initial_seeds().items():
             for fact in facts:
                 self._propagate(fact, stmt, fact, seed_function)
-        while self._worklist:
-            d1, n, d2 = self._pop()
-            f = self._jump_fn(n, d1, d2)
-            if self.icfg.is_call(n):
-                self._process_call(d1, n, d2, f)
-            elif self.icfg.is_exit(n):
-                self._process_exit(d1, n, d2, f)
-                # A disabled `return` in a lifted CFG falls through to its
-                # successor; plain CFGs have none (no-op there).
-                if self.icfg.successors_of(n):
-                    self._process_normal(d1, n, d2, f)
+        kind_cache = self._kind_cache
+        worklist = self._worklist
+        pending = self._pending
+        jump = self._jump
+        fifo = self._order == "fifo"
+        while worklist:
+            # Inlined `_pop` for the default order; every propagated entry
+            # has a jump-table row, so the lookup can index directly.
+            if fifo:
+                entry = worklist.popleft()
+                pending.discard(entry)
+                d1, n, d2 = entry
             else:
+                d1, n, d2 = self._pop()
+            f = jump[n][d1][d2]
+            kind = kind_cache.get(n)
+            if kind is None:
+                if self.icfg.is_call(n):
+                    kind = 1
+                elif self.icfg.is_exit(n):
+                    # A disabled `return` in a lifted CFG falls through to
+                    # its successor; plain CFGs have none.
+                    kind = 3 if self.icfg.successors_of(n) else 2
+                else:
+                    kind = 0
+                kind_cache[n] = kind
+            if kind == 0:
                 self._process_normal(d1, n, d2, f)
+            elif kind == 1:
+                self._process_call(d1, n, d2, f)
+            else:
+                self._process_exit(d1, n, d2, f)
+                if kind == 3:
+                    self._process_normal(d1, n, d2, f)
 
     def _pop(self) -> Tuple[D, Instruction, D]:
         if self._order == "fifo":
-            return self._worklist.popleft()
-        if self._order == "lifo":
-            return self._worklist.pop()
-        # random: swap a random element to the end, then pop it.
-        index = self._rng.randrange(len(self._worklist))
-        self._worklist[index], self._worklist[-1] = (
-            self._worklist[-1],
-            self._worklist[index],
-        )
-        return self._worklist.pop()
+            entry = self._worklist.popleft()
+        elif self._order == "lifo":
+            entry = self._worklist.pop()
+        else:
+            # random: swap a random element to the end, then pop it.
+            index = self._rng.randrange(len(self._worklist))
+            self._worklist[index], self._worklist[-1] = (
+                self._worklist[-1],
+                self._worklist[index],
+            )
+            entry = self._worklist.pop()
+        self._pending.discard(entry)
+        return entry
 
     def _jump_fn(self, n: Instruction, d1: D, d2: D) -> EdgeFunction[V]:
-        functions = self._jump.get(n)
-        if functions is None:
+        rows = self._jump.get(n)
+        if rows is None:
             return self._all_top
-        return functions.get((d1, d2), self._all_top)
+        row = rows.get(d1)
+        if row is None:
+            return self._all_top
+        return row.get(d2, self._all_top)
 
     def _propagate(
         self, d1: D, n: Instruction, d2: D, f: EdgeFunction[V]
     ) -> None:
-        if f.equal_to(self._all_top):
+        if f.is_top:
             return  # no flow — drop the path (early termination)
-        functions = self._jump.setdefault(n, {})
-        key = (d1, d2)
-        old = functions.get(key)
-        joined = f if old is None else old.join_with(f)
-        if old is not None and joined.equal_to(old):
-            return
+        rows = self._jump.get(n)
+        if rows is None:
+            rows = self._jump[n] = {}
+        row = rows.get(d1)
+        if row is None:
+            row = rows[d1] = {}
+        old = row.get(d2)
         if old is None:
             self.stats["jump_functions"] += 1
-        functions[key] = joined
-        self._worklist.append((d1, n, d2))
+            joined = f
+        else:
+            joined = old.join_with(f)
+            # Flyweight edges make the fixed-point check a pointer
+            # comparison; `equal_to` remains as the general fallback.
+            if joined is old or joined.equal_to(old):
+                return
+        row[d2] = joined
+        entry = (d1, n, d2)
+        if entry in self._pending:
+            # Already enqueued: its pop reads the freshly joined function.
+            self.stats["worklist_deduped"] += 1
+            return
+        self._pending.add(entry)
+        self._worklist.append(entry)
 
     # ------------------------------------------------------------------
     # Case: normal statements
@@ -203,46 +302,91 @@ class IDESolver(Generic[D, V]):
     def _process_normal(
         self, d1: D, n: Instruction, d2: D, f: EdgeFunction[V]
     ) -> None:
-        for succ in self.icfg.successors_of(n):
-            flow = self.problem.normal_flow(n, succ)
-            self.stats["flow_applications"] += 1
-            for d3 in flow.compute_targets(d2):
-                edge = self.problem.edge_normal(n, d2, succ, d3)
-                self.stats["edge_compositions"] += 1
-                self._propagate(d1, succ, d3, f.compose_with(edge))
+        key = (n, d2)
+        exploded = self._normal_cache.get(key)
+        if exploded is None:
+            entries: List[Tuple[Instruction, D, EdgeFunction[V]]] = []
+            for succ in self.icfg.successors_of(n):
+                fkey = ("normal", n, succ)
+                flow = self._flow_cache.get(fkey)
+                if flow is None:
+                    flow = self._flow_cache[fkey] = self.problem.normal_flow(
+                        n, succ
+                    )
+                self.stats["flow_applications"] += 1
+                for d3 in flow.compute_targets(d2):
+                    edge = self.problem.edge_normal(n, d2, succ, d3)
+                    entries.append((succ, d3, edge))
+            exploded = self._normal_cache[key] = tuple(entries)
+        self.stats["edge_compositions"] += len(exploded)
+        for succ, d3, edge in exploded:
+            self._propagate(d1, succ, d3, f.compose_with(edge))
 
     # ------------------------------------------------------------------
     # Case: call statements
     # ------------------------------------------------------------------
+
+    def _call_targets(
+        self, n: Instruction, d2: D
+    ) -> Tuple[Tuple[IRMethod, Instruction, Tuple[D, ...]], ...]:
+        """Callees with at least one entry fact for ``(n, d2)`` (memoized)."""
+        key = (n, d2)
+        targets = self._call_cache.get(key)
+        if targets is None:
+            entries: List[Tuple[IRMethod, Instruction, Tuple[D, ...]]] = []
+            for callee in self.icfg.callees_of(n):
+                fkey = ("call", n, callee)
+                call_flow = self._flow_cache.get(fkey)
+                if call_flow is None:
+                    call_flow = self._flow_cache[fkey] = self.problem.call_flow(
+                        n, callee
+                    )
+                self.stats["flow_applications"] += 1
+                entry_facts = tuple(call_flow.compute_targets(d2))
+                if entry_facts:
+                    entries.append(
+                        (callee, self.icfg.start_point_of(callee), entry_facts)
+                    )
+            targets = self._call_cache[key] = tuple(entries)
+        return targets
 
     def _process_call(
         self, d1: D, n: Instruction, d2: D, f: EdgeFunction[V]
     ) -> None:
         return_sites = self.icfg.return_sites_of(n)
         seed_function = self.problem.seed_edge_function()
-        for callee in self.icfg.callees_of(n):
-            call_flow = self.problem.call_flow(n, callee)
-            self.stats["flow_applications"] += 1
-            entry_facts = call_flow.compute_targets(d2)
-            if not entry_facts:
-                continue
-            start = self.icfg.start_point_of(callee)
+        for callee, start, entry_facts in self._call_targets(n, d2):
             for d3 in entry_facts:
                 self._propagate(d3, start, d3, seed_function)
                 context = (callee, d3)
                 self._incoming.setdefault(context, set()).add((n, d1, d2))
-                for exit_stmt, d4 in self._end_summaries.get(context, set()):
+                summaries = self._end_summaries.get(context)
+                if not summaries:
+                    continue
+                for exit_stmt, d4 in summaries:
                     summary = self._jump_fn(exit_stmt, d3, d4)
                     self._apply_summary(
                         n, d1, d2, f, callee, d3, exit_stmt, d4, summary, return_sites
                     )
-        for return_site in return_sites:
-            flow = self.problem.call_to_return_flow(n, return_site)
-            self.stats["flow_applications"] += 1
-            for d3 in flow.compute_targets(d2):
-                edge = self.problem.edge_call_to_return(n, d2, return_site, d3)
-                self.stats["edge_compositions"] += 1
-                self._propagate(d1, return_site, d3, f.compose_with(edge))
+        key = (n, d2)
+        exploded = self._c2r_cache.get(key)
+        if exploded is None:
+            entries: List[Tuple[Instruction, D, EdgeFunction[V]]] = []
+            for return_site in return_sites:
+                fkey = ("c2r", n, return_site)
+                flow = self._flow_cache.get(fkey)
+                if flow is None:
+                    flow = self._flow_cache[
+                        fkey
+                    ] = self.problem.call_to_return_flow(n, return_site)
+                self.stats["flow_applications"] += 1
+                for d3 in flow.compute_targets(d2):
+                    edge = self.problem.edge_call_to_return(n, d2, return_site, d3)
+                    entries.append((return_site, d3, edge))
+            exploded = self._c2r_cache[key] = tuple(entries)
+        self.stats["edge_compositions"] += len(exploded)
+        for return_site, d3, edge in exploded:
+            self._propagate(d1, return_site, d3, f.compose_with(edge))
 
     def _apply_summary(
         self,
@@ -258,21 +402,34 @@ class IDESolver(Generic[D, V]):
         return_sites: Tuple[Instruction, ...],
     ) -> None:
         """Compose caller function, call edge, summary and return edge."""
+        key = (call, exit_stmt, exit_fact)
+        exploded = self._return_cache.get(key)
+        if exploded is None:
+            entries: List[Tuple[Instruction, D, EdgeFunction[V]]] = []
+            for return_site in return_sites:
+                fkey = ("return", call, exit_stmt, return_site)
+                flow = self._flow_cache.get(fkey)
+                if flow is None:
+                    flow = self._flow_cache[fkey] = self.problem.return_flow(
+                        call, callee, exit_stmt, return_site
+                    )
+                self.stats["flow_applications"] += 1
+                for d5 in flow.compute_targets(exit_fact):
+                    return_edge = self.problem.edge_return(
+                        call, callee, exit_stmt, exit_fact, return_site, d5
+                    )
+                    entries.append((return_site, d5, return_edge))
+            exploded = self._return_cache[key] = tuple(entries)
+        if not exploded:
+            return
         call_edge = self.problem.edge_call(call, call_fact, callee, entry_fact)
-        for return_site in return_sites:
-            flow = self.problem.return_flow(call, callee, exit_stmt, return_site)
-            self.stats["flow_applications"] += 1
-            for d5 in flow.compute_targets(exit_fact):
-                return_edge = self.problem.edge_return(
-                    call, callee, exit_stmt, exit_fact, return_site, d5
-                )
-                self.stats["edge_compositions"] += 3
-                total = (
-                    caller_fn.compose_with(call_edge)
-                    .compose_with(summary_fn)
-                    .compose_with(return_edge)
-                )
-                self._propagate(caller_source, return_site, d5, total)
+        # The caller/call/summary prefix is shared by every return edge.
+        prefix = caller_fn.compose_with(call_edge).compose_with(summary_fn)
+        self.stats["edge_compositions"] += 2 + len(exploded)
+        for return_site, d5, return_edge in exploded:
+            self._propagate(
+                caller_source, return_site, d5, prefix.compose_with(return_edge)
+            )
 
     # ------------------------------------------------------------------
     # Case: exit statements
@@ -331,29 +488,36 @@ class IDESolver(Generic[D, V]):
             method = self.icfg.method_of(n)
             if n is self.icfg.start_point_of(method):
                 for call in self.icfg.call_sites_in(method):
-                    for (d1, d2), f in self._jump.get(call, {}).items():
-                        if d1 != d:
-                            continue
+                    # Indexed jump table: enumerate only the pairs whose
+                    # source fact is `d` instead of scanning all (d1, d2).
+                    rows = self._jump.get(call)
+                    row = rows.get(d) if rows is not None else None
+                    if not row:
+                        continue
+                    for d2, f in row.items():
                         if set_value(call, d2, f.compute_target(value)):
                             worklist.append((call, d2))
             if self.icfg.is_call(n):
-                for callee in self.icfg.callees_of(n):
-                    flow = self.problem.call_flow(n, callee)
-                    start = self.icfg.start_point_of(callee)
-                    for d3 in flow.compute_targets(d):
+                for callee, start, entry_facts in self._call_targets(n, d):
+                    for d3 in entry_facts:
                         edge = self.problem.edge_call(n, d, callee, d3)
                         if set_value(start, d3, edge.compute_target(value)):
                             worklist.append((start, d3))
 
-        # Phase II(ii): every remaining node via its jump function.
+        # Phase II(ii): every remaining node via its jump function.  The
+        # two-level index looks up the start value once per source fact.
         for method in self.icfg.reachable_methods:
             start = self.icfg.start_point_of(method)
             for stmt in method.instructions:
                 if stmt is start:
                     continue
-                for (d1, d2), f in self._jump.get(stmt, {}).items():
+                rows = self._jump.get(stmt)
+                if rows is None:
+                    continue
+                for d1, row in rows.items():
                     start_value = values.get((start, d1), top)
                     if start_value == top:
                         continue
-                    set_value(stmt, d2, f.compute_target(start_value))
+                    for d2, f in row.items():
+                        set_value(stmt, d2, f.compute_target(start_value))
         return values

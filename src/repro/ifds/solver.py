@@ -77,6 +77,30 @@ class IFDSSolver(Generic[D]):
         # (method, entry fact) -> summaries / incoming callers
         self._end_summaries: Dict[Tuple[IRMethod, D], Set[_Summary]] = {}
         self._incoming: Dict[Tuple[IRMethod, D], Set[_Incoming]] = {}
+        # Exploded-successor memos: flow-function targets depend only on
+        # (statement, fact), never on the path's source fact d1, so they
+        # are computed once per (n, d2) and replayed for every other d1.
+        self._normal_cache: Dict[
+            Tuple[Instruction, D], Tuple[Tuple[Instruction, D], ...]
+        ] = {}
+        self._c2r_cache: Dict[
+            Tuple[Instruction, D], Tuple[Tuple[Instruction, D], ...]
+        ] = {}
+        self._call_cache: Dict[
+            Tuple[Instruction, D],
+            Tuple[Tuple[IRMethod, Instruction, Tuple[D, ...]], ...],
+        ] = {}
+        self._return_cache: Dict[
+            Tuple[Instruction, Instruction, D],
+            Tuple[Tuple[Instruction, D], ...],
+        ] = {}
+        # Statement kind (0 normal, 1 call, 2 exit, 3 exit-with-successors),
+        # resolved once per statement instead of per worklist pop.
+        self._kind_cache: Dict[Instruction, int] = {}
+        # Flow functions are pure per ICFG edge; constructing them (closure
+        # allocation in the client analyses) is cached per edge so memo
+        # misses for further facts at the same edge skip it.
+        self._flow_cache: Dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # Driver
@@ -87,27 +111,40 @@ class IFDSSolver(Generic[D]):
         for stmt, facts in self.problem.initial_seeds().items():
             for fact in facts:
                 self._propagate(fact, stmt, fact)
-        while self._worklist:
-            d1, n, d2 = self._worklist.popleft()
-            if self.icfg.is_call(n):
-                self._process_call(d1, n, d2)
-            elif self.icfg.is_exit(n):
-                self._process_exit(d1, n, d2)
-                # In a lifted (SPL-aware) CFG a disabled `return` falls
-                # through to its successor statement (cf. Figure 4b of the
-                # paper applied to exits); plain CFGs have no successors
-                # after a return, so this is a no-op for them.
-                if self.icfg.successors_of(n):
-                    self._process_normal(d1, n, d2)
-            else:
+        worklist = self._worklist
+        kind_cache = self._kind_cache
+        while worklist:
+            d1, n, d2 = worklist.popleft()
+            kind = kind_cache.get(n)
+            if kind is None:
+                if self.icfg.is_call(n):
+                    kind = 1
+                elif self.icfg.is_exit(n):
+                    # In a lifted (SPL-aware) CFG a disabled `return` falls
+                    # through to its successor statement (cf. Figure 4b of
+                    # the paper applied to exits); plain CFGs have no
+                    # successors after a return.
+                    kind = 3 if self.icfg.successors_of(n) else 2
+                else:
+                    kind = 0
+                kind_cache[n] = kind
+            if kind == 0:
                 self._process_normal(d1, n, d2)
+            elif kind == 1:
+                self._process_call(d1, n, d2)
+            else:
+                self._process_exit(d1, n, d2)
+                if kind == 3:
+                    self._process_normal(d1, n, d2)
         facts_at: Dict[Instruction, Set[D]] = {
             n: {d2 for (_, d2) in edges} for n, edges in self._path_edges.items()
         }
         return IFDSResults(facts_at, self.problem.zero)
 
     def _propagate(self, d1: D, n: Instruction, d2: D) -> None:
-        edges = self._path_edges.setdefault(n, set())
+        edges = self._path_edges.get(n)
+        if edges is None:
+            edges = self._path_edges[n] = set()
         key = (d1, d2)
         if key in edges:
             return
@@ -120,25 +157,64 @@ class IFDSSolver(Generic[D]):
     # ------------------------------------------------------------------
 
     def _process_normal(self, d1: D, n: Instruction, d2: D) -> None:
-        for succ in self.icfg.successors_of(n):
-            flow = self.problem.normal_flow(n, succ)
-            self.stats["flow_applications"] += 1
-            for d3 in flow.compute_targets(d2):
-                self._propagate(d1, succ, d3)
+        key = (n, d2)
+        exploded = self._normal_cache.get(key)
+        if exploded is None:
+            entries: List[Tuple[Instruction, D]] = []
+            for succ in self.icfg.successors_of(n):
+                fkey = ("normal", n, succ)
+                flow = self._flow_cache.get(fkey)
+                if flow is None:
+                    flow = self._flow_cache[fkey] = self.problem.normal_flow(
+                        n, succ
+                    )
+                self.stats["flow_applications"] += 1
+                for d3 in flow.compute_targets(d2):
+                    entries.append((succ, d3))
+            exploded = self._normal_cache[key] = tuple(entries)
+        # _propagate inlined: this loop dominates the tabulation, and the
+        # call overhead is measurable at millions of propagations.
+        path_edges = self._path_edges
+        for succ, d3 in exploded:
+            edges = path_edges.get(succ)
+            if edges is None:
+                edges = path_edges[succ] = set()
+            edge = (d1, d3)
+            if edge not in edges:
+                edges.add(edge)
+                self.stats["path_edges"] += 1
+                self._worklist.append((d1, succ, d3))
 
     # ------------------------------------------------------------------
     # Case: call statements
     # ------------------------------------------------------------------
 
+    def _call_targets(
+        self, n: Instruction, d2: D
+    ) -> Tuple[Tuple[IRMethod, Instruction, Tuple[D, ...]], ...]:
+        key = (n, d2)
+        targets = self._call_cache.get(key)
+        if targets is None:
+            entries: List[Tuple[IRMethod, Instruction, Tuple[D, ...]]] = []
+            for callee in self.icfg.callees_of(n):
+                fkey = ("call", n, callee)
+                call_flow = self._flow_cache.get(fkey)
+                if call_flow is None:
+                    call_flow = self._flow_cache[fkey] = self.problem.call_flow(
+                        n, callee
+                    )
+                self.stats["flow_applications"] += 1
+                entry_facts = tuple(call_flow.compute_targets(d2))
+                if entry_facts:
+                    entries.append(
+                        (callee, self.icfg.start_point_of(callee), entry_facts)
+                    )
+            targets = self._call_cache[key] = tuple(entries)
+        return targets
+
     def _process_call(self, d1: D, n: Instruction, d2: D) -> None:
         return_sites = self.icfg.return_sites_of(n)
-        for callee in self.icfg.callees_of(n):
-            call_flow = self.problem.call_flow(n, callee)
-            self.stats["flow_applications"] += 1
-            entry_facts = call_flow.compute_targets(d2)
-            if not entry_facts:
-                continue
-            start = self.icfg.start_point_of(callee)
+        for callee, start, entry_facts in self._call_targets(n, d2):
             for d3 in entry_facts:
                 self._propagate(d3, start, d3)
                 context = (callee, d3)
@@ -147,11 +223,23 @@ class IFDSSolver(Generic[D]):
                     self._apply_summary(
                         n, d1, callee, exit_stmt, d4, return_sites
                     )
-        for return_site in return_sites:
-            flow = self.problem.call_to_return_flow(n, return_site)
-            self.stats["flow_applications"] += 1
-            for d3 in flow.compute_targets(d2):
-                self._propagate(d1, return_site, d3)
+        key = (n, d2)
+        exploded = self._c2r_cache.get(key)
+        if exploded is None:
+            entries: List[Tuple[Instruction, D]] = []
+            for return_site in return_sites:
+                fkey = ("c2r", n, return_site)
+                flow = self._flow_cache.get(fkey)
+                if flow is None:
+                    flow = self._flow_cache[
+                        fkey
+                    ] = self.problem.call_to_return_flow(n, return_site)
+                self.stats["flow_applications"] += 1
+                for d3 in flow.compute_targets(d2):
+                    entries.append((return_site, d3))
+            exploded = self._c2r_cache[key] = tuple(entries)
+        for return_site, d3 in exploded:
+            self._propagate(d1, return_site, d3)
 
     def _apply_summary(
         self,
@@ -162,11 +250,23 @@ class IFDSSolver(Generic[D]):
         exit_fact: D,
         return_sites: Tuple[Instruction, ...],
     ) -> None:
-        for return_site in return_sites:
-            flow = self.problem.return_flow(call, callee, exit_stmt, return_site)
-            self.stats["flow_applications"] += 1
-            for d5 in flow.compute_targets(exit_fact):
-                self._propagate(caller_source, return_site, d5)
+        key = (call, exit_stmt, exit_fact)
+        exploded = self._return_cache.get(key)
+        if exploded is None:
+            entries: List[Tuple[Instruction, D]] = []
+            for return_site in return_sites:
+                fkey = ("return", call, exit_stmt, return_site)
+                flow = self._flow_cache.get(fkey)
+                if flow is None:
+                    flow = self._flow_cache[fkey] = self.problem.return_flow(
+                        call, callee, exit_stmt, return_site
+                    )
+                self.stats["flow_applications"] += 1
+                for d5 in flow.compute_targets(exit_fact):
+                    entries.append((return_site, d5))
+            exploded = self._return_cache[key] = tuple(entries)
+        for return_site, d5 in exploded:
+            self._propagate(caller_source, return_site, d5)
 
     # ------------------------------------------------------------------
     # Case: exit statements

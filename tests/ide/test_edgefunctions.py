@@ -5,6 +5,7 @@ import pytest
 from repro.constraints import BddConstraintSystem
 from repro.core.lifting import ConstraintEdge
 from repro.ide import AllTop, IdentityEdge
+from repro.ide.edgefunctions import _ACTIVE_DELEGATIONS, EdgeFunction
 
 
 @pytest.fixture
@@ -30,6 +31,57 @@ class TestGenericEdgeFunctions:
     def test_identity_join_with_all_top(self):
         identity = IdentityEdge()
         assert identity.join_with(AllTop(False)).equal_to(identity)
+
+
+class _DelegatingEdge(EdgeFunction):
+    """A foreign edge function that bounces join/equality back to the
+    other operand — the pattern that used to send ``IdentityEdge`` into
+    infinite mutual recursion."""
+
+    def compute_target(self, source):
+        return source
+
+    def compose_with(self, second):
+        return second
+
+    def join_with(self, other):
+        return other.join_with(self)
+
+    def equal_to(self, other):
+        return other.equal_to(self)
+
+
+class TestMutualDelegation:
+    """Regression: IdentityEdge delegating to a function that delegates
+    straight back must terminate instead of raising RecursionError."""
+
+    def test_join_raises_type_error_not_recursion(self):
+        with pytest.raises(TypeError, match="delegate the join"):
+            IdentityEdge().join_with(_DelegatingEdge())
+
+    def test_equality_is_conservatively_false(self):
+        assert IdentityEdge().equal_to(_DelegatingEdge()) is False
+
+    def test_guard_state_is_cleaned_up(self):
+        identity, foreign = IdentityEdge(), _DelegatingEdge()
+        identity.equal_to(foreign)
+        with pytest.raises(TypeError):
+            identity.join_with(foreign)
+        assert not _ACTIVE_DELEGATIONS
+
+    def test_delegation_to_cooperative_function_still_works(self):
+        """The guard must not break legitimate delegation: a foreign
+        function that *answers* the join keeps working."""
+
+        class _Answering(_DelegatingEdge):
+            def join_with(self, other):
+                return self
+
+            def equal_to(self, other):
+                return isinstance(other, _Answering)
+
+        answering = _Answering()
+        assert IdentityEdge().join_with(answering) is answering
 
 
 class TestConstraintEdge:
