@@ -157,6 +157,44 @@ def run_benchmarks(rounds: int, quick: bool) -> List[Dict[str, object]]:
                 )
             )
 
+    # --- analysis service: batch cold vs warm (the result-store path) --
+    print("analysis service batch:", flush=True)
+    import shutil
+    import tempfile
+
+    from repro.service import ResultStore, paper_campaign_jobs, run_batch
+
+    if quick:
+        jobs = paper_campaign_jobs(
+            subjects=("GPL-like",), analyses=("possible_types",)
+        )
+    else:
+        jobs = paper_campaign_jobs()
+    store_root = Path(tempfile.mkdtemp(prefix="spllift-bench-store-"))
+    store = ResultStore(store_root)
+    try:
+        # Cold: clear the store first so every round actually solves.
+        # In-process execution (use_pool=False) keeps the timing about the
+        # solver + store, not process spawn overhead.
+        def run_batch_cold() -> Dict[str, int]:
+            store.clear()
+            report = run_batch(jobs, store=store, use_pool=False)
+            return {"computed": report.computed, "cached": report.cached}
+
+        rows.append(
+            _record(f"service/batch_cold/{len(jobs)}_jobs", run_batch_cold, rounds)
+        )
+
+        def run_batch_warm() -> Dict[str, int]:
+            report = run_batch(jobs, store=store, use_pool=False)
+            return {"computed": report.computed, "cached": report.cached}
+
+        rows.append(
+            _record(f"service/batch_warm/{len(jobs)}_jobs", run_batch_warm, rounds)
+        )
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
     # --- solver micro-benchmarks (binary IDE embedding vs direct IFDS)
     print("solver micro-benchmarks:", flush=True)
     product = derive_product(

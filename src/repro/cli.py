@@ -7,17 +7,27 @@ Analyze a MiniJava product line from the shell::
     spllift interfaces shop.mj --feature Discount --feature-model shop.fm
     spllift run shop.mj --config Discount,Tax
     spllift metrics shop.mj --feature-model shop.fm
+    spllift batch manifest.json --report report.json
+    spllift cache stats
 
 ``analyze`` prints, per finding, the statement and the feature constraint
 under which it occurs; ``interfaces`` prints a feature's emergent
 interface; ``run`` executes one configuration with the interpreter;
-``metrics`` prints the Table-1-style subject metrics.
+``metrics`` prints the Table-1-style subject metrics; ``batch`` fans a
+manifest of jobs over the analysis service (worker pool + result store);
+``cache`` inspects or clears the store.
+
+User errors — missing input files, unparseable feature models, unknown
+analysis names, bad manifests — exit with status 2 and a one-line
+``spllift: error: …`` message, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analyses import (
@@ -29,8 +39,16 @@ from repro.analyses import (
 from repro.analyses.typestate import FILE_PROTOCOL, TypestateAnalysis
 from repro.core import SPLLift, compute_emergent_interface
 from repro.core.solver import SPLLiftResults
-from repro.featuremodel import FeatureModel, parse_feature_model
+from repro.featuremodel import FeatureModel, FeatureModelError, parse_feature_model
 from repro.interp import Interpreter
+from repro.minijava.parser import ParseError
+from repro.service import (
+    ResultStore,
+    ServiceError,
+    default_cache_dir,
+    load_manifest,
+    run_batch,
+)
 from repro.spl import ProductLine
 from repro.utils import format_count
 
@@ -181,6 +199,63 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _batch_store(args) -> Optional[ResultStore]:
+    if getattr(args, "no_store", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultStore(Path(cache_dir) if cache_dir else None)
+
+
+def _cmd_batch(args) -> int:
+    jobs = load_manifest(args.manifest)
+    report = run_batch(
+        jobs,
+        store=_batch_store(args),
+        max_workers=args.jobs,
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+        use_pool=not args.no_pool,
+    )
+    width = max(len(outcome.job.label) for outcome in report.outcomes)
+    for outcome in report.outcomes:
+        digest = (outcome.result_digest or "-")[:12]
+        line = (
+            f"  {outcome.job.label:<{width}}  "
+            f"{outcome.job.analysis:<24} {outcome.status:<8} "
+            f"{outcome.seconds:7.3f}s  {digest}"
+        )
+        if outcome.error:
+            line += f"  ({outcome.error})"
+        print(line)
+    print(
+        f"{len(report.outcomes)} job(s): {report.cached} cached, "
+        f"{report.computed} computed, {report.failed} failed "
+        f"in {report.wall_seconds:.3f}s "
+        f"({report.workers} worker(s))"
+    )
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.describe(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
+def _cmd_cache(args) -> int:
+    store = ResultStore(Path(args.cache_dir) if args.cache_dir else None)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"records:    {stats['records']}")
+        print(f"bytes:      {stats['bytes']}")
+        for kind, count in sorted(stats["kinds"].items()):
+            print(f"  {kind}: {count}")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} record(s) from {store.root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spllift",
@@ -232,13 +307,64 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser("metrics", help="print subject metrics")
     common(metrics)
     metrics.set_defaults(handler=_cmd_metrics)
+
+    batch = sub.add_parser(
+        "batch", help="run a manifest of jobs through the analysis service"
+    )
+    batch.add_argument("manifest", help="batch manifest (JSON)")
+    batch.add_argument(
+        "--cache-dir",
+        help=f"result store root (default {default_cache_dir()})",
+    )
+    batch.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip the result store (always solve)",
+    )
+    batch.add_argument(
+        "--jobs", type=int, help="worker processes (default: CPU count)"
+    )
+    batch.add_argument(
+        "--timeout", type=float, help="per-job timeout in seconds"
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per job after a worker crash (default 1)",
+    )
+    batch.add_argument(
+        "--no-pool",
+        action="store_true",
+        help="run jobs in-process instead of a worker pool",
+    )
+    batch.add_argument("--report", help="write the batch report JSON here")
+    batch.set_defaults(handler=_cmd_batch)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result store")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        help=f"result store root (default {default_cache_dir()})",
+    )
+    cache.set_defaults(handler=_cmd_cache)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ServiceError, FeatureModelError, ParseError) as error:
+        print(f"spllift: error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        name = error.filename if error.filename else ""
+        detail = error.strerror or str(error)
+        suffix = f": {name}" if name else ""
+        print(f"spllift: error: {detail}{suffix}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

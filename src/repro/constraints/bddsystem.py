@@ -165,3 +165,34 @@ class BddConstraintSystem(ConstraintSystem):
 
     def not_(self, operand: Constraint) -> BddConstraint:
         return self._wrap(self.manager.not_(self.coerce(operand).node))
+
+    def or_all(self, constraints: Iterable[Constraint]) -> BddConstraint:
+        # n-ary disjunction for merge points with high in-degree: operands
+        # are deduplicated by node id and reduced as a balanced tree, so a
+        # k-way join costs at most k-1 manager applies on *distinct*
+        # operands (often far fewer) and wraps a single handle — instead
+        # of k pairwise `or_` round-trips through coerce/wrap.
+        nodes = []
+        seen = set()
+        for constraint in constraints:
+            node = self.coerce(constraint)._node
+            if node == _TRUE:
+                return self._true
+            if node == _FALSE or node in seen:
+                continue
+            seen.add(node)
+            nodes.append(node)
+        if not nodes:
+            return self._false
+        manager_or = self.manager.or_
+        while len(nodes) > 1:
+            reduced = []
+            for i in range(0, len(nodes) - 1, 2):
+                node = manager_or(nodes[i], nodes[i + 1])
+                if node == _TRUE:
+                    return self._true
+                reduced.append(node)
+            if len(nodes) % 2:
+                reduced.append(nodes[-1])
+            nodes = reduced
+        return self._wrap(nodes[0])

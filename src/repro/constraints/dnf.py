@@ -17,7 +17,7 @@ the reasons the representation loses.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Tuple
+from typing import FrozenSet, Iterable, Tuple
 
 from repro.constraints.base import (
     ConfigurationLike,
@@ -215,6 +215,16 @@ class DnfConstraintSystem(ConstraintSystem):
         return DnfConstraint(
             self, _normalize(self.coerce(left).cubes | self.coerce(right).cubes)
         )
+
+    def or_all(self, constraints: Iterable[Constraint]) -> DnfConstraint:
+        # n-ary disjunction: union all cube sets first, then normalize
+        # once.  Subsumption keeps exactly the minimal consistent cubes of
+        # the union, so the result equals the pairwise fold — but the
+        # quadratic normalization pass runs once instead of k times.
+        cubes: set = set()
+        for constraint in constraints:
+            cubes |= self.coerce(constraint).cubes
+        return DnfConstraint(self, _normalize(cubes))
 
     def not_(self, operand: Constraint) -> DnfConstraint:
         # De Morgan: the complement of a DNF is the conjunction of the

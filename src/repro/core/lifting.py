@@ -278,6 +278,11 @@ class LiftedProblem(IDEProblem[D, Constraint]):
     def join_values(self, left: Constraint, right: Constraint) -> Constraint:
         return left | right
 
+    def join_all_values(self, values) -> Constraint:
+        # Batch constraint join: one n-ary disjunction on the manager
+        # instead of a pairwise fold (ROADMAP "batch constraint joins").
+        return self.system.or_all(values)
+
     def seed_edge_function(self) -> EdgeFunction[Constraint]:
         return self._seed_edge
 

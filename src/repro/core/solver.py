@@ -17,8 +17,9 @@ the 0-fact's value gives each statement's reachability constraint
 
 from __future__ import annotations
 
+import hashlib
 import time
-from typing import Dict, Generic, Hashable, Optional, TypeVar, Union
+from typing import Dict, Generic, Hashable, List, Optional, TypeVar, Union
 
 from repro.constraints.base import Constraint, ConstraintSystem, as_assignment
 from repro.constraints.bddsystem import BddConstraintSystem
@@ -114,6 +115,35 @@ class SPLLiftResults(Generic[D]):
         """Iterate ``((stmt, fact), constraint)`` pairs."""
         return self._ide.items()
 
+    # ------------------------------------------------------------------
+    # Canonical serialization (the analysis service's exchange format)
+    # ------------------------------------------------------------------
+
+    def result_lines(self) -> List[str]:
+        """Canonical, order-independent serialization of the solution.
+
+        One ``location|statement|fact|constraint`` line per (statement,
+        fact) pair whose constraint is satisfiable, sorted.  Statement
+        locations, statement/fact renderings and constraint strings are
+        all deterministic for a given subject, so two solves of the same
+        job — in different processes, on different machines — produce the
+        same lines.  This is what the result store persists and what the
+        sha256 :meth:`result_digest` is computed over.
+        """
+        lines = []
+        for (stmt, fact), constraint in self._ide.items():
+            if constraint.is_false:
+                continue
+            lines.append(f"{stmt.location}|{stmt}|{fact!r}|{constraint}")
+        lines.sort()
+        return lines
+
+    def result_digest(self) -> str:
+        """sha256 hex digest of :meth:`result_lines` — the bit-identity
+        check used by the regression protocol and the warm-cache verify."""
+        payload = "\n".join(self.result_lines()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
 
 class SPLLift(Generic[D]):
     """Lift and solve an IFDS analysis over a software product line."""
@@ -156,9 +186,18 @@ class SPLLift(Generic[D]):
         )
         self.analysis = analysis
 
-    def solve(self) -> SPLLiftResults[D]:
-        """Run the IDE solver on the lifted problem (one single pass)."""
-        solver = IDESolver(self.problem)
+    def solve(
+        self, worklist_order: str = "fifo", order_seed: int = 0
+    ) -> SPLLiftResults[D]:
+        """Run the IDE solver on the lifted problem (one single pass).
+
+        ``worklist_order``/``order_seed`` select the phase-I iteration
+        order (see :class:`IDESolver`); the fixed point — and therefore
+        the result digest — is order-independent.
+        """
+        solver = IDESolver(
+            self.problem, worklist_order=worklist_order, order_seed=order_seed
+        )
         started = time.perf_counter()
         ide_results = solver.solve()
         elapsed = time.perf_counter() - started

@@ -44,16 +44,27 @@ def main(argv=None) -> int:
         help="A2 cutoff in seconds before switching to the estimation "
         "protocol (paper: ten hours; default: 60)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        help="route SPLLIFT runs through the analysis service's result "
+        "store at this path (warm hits skip the solver)",
+    )
     args = parser.parse_args(argv)
+
+    store = None
+    if args.cache_dir:
+        from repro.service import ResultStore
+
+        store = ResultStore(args.cache_dir)
 
     if args.experiment in ("table1", "all"):
         print(render_table1(run_table1()))
         print()
     if args.experiment in ("table2", "all"):
-        print(render_table2(run_table2(cutoff_seconds=args.cutoff)))
+        print(render_table2(run_table2(cutoff_seconds=args.cutoff, store=store)))
         print()
     if args.experiment in ("table3", "all"):
-        print(render_table3(run_table3()))
+        print(render_table3(run_table3(store=store)))
         print()
     if args.experiment in ("qualitative", "all"):
         print(render_qualitative(run_qualitative()))

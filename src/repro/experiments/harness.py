@@ -28,6 +28,7 @@ __all__ = [
     "A2Campaign",
     "measure_call_graph",
     "run_spllift",
+    "run_spllift_cached",
     "run_a2_campaign",
     "ENUMERATION_LIMIT",
 ]
@@ -62,6 +63,50 @@ def run_spllift(
     started = time.perf_counter()
     results = spllift.solve()
     return time.perf_counter() - started, results
+
+
+def _service_name_for(analysis_class: Type[IFDSProblem]) -> str:
+    """Derive the service's canonical analysis name from a problem class
+    (``PossibleTypesAnalysis`` → ``possible_types``)."""
+    name = analysis_class.__name__
+    if name.endswith("Analysis"):
+        name = name[: -len("Analysis")]
+    words = []
+    for char in name:
+        if char.isupper() and words:
+            words.append("_")
+        words.append(char.lower())
+    return "".join(words)
+
+
+def run_spllift_cached(
+    product_line: ProductLine,
+    analysis_class: Type[IFDSProblem],
+    fm_mode: str = "edge",
+    store=None,
+) -> Tuple[float, Dict[str, object], bool]:
+    """Store-aware :func:`run_spllift` — the experiments' warm path.
+
+    Returns ``(solve_seconds, record, cached)`` where ``record`` is the
+    service-format result record.  On a store hit the solver is skipped
+    entirely and ``solve_seconds`` is the *recorded* solve time of the
+    original cold run, so cached table regenerations report the same
+    timings they were first measured with.
+    """
+    from repro.service import AnalysisJob, build_record
+
+    job = AnalysisJob.from_product_line(
+        product_line, _service_name_for(analysis_class), fm_mode=fm_mode
+    )
+    if store is not None:
+        record = store.get(job.digest)
+        if record is not None:
+            return float(record["solve_seconds"]), record, True
+    seconds, results = run_spllift(product_line, analysis_class, fm_mode=fm_mode)
+    record = build_record(job, results, solve_seconds=seconds)
+    if store is not None:
+        store.put(record)
+    return seconds, record, False
 
 
 @dataclass

@@ -21,7 +21,7 @@ from repro.experiments.harness import (
     A2Campaign,
     measure_call_graph,
     run_a2_campaign,
-    run_spllift,
+    run_spllift_cached,
 )
 from repro.ifds.problem import IFDSProblem
 from repro.spl.benchmarks import paper_subjects
@@ -57,8 +57,14 @@ def run_table2(
     subjects: Sequence[Tuple[str, Callable[[], ProductLine]]] = None,
     analyses: Sequence[Tuple[str, Type[IFDSProblem]]] = PAPER_ANALYSES,
     cutoff_seconds: float = 60.0,
+    store=None,
 ) -> List[Table2Row]:
-    """Run the full Table 2 campaign (SPLLIFT and A2 per subject/analysis)."""
+    """Run the full Table 2 campaign (SPLLIFT and A2 per subject/analysis).
+
+    With ``store`` (a :class:`~repro.service.ResultStore`), SPLLIFT runs
+    are served through the analysis service's result store: warm hits
+    skip the solver and report the recorded cold-run timing.
+    """
     subjects = subjects if subjects is not None else paper_subjects()
     rows: List[Table2Row] = []
     for name, builder in subjects:
@@ -69,7 +75,9 @@ def run_table2(
             call_graph_seconds=measure_call_graph(product_line),
         )
         for analysis_name, analysis_class in analyses:
-            spllift_seconds, _ = run_spllift(product_line, analysis_class)
+            spllift_seconds, _, _ = run_spllift_cached(
+                product_line, analysis_class, store=store
+            )
             campaign = run_a2_campaign(
                 product_line, analysis_class, cutoff_seconds=cutoff_seconds
             )

@@ -15,7 +15,7 @@ Every IFDS problem embeds into IDE via the binary lattice
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, TypeVar
+from typing import Dict, Generic, Hashable, Iterable, TypeVar
 
 from repro.ide.edgefunctions import AllTop, EdgeFunction, IdentityEdge
 from repro.ifds.problem import IFDSProblem
@@ -50,6 +50,19 @@ class IDEProblem(IFDSProblem[D], Generic[D, V]):
     def join_values(self, left: V, right: V) -> V:
         """Join two values at a merge point (moves down, toward bottom)."""
         raise NotImplementedError
+
+    def join_all_values(self, values: Iterable[V]) -> V:
+        """n-ary join at a merge point with many incoming values.
+
+        The default folds pairwise via :meth:`join_values`; lattices with
+        a cheaper batch operation (e.g. the constraint systems' n-ary
+        ``or_all``) override this — the join is associative and
+        commutative, so any reduction order yields the same value.
+        """
+        result = self.top_value()
+        for value in values:
+            result = self.join_values(result, value)
+        return result
 
     def all_top(self) -> EdgeFunction[V]:
         """The all-top edge function (default jump function)."""

@@ -1,0 +1,51 @@
+"""The analysis service: batch scheduling, worker pool, result store.
+
+The production layer over the single-shot :class:`~repro.core.SPLLift`
+facade (see DESIGN.md §"Service architecture"):
+
+- :mod:`repro.service.jobs` — content-addressed job model + manifests;
+- :mod:`repro.service.store` — on-disk content-addressed result store;
+- :mod:`repro.service.worker` — per-job execution and serialization;
+- :mod:`repro.service.scheduler` — process-pool fan-out with per-job
+  timeout, bounded crash retry, and in-process fallback.
+"""
+
+from repro.service.jobs import (
+    AnalysisJob,
+    ServiceError,
+    canonical_analysis_name,
+    canonical_feature_model_text,
+    known_analyses,
+    load_manifest,
+    paper_campaign_jobs,
+    parse_manifest,
+    resolve_analysis,
+)
+from repro.service.scheduler import (
+    BatchReport,
+    BatchScheduler,
+    JobOutcome,
+    run_batch,
+)
+from repro.service.store import ResultStore, default_cache_dir
+from repro.service.worker import build_record, execute_job
+
+__all__ = [
+    "AnalysisJob",
+    "ServiceError",
+    "BatchReport",
+    "BatchScheduler",
+    "JobOutcome",
+    "ResultStore",
+    "run_batch",
+    "build_record",
+    "execute_job",
+    "canonical_analysis_name",
+    "canonical_feature_model_text",
+    "default_cache_dir",
+    "known_analyses",
+    "load_manifest",
+    "paper_campaign_jobs",
+    "parse_manifest",
+    "resolve_analysis",
+]

@@ -1,0 +1,464 @@
+"""The analysis-service job model: content-addressed analysis requests.
+
+An analysis request is the tuple *(program digest, analysis name,
+feature-model digest, fm_mode, solver options)*.  Two requests with the
+same canonical content hash are the same job — no matter whether the
+program arrived as a file path, inline source, or a generated benchmark
+subject — which is what lets the result store serve warm re-runs without
+touching the solver.
+
+Canonical hashing:
+
+- the **program digest** is the sha256 of the MiniJava source bytes
+  (UTF-8, exactly as written — the parser is whitespace-sensitive enough
+  that normalizing would risk aliasing distinct programs);
+- the **feature-model digest** is the sha256 of the model's canonical
+  textual rendering (:func:`canonical_feature_model_text`), so a model
+  parsed from a file and the structurally identical model built
+  programmatically hash the same;
+- the **job digest** is the sha256 of a canonical JSON document over both
+  digests plus analysis name, fm_mode, entry point and the *public*
+  solver options (keys starting with ``_`` are test/debug hooks and do
+  not change the result, so they are excluded).
+
+Batch manifests (``spllift batch <manifest>``) are JSON::
+
+    {"jobs": [
+        {"file": "shop.mj", "feature_model": "shop.fm",
+         "analysis": "taint", "fm_mode": "edge"},
+        {"subject": "GPL-like", "analysis": "possible_types"}
+    ]}
+
+or, for the paper's Table 2/3 campaign, simply ``{"campaign": "paper"}``
+(the 12 subject×analysis jobs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.featuremodel.model import FeatureModel
+from repro.featuremodel.printer import render_feature_model
+from repro.ifds.problem import IFDSProblem
+from repro.ir.icfg import ICFG
+
+__all__ = [
+    "ServiceError",
+    "AnalysisJob",
+    "ANALYSIS_ALIASES",
+    "canonical_analysis_name",
+    "resolve_analysis",
+    "known_analyses",
+    "canonical_feature_model_text",
+    "load_manifest",
+    "parse_manifest",
+    "paper_campaign_jobs",
+]
+
+JOB_SCHEMA = "spllift-job/v1"
+
+
+class ServiceError(ValueError):
+    """A user-facing analysis-service error (bad manifest, unknown
+    analysis, unreadable input) — rendered as a clean one-line message by
+    the CLI, never as a traceback."""
+
+
+# ----------------------------------------------------------------------
+# Analysis registry
+# ----------------------------------------------------------------------
+
+#: alias -> canonical snake_case analysis name.
+ANALYSIS_ALIASES: Dict[str, str] = {
+    "taint": "taint",
+    "uninit": "uninitialized_variables",
+    "uninitialized_variables": "uninitialized_variables",
+    "uninitialized variables": "uninitialized_variables",
+    "nullness": "nullness",
+    "types": "possible_types",
+    "possible_types": "possible_types",
+    "possible types": "possible_types",
+    "rd": "reaching_definitions",
+    "reaching_definitions": "reaching_definitions",
+    "reaching definitions": "reaching_definitions",
+    "typestate": "typestate",
+}
+
+
+def _analysis_factories() -> Dict[str, Callable[[ICFG], IFDSProblem]]:
+    # Imported lazily so `repro.service.jobs` stays importable from a bare
+    # worker bootstrap without dragging every analysis module in up front.
+    from repro.analyses import (
+        NullnessAnalysis,
+        PossibleTypesAnalysis,
+        ReachingDefinitionsAnalysis,
+        TaintAnalysis,
+        UninitializedVariablesAnalysis,
+    )
+    from repro.analyses.typestate import FILE_PROTOCOL, TypestateAnalysis
+
+    return {
+        "taint": TaintAnalysis,
+        "uninitialized_variables": UninitializedVariablesAnalysis,
+        "nullness": NullnessAnalysis,
+        "possible_types": PossibleTypesAnalysis,
+        "reaching_definitions": ReachingDefinitionsAnalysis,
+        "typestate": lambda icfg: TypestateAnalysis(icfg, FILE_PROTOCOL),
+    }
+
+
+def known_analyses() -> Tuple[str, ...]:
+    """The canonical analysis names, sorted."""
+    return tuple(sorted(set(ANALYSIS_ALIASES.values())))
+
+
+def canonical_analysis_name(name: str) -> str:
+    """Normalize an analysis name or alias; raise :class:`ServiceError`
+    for unknown names."""
+    canonical = ANALYSIS_ALIASES.get(str(name).strip().lower())
+    if canonical is None:
+        raise ServiceError(
+            f"unknown analysis {name!r} (known: {', '.join(known_analyses())})"
+        )
+    return canonical
+
+
+def resolve_analysis(name: str) -> Callable[[ICFG], IFDSProblem]:
+    """The factory building the (unlifted) IFDS problem for ``name``."""
+    return _analysis_factories()[canonical_analysis_name(name)]
+
+
+# ----------------------------------------------------------------------
+# Canonical feature-model text
+# ----------------------------------------------------------------------
+
+
+def canonical_feature_model_text(model: Optional[FeatureModel]) -> str:
+    """The model's canonical textual form ("" for no/empty model).
+
+    Uses the round-trippable printer; a rootless model (the default
+    ``FeatureModel()``, which constrains nothing) canonicalizes to the
+    empty string so that "no feature model" hashes identically however it
+    was expressed.
+    """
+    if model is None or model.root is None:
+        if model is not None and model.cross_tree:
+            # Rootless but constrained: canonicalize the constraints alone.
+            return "".join(f"constraint {f};\n" for f in model.cross_tree)
+        return ""
+    return render_feature_model(model)
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The job itself
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One content-addressed analysis request."""
+
+    label: str
+    source: str
+    analysis: str
+    feature_model_text: str = ""
+    fm_mode: str = "edge"
+    entry: str = "Main.main"
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "analysis", canonical_analysis_name(self.analysis)
+        )
+        if self.fm_mode not in ("edge", "seed", "ignore"):
+            raise ServiceError(
+                f"fm_mode must be edge/seed/ignore, got {self.fm_mode!r}"
+            )
+
+    # -- digests -------------------------------------------------------
+
+    @property
+    def program_digest(self) -> str:
+        return _sha256_text(self.source)
+
+    @property
+    def feature_model_digest(self) -> str:
+        return _sha256_text(self.feature_model_text)
+
+    @property
+    def public_options(self) -> Dict[str, object]:
+        """Solver options that affect the result (``_``-prefixed keys are
+        test/debug hooks, excluded from the identity)."""
+        return {
+            key: self.options[key]
+            for key in sorted(self.options)
+            if not key.startswith("_")
+        }
+
+    @property
+    def digest(self) -> str:
+        """The job's content hash — the result store key."""
+        document = json.dumps(
+            {
+                "schema": JOB_SCHEMA,
+                "program": self.program_digest,
+                "feature_model": self.feature_model_digest,
+                "analysis": self.analysis,
+                "fm_mode": self.fm_mode,
+                "entry": self.entry,
+                "options": self.public_options,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return _sha256_text(document)
+
+    def describe(self) -> Dict[str, object]:
+        """Job metadata in the shape stored records and reports carry."""
+        return {
+            "label": self.label,
+            "analysis": self.analysis,
+            "fm_mode": self.fm_mode,
+            "entry": self.entry,
+            "program_digest": self.program_digest,
+            "feature_model_digest": self.feature_model_digest,
+            "options": self.public_options,
+        }
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_product_line(
+        cls,
+        product_line,
+        analysis: str,
+        fm_mode: str = "edge",
+        label: Optional[str] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> "AnalysisJob":
+        """Build a job from an in-memory :class:`ProductLine`."""
+        return cls(
+            label=label if label is not None else product_line.name,
+            source=product_line.source,
+            analysis=analysis,
+            feature_model_text=canonical_feature_model_text(
+                product_line.feature_model
+            ),
+            fm_mode=fm_mode,
+            entry=product_line.entry,
+            options=dict(options or {}),
+        )
+
+    @classmethod
+    def from_files(
+        cls,
+        file: str,
+        analysis: str,
+        feature_model: Optional[str] = None,
+        fm_mode: str = "edge",
+        entry: str = "Main.main",
+        options: Optional[Mapping[str, object]] = None,
+        base_dir: Optional[Path] = None,
+    ) -> "AnalysisJob":
+        """Build a job from a source file (+ optional feature-model file).
+
+        The feature model is parsed and canonically re-rendered so the
+        digest is representation-independent; unreadable or unparseable
+        inputs raise :class:`ServiceError`.
+        """
+        base = Path(base_dir) if base_dir is not None else Path(".")
+        source_path = Path(file)
+        if not source_path.is_absolute():
+            source_path = base / source_path
+        source = _read_text(source_path)
+        fm_text = ""
+        if feature_model:
+            fm_path = Path(feature_model)
+            if not fm_path.is_absolute():
+                fm_path = base / fm_path
+            fm_text = canonical_feature_model_text(
+                _parse_fm(_read_text(fm_path), fm_path)
+            )
+        return cls(
+            label=str(file),
+            source=source,
+            analysis=analysis,
+            feature_model_text=fm_text,
+            fm_mode=fm_mode,
+            entry=entry,
+            options=dict(options or {}),
+        )
+
+    def feature_model(self) -> FeatureModel:
+        """The job's feature model, parsed back from canonical text."""
+        if not self.feature_model_text:
+            return FeatureModel()
+        if self.feature_model_text.startswith("constraint "):
+            # The rootless canonical form (constraints only) is not part
+            # of the textual grammar, which always requires a root.
+            from repro.constraints.formula import parse_formula
+
+            formulas = []
+            for line in self.feature_model_text.splitlines():
+                body = line.strip()[len("constraint "):].rstrip(";")
+                formulas.append(parse_formula(body))
+            return FeatureModel(cross_tree=formulas)
+        return _parse_fm(self.feature_model_text, None)
+
+
+def _read_text(path: Path) -> str:
+    try:
+        return path.read_text()
+    except OSError as error:
+        raise ServiceError(f"cannot read {path}: {error.strerror}") from error
+
+
+def _parse_fm(text: str, path: Optional[Path]) -> FeatureModel:
+    from repro.featuremodel import FeatureModelError, parse_feature_model
+
+    try:
+        return parse_feature_model(text)
+    except FeatureModelError as error:
+        where = f" in {path}" if path is not None else ""
+        raise ServiceError(f"bad feature model{where}: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Campaigns and manifests
+# ----------------------------------------------------------------------
+
+_SUBJECT_BUILDERS: Dict[str, str] = {
+    # name -> attribute on repro.spl.benchmarks
+    "BerkeleyDB-like": "berkeleydb_like",
+    "GPL-like": "gpl_like",
+    "Lampiro-like": "lampiro_like",
+    "MM08-like": "mm08_like",
+}
+
+#: The paper's Table 2/3 client lineup, canonical names, table order.
+PAPER_CAMPAIGN_ANALYSES = (
+    "possible_types",
+    "reaching_definitions",
+    "uninitialized_variables",
+)
+
+
+def _build_subject(name: str):
+    import repro.spl.benchmarks as benchmarks
+
+    attribute = _SUBJECT_BUILDERS.get(name)
+    if attribute is None:
+        raise ServiceError(
+            f"unknown benchmark subject {name!r} "
+            f"(known: {', '.join(sorted(_SUBJECT_BUILDERS))})"
+        )
+    return getattr(benchmarks, attribute)()
+
+
+def paper_campaign_jobs(
+    subjects: Optional[Tuple[str, ...]] = None,
+    analyses: Tuple[str, ...] = PAPER_CAMPAIGN_ANALYSES,
+    fm_mode: str = "edge",
+) -> List[AnalysisJob]:
+    """The Table 2/3 batch: 4 subjects × 3 analyses = 12 jobs."""
+    names = subjects if subjects is not None else tuple(_SUBJECT_BUILDERS)
+    jobs = []
+    for name in names:
+        product_line = _build_subject(name)
+        for analysis in analyses:
+            jobs.append(
+                AnalysisJob.from_product_line(
+                    product_line, analysis, fm_mode=fm_mode, label=name
+                )
+            )
+    return jobs
+
+
+def parse_manifest(document: object, base_dir: Path) -> List[AnalysisJob]:
+    """Turn a decoded manifest document into jobs (see module docstring)."""
+    if not isinstance(document, dict):
+        raise ServiceError("manifest must be a JSON object")
+    campaign = document.get("campaign")
+    jobs: List[AnalysisJob] = []
+    if campaign is not None:
+        if campaign != "paper":
+            raise ServiceError(
+                f"unknown campaign {campaign!r} (known: paper)"
+            )
+        jobs.extend(paper_campaign_jobs())
+    entries = document.get("jobs", [])
+    if not isinstance(entries, list):
+        raise ServiceError('manifest "jobs" must be a list')
+    for position, entry in enumerate(entries):
+        jobs.append(_job_from_spec(entry, position, base_dir))
+    if not jobs:
+        raise ServiceError("manifest contains no jobs")
+    return jobs
+
+
+def _job_from_spec(entry: object, position: int, base_dir: Path) -> AnalysisJob:
+    if not isinstance(entry, dict):
+        raise ServiceError(f"job #{position}: each job must be a JSON object")
+    analysis = entry.get("analysis")
+    if not analysis:
+        raise ServiceError(f'job #{position}: missing "analysis"')
+    fm_mode = entry.get("fm_mode", "edge")
+    options = entry.get("options", {})
+    if not isinstance(options, dict):
+        raise ServiceError(f'job #{position}: "options" must be an object')
+    subject = entry.get("subject")
+    if subject is not None:
+        product_line = _build_subject(subject)
+        return AnalysisJob.from_product_line(
+            product_line,
+            analysis,
+            fm_mode=fm_mode,
+            label=entry.get("label", subject),
+            options=options,
+        )
+    file = entry.get("file")
+    if file is None and "source" not in entry:
+        raise ServiceError(
+            f'job #{position}: needs one of "file", "subject" or "source"'
+        )
+    if file is not None:
+        return AnalysisJob.from_files(
+            file,
+            analysis,
+            feature_model=entry.get("feature_model"),
+            fm_mode=fm_mode,
+            entry=entry.get("entry", "Main.main"),
+            options=options,
+            base_dir=base_dir,
+        )
+    fm_text = entry.get("feature_model_text", "")
+    if fm_text:
+        fm_text = canonical_feature_model_text(_parse_fm(fm_text, None))
+    return AnalysisJob(
+        label=entry.get("label", f"job-{position}"),
+        source=entry["source"],
+        analysis=analysis,
+        feature_model_text=fm_text,
+        fm_mode=fm_mode,
+        entry=entry.get("entry", "Main.main"),
+        options=options,
+    )
+
+
+def load_manifest(path: str) -> List[AnalysisJob]:
+    """Read and parse a batch manifest file."""
+    manifest_path = Path(path)
+    text = _read_text(manifest_path)
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ServiceError(f"bad manifest {path}: {error}") from error
+    return parse_manifest(document, manifest_path.parent)

@@ -1,0 +1,379 @@
+"""Batch scheduler: fan analysis jobs across a pool of worker processes.
+
+The scheduler is deliberately not a ``ProcessPoolExecutor``: a pool
+worker killed mid-job (OOM killer, segfault in a native extension, the
+fault-injection tests) takes a ``concurrent.futures`` pool down with a
+``BrokenProcessPool`` for *every* in-flight job.  Here each job runs in
+its own short-lived :class:`multiprocessing.Process` talking back over a
+pipe, so one crash costs one attempt of one job:
+
+- **store first** — jobs whose digest is already in the result store are
+  served without touching a worker (the warm path);
+- **crash → bounded retry** — a worker that dies without reporting is
+  re-queued up to ``max_retries`` times; exhausted retries become a
+  per-job failure, never a crashed batch;
+- **error → terminal** — a worker that *reports* an exception failed
+  deterministically; retrying would fail identically, so it does not;
+- **timeout → terminal** — a job exceeding ``job_timeout`` seconds is
+  terminated and failed (the work is deterministic: it would time out
+  again);
+- **graceful degradation** — if worker processes cannot be spawned at
+  all (restricted environments), the batch falls back to in-process
+  execution with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.jobs import AnalysisJob
+from repro.service.store import ResultStore
+from repro.service.worker import execute_job, worker_main
+
+__all__ = ["JobOutcome", "BatchReport", "BatchScheduler", "run_batch"]
+
+#: Outcome.status values.
+CACHED, COMPUTED, FAILED = "cached", "computed", "failed"
+
+_POLL_SECONDS = 0.005
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job of a batch."""
+
+    job: AnalysisJob
+    status: str  # cached | computed | failed
+    attempts: int = 0
+    seconds: float = 0.0
+    record: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    executor: str = "store"  # store | pool | inline
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (CACHED, COMPUTED)
+
+    @property
+    def result_digest(self) -> Optional[str]:
+        if self.record is None:
+            return None
+        return self.record.get("result_digest")
+
+    def describe(self) -> Dict[str, object]:
+        """Report row (the ``spllift batch --report`` JSON shape)."""
+        row: Dict[str, object] = {
+            "label": self.job.label,
+            "analysis": self.job.analysis,
+            "fm_mode": self.job.fm_mode,
+            "digest": self.job.digest,
+            "status": self.status,
+            "attempts": self.attempts,
+            "seconds": round(self.seconds, 6),
+            "executor": self.executor,
+        }
+        if self.record is not None:
+            row["result_digest"] = self.record.get("result_digest")
+            row["facts"] = self.record.get("facts")
+        if self.error is not None:
+            row["error"] = self.error
+        return row
+
+
+@dataclass
+class BatchReport:
+    """Outcome of a whole batch, in submission order."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == CACHED)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == COMPUTED)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == FAILED)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "schema": "spllift-batch-report/v1",
+            "jobs": [outcome.describe() for outcome in self.outcomes],
+            "cached": self.cached,
+            "computed": self.computed,
+            "failed": self.failed,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "workers": self.workers,
+        }
+
+
+class BatchScheduler:
+    """Schedule a batch of :class:`AnalysisJob` over worker processes."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        max_workers: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        use_pool: bool = True,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.store = store
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.use_pool = use_pool
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Sequence[AnalysisJob]) -> BatchReport:
+        started = time.perf_counter()
+        outcomes: Dict[int, JobOutcome] = {}
+        cold: List[Tuple[int, AnalysisJob]] = []
+
+        # Warm path: serve every digest the store already has.
+        for index, job in enumerate(jobs):
+            record = self.store.get(job.digest) if self.store else None
+            if record is not None:
+                outcomes[index] = JobOutcome(
+                    job=job, status=CACHED, record=record, executor="store"
+                )
+            else:
+                cold.append((index, job))
+
+        if cold:
+            if self.use_pool:
+                pooled = self._run_pool(cold, outcomes)
+            else:
+                pooled = False
+            if not pooled:
+                self._run_inline(
+                    [(i, j) for i, j in cold if i not in outcomes], outcomes
+                )
+
+        report = BatchReport(
+            outcomes=[outcomes[index] for index in range(len(jobs))],
+            wall_seconds=time.perf_counter() - started,
+            workers=self.max_workers if self.use_pool else 1,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Process-pool execution
+    # ------------------------------------------------------------------
+
+    def _run_pool(
+        self,
+        cold: List[Tuple[int, AnalysisJob]],
+        outcomes: Dict[int, JobOutcome],
+    ) -> bool:
+        """Fan ``cold`` jobs over worker processes; ``False`` means the
+        pool could not be used at all (caller degrades to inline)."""
+        try:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+        except (ImportError, ValueError):
+            return False
+
+        pending: Deque[Tuple[int, AnalysisJob, int]] = deque(
+            (index, job, 1) for index, job in cold
+        )
+        # proc -> (index, job, attempt, parent connection, start time)
+        running: Dict[object, Tuple[int, AnalysisJob, int, object, float]] = {}
+
+        def settle(index, job, attempt, status, record, error, seconds):
+            if status == COMPUTED and self.store is not None:
+                self.store.put(record)
+            outcomes[index] = JobOutcome(
+                job=job,
+                status=status,
+                attempts=attempt,
+                seconds=seconds,
+                record=record,
+                error=error,
+                executor="pool",
+            )
+
+        try:
+            while pending or running:
+                while pending and len(running) < self.max_workers:
+                    index, job, attempt = pending.popleft()
+                    parent, child = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=worker_main, args=(job, child), daemon=True
+                    )
+                    try:
+                        process.start()
+                    except OSError:
+                        parent.close()
+                        child.close()
+                        if running:
+                            # Mid-batch resource exhaustion: requeue and
+                            # let in-flight workers drain first.
+                            pending.appendleft((index, job, attempt))
+                            break
+                        return False  # cannot start any worker right now
+                    child.close()
+                    running[process] = (
+                        index,
+                        job,
+                        attempt,
+                        parent,
+                        time.perf_counter(),
+                    )
+
+                finished = []
+                for process, (index, job, attempt, conn, t0) in running.items():
+                    elapsed = time.perf_counter() - t0
+                    if conn.poll(0):
+                        status, payload = None, None
+                        try:
+                            status, payload = conn.recv()
+                        except (EOFError, OSError):
+                            pass
+                        process.join(timeout=5.0)
+                        if process.is_alive():
+                            process.terminate()
+                            process.join()
+                        if status == "ok":
+                            settle(
+                                index, job, attempt, COMPUTED, payload, None, elapsed
+                            )
+                        elif status == "error":
+                            settle(
+                                index,
+                                job,
+                                attempt,
+                                FAILED,
+                                None,
+                                str(payload),
+                                elapsed,
+                            )
+                        else:  # EOF without a message: treat as a crash
+                            self._crash(
+                                pending, index, job, attempt, process, elapsed,
+                                settle,
+                            )
+                        finished.append(process)
+                    elif not process.is_alive():
+                        process.join()
+                        self._crash(
+                            pending, index, job, attempt, process, elapsed, settle
+                        )
+                        finished.append(process)
+                    elif (
+                        self.job_timeout is not None
+                        and elapsed > self.job_timeout
+                    ):
+                        process.terminate()
+                        process.join()
+                        settle(
+                            index,
+                            job,
+                            attempt,
+                            FAILED,
+                            None,
+                            f"timed out after {self.job_timeout:g}s "
+                            f"(attempt {attempt})",
+                            elapsed,
+                        )
+                        finished.append(process)
+                for process in finished:
+                    _, _, _, conn, _ = running.pop(process)
+                    conn.close()
+                if not finished:
+                    time.sleep(_POLL_SECONDS)
+        finally:
+            for process, (_, _, _, conn, _) in running.items():
+                process.terminate()
+                process.join()
+                conn.close()
+        return True
+
+    def _crash(self, pending, index, job, attempt, process, elapsed, settle):
+        """A worker died without reporting: retry or fail the job."""
+        if attempt <= self.max_retries:
+            pending.append((index, job, attempt + 1))
+            return
+        settle(
+            index,
+            job,
+            attempt,
+            FAILED,
+            None,
+            f"worker crashed (exit code {process.exitcode}) "
+            f"after {attempt} attempt(s)",
+            elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # In-process fallback
+    # ------------------------------------------------------------------
+
+    def _run_inline(
+        self,
+        cold: List[Tuple[int, AnalysisJob]],
+        outcomes: Dict[int, JobOutcome],
+    ) -> None:
+        for index, job in cold:
+            t0 = time.perf_counter()
+            try:
+                record = execute_job(job)
+            except Exception as error:  # noqa: BLE001 — per-job isolation
+                outcomes[index] = JobOutcome(
+                    job=job,
+                    status=FAILED,
+                    attempts=1,
+                    seconds=time.perf_counter() - t0,
+                    error=f"{type(error).__name__}: {error}",
+                    executor="inline",
+                )
+                continue
+            if self.store is not None:
+                self.store.put(record)
+            outcomes[index] = JobOutcome(
+                job=job,
+                status=COMPUTED,
+                attempts=1,
+                seconds=time.perf_counter() - t0,
+                record=record,
+                executor="inline",
+            )
+
+
+def run_batch(
+    jobs: Sequence[AnalysisJob],
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 1,
+    use_pool: bool = True,
+) -> BatchReport:
+    """One-call convenience wrapper around :class:`BatchScheduler`."""
+    scheduler = BatchScheduler(
+        store=store,
+        max_workers=max_workers,
+        job_timeout=job_timeout,
+        max_retries=max_retries,
+        use_pool=use_pool,
+    )
+    return scheduler.run(jobs)

@@ -1,0 +1,168 @@
+"""Content-addressed result store for the analysis service.
+
+Layout (one JSON document per record, sharded by digest prefix)::
+
+    <root>/
+        objects/
+            ab/
+                ab3f…e2.json
+
+Records are keyed by the :class:`~repro.service.jobs.AnalysisJob` digest
+(or, for cached experiment metrics, an analogous content hash) and carry
+their own ``digest`` field; a record whose field disagrees with its file
+name, or that fails to decode, is treated as a miss — the store is a
+cache, so corruption degrades to a cold solve, never to a wrong answer.
+Writes go through a temp file + ``os.replace`` so concurrent writers and
+crashes can never leave a half-written record behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+__all__ = ["ResultStore", "default_cache_dir"]
+
+RESULT_SCHEMA = "spllift-result/v1"
+
+
+def default_cache_dir() -> Path:
+    """``$SPLLIFT_CACHE_DIR`` or ``~/.cache/spllift``."""
+    env = os.environ.get("SPLLIFT_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "spllift"
+
+
+class ResultStore:
+    """On-disk content-addressed store of serialized analysis results."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def _objects(self) -> Path:
+        return self.root / "objects"
+
+    def path_for(self, digest: str) -> Path:
+        """Where a record with this digest lives (whether or not it exists)."""
+        return self._objects / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def contains(self, digest: str) -> bool:
+        return self.path_for(digest).is_file()
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """The stored record, or ``None`` on a miss (including corrupt or
+        mis-keyed records — a cache must fail open, toward recomputing)."""
+        path = self.path_for(digest)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            return None
+        return record
+
+    def iter_records(self) -> Iterator[Dict[str, object]]:
+        """All decodable records (corrupt files are skipped)."""
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    record = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def put(self, record: Dict[str, object]) -> Path:
+        """Persist a record under its own ``digest`` key (atomically)."""
+        digest = record.get("digest")
+        if not isinstance(digest, str) or len(digest) < 8:
+            raise ValueError(f"record has no usable digest: {digest!r}")
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{digest[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Record count, total bytes, and per-kind breakdown."""
+        records = 0
+        total_bytes = 0
+        kinds: Dict[str, int] = {}
+        if self._objects.is_dir():
+            for shard in self._objects.iterdir():
+                if not shard.is_dir():
+                    continue
+                for path in shard.glob("*.json"):
+                    records += 1
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        continue
+        for record in self.iter_records():
+            kind = str(record.get("schema", "unknown"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "root": str(self.root),
+            "records": records,
+            "bytes": total_bytes,
+            "kinds": kinds,
+        }
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        if not self._objects.is_dir():
+            return removed
+        for shard in list(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in list(shard.glob("*.json")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,125 @@
+"""Worker side of the analysis service: execute one job, end to end.
+
+:func:`execute_job` is the whole pipeline — parse the MiniJava source,
+parse the feature model, lower, build the ICFG, lift, solve, serialize —
+run either in-process (inline fallback) or inside a pool worker process
+(:func:`worker_main`, which talks to the scheduler over a pipe).
+
+The produced **record** is self-describing and store-ready::
+
+    {"schema": "spllift-result/v1",
+     "digest": <job digest>, "job": {…},
+     "result_digest": <sha256 over the canonical lines>,
+     "lines": ["Main.main:4|print(y);|y|!F & G & !H", …],
+     "findings": <satisfiable non-zero facts>,
+     "stats": {…solver counters…}, "solve_seconds": …}
+
+Fault injection: the ``_test_crash_marker`` / ``_test_crash_always`` job
+options make a *pool worker* die with SIGKILL (before doing any work) so
+the scheduler's crash/retry path can be tested deterministically.  They
+are inert in-process — a worker hook must never kill the caller — and,
+like every ``_``-prefixed option, excluded from the job digest.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict
+
+from repro.service.jobs import AnalysisJob, resolve_analysis
+from repro.service.store import RESULT_SCHEMA
+
+__all__ = ["execute_job", "build_record", "worker_main"]
+
+#: Set in pool worker processes; gates the fault-injection hooks.
+_WORKER_ENV = "SPLLIFT_WORKER"
+
+
+def _maybe_crash(job: AnalysisJob) -> None:
+    if os.environ.get(_WORKER_ENV) != "1":
+        return
+    marker = job.options.get("_test_crash_marker")
+    if marker:
+        if not os.path.exists(str(marker)):
+            with open(str(marker), "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+    if job.options.get("_test_crash_always"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    sleep = job.options.get("_test_sleep")
+    if sleep:
+        time.sleep(float(sleep))
+
+
+def execute_job(job: AnalysisJob) -> Dict[str, object]:
+    """Run one analysis job and return its store-ready record."""
+    from repro.core.solver import SPLLift
+    from repro.spl.product_line import ProductLine
+
+    _maybe_crash(job)
+    product_line = ProductLine(
+        name=job.label,
+        source=job.source,
+        feature_model=job.feature_model(),
+        entry=job.entry,
+    )
+    analysis = resolve_analysis(job.analysis)(product_line.icfg)
+    feature_model = (
+        product_line.feature_model if job.fm_mode != "ignore" else None
+    )
+    options = job.public_options
+    spllift = SPLLift(
+        analysis, feature_model=feature_model, fm_mode=job.fm_mode
+    )
+    started = time.perf_counter()
+    results = spllift.solve(
+        worklist_order=str(options.get("worklist_order", "fifo")),
+        order_seed=int(options.get("order_seed", 0)),
+    )
+    elapsed = time.perf_counter() - started
+    return build_record(job, results, solve_seconds=elapsed)
+
+
+def build_record(job: AnalysisJob, results, solve_seconds: float) -> Dict[str, object]:
+    """Package solved :class:`SPLLiftResults` as a store record."""
+    from repro.ifds.problem import ZERO
+
+    facts = sum(
+        1
+        for (_, fact), constraint in results.items()
+        if fact is not ZERO and not constraint.is_false
+    )
+    return {
+        "schema": RESULT_SCHEMA,
+        "digest": job.digest,
+        "job": job.describe(),
+        "result_digest": results.result_digest(),
+        "lines": results.result_lines(),
+        "facts": facts,
+        "stats": dict(results.stats),
+        "solve_seconds": round(solve_seconds, 6),
+    }
+
+
+def worker_main(job: AnalysisJob, connection) -> None:
+    """Pool-worker entry point: run the job, ship the outcome back.
+
+    Sends ``("ok", record)`` or ``("error", message)``; a worker that
+    dies without sending anything is what the scheduler classifies as a
+    crash (and retries).
+    """
+    os.environ[_WORKER_ENV] = "1"
+    try:
+        record = execute_job(job)
+    except BaseException as error:  # noqa: BLE001 — ship, don't swallow
+        try:
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            connection.close()
+        return
+    try:
+        connection.send(("ok", record))
+    finally:
+        connection.close()

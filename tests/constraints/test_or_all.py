@@ -1,0 +1,144 @@
+"""n-ary ``or_all`` is equivalent to the pairwise ``or_`` fold.
+
+Phase II of the IDE solver batches all contributions to a value cell into
+one ``or_all`` call (ROADMAP "batch constraint joins"); these tests pin
+the algebraic contract for both constraint backends.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constraints import BddConstraintSystem, DnfConstraintSystem
+
+VARS = ("F", "G", "H", "I")
+
+
+@pytest.fixture(params=(BddConstraintSystem, DnfConstraintSystem))
+def system(request):
+    return request.param()
+
+
+def _cube(system, literals):
+    """A conjunction of literals, e.g. ((\"F\", True), (\"G\", False))."""
+    constraint = system.true
+    for name, positive in literals:
+        var = system.var(name)
+        constraint = constraint & (var if positive else ~var)
+    return constraint
+
+
+def _pairwise(system, constraints):
+    result = system.false
+    for constraint in constraints:
+        result = system.or_(result, constraint)
+    return result
+
+
+def _models(constraint):
+    """Truth table over VARS — the backend-independent semantics."""
+    return frozenset(
+        frozenset(config)
+        for config in _powerset(VARS)
+        if constraint.satisfied_by(frozenset(config))
+    )
+
+
+def _powerset(names):
+    out = [()]
+    for name in names:
+        out += [prefix + (name,) for prefix in out]
+    return out
+
+
+literal = st.tuples(st.sampled_from(VARS), st.booleans())
+cube_literals = st.lists(literal, max_size=4)
+constraint_lists = st.lists(cube_literals, max_size=6)
+
+
+class TestOrAllEquivalence:
+    # A fresh system per generated input (hypothesis forbids mixing
+    # @given with function-scoped fixtures), hence the class parameter.
+    @pytest.mark.parametrize(
+        "system_class", (BddConstraintSystem, DnfConstraintSystem)
+    )
+    @given(constraint_lists)
+    def test_matches_pairwise_fold(self, system_class, cubes):
+        system = system_class()
+        constraints = [_cube(system, literals) for literals in cubes]
+        batched = system.or_all(constraints)
+        folded = _pairwise(system, constraints)
+        assert _models(batched) == _models(folded)
+
+    @given(constraint_lists)
+    def test_bdd_canonical_equality(self, cubes):
+        system = BddConstraintSystem()
+        constraints = [_cube(system, literals) for literals in cubes]
+        # BDDs are canonical: semantic equivalence IS object equality.
+        assert system.or_all(constraints) == _pairwise(system, constraints)
+
+
+class TestOrAllEdgeCases:
+    def test_empty_is_false(self, system):
+        assert system.or_all([]).is_false
+
+    def test_singleton_identity(self, system):
+        f = system.var("F")
+        assert _models(system.or_all([f])) == _models(f)
+
+    def test_true_short_circuits(self, system):
+        assert system.or_all([system.var("F"), system.true]).is_true
+
+    def test_false_operands_ignored(self, system):
+        f = system.var("F")
+        result = system.or_all([system.false, f, system.false])
+        assert _models(result) == _models(f)
+
+    def test_duplicates_collapse(self, system):
+        f = system.var("F")
+        assert _models(system.or_all([f, f, f])) == _models(f)
+
+    def test_complementary_literals_give_true(self, system):
+        f = system.var("F")
+        assert system.or_all([f, ~f]).is_true
+
+
+class TestJoinAllValues:
+    def test_lifted_problem_routes_to_or_all(self):
+        from repro.analyses import TaintAnalysis
+        from repro.core.lifting import LiftedProblem
+        from repro.spl import figure1
+
+        product_line = figure1()
+        system = BddConstraintSystem()
+        problem = LiftedProblem(
+            TaintAnalysis(product_line.icfg), system, system.true
+        )
+        f, g = system.var("F"), system.var("G")
+        assert problem.join_all_values([f, g]) == (f | g)
+        assert problem.join_all_values([]).is_false
+
+    def test_default_is_pairwise_fold(self):
+        from repro.ide.binary import BinaryIDEProblem
+        from repro.analyses import TaintAnalysis
+        from repro.spl import figure1
+
+        problem = BinaryIDEProblem(TaintAnalysis(figure1().icfg))
+        top = problem.top_value()
+        values = [top, problem.bottom_value(), top]
+        expected = top
+        for value in values:
+            expected = problem.join_values(expected, value)
+        assert problem.join_all_values(values) == expected
+
+    def test_solver_counts_batch_joins(self):
+        from repro.analyses import TaintAnalysis
+        from repro.core import SPLLift
+        from repro.spl import figure1
+
+        product_line = figure1()
+        results = SPLLift(
+            TaintAnalysis(product_line.icfg),
+            feature_model=product_line.feature_model,
+        ).solve()
+        assert "value_batch_joins" in results.stats
+        assert results.stats["value_batch_joins"] >= 0

@@ -1,0 +1,166 @@
+"""Tests for the batch scheduler: warm path, pool, crashes, timeouts.
+
+The fault-injection hooks (``_test_crash_marker``, ``_test_crash_always``,
+``_test_sleep``) only fire inside pool worker processes (gated on the
+``SPLLIFT_WORKER`` env var), so the kill-mid-job tests here exercise the
+real crash/retry machinery with real SIGKILLed processes.
+"""
+
+import pytest
+
+from repro.service import (
+    AnalysisJob,
+    BatchScheduler,
+    ResultStore,
+    execute_job,
+    run_batch,
+)
+from repro.spl.examples import FIGURE1_SOURCE
+
+BROKEN_SOURCE = "class Main { void main() { this does not parse } }"
+
+
+def _job(analysis="taint", **kwargs):
+    kwargs.setdefault("label", "fig1")
+    kwargs.setdefault("source", FIGURE1_SOURCE)
+    return AnalysisJob(analysis=analysis, **kwargs)
+
+
+class TestWarmPath:
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = run_batch([_job()], store=store, use_pool=False)
+        assert cold.computed == 1 and cold.failed == 0
+        warm = run_batch([_job()], store=store, use_pool=False)
+        assert warm.cached == 1 and warm.computed == 0
+        assert warm.outcomes[0].executor == "store"
+        assert (
+            cold.outcomes[0].result_digest == warm.outcomes[0].result_digest
+        )
+
+    def test_no_store_always_computes(self):
+        for _ in range(2):
+            report = run_batch([_job()], store=None, use_pool=False)
+            assert report.computed == 1
+
+    def test_different_jobs_do_not_alias(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_batch([_job()], store=store, use_pool=False)
+        other = run_batch(
+            [_job(analysis="uninit")], store=store, use_pool=False
+        )
+        assert other.computed == 1  # different digest: not served warm
+
+    def test_report_shape(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        report = run_batch([_job()], store=store, use_pool=False)
+        document = report.describe()
+        assert document["schema"] == "spllift-batch-report/v1"
+        assert document["computed"] == 1
+        (row,) = document["jobs"]
+        assert row["status"] == "computed"
+        assert row["result_digest"]
+        assert row["digest"] == _job().digest
+
+
+class TestPoolEquivalence:
+    def test_pool_matches_inline_digest(self, tmp_path):
+        jobs = [_job(), _job(analysis="uninit")]
+        pooled = run_batch(jobs, store=None, use_pool=True)
+        assert pooled.failed == 0
+        assert {o.executor for o in pooled.outcomes} <= {"pool", "inline"}
+        for outcome, job in zip(pooled.outcomes, jobs):
+            record = execute_job(job)
+            assert outcome.result_digest == record["result_digest"]
+
+    def test_pool_populates_store_for_warm_runs(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        jobs = [_job()]
+        cold = run_batch(jobs, store=store, use_pool=True)
+        assert cold.failed == 0
+        warm = run_batch(jobs, store=store, use_pool=True)
+        assert warm.cached == 1
+        assert (
+            cold.outcomes[0].result_digest == warm.outcomes[0].result_digest
+        )
+
+
+class TestFailureHandling:
+    def test_worker_error_is_terminal_not_a_crash(self):
+        report = run_batch(
+            [_job(source=BROKEN_SOURCE)], store=None, use_pool=True
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1  # deterministic failure: no retry
+        assert "ParseError" in outcome.error
+
+    def test_inline_errors_are_isolated_per_job(self):
+        report = run_batch(
+            [_job(source=BROKEN_SOURCE), _job()], store=None, use_pool=False
+        )
+        first, second = report.outcomes
+        assert first.status == "failed" and "ParseError" in first.error
+        assert second.status == "computed"
+        assert not report.ok
+
+    def test_killed_worker_is_retried(self, tmp_path):
+        marker = tmp_path / "crashed-once"
+        job = _job(options={"_test_crash_marker": str(marker)})
+        report = run_batch([job], store=None, use_pool=True, max_retries=1)
+        outcome = report.outcomes[0]
+        assert marker.exists()  # the first attempt really died
+        assert outcome.status == "computed"
+        assert outcome.attempts == 2
+        assert outcome.result_digest == execute_job(_job())["result_digest"]
+
+    def test_exhausted_retries_fail_the_job_not_the_batch(self):
+        jobs = [_job(options={"_test_crash_always": True}), _job()]
+        report = run_batch(jobs, store=None, use_pool=True, max_retries=1)
+        doomed, healthy = report.outcomes
+        assert doomed.status == "failed"
+        assert doomed.attempts == 2  # initial + 1 retry
+        assert "worker crashed" in doomed.error
+        assert healthy.status == "computed"
+        assert not report.ok
+
+    def test_timeout_is_terminal(self):
+        job = _job(options={"_test_sleep": 30})
+        report = run_batch(
+            [job], store=None, use_pool=True, job_timeout=0.5, max_retries=3
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1
+        assert "timed out" in outcome.error
+
+    def test_crash_hooks_inert_inline(self, tmp_path):
+        # A worker hook must never kill the calling process.
+        marker = tmp_path / "never-created"
+        job = _job(
+            options={"_test_crash_marker": str(marker), "_test_crash_always": True}
+        )
+        report = run_batch([job], store=None, use_pool=False)
+        assert report.outcomes[0].status == "computed"
+        assert not marker.exists()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            BatchScheduler(max_retries=-1)
+
+
+class TestCampaignEquivalence:
+    def test_paper_campaign_pool_matches_single_process(self):
+        """The acceptance check: the 12-job batch through the pool is
+        bit-identical to single-process execution, job by job."""
+        from repro.service import paper_campaign_jobs
+
+        jobs = paper_campaign_jobs()
+        report = run_batch(jobs, store=None, use_pool=True)
+        assert report.failed == 0
+        for outcome, job in zip(report.outcomes, jobs):
+            record = execute_job(job)
+            assert outcome.result_digest == record["result_digest"], (
+                job.label,
+                job.analysis,
+            )

@@ -1,0 +1,117 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import json
+
+import pytest
+
+from repro.service import ResultStore, default_cache_dir
+
+DIGEST = "ab" * 32
+
+
+def _record(digest=DIGEST, **extra):
+    record = {
+        "schema": "spllift-result/v1",
+        "digest": digest,
+        "lines": ["Main.main:4|print(y);|y|!F & G & !H"],
+    }
+    record.update(extra)
+    return record
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store):
+        store.put(_record())
+        assert store.contains(DIGEST)
+        assert store.get(DIGEST) == _record()
+
+    def test_miss_on_absent(self, store):
+        assert store.get(DIGEST) is None
+        assert not store.contains(DIGEST)
+
+    def test_sharded_layout(self, store):
+        path = store.put(_record())
+        assert path == store.path_for(DIGEST)
+        assert path.parent.name == DIGEST[:2]
+        assert path.name == f"{DIGEST}.json"
+
+    def test_put_overwrites(self, store):
+        store.put(_record(facts=1))
+        store.put(_record(facts=2))
+        assert store.get(DIGEST)["facts"] == 2
+
+    def test_no_leftover_temp_files(self, store):
+        store.put(_record())
+        leftovers = [
+            p for p in store.path_for(DIGEST).parent.iterdir()
+            if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+class TestFailOpen:
+    def test_corrupt_record_is_a_miss(self, store):
+        path = store.put(_record())
+        path.write_text("{definitely not json")
+        assert store.get(DIGEST) is None
+
+    def test_mis_keyed_record_is_a_miss(self, store):
+        path = store.put(_record())
+        path.write_text(json.dumps(_record(digest="cd" * 32)))
+        assert store.get(DIGEST) is None
+
+    def test_non_object_record_is_a_miss(self, store):
+        path = store.put(_record())
+        path.write_text('["a", "list"]')
+        assert store.get(DIGEST) is None
+
+    def test_put_requires_digest(self, store):
+        with pytest.raises(ValueError, match="digest"):
+            store.put({"schema": "spllift-result/v1"})
+
+
+class TestMaintenance:
+    def test_stats_empty(self, store):
+        stats = store.stats()
+        assert stats["records"] == 0
+        assert stats["bytes"] == 0
+        assert stats["kinds"] == {}
+
+    def test_stats_counts_by_kind(self, store):
+        store.put(_record())
+        store.put(_record(digest="cd" * 32, schema="other/v1"))
+        stats = store.stats()
+        assert stats["records"] == 2
+        assert stats["bytes"] > 0
+        assert stats["kinds"] == {"spllift-result/v1": 1, "other/v1": 1}
+
+    def test_iter_records_skips_corrupt(self, store):
+        store.put(_record())
+        path = store.put(_record(digest="cd" * 32))
+        path.write_text("{broken")
+        records = list(store.iter_records())
+        assert len(records) == 1
+        assert records[0]["digest"] == DIGEST
+
+    def test_clear(self, store):
+        store.put(_record())
+        store.put(_record(digest="cd" * 32))
+        assert store.clear() == 2
+        assert store.stats()["records"] == 0
+        assert store.clear() == 0
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("SPLLIFT_CACHE_DIR", str(tmp_path / "here"))
+        assert default_cache_dir() == tmp_path / "here"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("SPLLIFT_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "spllift"

@@ -1,0 +1,215 @@
+"""Tests for the service-facing CLI: ``spllift batch`` / ``spllift cache``
+and the clean one-line error contract of every subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.spl.examples import FIGURE1_SOURCE
+
+
+@pytest.fixture
+def manifest(tmp_path):
+    path = tmp_path / "batch.json"
+    path.write_text(
+        json.dumps(
+            {
+                "jobs": [
+                    {
+                        "source": FIGURE1_SOURCE,
+                        "analysis": "taint",
+                        "label": "fig1",
+                    },
+                    {
+                        "source": FIGURE1_SOURCE,
+                        "analysis": "uninit",
+                        "label": "fig1",
+                    },
+                ]
+            }
+        )
+    )
+    return str(path)
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+class TestBatch:
+    def test_cold_then_warm(self, manifest, cache_dir, capsys):
+        rc = main(
+            ["batch", manifest, "--cache-dir", cache_dir, "--no-pool"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 computed" in out and "0 failed" in out
+        rc = main(
+            ["batch", manifest, "--cache-dir", cache_dir, "--no-pool"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 cached" in out and "0 computed" in out
+
+    def test_report_file(self, manifest, cache_dir, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        rc = main(
+            [
+                "batch",
+                manifest,
+                "--cache-dir",
+                cache_dir,
+                "--no-pool",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "spllift-batch-report/v1"
+        assert report["computed"] == 2
+        assert all(row["result_digest"] for row in report["jobs"])
+
+    def test_pooled_batch_matches_inline(self, manifest, tmp_path, capsys):
+        cold = tmp_path / "pool.json"
+        warm = tmp_path / "inline.json"
+        assert (
+            main(["batch", manifest, "--no-store", "--report", str(cold)])
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "batch",
+                    manifest,
+                    "--no-store",
+                    "--no-pool",
+                    "--report",
+                    str(warm),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        pooled = json.loads(cold.read_text())["jobs"]
+        inline = json.loads(warm.read_text())["jobs"]
+        assert [r["result_digest"] for r in pooled] == [
+            r["result_digest"] for r in inline
+        ]
+
+    def test_failed_job_exits_nonzero(self, tmp_path, cache_dir, capsys):
+        manifest = tmp_path / "bad.json"
+        manifest.write_text(
+            json.dumps(
+                {"jobs": [{"source": "class Main {", "analysis": "taint"}]}
+            )
+        )
+        rc = main(
+            ["batch", str(manifest), "--cache-dir", cache_dir, "--no-pool"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 failed" in out
+
+    def test_paper_campaign_manifest_parses(self):
+        # The checked-in manifests must stay loadable (the CI smoke uses
+        # them); parse only — running 12 jobs is the smoke's job.
+        from pathlib import Path
+
+        from repro.service import load_manifest
+
+        manifests = Path(__file__).resolve().parent.parent / "benchmarks" / "manifests"
+        jobs = load_manifest(str(manifests / "paper.json"))
+        assert len(jobs) == 12
+        smoke = load_manifest(str(manifests / "smoke.json"))
+        assert 0 < len(smoke) <= 6
+
+
+class TestCache:
+    def test_stats_and_clear(self, manifest, cache_dir, capsys):
+        main(["batch", manifest, "--cache-dir", cache_dir, "--no-pool"])
+        capsys.readouterr()
+        rc = main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "records:    2" in out
+        assert "spllift-result/v1: 2" in out
+        rc = main(["cache", "clear", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "removed 2 record(s)" in out
+        rc = main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert "records:    0" in out
+
+
+class TestCleanErrors:
+    """Every user error: exit code 2, one ``spllift: error:`` line, no
+    traceback."""
+
+    def _check(self, capsys, rc):
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("spllift: error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_analyze_missing_file(self, capsys):
+        rc = main(["analyze", "no-such-file.mj"])
+        self._check(capsys, rc)
+
+    def test_analyze_unparseable_source(self, tmp_path, capsys):
+        path = tmp_path / "broken.mj"
+        path.write_text("class Main { void main( {")
+        rc = main(["analyze", str(path)])
+        self._check(capsys, rc)
+
+    def test_analyze_bad_feature_model(self, tmp_path, capsys):
+        source = tmp_path / "ok.mj"
+        source.write_text(FIGURE1_SOURCE)
+        fm = tmp_path / "bad.fm"
+        fm.write_text("root A {{{")
+        rc = main(["analyze", str(source), "--feature-model", str(fm)])
+        self._check(capsys, rc)
+
+    def test_batch_missing_manifest(self, capsys):
+        rc = main(["batch", "no-such-manifest.json"])
+        self._check(capsys, rc)
+
+    def test_batch_unparseable_manifest(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        rc = main(["batch", str(path)])
+        self._check(capsys, rc)
+
+    def test_batch_unknown_analysis(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(
+            json.dumps(
+                {"jobs": [{"source": FIGURE1_SOURCE, "analysis": "astro"}]}
+            )
+        )
+        rc = main(["batch", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("spllift: error: unknown analysis")
+        assert "Traceback" not in captured.err
+
+    def test_run_missing_file(self, capsys):
+        rc = main(["run", "no-such-file.mj"])
+        self._check(capsys, rc)
+
+    def test_metrics_missing_file(self, capsys):
+        rc = main(["metrics", "no-such-file.mj"])
+        self._check(capsys, rc)
+
+    def test_interfaces_missing_file(self, capsys):
+        rc = main(["interfaces", "no-such-file.mj", "--feature", "F"])
+        self._check(capsys, rc)
+
+    def test_unknown_subcommand_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
