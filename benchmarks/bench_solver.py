@@ -157,6 +157,46 @@ def run_benchmarks(rounds: int, quick: bool) -> List[Dict[str, object]]:
                 )
             )
 
+    # --- A/B rows: worklist scheduling and BDD reordering -------------
+    # Same subjects, reaching-definitions only (the densest lifted pass):
+    # once with the RPO priority worklist, once with sifting-based dynamic
+    # variable reordering.  Compare against the plain
+    # ``spllift/<subject>/reaching_definitions`` rows above.
+    print("spllift A/B (rpo worklist, sift reordering):", flush=True)
+    ab_subjects = ("GPL-like",) if quick else tuple(subjects)
+    for subject_name in ab_subjects:
+        product_line = subjects[subject_name]
+
+        def run_rpo(pl=product_line) -> Dict[str, int]:
+            results = SPLLift(
+                ReachingDefinitionsAnalysis(pl.icfg),
+                feature_model=pl.feature_model,
+            ).solve(worklist_order="rpo")
+            return results.stats
+
+        def run_sift(pl=product_line) -> Dict[str, int]:
+            results = SPLLift(
+                ReachingDefinitionsAnalysis(pl.icfg),
+                feature_model=pl.feature_model,
+                reorder="sift",
+            ).solve()
+            return results.stats
+
+        rows.append(
+            _record(
+                f"spllift/{subject_name}/reaching_definitions/rpo",
+                run_rpo,
+                rounds,
+            )
+        )
+        rows.append(
+            _record(
+                f"spllift/{subject_name}/reaching_definitions/sift",
+                run_sift,
+                rounds,
+            )
+        )
+
     # --- analysis service: batch cold vs warm (the result-store path) --
     print("analysis service batch:", flush=True)
     import shutil
@@ -217,6 +257,27 @@ def run_benchmarks(rounds: int, quick: bool) -> List[Dict[str, object]]:
     rows.append(
         _record("micro/ifds_via_ide_binary/taint", run_ifds_via_ide, rounds)
     )
+
+    # --- BDD kernel micro-benchmark: deep variable chains -------------
+    # A 5,000-variable conjunction chain plus node/model counting — the
+    # workload that overflowed the recursion limit before the iterative
+    # apply kernel.
+    from repro.bdd import BDDManager
+
+    def run_deep_chain() -> Dict[str, int]:
+        manager = BDDManager()
+        chain = manager.and_all(
+            manager.var(f"v{i:04d}") for i in range(5000)
+        )
+        stats = manager.cache_stats()
+        return {
+            "chain_nodes": manager.node_count(chain),
+            "model_count": manager.satcount(chain),
+            "bdd_nodes": stats["unique_entries"],
+            "apply_calls": stats["apply_calls"],
+        }
+
+    rows.append(_record("micro/bdd_kernel/deep_chain_5000", run_deep_chain, rounds))
     return rows
 
 
@@ -230,7 +291,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="where to write the JSON report (default: repo root)",
     )
     parser.add_argument(
-        "--rounds", type=int, default=3, help="timing rounds per benchmark"
+        "--rounds", type=int, default=5, help="timing rounds per benchmark"
     )
     parser.add_argument(
         "--quick",

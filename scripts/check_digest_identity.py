@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Prove worklist-scheduling policies don't change analysis results.
+
+Solves all 12 paper subject x analysis combinations once per worklist
+order and asserts the canonical ``result_digest`` is bit-identical across
+orders.  This is the regression gate behind the RPO scheduler: iteration
+order may change how much work the IDE solver does, never what it
+computes.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_digest_identity.py
+    PYTHONPATH=src python scripts/check_digest_identity.py --orders fifo rpo
+    PYTHONPATH=src python scripts/check_digest_identity.py --baseline digests.json
+    PYTHONPATH=src python scripts/check_digest_identity.py --dump digests.json
+
+``--baseline`` additionally compares the fifo digests against a saved
+snapshot (written by ``--dump``), catching semantic drift between
+revisions, not just between orders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analyses import PAPER_ANALYSES
+from repro.core import SPLLift
+from repro.ide.solver import WORKLIST_ORDERS
+from repro.spl.benchmarks import paper_subjects
+
+
+def slug(analysis_name: str) -> str:
+    return analysis_name.lower().replace(" ", "_")
+
+
+def compute_digests(order: str, seed: int) -> dict:
+    digests = {}
+    for subject_name, builder in paper_subjects():
+        product_line = builder()
+        for analysis_name, analysis_cls in PAPER_ANALYSES:
+            results = SPLLift(
+                analysis_cls(product_line.icfg),
+                feature_model=product_line.feature_model,
+            ).solve(worklist_order=order, order_seed=seed)
+            digests[f"{subject_name}/{slug(analysis_name)}"] = (
+                results.result_digest()
+            )
+    return digests
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--orders",
+        nargs="+",
+        default=list(WORKLIST_ORDERS),
+        choices=WORKLIST_ORDERS,
+        help="worklist orders to compare (default: all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="seed for the random order"
+    )
+    parser.add_argument(
+        "--baseline",
+        help="JSON file of reference digests to compare the first order against",
+    )
+    parser.add_argument(
+        "--dump", help="write the first order's digests to this JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    per_order = {order: compute_digests(order, args.seed) for order in args.orders}
+    reference_order = args.orders[0]
+    reference = per_order[reference_order]
+
+    failures = 0
+    for order, digests in per_order.items():
+        for key, digest in digests.items():
+            if digest != reference[key]:
+                failures += 1
+                print(
+                    f"MISMATCH {key}: {order}={digest[:16]}… "
+                    f"{reference_order}={reference[key][:16]}…"
+                )
+    print(
+        f"{len(reference)} subject/analysis digests × "
+        f"{len(args.orders)} orders ({', '.join(args.orders)}): "
+        + ("all identical" if not failures else f"{failures} mismatches")
+    )
+
+    if args.baseline:
+        saved = json.load(open(args.baseline))
+        drift = {k for k in saved if saved[k] != reference.get(k)}
+        missing = set(saved) - set(reference)
+        for key in sorted(drift | missing):
+            failures += 1
+            print(f"BASELINE DRIFT {key}")
+        if not (drift or missing):
+            print(f"baseline {args.baseline}: no drift")
+
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            json.dump(reference, handle, indent=1, sort_keys=True)
+        print(f"wrote {len(reference)} digests to {args.dump}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

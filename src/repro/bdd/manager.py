@@ -12,6 +12,13 @@ node is uniquely identified by its ``(level, low, high)`` triple, which makes
 the representation canonical: two BDDs represent the same Boolean function if
 and only if they are the same integer.
 
+All traversals (``apply``, negation, cofactors, model counting, support,
+cube/model enumeration) run on explicit work stacks rather than Python
+recursion, so the engine handles orderings thousands of variables deep
+without tripping ``sys.getrecursionlimit()``.  The manager also implements
+Rudell-style sifting (:meth:`sift`) for dynamic variable reordering; the
+paper's Section 5 leaves ordering as future work.
+
 Example
 -------
 >>> mgr = BDDManager()
@@ -23,7 +30,7 @@ True
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["BDDManager", "BDDError"]
 
@@ -38,6 +45,13 @@ TRUE = 1
 
 # Level assigned to terminal nodes; larger than any variable level.
 _TERMINAL_LEVEL = 1 << 60
+
+# Integer opcodes for the apply kernel.  Ints hash faster than the op-name
+# strings previously used in cache keys, and let the kernel dispatch the
+# terminal cases inline instead of through a callback per operand pair.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
 
 
 class BDDManager:
@@ -66,13 +80,17 @@ class BDDManager:
         self._var_level: Dict[str, int] = {}
         self._level_var: List[str] = []
         # Memoization caches.
-        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
         self._apply_hits = 0
         self._apply_misses = 0
+        self._apply_calls = 0
         self._not_cache: Dict[int, int] = {}
         self._restrict_cache: Dict[Tuple[int, int, bool], int] = {}
         self._satcount_cache: Dict[int, int] = {}
         self._support_cache: Dict[int, frozenset] = {}
+        # Reordering counters.
+        self._reorders = 0
+        self._reorder_swaps = 0
         if ordering is not None:
             for name in ordering:
                 self.var(name)
@@ -204,113 +222,191 @@ class BDDManager:
         self._check(node)
         seen = set()
         stack = [node]
+        low_, high_ = self._low, self._high
         while stack:
             current = stack.pop()
             if current <= TRUE or current in seen:
                 continue
             seen.add(current)
-            stack.append(self._low[current])
-            stack.append(self._high[current])
+            stack.append(low_[current])
+            stack.append(high_[current])
         return len(seen)
 
     def total_nodes(self) -> int:
         """Total number of nodes ever interned (terminals included)."""
         return len(self._level)
 
+    def live_nodes(self) -> int:
+        """Number of registered (unique-table) internal nodes plus terminals.
+
+        Unlike :meth:`total_nodes` this excludes nodes retired by
+        :meth:`sift`; it is the size metric reorder triggers should use.
+        """
+        return len(self._unique) + 2
+
     # ------------------------------------------------------------------
     # Boolean operations
     # ------------------------------------------------------------------
 
     def not_(self, node: int) -> int:
-        """Negation."""
+        """Negation (iterative; memoized per node)."""
         self._check(node)
-        cached = self._not_cache.get(node)
+        cache = self._not_cache
+        cached = cache.get(node)
         if cached is not None:
             return cached
-        if node == FALSE:
-            result = TRUE
-        elif node == TRUE:
-            result = FALSE
-        else:
-            result = self._mk(
-                self._level[node],
-                self.not_(self._low[node]),
-                self.not_(self._high[node]),
-            )
-        self._not_cache[node] = result
-        return result
+        if node <= TRUE:
+            result = TRUE - node
+            cache[node] = result
+            return result
+        level_, low_, high_ = self._level, self._low, self._high
+        unique = self._unique
+        stack = [node]
+        push = stack.append
+        while stack:
+            current = stack[-1]
+            if current in cache:
+                stack.pop()
+                continue
+            low, high = low_[current], high_[current]
+            pending = False
+            if low > TRUE and low not in cache:
+                push(low)
+                pending = True
+            if high > TRUE and high not in cache:
+                push(high)
+                pending = True
+            if pending:
+                continue
+            stack.pop()
+            nlow = TRUE - low if low <= TRUE else cache[low]
+            nhigh = TRUE - high if high <= TRUE else cache[high]
+            # Negation never merges children (nlow == nhigh would imply
+            # low == high), so the node is created unconditionally.
+            key = (level_[current], nlow, nhigh)
+            res = unique.get(key)
+            if res is None:
+                res = len(level_)
+                level_.append(key[0])
+                low_.append(nlow)
+                high_.append(nhigh)
+                unique[key] = res
+            cache[current] = res
+        return cache[node]
 
-    def _apply(
-        self,
-        op_name: str,
-        op: Callable[[int, int], Optional[int]],
-        f: int,
-        g: int,
-    ) -> int:
-        """Generic memoized apply.  ``op`` returns a terminal for decided
-        operand pairs and ``None`` when recursion must continue."""
-        decided = op(f, g)
-        if decided is not None:
-            return decided
-        key = (op_name, f, g)
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            self._apply_hits += 1
-            return cached
-        self._apply_misses += 1
-        level_f, level_g = self._level[f], self._level[g]
-        level = min(level_f, level_g)
-        f_low, f_high = (self._low[f], self._high[f]) if level_f == level else (f, f)
-        g_low, g_high = (self._low[g], self._high[g]) if level_g == level else (g, g)
-        result = self._mk(
-            level,
-            self._apply(op_name, op, f_low, g_low),
-            self._apply(op_name, op, f_high, g_high),
-        )
-        self._apply_cache[key] = result
-        return result
+    def _apply(self, opcode: int, f: int, g: int) -> int:
+        """Memoized binary apply on an explicit work stack.
 
-    @staticmethod
-    def _and_op(f: int, g: int) -> Optional[int]:
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if f == TRUE:
-            return g
-        if g == TRUE:
-            return f
-        if f == g:
-            return f
-        return None
-
-    @staticmethod
-    def _or_op(f: int, g: int) -> Optional[int]:
-        if f == TRUE or g == TRUE:
-            return TRUE
-        if f == FALSE:
-            return g
-        if g == FALSE:
-            return f
-        if f == g:
-            return f
-        return None
-
-    @staticmethod
-    def _xor_op(f: int, g: int) -> Optional[int]:
-        if f == g:
-            return FALSE
-        if f == FALSE:
-            return g
-        if g == FALSE:
-            return f
-        return None
+        The stack holds two kinds of frames: ``(0, f, g)`` expands an operand
+        pair and ``(1, level, key)`` combines the two child results sitting
+        on ``results``.  Terminal cases are decided inline per opcode; all
+        three operations are commutative, so operand pairs are normalized
+        ``f <= g`` at every level (not just the public entry point), which
+        roughly doubles the apply-cache hit rate of the old recursive kernel.
+        """
+        self._apply_calls += 1
+        level_, low_, high_ = self._level, self._low, self._high
+        unique = self._unique
+        cache = self._apply_cache
+        hits = misses = 0
+        results: List[int] = []
+        rpush = results.append
+        stack: List[Tuple[int, int, int]] = [(0, f, g)]
+        push = stack.append
+        while stack:
+            tag, a, b = stack.pop()
+            if tag:
+                # Combine: children were expanded low-first, so results holds
+                # [..., low_result, high_result].
+                high_r = results.pop()
+                low_r = results[-1]
+                if low_r == high_r:
+                    res = low_r
+                else:
+                    key = (a, low_r, high_r)
+                    res = unique.get(key)
+                    if res is None:
+                        res = len(level_)
+                        level_.append(a)
+                        low_.append(low_r)
+                        high_.append(high_r)
+                        unique[key] = res
+                results[-1] = res
+                cache[b] = res
+                continue
+            if b < a:
+                a, b = b, a
+            # Inline terminal decisions (a <= b).
+            if opcode == _OP_AND:
+                if a == FALSE:
+                    rpush(FALSE)
+                    continue
+                if a == TRUE or a == b:
+                    rpush(b if a == TRUE else a)
+                    continue
+            elif opcode == _OP_OR:
+                if a == TRUE:
+                    rpush(TRUE)
+                    continue
+                if a == FALSE or a == b:
+                    rpush(b if a == FALSE else a)
+                    continue
+            else:  # _OP_XOR
+                if a == b:
+                    rpush(FALSE)
+                    continue
+                if a == FALSE:
+                    rpush(b)
+                    continue
+            key = (opcode, a, b)
+            cached = cache.get(key)
+            if cached is not None:
+                hits += 1
+                rpush(cached)
+                continue
+            misses += 1
+            level_a, level_b = level_[a], level_[b]
+            if level_a < level_b:
+                level = level_a
+                a_low, a_high = low_[a], high_[a]
+                b_low = b_high = b
+            elif level_b < level_a:
+                level = level_b
+                a_low = a_high = a
+                b_low, b_high = low_[b], high_[b]
+            else:
+                level = level_a
+                a_low, a_high = low_[a], high_[a]
+                b_low, b_high = low_[b], high_[b]
+            push((1, level, key))
+            push((0, a_high, b_high))
+            push((0, a_low, b_low))
+        self._apply_hits += hits
+        self._apply_misses += misses
+        return results[0]
 
     def and_(self, f: int, g: int) -> int:
-        """Conjunction (commutative; arguments normalized for the cache)."""
+        """Conjunction (commutative; arguments normalized for the cache).
+
+        Terminal cases and the apply-cache are probed here, before the
+        work-stack kernel spins up: after warmup the overwhelming majority
+        of calls on the lifted hot path are repeats, and the probe answers
+        them with one dict lookup.
+        """
         self._check(f)
         self._check(g)
         if g < f:
             f, g = g, f
-        return self._apply("and", self._and_op, f, g)
+        if f == FALSE:
+            return FALSE
+        if f == TRUE or f == g:
+            return g if f == TRUE else f
+        cached = self._apply_cache.get((_OP_AND, f, g))
+        if cached is not None:
+            self._apply_calls += 1
+            self._apply_hits += 1
+            return cached
+        return self._apply(_OP_AND, f, g)
 
     def or_(self, f: int, g: int) -> int:
         """Disjunction (commutative; arguments normalized for the cache)."""
@@ -318,7 +414,16 @@ class BDDManager:
         self._check(g)
         if g < f:
             f, g = g, f
-        return self._apply("or", self._or_op, f, g)
+        if f == TRUE:
+            return TRUE
+        if f == FALSE or f == g:
+            return g if f == FALSE else f
+        cached = self._apply_cache.get((_OP_OR, f, g))
+        if cached is not None:
+            self._apply_calls += 1
+            self._apply_hits += 1
+            return cached
+        return self._apply(_OP_OR, f, g)
 
     def xor(self, f: int, g: int) -> int:
         """Exclusive or."""
@@ -326,7 +431,16 @@ class BDDManager:
         self._check(g)
         if g < f:
             f, g = g, f
-        return self._apply("xor", self._xor_op, f, g)
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        cached = self._apply_cache.get((_OP_XOR, f, g))
+        if cached is not None:
+            self._apply_calls += 1
+            self._apply_hits += 1
+            return cached
+        return self._apply(_OP_XOR, f, g)
 
     def implies(self, f: int, g: int) -> int:
         """Implication ``f -> g`` as ``not f or g``."""
@@ -341,22 +455,42 @@ class BDDManager:
         return self.or_(self.and_(f, g), self.and_(self.not_(f), h))
 
     def and_all(self, nodes: Iterable[int]) -> int:
-        """Conjunction of all ``nodes`` (``true`` if empty)."""
-        result = TRUE
-        for node in nodes:
-            result = self.and_(result, node)
-            if result == FALSE:
-                return FALSE
-        return result
+        """Conjunction of all ``nodes`` (``true`` if empty).
+
+        Reduced as a balanced tree: on a canonical representation the result
+        is identical to a left fold, but wide conjunctions (e.g. thousands of
+        variables) cost O(n log n) apply pairs instead of O(n^2).
+        """
+        return self._reduce_balanced(list(nodes), _OP_AND, TRUE, FALSE)
 
     def or_all(self, nodes: Iterable[int]) -> int:
-        """Disjunction of all ``nodes`` (``false`` if empty)."""
-        result = FALSE
-        for node in nodes:
-            result = self.or_(result, node)
-            if result == TRUE:
-                return TRUE
-        return result
+        """Disjunction of all ``nodes`` (``false`` if empty).
+
+        Balanced-tree reduction; see :meth:`and_all`.
+        """
+        return self._reduce_balanced(list(nodes), _OP_OR, FALSE, TRUE)
+
+    def _reduce_balanced(
+        self, pending: List[int], opcode: int, unit: int, absorbing: int
+    ) -> int:
+        if not pending:
+            return unit
+        for node in pending:
+            self._check(node)
+        while len(pending) > 1:
+            paired: List[int] = []
+            it = iter(pending)
+            for a in it:
+                b = next(it, None)
+                if b is None:
+                    paired.append(a)
+                    break
+                res = self._apply(opcode, a, b)
+                if res == absorbing:
+                    return absorbing
+                paired.append(res)
+            pending = paired
+        return pending[0]
 
     def entails(self, f: int, g: int) -> bool:
         """True if ``f`` implies ``g`` for all assignments."""
@@ -382,25 +516,53 @@ class BDDManager:
         return self._restrict(node, level, value)
 
     def _restrict(self, node: int, level: int, value: bool) -> int:
-        if self._level[node] > level:
-            # Terminal, or node entirely below the restricted variable on a
-            # branch where the variable was skipped.
-            return node
-        key = (node, level, value)
-        cached = self._restrict_cache.get(key)
-        if cached is not None:
-            return cached
-        node_level = self._level[node]
-        if node_level == level:
-            result = self._high[node] if value else self._low[node]
-        else:
-            result = self._mk(
-                node_level,
-                self._restrict(self._low[node], level, value),
-                self._restrict(self._high[node], level, value),
-            )
-        self._restrict_cache[key] = result
-        return result
+        level_, low_, high_ = self._level, self._low, self._high
+        unique = self._unique
+        cache = self._restrict_cache
+        results: List[int] = []
+        rpush = results.append
+        # Frames: (0, node, 0) expands, (1, node, key) combines.
+        stack: List[Tuple[int, int, object]] = [(0, node, 0)]
+        push = stack.append
+        while stack:
+            tag, current, key = stack.pop()
+            if tag:
+                high_r = results.pop()
+                low_r = results[-1]
+                if low_r == high_r:
+                    res = low_r
+                else:
+                    mkey = (level_[current], low_r, high_r)
+                    res = unique.get(mkey)
+                    if res is None:
+                        res = len(level_)
+                        level_.append(mkey[0])
+                        low_.append(low_r)
+                        high_.append(high_r)
+                        unique[mkey] = res
+                results[-1] = res
+                cache[key] = res
+                continue
+            node_level = level_[current]
+            if node_level > level:
+                # Terminal, or node entirely below the restricted variable on
+                # a branch where the variable was skipped.
+                rpush(current)
+                continue
+            ckey = (current, level, value)
+            cached = cache.get(ckey)
+            if cached is not None:
+                rpush(cached)
+                continue
+            if node_level == level:
+                res = high_[current] if value else low_[current]
+                cache[ckey] = res
+                rpush(res)
+                continue
+            push((1, current, ckey))
+            push((0, high_[current], 0))
+            push((0, low_[current], 0))
+        return results[0]
 
     def exists(self, node: int, names: Iterable[str]) -> int:
         """Existential quantification of ``names`` out of ``node``."""
@@ -449,19 +611,29 @@ class BDDManager:
         return node == TRUE
 
     def support(self, node: int) -> frozenset:
-        """The set of variable names the function actually depends on."""
+        """The set of variable names the function actually depends on.
+
+        In a reduced BDD every reachable internal node tests an essential
+        variable, so the support is exactly the set of decision variables in
+        the DAG — a single iterative walk, no per-node set unions.
+        """
         self._check(node)
         cached = self._support_cache.get(node)
         if cached is not None:
             return cached
-        if node <= TRUE:
-            result: frozenset = frozenset()
-        else:
-            result = (
-                frozenset((self._level_var[self._level[node]],))
-                | self.support(self._low[node])
-                | self.support(self._high[node])
-            )
+        levels: Set[int] = set()
+        seen: Set[int] = set()
+        stack = [node]
+        level_, low_, high_ = self._level, self._low, self._high
+        while stack:
+            current = stack.pop()
+            if current <= TRUE or current in seen:
+                continue
+            seen.add(current)
+            levels.add(level_[current])
+            stack.append(low_[current])
+            stack.append(high_[current])
+        result = frozenset(self._level_var[lvl] for lvl in levels)
         self._support_cache[node] = result
         return result
 
@@ -497,35 +669,48 @@ class BDDManager:
         return count << extra
 
     def _satcount_raw(self, node: int) -> int:
-        """Satisfying assignments over all declared variables."""
+        """Satisfying assignments over all declared variables.
+
+        The memo stores per-node counts normalized to the node's own level;
+        the root-level rescale happens on every call (the old recursive
+        version returned the unscaled memo verbatim on repeat calls, so a
+        second ``satcount`` of a root below level 0 came back too small).
+        """
         total = len(self._level_var)
-        cached = self._satcount_cache.get(node)
-        if cached is not None:
-            return cached
-
-        def rec(current: int) -> int:
-            # Returns count over variables at levels >= level of current,
-            # normalized as if current sat at level `self._level[current]`.
-            if current == FALSE:
-                return 0
-            if current == TRUE:
-                return 1
-            memo = self._satcount_cache.get(current)
-            if memo is not None:
-                return memo
-            level = self._level[current]
-            low, high = self._low[current], self._high[current]
-            low_level = total if low <= TRUE else self._level[low]
-            high_level = total if high <= TRUE else self._level[high]
-            count = rec(low) * (1 << (low_level - level - 1)) + rec(high) * (
-                1 << (high_level - level - 1)
-            )
-            self._satcount_cache[current] = count
-            return count
-
-        root_level = total if node <= TRUE else self._level[node]
-        result = rec(node) * (1 << root_level)
-        return result
+        level_, low_, high_ = self._level, self._low, self._high
+        cache = self._satcount_cache
+        if node > TRUE and node not in cache:
+            stack = [node]
+            push = stack.append
+            while stack:
+                current = stack[-1]
+                if current in cache:
+                    stack.pop()
+                    continue
+                low, high = low_[current], high_[current]
+                pending = False
+                if low > TRUE and low not in cache:
+                    push(low)
+                    pending = True
+                if high > TRUE and high not in cache:
+                    push(high)
+                    pending = True
+                if pending:
+                    continue
+                stack.pop()
+                level = level_[current]
+                low_count = low if low <= TRUE else cache[low]
+                high_count = high if high <= TRUE else cache[high]
+                low_level = total if low <= TRUE else level_[low]
+                high_level = total if high <= TRUE else level_[high]
+                cache[current] = (low_count << (low_level - level - 1)) + (
+                    high_count << (high_level - level - 1)
+                )
+        if node == FALSE:
+            return 0
+        base = 1 if node == TRUE else cache[node]
+        root_level = total if node <= TRUE else level_[node]
+        return base << root_level
 
     def iter_models(
         self, node: int, over: Optional[Sequence[str]] = None
@@ -546,37 +731,54 @@ class BDDManager:
                     f"model variable set misses support variables: "
                     f"{sorted(missing)}"
                 )
+        # If `over` is not in manager order, reorder internally but emit
+        # dicts keyed by all names anyway; dict key order does not affect
+        # semantics.
+        levels = [self._var_level.get(n, _TERMINAL_LEVEL) for n in names]
+        if levels != sorted(levels):
+            ordered = tuple(
+                sorted(names, key=lambda n: self._var_level.get(n, _TERMINAL_LEVEL))
+            )
+            for model in self._iter_models_ordered(node, ordered):
+                yield {name: model[name] for name in names}
+            return
+        yield from self._iter_models_ordered(node, names)
 
-        def rec(index: int, current: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
-            if index == len(names):
+    def _iter_models_ordered(
+        self, node: int, names: Tuple[str, ...]
+    ) -> Iterator[Dict[str, bool]]:
+        nvars = len(names)
+        level_, low_, high_ = self._level, self._low, self._high
+        var_level = self._var_level
+        partial: Dict[str, bool] = {}
+        # Frames: (index, node, (name, value)) descends after recording the
+        # assignment; (-1, 0, (name, value)) undoes it once the subtree is
+        # exhausted (the undo frame sits below the subtree on the stack).
+        stack: List[Tuple[int, int, Optional[Tuple[str, bool]]]] = [(0, node, None)]
+        while stack:
+            index, current, assign = stack.pop()
+            if index < 0:
+                del partial[assign[0]]
+                continue
+            if assign is not None:
+                partial[assign[0]] = assign[1]
+                stack.append((-1, 0, assign))
+            if index == nvars:
                 if current == TRUE:
                     yield dict(partial)
-                return
+                continue
             name = names[index]
-            level = self._var_level.get(name, _TERMINAL_LEVEL)
-            at_this_var = current > TRUE and self._level[current] == level
-            for value in (False, True):
+            level = var_level.get(name, _TERMINAL_LEVEL)
+            at_this_var = current > TRUE and level_[current] == level
+            # Push the True branch first so False pops (and yields) first.
+            for value in (True, False):
                 if at_this_var:
-                    child = self._high[current] if value else self._low[current]
+                    child = high_[current] if value else low_[current]
                 else:
                     child = current
                 if child == FALSE:
                     continue
-                partial[name] = value
-                yield from rec(index + 1, child, partial)
-                del partial[name]
-
-        # If `over` is not in manager order, fall back to evaluate-based
-        # enumeration to keep the requested variable order in the output.
-        levels = [self._var_level.get(n, _TERMINAL_LEVEL) for n in names]
-        if levels != sorted(levels):
-            # Reorder internally but emit dicts keyed by all names anyway;
-            # dict key order does not affect semantics.
-            ordered = sorted(names, key=lambda n: self._var_level.get(n, _TERMINAL_LEVEL))
-            for model in self.iter_models(node, ordered):
-                yield {name: model[name] for name in names}
-            return
-        yield from rec(0, node, {})
+                stack.append((index + 1, child, (name, value)))
 
     def any_model(self, node: int) -> Optional[Dict[str, bool]]:
         """One satisfying assignment of the node's support, or ``None``.
@@ -599,6 +801,105 @@ class BDDManager:
         return model
 
     # ------------------------------------------------------------------
+    # Dynamic variable reordering (Rudell sifting)
+    # ------------------------------------------------------------------
+
+    def sift(
+        self,
+        roots: Iterable[int],
+        first: Sequence[str] = (),
+        max_growth: float = 1.2,
+    ) -> int:
+        """Rudell-style sifting over the nodes reachable from ``roots``.
+
+        Every externally held node handle **must** be listed in ``roots``;
+        handles in ``roots`` keep their ids and keep denoting the same
+        Boolean function across the reorder (levels of their internal nodes
+        change, unreferenced nodes are retired from the unique table).
+        Operation caches are cleared afterwards, since cached results may
+        reference retired nodes.
+
+        Parameters
+        ----------
+        roots:
+            All live node handles (duplicates and terminals are fine).
+        first:
+            Variable names to sift before all others (e.g. feature-model
+            variables, which dominate the lifted constraint BDDs).
+        max_growth:
+            Abort a sift direction once the live size exceeds
+            ``max_growth *`` the best size seen for the variable.
+
+        Returns
+        -------
+        The live node count (internal nodes reachable from ``roots``) after
+        reordering.
+        """
+        nvars = len(self._level_var)
+        root_set = {r for r in roots if r > TRUE}
+        for r in root_set:
+            self._check(r)
+        level_, low_, high_ = self._level, self._low, self._high
+        # Session liveness: reachable set, per-level live sets, refcounts.
+        live: Set[int] = set()
+        stack = list(root_set)
+        while stack:
+            n = stack.pop()
+            if n <= TRUE or n in live:
+                continue
+            live.add(n)
+            stack.append(low_[n])
+            stack.append(high_[n])
+        size = len(live)
+        if nvars < 2 or not live:
+            self._reorders += 1
+            return size
+        live_at: List[Set[int]] = [set() for _ in range(nvars)]
+        ref: Dict[int, int] = {}
+        for n in live:
+            live_at[level_[n]].add(n)
+            for child in (low_[n], high_[n]):
+                if child > TRUE:
+                    ref[child] = ref.get(child, 0) + 1
+        for r in root_set:
+            ref[r] = ref.get(r, 0) + 1
+
+        # Sift order: `first` names (in the given order), then the remaining
+        # variables by descending live-node count, name as tiebreak.
+        first_names = [n for n in first if n in self._var_level]
+        rest = sorted(
+            (n for n in self._level_var if n not in set(first_names)),
+            key=lambda n: (-len(live_at[self._var_level[n]]), n),
+        )
+        session = _SiftSession(self, ref, live_at, size)
+        for name in first_names + rest:
+            session.sift_var(name, max_growth)
+
+        # Cached op results may reference retired nodes or depend on levels.
+        self._apply_cache.clear()
+        self._not_cache.clear()
+        self._restrict_cache.clear()
+        self._satcount_cache.clear()
+        self._support_cache.clear()
+        self._reorders += 1
+        return session.size
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Sizes of the internal caches (for diagnostics and benchmarks)."""
+        return {
+            "nodes": len(self._level),
+            "unique_entries": len(self._unique),
+            "apply_cache": len(self._apply_cache),
+            "apply_cache_hits": self._apply_hits,
+            "apply_cache_misses": self._apply_misses,
+            "apply_calls": self._apply_calls,
+            "not_cache": len(self._not_cache),
+            "restrict_cache": len(self._restrict_cache),
+            "reorders": self._reorders,
+            "reorder_swaps": self._reorder_swaps,
+        }
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
 
@@ -618,23 +919,33 @@ class BDDManager:
 
     def _iter_cubes(self, node: int) -> Iterator[Tuple[Tuple[str, bool], ...]]:
         """Yield the BDD's paths to ``true`` as cubes of literals."""
+        if node == FALSE:
+            return
+        if node == TRUE:
+            yield ()
+            return
+        level_, low_, high_ = self._level, self._low, self._high
+        level_var = self._level_var
         path: List[Tuple[str, bool]] = []
-
-        def rec(current: int) -> Iterator[Tuple[Tuple[str, bool], ...]]:
+        # Frames: (node, literal) appends the literal (if any) then visits
+        # the node; (-1, None) pops the literal once the subtree is done.
+        stack: List[Tuple[int, Optional[Tuple[str, bool]]]] = [(node, None)]
+        while stack:
+            current, literal = stack.pop()
+            if current < 0:
+                path.pop()
+                continue
+            if literal is not None:
+                path.append(literal)
+                stack.append((-1, None))
             if current == FALSE:
-                return
+                continue
             if current == TRUE:
                 yield tuple(path)
-                return
-            name = self._level_var[self._level[current]]
-            path.append((name, False))
-            yield from rec(self._low[current])
-            path.pop()
-            path.append((name, True))
-            yield from rec(self._high[current])
-            path.pop()
-
-        yield from rec(node)
+                continue
+            name = level_var[level_[current]]
+            stack.append((high_[current], (name, True)))
+            stack.append((low_[current], (name, False)))
 
     def to_dot(self, node: int, name: str = "bdd") -> str:
         """Graphviz DOT rendering of the BDD rooted at ``node``."""
@@ -658,14 +969,173 @@ class BDDManager:
         lines.append("}")
         return "\n".join(lines)
 
-    def cache_stats(self) -> Dict[str, int]:
-        """Sizes of the internal caches (for diagnostics and benchmarks)."""
-        return {
-            "nodes": len(self._level),
-            "unique_entries": len(self._unique),
-            "apply_cache": len(self._apply_cache),
-            "apply_cache_hits": self._apply_hits,
-            "apply_cache_misses": self._apply_misses,
-            "not_cache": len(self._not_cache),
-            "restrict_cache": len(self._restrict_cache),
-        }
+
+class _SiftSession:
+    """Mutable state for one :meth:`BDDManager.sift` invocation.
+
+    Tracks per-level live sets, refcounts for the reachable sub-DAG, and the
+    live size, and implements the adjacent-level swap primitive that keeps
+    node ids denoting the same function (nodes are relabeled or rebuilt in
+    place; retired nodes are removed from the unique table, never reused).
+    """
+
+    __slots__ = ("mgr", "ref", "live_at", "size")
+
+    def __init__(
+        self,
+        mgr: BDDManager,
+        ref: Dict[int, int],
+        live_at: List[Set[int]],
+        size: int,
+    ) -> None:
+        self.mgr = mgr
+        self.ref = ref
+        self.live_at = live_at
+        self.size = size
+
+    def sift_var(self, name: str, max_growth: float) -> None:
+        """Sift variable ``name`` to its locally best level."""
+        mgr = self.mgr
+        nvars = len(mgr._level_var)
+        pos = mgr._var_level[name]
+        best_size, best_pos = self.size, pos
+        # Sweep down to the bottom, then up to the top, tracking the best
+        # (size, position); abort a direction on max_growth blowup.
+        p = pos
+        while p < nvars - 1 and self.size <= max_growth * best_size:
+            self._swap(p)
+            p += 1
+            if self.size < best_size:
+                best_size, best_pos = self.size, p
+        while p > 0 and self.size <= max_growth * best_size:
+            self._swap(p - 1)
+            p -= 1
+            if self.size < best_size:
+                best_size, best_pos = self.size, p
+        while p < best_pos:
+            self._swap(p)
+            p += 1
+        while p > best_pos:
+            self._swap(p - 1)
+            p -= 1
+
+    def _swap(self, x: int) -> None:
+        """Swap the variables at adjacent levels ``x`` and ``x + 1``.
+
+        Live nodes at ``x`` without a child at ``x + 1`` are relabeled down;
+        the rest are rebuilt in place from their four cofactors.  Surviving
+        nodes at ``x + 1`` are relabeled up.  Node ids in either group keep
+        denoting the same Boolean function.
+        """
+        mgr = self.mgr
+        y = x + 1
+        level_, low_, high_ = mgr._level, mgr._low, mgr._high
+        unique = mgr._unique
+        ref = self.ref
+        live_at = self.live_at
+        old_y = frozenset(live_at[y])
+        old_x = sorted(live_at[x])
+        # Unregister every live entry at both levels; they are re-registered
+        # as they are relabeled or rebuilt.  (Entries of untracked garbage
+        # nodes at these levels are overwritten on re-registration.)
+        for n in old_x:
+            key = (x, low_[n], high_[n])
+            if unique.get(key) == n:
+                del unique[key]
+        for n in old_y:
+            key = (y, low_[n], high_[n])
+            if unique.get(key) == n:
+                del unique[key]
+        new_x: Set[int] = set()
+        new_y: Set[int] = set()
+
+        rebuilt: List[int] = []
+        # Phase 1: relabel independent x-nodes down to y first, so the
+        # rebuild phase's mk can share them.
+        for n in old_x:
+            if low_[n] in old_y or high_[n] in old_y:
+                rebuilt.append(n)
+            else:
+                level_[n] = y
+                unique[(y, low_[n], high_[n])] = n
+                new_y.add(n)
+
+        def mk_y(low: int, high: int) -> int:
+            if low == high:
+                return low
+            key = (y, low, high)
+            hit = unique.get(key)
+            if hit is not None and hit in new_y:
+                return hit
+            node = len(level_)
+            level_.append(y)
+            low_.append(low)
+            high_.append(high)
+            unique[key] = node
+            new_y.add(node)
+            ref[node] = 0
+            if low > TRUE:
+                ref[low] = ref.get(low, 0) + 1
+            if high > TRUE:
+                ref[high] = ref.get(high, 0) + 1
+            self.size += 1
+            return node
+
+        def deref(node: int) -> None:
+            stack = [node]
+            while stack:
+                d = stack.pop()
+                if d <= TRUE:
+                    continue
+                ref[d] -= 1
+                if ref[d]:
+                    continue
+                del ref[d]
+                self.size -= 1
+                lvl = level_[d]
+                live_at[lvl].discard(d)
+                key = (lvl, low_[d], high_[d])
+                if unique.get(key) == d:
+                    del unique[key]
+                stack.append(low_[d])
+                stack.append(high_[d])
+
+        # Phase 2: rebuild the dependent x-nodes in place from their four
+        # cofactors; fresh children land at level y.
+        for n in rebuilt:
+            low, high = low_[n], high_[n]
+            if low in old_y:
+                f00, f01 = low_[low], high_[low]
+            else:
+                f00 = f01 = low
+            if high in old_y:
+                f10, f11 = low_[high], high_[high]
+            else:
+                f10 = f11 = high
+            c0 = mk_y(f00, f10)
+            c1 = mk_y(f01, f11)
+            # A rebuilt node has a child testing the swapped-in variable, so
+            # it still depends on it: c0 != c1 and the node stays internal.
+            low_[n], high_[n] = c0, c1
+            unique[(x, c0, c1)] = n
+            new_x.add(n)
+            if c0 > TRUE:
+                ref[c0] = ref.get(c0, 0) + 1
+            if c1 > TRUE:
+                ref[c1] = ref.get(c1, 0) + 1
+            deref(low)
+            deref(high)
+
+        # Phase 3: surviving y-nodes (still referenced) move up to x.
+        for s in live_at[y]:
+            level_[s] = x
+            unique[(x, low_[s], high_[s])] = s
+            new_x.add(s)
+        live_at[x] = new_x
+        live_at[y] = new_y
+
+        u, v = mgr._level_var[x], mgr._level_var[y]
+        mgr._level_var[x], mgr._level_var[y] = v, u
+        mgr._var_level[u] = y
+        mgr._var_level[v] = x
+        mgr._reorder_swaps += 1

@@ -15,7 +15,7 @@ under which it occurs; ``interfaces`` prints a feature's emergent
 interface; ``run`` executes one configuration with the interpreter;
 ``metrics`` prints the Table-1-style subject metrics; ``batch`` fans a
 manifest of jobs over the analysis service (worker pool + result store);
-``cache`` inspects or clears the store.
+``cache`` inspects, prunes (LRU, ``--max-bytes``), or clears the store.
 
 User errors — missing input files, unparseable feature models, unknown
 analysis names, bad manifests — exit with status 2 and a one-line
@@ -37,8 +37,10 @@ from repro.analyses import (
     UninitializedVariablesAnalysis,
 )
 from repro.analyses.typestate import FILE_PROTOCOL, TypestateAnalysis
+from repro.constraints.bddsystem import REORDER_POLICIES
 from repro.core import SPLLift, compute_emergent_interface
 from repro.core.solver import SPLLiftResults
+from repro.ide.solver import WORKLIST_ORDERS
 from repro.featuremodel import FeatureModel, FeatureModelError, parse_feature_model
 from repro.interp import Interpreter
 from repro.minijava.parser import ParseError
@@ -68,20 +70,31 @@ def _load_product_line(args) -> ProductLine:
 
 
 def _findings(
-    product_line: ProductLine, analysis_name: str, fm_mode: str
+    product_line: ProductLine,
+    analysis_name: str,
+    fm_mode: str,
+    reorder: Optional[str] = None,
+    worklist_order: Optional[str] = None,
 ) -> Tuple[List[Tuple[str, str, str]], SPLLiftResults]:
     icfg = product_line.icfg
     feature_model = product_line.feature_model if fm_mode != "ignore" else None
+
+    def solve(analysis) -> SPLLiftResults:
+        spllift = SPLLift(
+            analysis, feature_model=feature_model, fm_mode=fm_mode, reorder=reorder
+        )
+        return spllift.solve(worklist_order=worklist_order)
+
     if analysis_name == "taint":
         analysis = TaintAnalysis(icfg)
-        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        results = solve(analysis)
         queries = [
             (stmt, fact, f"secret may reach print of {fact}")
             for stmt, fact in TaintAnalysis.sink_queries(icfg)
         ]
     elif analysis_name == "uninit":
         analysis = UninitializedVariablesAnalysis(icfg)
-        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        results = solve(analysis)
         queries = [
             (stmt, fact, f"read of possibly-uninitialized {fact}")
             for stmt, fact in analysis.use_queries()
@@ -90,14 +103,14 @@ def _findings(
         from repro.analyses.nullness import NullnessAnalysis
 
         analysis = NullnessAnalysis(icfg)
-        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        results = solve(analysis)
         queries = [
             (stmt, fact, f"possible null dereference of {fact}")
             for stmt, fact in analysis.dereference_queries()
         ]
     elif analysis_name == "typestate":
         analysis = TypestateAnalysis(icfg, FILE_PROTOCOL)
-        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        results = solve(analysis)
         queries = [
             (stmt, fact, f"protocol violation: {fact}")
             for stmt, fact in analysis.violation_queries()
@@ -108,7 +121,7 @@ def _findings(
             if analysis_name == "types"
             else ReachingDefinitionsAnalysis(icfg)
         )
-        results = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode).solve()
+        results = solve(analysis)
         # Informational analyses: report all facts at method exits.
         queries = []
         for method in icfg.reachable_methods:
@@ -127,7 +140,13 @@ def _findings(
 
 def _cmd_analyze(args) -> int:
     product_line = _load_product_line(args)
-    findings, results = _findings(product_line, args.analysis, args.fm_mode)
+    findings, results = _findings(
+        product_line,
+        args.analysis,
+        args.fm_mode,
+        reorder=args.reorder,
+        worklist_order=args.worklist_order,
+    )
     if not findings:
         print(f"{args.analysis}: no findings (in any valid product)")
         return 0
@@ -251,6 +270,23 @@ def _cmd_cache(args) -> int:
         for kind, count in sorted(stats["kinds"].items()):
             print(f"  {kind}: {count}")
         return 0
+    if args.action == "prune":
+        if args.max_bytes is None or args.max_bytes < 0:
+            print(
+                "spllift: error: cache prune requires --max-bytes >= 0",
+                file=sys.stderr,
+            )
+            return 2
+        summary = store.prune(args.max_bytes)
+        print(
+            f"pruned {summary['removed']} record(s) "
+            f"({summary['freed_bytes']} bytes) from {store.root}"
+        )
+        print(
+            f"remaining: {summary['remaining_records']} record(s), "
+            f"{summary['remaining_bytes']} bytes"
+        )
+        return 0
     removed = store.clear()
     print(f"removed {removed} record(s) from {store.root}")
     return 0
@@ -286,6 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--stats", action="store_true", help="print solver statistics"
+    )
+    analyze.add_argument(
+        "--reorder",
+        choices=REORDER_POLICIES,
+        default=None,
+        help="dynamic BDD variable reordering (default: off)",
+    )
+    analyze.add_argument(
+        "--worklist-order",
+        choices=WORKLIST_ORDERS,
+        default=None,
+        help="solver worklist scheduling; the fixed point is "
+        "order-independent (default: fifo, or $SPLLIFT_WORKLIST_ORDER)",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
@@ -341,11 +390,18 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--report", help="write the batch report JSON here")
     batch.set_defaults(handler=_cmd_batch)
 
-    cache = sub.add_parser("cache", help="inspect or clear the result store")
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache = sub.add_parser(
+        "cache", help="inspect, prune, or clear the result store"
+    )
+    cache.add_argument("action", choices=("stats", "prune", "clear"))
     cache.add_argument(
         "--cache-dir",
         help=f"result store root (default {default_cache_dir()})",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        help="prune: evict least-recently-used records down to this size",
     )
     cache.set_defaults(handler=_cmd_cache)
     return parser

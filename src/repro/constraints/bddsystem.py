@@ -20,7 +20,10 @@ from repro.constraints.base import (
 )
 from repro.constraints.formula import Formula, parse_formula
 
-__all__ = ["BddConstraint", "BddConstraintSystem"]
+__all__ = ["BddConstraint", "BddConstraintSystem", "REORDER_POLICIES"]
+
+#: Valid dynamic-reordering policies.
+REORDER_POLICIES = ("off", "sift")
 
 
 class BddConstraint(Constraint):
@@ -91,22 +94,89 @@ class BddConstraintSystem(ConstraintSystem):
 
     name = "bdd"
 
-    def __init__(self, manager: Optional[BDDManager] = None) -> None:
+    #: Valid dynamic-reordering policies.
+    REORDER_POLICIES = REORDER_POLICIES
+
+    def __init__(
+        self,
+        manager: Optional[BDDManager] = None,
+        reorder: str = "off",
+        reorder_threshold: int = 4096,
+    ) -> None:
         self.manager = manager if manager is not None else BDDManager()
         self._true = BddConstraint(self, self.manager.true)
         self._false = BddConstraint(self, self.manager.false)
-        # Intern constraints by node so equal functions share a handle.
+        # Intern constraints by node so equal functions share a handle.  The
+        # interned handles are also the root set handed to the reorderer:
+        # every node a client can hold is (reachable from) one of these.
         self._interned: Dict[int, BddConstraint] = {
             self.manager.true: self._true,
             self.manager.false: self._false,
         }
+        self._sift_first: tuple = ()
+        self._next_reorder_at = 0
+        self.configure_reorder(reorder, threshold=reorder_threshold)
+
+    def configure_reorder(
+        self,
+        policy: str,
+        first: Sequence[str] = (),
+        threshold: Optional[int] = None,
+    ) -> None:
+        """Set the dynamic variable-reordering policy.
+
+        ``policy`` is ``"off"`` (default — Tables 1–3 stay bit-identical) or
+        ``"sift"`` (Rudell sifting once the manager's live node count crosses
+        the threshold, doubling the threshold after each reorder).  ``first``
+        names variables to sift before all others — the lifted solver seeds
+        it with the feature-model variables, which dominate the constraint
+        BDDs.
+        """
+        if policy not in self.REORDER_POLICIES:
+            raise ValueError(
+                f"unknown reorder policy {policy!r}; "
+                f"expected one of {self.REORDER_POLICIES}"
+            )
+        self.reorder_policy = policy
+        if first:
+            self._sift_first = tuple(first)
+        if threshold is not None:
+            self._reorder_threshold = threshold
+        if policy == "sift" and (threshold is not None or self._next_reorder_at == 0):
+            self._next_reorder_at = self._reorder_threshold
+
+    def _maybe_reorder(self, fresh_node: int) -> None:
+        if self.manager.live_nodes() < self._next_reorder_at:
+            return
+        roots = list(self._interned)
+        roots.append(fresh_node)
+        self.manager.sift(roots, first=self._sift_first)
+        # Double the trigger so steady growth reorders O(log n) times, and
+        # never re-trigger below twice the post-sift live size.
+        self._next_reorder_at = max(
+            self._next_reorder_at * 2, self.manager.live_nodes() * 2
+        )
 
     def _wrap(self, node: int) -> BddConstraint:
         constraint = self._interned.get(node)
         if constraint is None:
+            if self.reorder_policy != "off":
+                self._maybe_reorder(node)
             constraint = BddConstraint(self, node)
             self._interned[node] = constraint
         return constraint
+
+    def solver_stats(self) -> Dict[str, int]:
+        """BDD substrate counters for :attr:`IDESolver.stats` and benches."""
+        stats = self.manager.cache_stats()
+        return {
+            "bdd_nodes": stats["unique_entries"],
+            "bdd_apply_calls": stats["apply_calls"],
+            "bdd_apply_cache_hits": stats["apply_cache_hits"],
+            "bdd_apply_cache_misses": stats["apply_cache_misses"],
+            "reorders": stats["reorders"],
+            "reorder_swaps": stats["reorder_swaps"],
+        }
 
     def wrap_node(self, node: int) -> BddConstraint:
         """Wrap a raw node of this system's manager into a constraint."""
@@ -141,8 +211,11 @@ class BddConstraintSystem(ConstraintSystem):
     def and_(self, left: Constraint, right: Constraint) -> BddConstraint:
         # Trivial cases short-circuit before touching the BDD engine: the
         # lifted hot path conjoins with `true` (unannotated statements) and
-        # with itself (re-walked paths) constantly.
-        a, b = self.coerce(left), self.coerce(right)
+        # with itself (re-walked paths) constantly.  ``coerce`` is inlined
+        # as a same-system check — two calls per conjunction add up over
+        # tens of thousands of edge compositions.
+        a = left if type(left) is BddConstraint and left._system is self else self.coerce(left)
+        b = right if type(right) is BddConstraint and right._system is self else self.coerce(right)
         node_a, node_b = a._node, b._node
         if node_a == node_b or node_b == _TRUE:
             return a
@@ -153,7 +226,8 @@ class BddConstraintSystem(ConstraintSystem):
         return self._wrap(self.manager.and_(node_a, node_b))
 
     def or_(self, left: Constraint, right: Constraint) -> BddConstraint:
-        a, b = self.coerce(left), self.coerce(right)
+        a = left if type(left) is BddConstraint and left._system is self else self.coerce(left)
+        b = right if type(right) is BddConstraint and right._system is self else self.coerce(right)
         node_a, node_b = a._node, b._node
         if node_a == node_b or node_b == _FALSE:
             return a

@@ -68,7 +68,7 @@ class ConstraintEdge(EdgeFunction[Constraint]):
     behaviour — the table is an optimization, not a semantic change.
     """
 
-    __slots__ = ("constraint", "_table", "is_top")
+    __slots__ = ("constraint", "_table", "is_top", "_memo_compose", "_memo_join")
 
     def __init__(
         self, constraint: Constraint, _table: "EdgeFunctionTable" = None
@@ -78,6 +78,13 @@ class ConstraintEdge(EdgeFunction[Constraint]):
         # λc. c ∧ false maps everything to top ("no flow"): precomputing the
         # flag lets the solver drop such edges with one attribute load.
         self.is_top = constraint.is_false
+        # Per-edge memo tables keyed on the *other* interned operand
+        # (identity hash — interning makes instances unique per constraint).
+        # One dict probe replaces the old table-level id-pair keys, and both
+        # operands record the result so the commutative mirror still hits.
+        if _table is not None:
+            self._memo_compose: Dict["ConstraintEdge", "ConstraintEdge"] = {}
+            self._memo_join: Dict["ConstraintEdge", "ConstraintEdge"] = {}
 
     def compute_target(self, source: Constraint) -> Constraint:
         return source & self.constraint
@@ -86,7 +93,16 @@ class ConstraintEdge(EdgeFunction[Constraint]):
         if isinstance(second, ConstraintEdge):
             table = self._table
             if table is not None and second._table is table:
-                return table.compose(self, second)
+                memo = self._memo_compose
+                cached = memo.get(second)
+                if cached is not None:
+                    table.compose_hits += 1
+                    return cached
+                table.compose_misses += 1
+                result = table.edge(self.constraint & second.constraint)
+                memo[second] = result
+                second._memo_compose[self] = result
+                return result
             return ConstraintEdge(self.constraint & second.constraint)
         if isinstance(second, AllTop):
             return second
@@ -98,7 +114,16 @@ class ConstraintEdge(EdgeFunction[Constraint]):
         if isinstance(other, ConstraintEdge):
             table = self._table
             if table is not None and other._table is table:
-                return table.join(self, other)
+                memo = self._memo_join
+                cached = memo.get(other)
+                if cached is not None:
+                    table.join_hits += 1
+                    return cached
+                table.join_misses += 1
+                result = table.edge(self.constraint | other.constraint)
+                memo[other] = result
+                other._memo_join[self] = result
+                return result
             return ConstraintEdge(self.constraint | other.constraint)
         if isinstance(other, AllTop):
             return self
@@ -141,18 +166,31 @@ class EdgeFunctionTable:
     :meth:`LiftedProblem.edge_cache_stats`.
     """
 
-    __slots__ = ("system", "_edges", "_compose_cache", "_join_cache", "stats")
+    __slots__ = (
+        "system",
+        "_edges",
+        "compose_hits",
+        "compose_misses",
+        "join_hits",
+        "join_misses",
+    )
 
     def __init__(self, system: ConstraintSystem) -> None:
         self.system = system
         self._edges: Dict[Constraint, ConstraintEdge] = {}
-        self._compose_cache: Dict[tuple, ConstraintEdge] = {}
-        self._join_cache: Dict[tuple, ConstraintEdge] = {}
-        self.stats: Dict[str, int] = {
-            "compose_cache_hits": 0,
-            "compose_cache_misses": 0,
-            "join_cache_hits": 0,
-            "join_cache_misses": 0,
+        self.compose_hits = 0
+        self.compose_misses = 0
+        self.join_hits = 0
+        self.join_misses = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache counters in the legacy dict shape."""
+        return {
+            "compose_cache_hits": self.compose_hits,
+            "compose_cache_misses": self.compose_misses,
+            "join_cache_hits": self.join_hits,
+            "join_cache_misses": self.join_misses,
         }
 
     def edge(self, constraint: Constraint) -> ConstraintEdge:
@@ -167,38 +205,19 @@ class EdgeFunctionTable:
     def interned_count(self) -> int:
         return len(self._edges)
 
-    # Both operations are commutative, so operand pairs are normalized to
-    # one cache key.  Keys use ``id()`` of the *interned* operands — the
-    # table keeps every interned edge alive, which makes ids stable, and
-    # interning makes them unique per constraint.
+    # Both operations are commutative; each interned edge carries its own
+    # memo dict keyed on the other operand (identity hash), and results are
+    # recorded under both operands so the mirrored pair still hits.
 
     def compose(self, first: ConstraintEdge, second: ConstraintEdge) -> ConstraintEdge:
-        key_a, key_b = id(first), id(second)
-        key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
-        cached = self._compose_cache.get(key)
-        if cached is not None:
-            self.stats["compose_cache_hits"] += 1
-            return cached
-        self.stats["compose_cache_misses"] += 1
-        result = self.edge(first.constraint & second.constraint)
-        self._compose_cache[key] = result
-        return result
+        return first.compose_with(second)
 
     def join(self, first: ConstraintEdge, second: ConstraintEdge) -> ConstraintEdge:
-        key_a, key_b = id(first), id(second)
-        key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
-        cached = self._join_cache.get(key)
-        if cached is not None:
-            self.stats["join_cache_hits"] += 1
-            return cached
-        self.stats["join_cache_misses"] += 1
-        result = self.edge(first.constraint | second.constraint)
-        self._join_cache[key] = result
-        return result
+        return first.join_with(second)
 
     def cache_stats(self) -> Dict[str, int]:
         """Counters in the shape ``IDESolver.stats`` reports them."""
-        stats = dict(self.stats)
+        stats = self.stats
         stats["interned_edges"] = len(self._edges)
         return stats
 
@@ -218,6 +237,7 @@ class LiftedProblem(IDEProblem[D, Constraint]):
         system: ConstraintSystem,
         feature_model: Optional[Constraint] = None,
         fm_mode: str = "edge",
+        reorder: Optional[str] = None,
     ) -> None:
         if fm_mode not in FM_MODES:
             raise ValueError(f"fm_mode must be one of {FM_MODES}, got {fm_mode!r}")
@@ -236,9 +256,18 @@ class LiftedProblem(IDEProblem[D, Constraint]):
             self.feature_model if fm_mode == "edge" else system.true
         )
         self._formula_cache: Dict[Formula, Constraint] = {}
+        self._inner_flow_cache: Dict[tuple, object] = {}
         self.edge_table = EdgeFunctionTable(system)
         self._true_edge = self.edge_table.edge(system.true & self._edge_label_fm)
         self._seed_edge = self.edge_table.edge(system.true)
+        if reorder is not None and hasattr(system, "configure_reorder"):
+            # Seed the sifting order with the feature-model variables, which
+            # appear in (nearly) every constraint of the lifted solve.
+            first: tuple = ()
+            fm = self.feature_model
+            if hasattr(fm, "node") and hasattr(system, "manager"):
+                first = tuple(sorted(system.manager.support(fm.node)))
+            system.configure_reorder(reorder, first=first)
 
     # ------------------------------------------------------------------
     # Constraint helpers
@@ -262,8 +291,13 @@ class LiftedProblem(IDEProblem[D, Constraint]):
         return self.edge_table.edge(label & self._edge_label_fm)
 
     def edge_cache_stats(self) -> Dict[str, int]:
-        """Edge-algebra cache counters (merged into ``IDESolver.stats``)."""
-        return self.edge_table.cache_stats()
+        """Edge-algebra and BDD substrate counters (merged into
+        ``IDESolver.stats``)."""
+        stats = self.edge_table.cache_stats()
+        solver_stats = getattr(self.system, "solver_stats", None)
+        if solver_stats is not None:
+            stats.update(solver_stats())
+        return stats
 
     # ------------------------------------------------------------------
     # Value lattice
@@ -390,7 +424,12 @@ class LiftedProblem(IDEProblem[D, Constraint]):
     def _in_inner_normal(
         self, stmt: Instruction, stmt_fact: D, succ: Instruction, succ_fact: D
     ) -> bool:
-        flow = self.inner.normal_flow(stmt, succ)
+        # One flow-function construction per (stmt, succ), not per exploded
+        # edge — inner analyses build a fresh object on every call.
+        key = (stmt, succ)
+        flow = self._inner_flow_cache.get(key)
+        if flow is None:
+            flow = self._inner_flow_cache[key] = self.inner.normal_flow(stmt, succ)
         return succ_fact in flow.compute_targets(stmt_fact)
 
     def _label(

@@ -154,6 +154,7 @@ class SPLLift(Generic[D]):
         feature_model: Optional[Union[Constraint, FeatureModel]] = None,
         system: Optional[ConstraintSystem] = None,
         fm_mode: str = "edge",
+        reorder: Optional[str] = None,
     ) -> None:
         """
         Parameters
@@ -169,6 +170,10 @@ class SPLLift(Generic[D]):
         fm_mode:
             One of ``"edge"`` (paper's choice), ``"seed"`` (rejected
             variant) or ``"ignore"`` — see Section 4.2.
+        reorder:
+            Dynamic BDD variable-reordering policy (``"off"``/``"sift"``);
+            ``None`` keeps the constraint system's configured policy (off
+            by default, keeping Tables 1–3 bit-identical).
         """
         self.system = system if system is not None else BddConstraintSystem()
         if feature_model is None:
@@ -182,12 +187,12 @@ class SPLLift(Generic[D]):
             raise ValueError(f"fm_mode must be one of {FM_MODES}, got {fm_mode!r}")
         self.fm_mode = fm_mode
         self.problem = LiftedProblem(
-            analysis, self.system, fm_constraint, fm_mode=fm_mode
+            analysis, self.system, fm_constraint, fm_mode=fm_mode, reorder=reorder
         )
         self.analysis = analysis
 
     def solve(
-        self, worklist_order: str = "fifo", order_seed: int = 0
+        self, worklist_order: Optional[str] = None, order_seed: int = 0
     ) -> SPLLiftResults[D]:
         """Run the IDE solver on the lifted problem (one single pass).
 

@@ -20,6 +20,7 @@ collapsing contradictory compositions to all-top, which this solver drops
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import (
     Deque,
@@ -37,11 +38,68 @@ from repro.ide.edgefunctions import EdgeFunction
 from repro.ide.problem import IDEProblem
 from repro.ir.instructions import Instruction
 from repro.ir.program import IRMethod
+from repro.ir.rpo import RPORanker
 
-__all__ = ["IDESolver", "IDEResults"]
+__all__ = ["IDESolver", "IDEResults", "WORKLIST_ORDERS", "BucketQueue"]
+
+#: Phase-I iteration orders; ``None`` resolves to $SPLLIFT_WORKLIST_ORDER
+#: (default ``fifo``), which is how CI matrix-runs the whole suite per order.
+WORKLIST_ORDERS = ("fifo", "lifo", "random", "rpo")
+
+
+def resolve_worklist_order(worklist_order: Optional[str]) -> str:
+    if worklist_order is None:
+        worklist_order = os.environ.get("SPLLIFT_WORKLIST_ORDER", "fifo")
+    if worklist_order not in WORKLIST_ORDERS:
+        raise ValueError(
+            f"worklist_order must be one of {'/'.join(WORKLIST_ORDERS)}, "
+            f"got {worklist_order!r}"
+        )
+    return worklist_order
 
 D = TypeVar("D", bound=Hashable)
 V = TypeVar("V")
+
+
+class BucketQueue:
+    """Integer-priority queue: one list per rank plus a moving cursor.
+
+    RPO ranks are small dense ints, so a bucket per rank beats a binary
+    heap — push is a list append, pop scans the cursor forward.  Because
+    propagation mostly moves *down* the reverse post-order, the cursor
+    rarely rewinds (only on loop back-edges), keeping pops amortized O(1).
+    Order within one rank is unspecified (the fixed point is
+    order-independent); across ranks the minimum always pops first.
+    """
+
+    __slots__ = ("_buckets", "_cursor", "_size")
+
+    def __init__(self) -> None:
+        self._buckets: List[List] = []
+        self._cursor = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, rank: int, entry) -> None:
+        buckets = self._buckets
+        grow = rank + 1 - len(buckets)
+        if grow > 0:
+            buckets.extend([] for _ in range(grow))
+        buckets[rank].append(entry)
+        if rank < self._cursor:
+            self._cursor = rank
+        self._size += 1
+
+    def pop(self):
+        buckets = self._buckets
+        cursor = self._cursor
+        while not buckets[cursor]:
+            cursor += 1
+        self._cursor = cursor
+        self._size -= 1
+        return buckets[cursor].pop()
 
 
 class IDEResults(Generic[D, V]):
@@ -102,8 +160,11 @@ class IDEResults(Generic[D, V]):
 class IDESolver(Generic[D, V]):
     """Two-phase worklist solver for :class:`IDEProblem`.
 
-    ``worklist_order`` selects the iteration order of phase I: ``"fifo"``
-    (default), ``"lifo"``, or ``"random"`` with ``order_seed``.  The fixed
+    ``worklist_order`` selects the iteration order of phase I: ``"fifo"``,
+    ``"lifo"``, ``"random"`` with ``order_seed``, or ``"rpo"`` (a priority
+    queue popping statements in per-method reverse post-order, so merge
+    points see near-final joined functions and re-propagate less).  ``None``
+    resolves to ``$SPLLIFT_WORKLIST_ORDER``, default ``fifo``.  The fixed
     point is order-independent, but the amount of work is not — the paper
     observes "a relatively high variance in the analysis times ... caused
     by non-determinism in the order in which the IDE solution is computed"
@@ -114,13 +175,10 @@ class IDESolver(Generic[D, V]):
     def __init__(
         self,
         problem: IDEProblem[D, V],
-        worklist_order: str = "fifo",
+        worklist_order: Optional[str] = None,
         order_seed: int = 0,
     ) -> None:
-        if worklist_order not in ("fifo", "lifo", "random"):
-            raise ValueError(
-                f"worklist_order must be fifo/lifo/random, got {worklist_order!r}"
-            )
+        worklist_order = resolve_worklist_order(worklist_order)
         self._order = worklist_order
         if worklist_order == "random":
             import random as _random
@@ -128,6 +186,9 @@ class IDESolver(Generic[D, V]):
             self._rng = _random.Random(order_seed)
         self.problem = problem
         self.icfg = problem.icfg
+        self._use_heap = worklist_order == "rpo"
+        if self._use_heap:
+            self._ranker = RPORanker(problem.icfg)
         self.stats: Dict[str, int] = {
             "jump_functions": 0,
             "flow_applications": 0,
@@ -145,7 +206,9 @@ class IDESolver(Generic[D, V]):
         # The nesting lets phase II enumerate exactly the pairs whose source
         # fact matches, instead of scanning all (d1, d2) pairs per statement.
         self._jump: Dict[Instruction, Dict[D, Dict[D, EdgeFunction[V]]]] = {}
-        self._worklist: Deque[Tuple[D, Instruction, D]] = deque()
+        # fifo/lifo/random use a deque of entries; rpo uses a bucket queue
+        # indexed by statement rank.
+        self._worklist = BucketQueue() if self._use_heap else deque()
         # Entries currently enqueued; re-joining a pending entry must not
         # enqueue it twice — its single pop reads the latest joined function.
         self._pending: Set[Tuple[D, Instruction, D]] = set()
@@ -199,6 +262,7 @@ class IDESolver(Generic[D, V]):
         self._build_jump_functions()
         values = self._compute_values()
         self.stats.update(self.problem.edge_cache_stats())
+        self.stats["worklist_order"] = self._order
         return IDEResults(values, self.problem.top_value(), self.problem.zero)
 
     def _build_jump_functions(self) -> None:
@@ -211,11 +275,17 @@ class IDESolver(Generic[D, V]):
         pending = self._pending
         jump = self._jump
         fifo = self._order == "fifo"
+        use_heap = self._use_heap
         while worklist:
-            # Inlined `_pop` for the default order; every propagated entry
-            # has a jump-table row, so the lookup can index directly.
+            # Inlined `_pop` for the default and rpo orders; every
+            # propagated entry has a jump-table row, so the lookup can
+            # index directly.
             if fifo:
                 entry = worklist.popleft()
+                pending.discard(entry)
+                d1, n, d2 = entry
+            elif use_heap:
+                entry = worklist.pop()
                 pending.discard(entry)
                 d1, n, d2 = entry
             else:
@@ -244,6 +314,8 @@ class IDESolver(Generic[D, V]):
     def _pop(self) -> Tuple[D, Instruction, D]:
         if self._order == "fifo":
             entry = self._worklist.popleft()
+        elif self._order == "rpo":
+            entry = self._worklist.pop()
         elif self._order == "lifo":
             entry = self._worklist.pop()
         else:
@@ -294,7 +366,10 @@ class IDESolver(Generic[D, V]):
             self.stats["worklist_deduped"] += 1
             return
         self._pending.add(entry)
-        self._worklist.append(entry)
+        if self._use_heap:
+            self._worklist.push(self._ranker.rank_of(n), entry)
+        else:
+            self._worklist.append(entry)
 
     # ------------------------------------------------------------------
     # Case: normal statements
@@ -319,9 +394,49 @@ class IDESolver(Generic[D, V]):
                     edge = self.problem.edge_normal(n, d2, succ, d3)
                     entries.append((succ, d3, edge))
             exploded = self._normal_cache[key] = tuple(entries)
-        self.stats["edge_compositions"] += len(exploded)
+        # `_propagate` inlined: the compose loop below is the hottest frame
+        # of the lifted solve (ROADMAP "solver micro-path"), and the call
+        # overhead is measurable at millions of propagations.
+        stats = self.stats
+        stats["edge_compositions"] += len(exploded)
+        jump = self._jump
+        pending = self._pending
+        worklist = self._worklist
+        use_heap = self._use_heap
+        rank_of = self._ranker.rank_of if use_heap else None
+        new_jumps = deduped = 0
         for succ, d3, edge in exploded:
-            self._propagate(d1, succ, d3, f.compose_with(edge))
+            fn = f.compose_with(edge)
+            if fn.is_top:
+                continue  # no flow — drop the path (early termination)
+            rows = jump.get(succ)
+            if rows is None:
+                rows = jump[succ] = {}
+            row = rows.get(d1)
+            if row is None:
+                row = rows[d1] = {}
+            old = row.get(d3)
+            if old is None:
+                new_jumps += 1
+                joined = fn
+            else:
+                joined = old.join_with(fn)
+                if joined is old or joined.equal_to(old):
+                    continue
+            row[d3] = joined
+            entry = (d1, succ, d3)
+            if entry in pending:
+                deduped += 1
+                continue
+            pending.add(entry)
+            if use_heap:
+                worklist.push(rank_of(succ), entry)
+            else:
+                worklist.append(entry)
+        if new_jumps:
+            stats["jump_functions"] += new_jumps
+        if deduped:
+            stats["worklist_deduped"] += deduped
 
     # ------------------------------------------------------------------
     # Case: call statements
@@ -465,16 +580,22 @@ class IDESolver(Generic[D, V]):
 
     def _compute_values(self) -> Dict[Tuple[Instruction, D], V]:
         top = self.problem.top_value()
+        join_values = self.problem.join_values
         values: Dict[Tuple[Instruction, D], V] = {}
+        value_updates = 0
 
         def set_value(stmt: Instruction, fact: D, value: V) -> bool:
+            nonlocal value_updates
             key = (stmt, fact)
             old = values.get(key, top)
-            joined = self.problem.join_values(old, value)
-            if joined == old:
+            joined = join_values(old, value)
+            # Identity first: value systems interning their instances (the
+            # BDD constraint system does) make the no-change case pointer
+            # equality.
+            if joined is old or joined == old:
                 return False
             values[key] = joined
-            self.stats["value_updates"] += 1
+            value_updates += 1
             return True
 
         # Phase II(i): start points and call sites.
@@ -511,17 +632,26 @@ class IDESolver(Generic[D, V]):
         # (stmt, d2) are merged with one n-ary join instead of a pairwise
         # fold — at high-in-degree merge points this halves the traffic
         # to the value lattice (ROADMAP "batch constraint joins").
+        jump = self._jump
+        batch_joins = 0
         for method in self.icfg.reachable_methods:
             start = self.icfg.start_point_of(method)
+            # Start values looked up once per source fact per method, not
+            # once per (statement, source fact) pair.
+            start_values: Dict[D, V] = {}
             for stmt in method.instructions:
                 if stmt is start:
                     continue
-                rows = self._jump.get(stmt)
+                rows = jump.get(stmt)
                 if rows is None:
                     continue
                 incoming: Dict[D, List[V]] = {}
                 for d1, row in rows.items():
-                    start_value = values.get((start, d1), top)
+                    start_value = start_values.get(d1)
+                    if start_value is None:
+                        start_value = start_values[d1] = values.get(
+                            (start, d1), top
+                        )
                     if start_value == top:
                         continue
                     for d2, f in row.items():
@@ -533,8 +663,10 @@ class IDESolver(Generic[D, V]):
                     if len(contributions) == 1:
                         set_value(stmt, d2, contributions[0])
                     else:
-                        self.stats["value_batch_joins"] += 1
+                        batch_joins += 1
                         set_value(
                             stmt, d2, self.problem.join_all_values(contributions)
                         )
+        self.stats["value_updates"] += value_updates
+        self.stats["value_batch_joins"] += batch_joins
         return values

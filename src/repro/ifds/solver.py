@@ -22,11 +22,22 @@ the number of edges constructed.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, FrozenSet, Generic, Hashable, List, Set, Tuple, TypeVar
+from typing import (
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 from repro.ifds.problem import IFDSProblem
 from repro.ir.instructions import Instruction
 from repro.ir.program import IRMethod
+from repro.ir.rpo import RPORanker
 
 __all__ = ["IFDSSolver", "IFDSResults"]
 
@@ -61,11 +72,36 @@ class IFDSResults(Generic[D]):
 
 
 class IFDSSolver(Generic[D]):
-    """Worklist tabulation solver for :class:`IFDSProblem`."""
+    """Worklist tabulation solver for :class:`IFDSProblem`.
 
-    def __init__(self, problem: IFDSProblem[D]) -> None:
+    ``worklist_order`` mirrors :class:`~repro.ide.solver.IDESolver`:
+    ``"fifo"``/``"lifo"``/``"random"``/``"rpo"``, with ``None`` resolving
+    to ``$SPLLIFT_WORKLIST_ORDER`` (default ``fifo``).  The reachable-fact
+    fixed point is identical for every order.
+    """
+
+    def __init__(
+        self,
+        problem: IFDSProblem[D],
+        worklist_order: Optional[str] = None,
+        order_seed: int = 0,
+    ) -> None:
+        # Late import to avoid a module cycle (ide.solver imports nothing
+        # from ifds, but keep the single source of truth for the orders
+        # and the rpo queue).
+        from repro.ide.solver import BucketQueue, resolve_worklist_order
+
+        worklist_order = resolve_worklist_order(worklist_order)
+        self._order = worklist_order
+        self._use_heap = worklist_order == "rpo"
+        if worklist_order == "random":
+            import random as _random
+
+            self._rng = _random.Random(order_seed)
         self.problem = problem
         self.icfg = problem.icfg
+        if self._use_heap:
+            self._ranker = RPORanker(problem.icfg)
         self.stats: Dict[str, int] = {
             "path_edges": 0,
             "flow_applications": 0,
@@ -73,7 +109,8 @@ class IFDSSolver(Generic[D]):
         }
         # path edges grouped by target statement: n -> {(d1, d2)}
         self._path_edges: Dict[Instruction, Set[Tuple[D, D]]] = {}
-        self._worklist: Deque[Tuple[D, Instruction, D]] = deque()
+        # fifo/lifo/random use a deque; rpo a bucket queue keyed by rank.
+        self._worklist = BucketQueue() if self._use_heap else deque()
         # (method, entry fact) -> summaries / incoming callers
         self._end_summaries: Dict[Tuple[IRMethod, D], Set[_Summary]] = {}
         self._incoming: Dict[Tuple[IRMethod, D], Set[_Incoming]] = {}
@@ -113,8 +150,19 @@ class IFDSSolver(Generic[D]):
                 self._propagate(fact, stmt, fact)
         worklist = self._worklist
         kind_cache = self._kind_cache
+        fifo = self._order == "fifo"
+        use_heap = self._use_heap
         while worklist:
-            d1, n, d2 = worklist.popleft()
+            if fifo:
+                d1, n, d2 = worklist.popleft()
+            elif use_heap:
+                d1, n, d2 = worklist.pop()
+            elif self._order == "lifo":
+                d1, n, d2 = worklist.pop()
+            else:
+                index = self._rng.randrange(len(worklist))
+                worklist[index], worklist[-1] = worklist[-1], worklist[index]
+                d1, n, d2 = worklist.pop()
             kind = kind_cache.get(n)
             if kind is None:
                 if self.icfg.is_call(n):
@@ -150,7 +198,10 @@ class IFDSSolver(Generic[D]):
             return
         edges.add(key)
         self.stats["path_edges"] += 1
-        self._worklist.append((d1, n, d2))
+        if self._use_heap:
+            self._worklist.push(self._ranker.rank_of(n), (d1, n, d2))
+        else:
+            self._worklist.append((d1, n, d2))
 
     # ------------------------------------------------------------------
     # Case: normal statements
@@ -175,6 +226,9 @@ class IFDSSolver(Generic[D]):
         # _propagate inlined: this loop dominates the tabulation, and the
         # call overhead is measurable at millions of propagations.
         path_edges = self._path_edges
+        worklist = self._worklist
+        use_heap = self._use_heap
+        rank_of = self._ranker.rank_of if use_heap else None
         for succ, d3 in exploded:
             edges = path_edges.get(succ)
             if edges is None:
@@ -183,7 +237,10 @@ class IFDSSolver(Generic[D]):
             if edge not in edges:
                 edges.add(edge)
                 self.stats["path_edges"] += 1
-                self._worklist.append((d1, succ, d3))
+                if use_heap:
+                    worklist.push(rank_of(succ), (d1, succ, d3))
+                else:
+                    worklist.append((d1, succ, d3))
 
     # ------------------------------------------------------------------
     # Case: call statements

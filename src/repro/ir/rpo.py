@@ -1,0 +1,83 @@
+"""Reverse-post-order ranking of ICFG statements.
+
+Worklist prioritization for the tabulation solvers: popping exploded-graph
+nodes in reverse post-order of their method's CFG processes a statement
+only after (most of) its predecessors, so jump functions arrive at merge
+points closer to their final joined form — measurably fewer re-joins and
+re-propagations than FIFO on branchy methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.icfg import ICFG
+from repro.ir.instructions import Instruction
+from repro.ir.program import IRMethod
+
+__all__ = ["RPORanker"]
+
+
+class RPORanker:
+    """Lazily ranks statements in per-method reverse post-order.
+
+    Methods are ranked in first-touch order: the first statement queried
+    from a not-yet-ranked method triggers one iterative DFS from the
+    method's start point, and every reachable statement gets a global rank
+    ``base + rpo_index``.  Statements unreachable from the start point
+    (dead code kept in the IR) rank after the reachable ones, so every
+    statement has a total order and the priority queue never blocks.
+    """
+
+    __slots__ = ("icfg", "_rank", "_seen_methods", "_next")
+
+    def __init__(self, icfg: ICFG) -> None:
+        self.icfg = icfg
+        self._rank: Dict[Instruction, int] = {}
+        self._seen_methods: Set[IRMethod] = set()
+        self._next = 0
+
+    def rank_of(self, stmt: Instruction) -> int:
+        """The statement's global priority (lower pops first)."""
+        rank = self._rank.get(stmt)
+        if rank is not None:
+            return rank
+        method = self.icfg.method_of(stmt)
+        if method not in self._seen_methods:
+            self._rank_method(method)
+            rank = self._rank.get(stmt)
+            if rank is not None:
+                return rank
+        # Synthetic statement outside the method's instruction list: order
+        # it after everything ranked so far.
+        rank = self._next
+        self._next += 1
+        self._rank[stmt] = rank
+        return rank
+
+    def _rank_method(self, method: IRMethod) -> None:
+        self._seen_methods.add(method)
+        icfg = self.icfg
+        start = icfg.start_point_of(method)
+        post: List[Instruction] = []
+        seen = {start}
+        stack = [(start, iter(icfg.successors_of(start)))]
+        while stack:
+            node, successors = stack[-1]
+            for succ in successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(icfg.successors_of(succ))))
+                    break
+            else:
+                stack.pop()
+                post.append(node)
+        ranks = self._rank
+        base = self._next
+        for offset, node in enumerate(reversed(post)):
+            ranks[node] = base + offset
+        self._next = base + len(post)
+        for stmt in method.instructions:
+            if stmt not in ranks:
+                ranks[stmt] = self._next
+                self._next += 1

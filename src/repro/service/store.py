@@ -147,6 +147,55 @@ class ResultStore:
             "kinds": kinds,
         }
 
+    def prune(self, max_bytes: int) -> Dict[str, object]:
+        """Evict least-recently-used records until the store fits.
+
+        Records are ranked by access time (falling back to modification
+        time on filesystems mounted ``noatime``) and removed oldest-first
+        until the total size is at most ``max_bytes``.  Shard directories
+        left empty are removed.  Returns a summary dict with ``removed``,
+        ``freed_bytes``, ``remaining_bytes`` and ``remaining_records``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []  # (last_use, size, path)
+        total = 0
+        if self._objects.is_dir():
+            for shard in self._objects.iterdir():
+                if not shard.is_dir():
+                    continue
+                for path in shard.glob("*.json"):
+                    try:
+                        info = path.stat()
+                    except OSError:
+                        continue
+                    last_use = max(info.st_atime, info.st_mtime)
+                    entries.append((last_use, info.st_size, path))
+                    total += info.st_size
+        entries.sort(key=lambda entry: (entry[0], str(entry[2])))
+        removed = 0
+        freed = 0
+        for last_use, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+            try:
+                path.parent.rmdir()  # only succeeds once the shard is empty
+            except OSError:
+                pass
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_bytes": total,
+            "remaining_records": len(entries) - removed,
+        }
+
     def clear(self) -> int:
         """Delete every record; returns the number removed."""
         removed = 0

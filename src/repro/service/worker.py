@@ -70,8 +70,12 @@ def execute_job(job: AnalysisJob) -> Dict[str, object]:
         product_line.feature_model if job.fm_mode != "ignore" else None
     )
     options = job.public_options
+    reorder = options.get("reorder")
     spllift = SPLLift(
-        analysis, feature_model=feature_model, fm_mode=job.fm_mode
+        analysis,
+        feature_model=feature_model,
+        fm_mode=job.fm_mode,
+        reorder=str(reorder) if reorder is not None else None,
     )
     started = time.perf_counter()
     results = spllift.solve(

@@ -1,0 +1,104 @@
+"""Property-based tests: sifting preserves semantics, n-ary folds agree.
+
+Reordering moves every internal node around; the properties below pin the
+one thing that must never change — the Boolean function each held handle
+denotes — against brute-force evaluation over all assignments.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.constraints.bddsystem import BddConstraintSystem
+from tests.bdd.test_properties import VARS, all_assignments, formulas
+
+
+@given(st.lists(formulas(), min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_sift_preserves_evaluation(forms):
+    mgr = BDDManager(ordering=VARS)
+    nodes = [f.to_bdd(mgr) for f in forms]
+    mgr.sift(nodes)
+    for f, node in zip(forms, nodes):
+        for assignment in all_assignments():
+            assert mgr.evaluate(node, assignment) == f.evaluate(assignment)
+
+
+@given(st.lists(formulas(), min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_sift_preserves_satcount(forms):
+    mgr = BDDManager(ordering=VARS)
+    nodes = [f.to_bdd(mgr) for f in forms]
+    expected = [
+        sum(1 for a in all_assignments() if f.evaluate(a)) for f in forms
+    ]
+    mgr.sift(nodes)
+    for node, count in zip(nodes, expected):
+        assert mgr.satcount(node, over=VARS) == count
+
+
+@given(st.lists(formulas(), min_size=2, max_size=4), formulas())
+@settings(max_examples=60, deadline=None)
+def test_apply_after_sift_is_sound(forms, extra):
+    """Fresh applies on sifted handles match brute force (caches cleared)."""
+    mgr = BDDManager(ordering=VARS)
+    nodes = [f.to_bdd(mgr) for f in forms]
+    mgr.sift(nodes)
+    combined = nodes[0]
+    for node in nodes[1:]:
+        combined = mgr.and_(combined, node)
+    post = extra.to_bdd(mgr)
+    result = mgr.or_(combined, post)
+    for assignment in all_assignments():
+        expected = all(f.evaluate(assignment) for f in forms) or extra.evaluate(
+            assignment
+        )
+        assert mgr.evaluate(result, assignment) == expected
+
+
+@given(st.lists(formulas(), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_or_all_matches_pairwise_fold(forms):
+    system = BddConstraintSystem()
+    constraints = [system.from_formula(f) for f in forms]
+    folded = system.false
+    for constraint in constraints:
+        folded = system.or_(folded, constraint)
+    assert system.or_all(constraints) is folded
+
+
+@given(st.lists(formulas(), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_and_all_matches_pairwise_fold(forms):
+    mgr = BDDManager(ordering=VARS)
+    nodes = [f.to_bdd(mgr) for f in forms]
+    folded = mgr.true
+    for node in nodes:
+        folded = mgr.and_(folded, node)
+    assert mgr.and_all(nodes) == folded
+
+
+@given(st.lists(formulas(), min_size=1, max_size=4), st.permutations(VARS))
+@settings(max_examples=60, deadline=None)
+def test_sift_first_seeding_preserves_semantics(forms, seed_order):
+    mgr = BDDManager(ordering=VARS)
+    nodes = [f.to_bdd(mgr) for f in forms]
+    mgr.sift(nodes, first=tuple(seed_order))
+    for f, node in zip(forms, nodes):
+        for assignment in all_assignments():
+            assert mgr.evaluate(node, assignment) == f.evaluate(assignment)
+
+
+@given(st.lists(formulas(), min_size=1, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_repeated_sift_is_stable(forms):
+    """A second sift over the same roots must not grow the BDD."""
+    mgr = BDDManager(ordering=VARS)
+    nodes = [f.to_bdd(mgr) for f in forms]
+    first = mgr.sift(nodes)
+    second = mgr.sift(nodes)
+    assert second <= first
+    for f, node in zip(forms, nodes):
+        for assignment in all_assignments():
+            assert mgr.evaluate(node, assignment) == f.evaluate(assignment)

@@ -106,6 +106,82 @@ class TestMaintenance:
         assert store.clear() == 0
 
 
+class TestPrune:
+    def _fill(self, store, count):
+        """Insert ``count`` records with strictly increasing use times."""
+        import os
+
+        paths = []
+        for i in range(count):
+            digest = f"{i:02x}" * 32
+            path = store.put(_record(digest=digest))
+            stamp = 1_000_000 + i * 100
+            os.utime(path, (stamp, stamp))
+            paths.append((digest, path))
+        return paths
+
+    def test_noop_under_budget(self, store):
+        self._fill(store, 3)
+        before = store.stats()
+        summary = store.prune(max_bytes=before["bytes"])
+        assert summary["removed"] == 0
+        assert summary["freed_bytes"] == 0
+        assert store.stats()["records"] == 3
+
+    def test_evicts_least_recently_used_first(self, store):
+        paths = self._fill(store, 6)
+        sizes = [p.stat().st_size for _, p in paths]
+        budget = sum(sizes[3:])  # room for exactly the 3 newest
+        summary = store.prune(max_bytes=budget)
+        assert summary["removed"] == 3
+        for digest, _ in paths[:3]:
+            assert not store.contains(digest)
+        for digest, _ in paths[3:]:
+            assert store.contains(digest)
+
+    def test_prune_to_zero_removes_everything(self, store):
+        self._fill(store, 4)
+        summary = store.prune(max_bytes=0)
+        assert summary["removed"] == 4
+        assert summary["remaining_bytes"] == 0
+        assert summary["remaining_records"] == 0
+        assert store.stats()["records"] == 0
+
+    def test_empty_shards_are_removed(self, store):
+        paths = self._fill(store, 2)
+        store.prune(max_bytes=0)
+        for _, path in paths:
+            assert not path.parent.exists()
+
+    def test_idempotent(self, store):
+        self._fill(store, 4)
+        budget = store.stats()["bytes"] // 2
+        store.prune(max_bytes=budget)
+        summary = store.prune(max_bytes=budget)
+        assert summary["removed"] == 0
+
+    def test_negative_budget_rejected(self, store):
+        with pytest.raises(ValueError, match="max_bytes"):
+            store.prune(max_bytes=-1)
+
+    def test_summary_accounting(self, store):
+        self._fill(store, 5)
+        before = store.stats()["bytes"]
+        summary = store.prune(max_bytes=before // 3)
+        assert summary["freed_bytes"] + summary["remaining_bytes"] == before
+        assert summary["remaining_records"] == store.stats()["records"]
+        assert summary["remaining_bytes"] <= before // 3
+
+    def test_prune_on_empty_store(self, store):
+        summary = store.prune(max_bytes=0)
+        assert summary == {
+            "removed": 0,
+            "freed_bytes": 0,
+            "remaining_bytes": 0,
+            "remaining_records": 0,
+        }
+
+
 class TestDefaultCacheDir:
     def test_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("SPLLIFT_CACHE_DIR", str(tmp_path / "here"))

@@ -91,6 +91,61 @@ class TestAnalyze:
         assert rc == 1
         assert "@" in capsys.readouterr().out
 
+    def test_worklist_order_flag_keeps_findings(self, spl_file, fm_file, capsys):
+        main(["analyze", spl_file, "--analysis", "taint", "--feature-model", fm_file])
+        default_out = capsys.readouterr().out
+        for order in ("fifo", "lifo", "random", "rpo"):
+            rc = main(
+                [
+                    "analyze",
+                    spl_file,
+                    "--analysis",
+                    "taint",
+                    "--feature-model",
+                    fm_file,
+                    "--worklist-order",
+                    order,
+                ]
+            )
+            assert rc == 1
+            assert capsys.readouterr().out == default_out
+
+    def test_worklist_order_reported_in_stats(self, spl_file, capsys):
+        main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--worklist-order",
+                "rpo",
+                "--stats",
+            ]
+        )
+        assert "worklist_order: rpo" in capsys.readouterr().out
+
+    def test_reorder_flag_keeps_findings(self, spl_file, fm_file, capsys):
+        main(["analyze", spl_file, "--analysis", "taint", "--feature-model", fm_file])
+        default_out = capsys.readouterr().out
+        rc = main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--feature-model",
+                fm_file,
+                "--reorder",
+                "sift",
+            ]
+        )
+        assert rc == 1
+        assert capsys.readouterr().out == default_out
+
+    def test_bad_worklist_order_rejected(self, spl_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", spl_file, "--analysis", "taint", "--worklist-order", "xyz"])
+
 
 class TestRun:
     def test_run_configuration(self, spl_file, capsys):

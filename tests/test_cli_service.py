@@ -144,6 +144,46 @@ class TestCache:
         out = capsys.readouterr().out
         assert "records:    0" in out
 
+    def test_stats_reports_total_bytes(self, manifest, cache_dir, capsys):
+        main(["batch", manifest, "--cache-dir", cache_dir, "--no-pool"])
+        capsys.readouterr()
+        rc = main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        (bytes_line,) = [l for l in out.splitlines() if l.startswith("bytes:")]
+        assert int(bytes_line.split()[-1]) > 0
+
+    def test_prune_to_zero_evicts_everything(self, manifest, cache_dir, capsys):
+        main(["batch", manifest, "--cache-dir", cache_dir, "--no-pool"])
+        capsys.readouterr()
+        rc = main(["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pruned 2 record(s)" in out
+        assert "remaining: 0 record(s), 0 bytes" in out
+        rc = main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert "records:    0" in out
+
+    def test_prune_under_budget_is_noop(self, manifest, cache_dir, capsys):
+        main(["batch", manifest, "--cache-dir", cache_dir, "--no-pool"])
+        capsys.readouterr()
+        rc = main(
+            ["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "99999999"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pruned 0 record(s)" in out
+        rc = main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert "records:    2" in out
+
+    def test_prune_without_max_bytes_is_error(self, cache_dir, capsys):
+        rc = main(["cache", "prune", "--cache-dir", cache_dir])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("spllift: error: ")
+
 
 class TestCleanErrors:
     """Every user error: exit code 2, one ``spllift: error:`` line, no
