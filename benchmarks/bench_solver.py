@@ -127,7 +127,9 @@ def _git_revision(repo_root: Path) -> Optional[str]:
         return None
 
 
-def run_benchmarks(rounds: int, quick: bool) -> List[Dict[str, object]]:
+def run_benchmarks(
+    rounds: int, quick: bool, parallel: int = 4
+) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
 
     print("building subjects ...", flush=True)
@@ -196,6 +198,77 @@ def run_benchmarks(rounds: int, quick: bool) -> List[Dict[str, object]]:
                 rounds,
             )
         )
+
+    # --- parallel solve and campaign (sequential vs -j) ----------------
+    # The per-entry partitioned solve on the seed-richest analysis, and
+    # the Table 2 campaign fanned over worker processes.  The campaign
+    # cutoff is set high enough that no cell is truncated, so sequential
+    # and parallel rows measure *identical* work — per-configuration wall
+    # times inflate under contention and would otherwise trip the cutoff
+    # earlier in the parallel run, flattering the comparison.
+    print(f"parallel solve + campaign (sequential vs -j {parallel}):", flush=True)
+    from repro.experiments.table2 import run_table2
+
+    par_subjects = ("GPL-like",) if quick else ("GPL-like", "MM08-like")
+    for subject_name in par_subjects:
+        product_line = subjects[subject_name]
+
+        def run_parallel_solve(pl=product_line) -> Dict[str, int]:
+            results = SPLLift(
+                UninitializedVariablesAnalysis(pl.icfg),
+                feature_model=pl.feature_model,
+            ).solve(parallel=parallel)
+            return results.stats
+
+        rows.append(
+            _record(
+                f"spllift/{subject_name}/uninitialized_variables/parallel_j{parallel}",
+                run_parallel_solve,
+                rounds,
+            )
+        )
+
+    campaign_builders = [
+        (name, builder)
+        for name, builder in SUBJECT_BUILDERS
+        if name in par_subjects
+    ]
+    campaign_analyses = (
+        [("Uninitialized Variables", UninitializedVariablesAnalysis)]
+        if quick
+        else [(name.replace("_", " ").title(), cls) for name, cls in ANALYSES]
+    )
+    campaign_cutoff = 10.0 if quick else 120.0
+
+    def run_campaign(parallel_workers: Optional[int]) -> Dict[str, int]:
+        table_rows = run_table2(
+            campaign_builders,
+            campaign_analyses,
+            cutoff_seconds=campaign_cutoff,
+            parallel=parallel_workers,
+        )
+        cells = [cell for row in table_rows for cell in row.cells]
+        return {
+            "cells": len(cells),
+            "configurations_run": sum(
+                cell.a2.configurations_run for cell in cells
+            ),
+        }
+
+    rows.append(
+        _record(
+            f"campaign/table2/{len(campaign_builders)}_subjects/sequential",
+            lambda: run_campaign(1),
+            rounds,
+        )
+    )
+    rows.append(
+        _record(
+            f"campaign/table2/{len(campaign_builders)}_subjects/parallel_j{parallel}",
+            lambda: run_campaign(parallel),
+            rounds,
+        )
+    )
 
     # --- analysis service: batch cold vs warm (the result-store path) --
     print("analysis service batch:", flush=True)
@@ -298,23 +371,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="one subject, one analysis — the CI smoke configuration",
     )
+    parser.add_argument(
+        "-j",
+        "--parallel",
+        type=int,
+        default=4,
+        help="worker count for the parallel solve / campaign rows "
+        "(default 4)",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error(f"--rounds must be >= 1, got {args.rounds}")
+    if args.parallel < 2:
+        parser.error(f"--parallel must be >= 2, got {args.parallel}")
     if not args.output.parent.is_dir():
         # Fail before the (long) benchmark run, not after it.
         parser.error(f"output directory does not exist: {args.output.parent}")
 
     repo_root = Path(__file__).resolve().parent.parent
-    rows = run_benchmarks(rounds=args.rounds, quick=args.quick)
+    rows = run_benchmarks(
+        rounds=args.rounds, quick=args.quick, parallel=args.parallel
+    )
+    import os
+
     report = {
         "schema": "bench_solver/v1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "git_revision": _git_revision(repo_root),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "rounds": args.rounds,
         "quick": args.quick,
+        "parallel": args.parallel,
         "benchmarks": rows,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -11,12 +11,16 @@ Usage::
 
     PYTHONPATH=src python scripts/check_digest_identity.py
     PYTHONPATH=src python scripts/check_digest_identity.py --orders fifo rpo
+    PYTHONPATH=src python scripts/check_digest_identity.py --parallel 2
     PYTHONPATH=src python scripts/check_digest_identity.py --baseline digests.json
     PYTHONPATH=src python scripts/check_digest_identity.py --dump digests.json
 
-``--baseline`` additionally compares the fifo digests against a saved
-snapshot (written by ``--dump``), catching semantic drift between
-revisions, not just between orders.
+``--parallel N`` additionally solves every combination with the
+partitioned parallel solver (``solve(parallel=N)``) and asserts those
+digests match the sequential reference too — the gate behind
+``repro.core.parallel``.  ``--baseline`` compares the first order's
+digests against a saved snapshot (written by ``--dump``), catching
+semantic drift between revisions, not just between orders.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ def slug(analysis_name: str) -> str:
     return analysis_name.lower().replace(" ", "_")
 
 
-def compute_digests(order: str, seed: int) -> dict:
+def compute_digests(order: str, seed: int, parallel: int = 1) -> dict:
     digests = {}
     for subject_name, builder in paper_subjects():
         product_line = builder()
@@ -43,7 +47,7 @@ def compute_digests(order: str, seed: int) -> dict:
             results = SPLLift(
                 analysis_cls(product_line.icfg),
                 feature_model=product_line.feature_model,
-            ).solve(worklist_order=order, order_seed=seed)
+            ).solve(worklist_order=order, order_seed=seed, parallel=parallel)
             digests[f"{subject_name}/{slug(analysis_name)}"] = (
                 results.result_digest()
             )
@@ -61,6 +65,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=7, help="seed for the random order"
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also solve with the partitioned parallel solver "
+        "(N worker processes) and require identical digests",
     )
     parser.add_argument(
         "--baseline",
@@ -89,6 +101,29 @@ def main(argv=None) -> int:
         f"{len(args.orders)} orders ({', '.join(args.orders)}): "
         + ("all identical" if not failures else f"{failures} mismatches")
     )
+
+    if args.parallel is not None:
+        parallel_digests = compute_digests(
+            reference_order, args.seed, parallel=args.parallel
+        )
+        parallel_failures = 0
+        for key, digest in parallel_digests.items():
+            if digest != reference[key]:
+                parallel_failures += 1
+                print(
+                    f"PARALLEL MISMATCH {key}: "
+                    f"parallel={digest[:16]}… sequential={reference[key][:16]}…"
+                )
+        failures += parallel_failures
+        print(
+            f"{len(parallel_digests)} digests with solve(parallel="
+            f"{args.parallel}): "
+            + (
+                "all identical to sequential"
+                if not parallel_failures
+                else f"{parallel_failures} mismatches"
+            )
+        )
 
     if args.baseline:
         saved = json.load(open(args.baseline))

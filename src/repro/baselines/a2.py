@@ -20,7 +20,8 @@ with the plain IFDS tabulation solver, once per configuration.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Set, TypeVar
+import time
+from typing import Dict, Hashable, Set, Tuple, TypeVar
 
 from repro.constraints.base import ConfigurationLike, as_assignment
 from repro.core.icfg import LiftedICFG
@@ -30,7 +31,7 @@ from repro.ifds.solver import IFDSResults, IFDSSolver
 from repro.ir.instructions import Goto, Instruction, Return
 from repro.ir.program import IRMethod
 
-__all__ = ["A2Problem", "solve_a2"]
+__all__ = ["A2Problem", "solve_a2", "measure_a2"]
 
 D = TypeVar("D", bound=Hashable)
 
@@ -116,3 +117,19 @@ def solve_a2(
 ) -> IFDSResults[D]:
     """Solve one configuration with the A2 baseline; returns IFDS results."""
     return IFDSSolver(A2Problem(inner, configuration)).solve()
+
+
+def measure_a2(
+    inner: IFDSProblem[D], configuration: ConfigurationLike
+) -> Tuple[float, Dict[str, int]]:
+    """Time one A2 run; returns ``(seconds, solver_stats)``.
+
+    Module-level (not a closure) so the experiment harness can fan
+    configurations over :class:`repro.core.parallel.ProcessTaskPool`
+    worker processes — the campaign's unit of parallelism is one
+    configuration.
+    """
+    solver = IFDSSolver(A2Problem(inner, configuration))
+    started = time.perf_counter()
+    solver.solve()
+    return time.perf_counter() - started, dict(solver.stats)

@@ -75,6 +75,7 @@ def _findings(
     fm_mode: str,
     reorder: Optional[str] = None,
     worklist_order: Optional[str] = None,
+    parallel: Optional[int] = None,
 ) -> Tuple[List[Tuple[str, str, str]], SPLLiftResults]:
     icfg = product_line.icfg
     feature_model = product_line.feature_model if fm_mode != "ignore" else None
@@ -83,7 +84,7 @@ def _findings(
         spllift = SPLLift(
             analysis, feature_model=feature_model, fm_mode=fm_mode, reorder=reorder
         )
-        return spllift.solve(worklist_order=worklist_order)
+        return spllift.solve(worklist_order=worklist_order, parallel=parallel)
 
     if analysis_name == "taint":
         analysis = TaintAnalysis(icfg)
@@ -146,6 +147,7 @@ def _cmd_analyze(args) -> int:
         args.fm_mode,
         reorder=args.reorder,
         worklist_order=args.worklist_order,
+        parallel=args.parallel,
     )
     if not findings:
         print(f"{args.analysis}: no findings (in any valid product)")
@@ -267,6 +269,7 @@ def _cmd_cache(args) -> int:
         print(f"cache root: {stats['root']}")
         print(f"records:    {stats['records']}")
         print(f"bytes:      {stats['bytes']}")
+        print(f"corrupt:    {stats['corrupt']}")
         for kind, count in sorted(stats["kinds"].items()):
             print(f"  {kind}: {count}")
         return 0
@@ -335,6 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="solver worklist scheduling; the fixed point is "
         "order-independent (default: fifo, or $SPLLIFT_WORKLIST_ORDER)",
+    )
+    analyze.add_argument(
+        "--parallel",
+        "-j",
+        type=int,
+        default=None,
+        help="partition the solve by entry context over this many worker "
+        "processes (0 = all cores; default: $SPLLIFT_PARALLEL, else 1); "
+        "results are bit-identical to the sequential solve",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 

@@ -256,6 +256,7 @@ class LiftedProblem(IDEProblem[D, Constraint]):
             self.feature_model if fm_mode == "edge" else system.true
         )
         self._formula_cache: Dict[Formula, Constraint] = {}
+        self._declare_annotation_variables()
         self._inner_flow_cache: Dict[tuple, object] = {}
         self.edge_table = EdgeFunctionTable(system)
         self._true_edge = self.edge_table.edge(system.true & self._edge_label_fm)
@@ -272,6 +273,45 @@ class LiftedProblem(IDEProblem[D, Constraint]):
     # ------------------------------------------------------------------
     # Constraint helpers
     # ------------------------------------------------------------------
+
+    def _declare_annotation_variables(self) -> None:
+        """Declare every annotation variable up front, in program order.
+
+        The solver would otherwise declare variables lazily in worklist
+        order, which makes the BDD variable order — and therefore the
+        rendered constraint strings — depend on how the solve was
+        scheduled whenever a feature is missing from the feature model.
+        Declaring deterministically (feature model first, then
+        annotations in statement order, alphabetical within a formula)
+        is what lets a parallel solve's partitions, its parent, and the
+        sequential reference all render bit-identical constraints.
+        """
+        from collections import deque
+
+        icfg = self.icfg
+        # Entry-first breadth-first method order — the order the solver
+        # itself discovers code, so pre-declaration reproduces the
+        # variable order lazy declaration produced for default solves.
+        seen = set()
+        queue = deque(icfg.entry_points)
+        ordered = []
+        while queue:
+            method = queue.popleft()
+            if method in seen:
+                continue
+            seen.add(method)
+            ordered.append(method)
+            for stmt in method.instructions:
+                if icfg.is_call(stmt):
+                    queue.extend(icfg.callees_of(stmt))
+        ordered.extend(m for m in icfg.reachable_methods if m not in seen)
+        var = self.system.var
+        for method in ordered:
+            for stmt in method.instructions:
+                formula = stmt.annotation
+                if formula is not None:
+                    for name in sorted(formula.variables()):
+                        var(name)
 
     def constraint_of(self, stmt: Instruction) -> Constraint:
         """The statement's feature annotation as a constraint (``true`` if

@@ -1,0 +1,595 @@
+"""Parallel solve layer: process fan-out for campaigns and lifted solves.
+
+Two consumers share one engine:
+
+- :class:`ProcessTaskPool` — a generic fan-out of ``(callable, args)``
+  tasks over short-lived worker processes.  It is the
+  :class:`~repro.service.scheduler.BatchScheduler` machinery extracted
+  into a reusable form: one process per task attempt (SIGKILL-safe, no
+  ``BrokenProcessPool``), bounded crash retry, per-task timeout, and
+  graceful inline degradation when processes cannot be spawned.  The
+  wait loop blocks on :func:`multiprocessing.connection.wait` over the
+  result pipes *and* the process sentinels, with the timeout derived
+  from the nearest task deadline — no polling, no busy-wait.
+
+- :func:`solve_lifted_parallel` — per-entry-context parallelism for
+  ``SPLLift.solve(parallel=N)``.  Phase-I tabulation is independent per
+  seed ``(statement, fact)`` unit: the IDE solution over a seed set is
+  the join of the solutions over its singletons, because every value is
+  a join over paths and paths from distinct seeds never interact.  The
+  seeds are partitioned, each partition is solved in a forked worker,
+  and the per-partition values come back as (statement index, fact
+  codec, constraint ref) triples with the constraints shipped through
+  the canonical node-table codec of
+  :mod:`repro.constraints.serialize`.  The parent decodes into its own
+  constraint system and joins duplicates in deterministic submission
+  order, so ``result_digest()`` is bit-identical to a sequential solve.
+
+Workers are forked *after* the lifted problem is built, so they inherit
+the parent's instruction identities (the statement index is shared by
+construction) and its BDD variable order.  On platforms without fork,
+or when anything at all goes wrong in a partition, the caller falls
+back to the ordinary sequential solve — parallelism may only change
+speed, never results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import os
+import pickle
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.serialize import decode_constraints, encode_constraints
+from repro.ifds.problem import ZERO, ZeroFact
+from repro.ir.instructions import Instruction
+
+__all__ = [
+    "PARALLEL_ENV",
+    "resolve_parallel",
+    "TaskOutcome",
+    "ProcessTaskPool",
+    "solve_lifted_parallel",
+]
+
+#: Environment default for every ``parallel=None`` entry point
+#: (``SPLLift.solve``, the experiment runners, the CLI).
+PARALLEL_ENV = "SPLLIFT_PARALLEL"
+
+#: Set in worker processes: gates the service's fault-injection hooks and
+#: pins nested parallelism to 1 (a forked worker must not fork a pool of
+#: its own).
+_WORKER_ENV = "SPLLIFT_WORKER"
+
+#: TaskOutcome.status values.
+COMPUTED, FAILED = "computed", "failed"
+
+
+def resolve_parallel(parallel: Optional[int] = None) -> int:
+    """Resolve a ``parallel=`` argument to a worker count.
+
+    ``None`` falls back to ``$SPLLIFT_PARALLEL`` (unset/empty means 1 —
+    sequential); ``0`` or negative means "one worker per CPU".
+    """
+    if parallel is None:
+        raw = os.environ.get(PARALLEL_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            parallel = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${PARALLEL_ENV} must be an integer, got {raw!r}"
+            ) from None
+    parallel = int(parallel)
+    if parallel <= 0:
+        return max(1, os.cpu_count() or 1)
+    return parallel
+
+
+# ======================================================================
+# Generic process-pool engine
+# ======================================================================
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """What happened to one task of a :meth:`ProcessTaskPool.run` batch."""
+
+    index: int
+    status: str  # computed | failed
+    attempts: int = 1
+    seconds: float = 0.0
+    result: object = None
+    error: Optional[str] = None
+    executor: str = "pool"  # pool | inline
+
+    @property
+    def ok(self) -> bool:
+        return self.status == COMPUTED
+
+
+def _pool_context():
+    """The multiprocessing context pool workers run under.
+
+    Module-level so tests can monkeypatch it to raise, forcing the
+    inline-degradation path deterministically.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _child_main(target, args, connection) -> None:
+    """Worker-process entry: run the task, ship the outcome back.
+
+    Sends ``("ok", result)`` or ``("error", message)``; a worker that
+    dies without sending anything is classified as a crash (and
+    retried).  Marks the process as a worker so fault-injection hooks
+    arm and nested ``parallel=None`` resolution stays sequential.
+    """
+    os.environ[_WORKER_ENV] = "1"
+    os.environ[PARALLEL_ENV] = "1"
+    try:
+        result = target(*args)
+    except BaseException as error:  # noqa: BLE001 — ship, don't swallow
+        try:
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            connection.close()
+        return
+    try:
+        connection.send(("ok", result))
+    except Exception as error:  # unpicklable result: report, don't crash
+        connection.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        connection.close()
+
+
+class ProcessTaskPool:
+    """Run ``(callable, args)`` tasks in per-task worker processes.
+
+    Semantics (shared with — and now backing — the batch scheduler):
+
+    - **crash → bounded retry** — a worker that dies without reporting
+      is re-queued up to ``max_retries`` times, then failed with a
+      ``worker crashed`` error;
+    - **error → terminal** — a worker that *reports* an exception failed
+      deterministically and is not retried;
+    - **timeout → terminal** — a task attempt exceeding ``task_timeout``
+      seconds is terminated and failed;
+    - **inline degradation** — tasks that cannot run in a process at all
+      (no usable start method, fork failure with an empty pool,
+      unpicklable arguments under spawn) run in-process instead, with
+      per-task exception isolation.
+
+    Results come back in submission order regardless of completion
+    order.  ``peak_workers`` records the highest number of concurrently
+    live workers, i.e. the parallelism actually achieved.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        use_pool: bool = True,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.use_pool = use_pool
+        self.peak_workers = 0
+
+    def run(self, tasks: Sequence[Tuple[object, tuple]]) -> List[TaskOutcome]:
+        """Execute all tasks; outcomes in submission order."""
+        tasks = list(tasks)
+        outcomes: Dict[int, TaskOutcome] = {}
+        self.peak_workers = 0
+        if tasks and self.use_pool:
+            self._run_pool(tasks, outcomes)
+        for index, (target, args) in enumerate(tasks):
+            if index not in outcomes:
+                outcomes[index] = self._run_inline(index, target, args)
+        return [outcomes[index] for index in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, index: int, target, args) -> TaskOutcome:
+        t0 = time.perf_counter()
+        try:
+            result = target(*args)
+        except Exception as error:  # noqa: BLE001 — per-task isolation
+            return TaskOutcome(
+                index=index,
+                status=FAILED,
+                seconds=time.perf_counter() - t0,
+                error=f"{type(error).__name__}: {error}",
+                executor="inline",
+            )
+        return TaskOutcome(
+            index=index,
+            status=COMPUTED,
+            seconds=time.perf_counter() - t0,
+            result=result,
+            executor="inline",
+        )
+
+    def _run_pool(self, tasks, outcomes: Dict[int, TaskOutcome]) -> bool:
+        """Fan tasks over worker processes; ``False`` means no process
+        could be started at all (every unsettled task degrades inline)."""
+        try:
+            context = _pool_context()
+        except Exception:  # noqa: BLE001 — any context failure degrades
+            return False
+        from multiprocessing.connection import wait as wait_ready
+
+        pending: Deque[Tuple[int, object, tuple, int]] = deque(
+            (index, target, args, 1)
+            for index, (target, args) in enumerate(tasks)
+        )
+        # process -> (index, target, args, attempt, connection, start time)
+        running: Dict[object, Tuple[int, object, tuple, int, object, float]] = {}
+
+        try:
+            while pending or running:
+                while pending and len(running) < self.max_workers:
+                    index, target, args, attempt = pending.popleft()
+                    parent, child = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_child_main,
+                        args=(target, args, child),
+                        daemon=True,
+                    )
+                    try:
+                        process.start()
+                    except (
+                        OSError,
+                        ValueError,
+                        TypeError,
+                        AttributeError,
+                        pickle.PicklingError,
+                    ):
+                        # OSError: resource exhaustion; the rest: spawn
+                        # contexts pickling unpicklable targets/arguments.
+                        parent.close()
+                        child.close()
+                        if running:
+                            # Let in-flight workers drain, then retry.
+                            pending.appendleft((index, target, args, attempt))
+                            break
+                        return False
+                    child.close()
+                    running[process] = (
+                        index,
+                        target,
+                        args,
+                        attempt,
+                        parent,
+                        time.perf_counter(),
+                    )
+                    if len(running) > self.peak_workers:
+                        self.peak_workers = len(running)
+                if not running:
+                    continue
+
+                # Block until a result arrives or a worker dies; with a
+                # timeout configured, wake at the nearest task deadline
+                # (plus a hair, so `elapsed > timeout` is decisive).
+                timeout = None
+                if self.task_timeout is not None:
+                    nearest = min(entry[5] for entry in running.values())
+                    timeout = (
+                        max(0.0, nearest + self.task_timeout - time.perf_counter())
+                        + 0.01
+                    )
+                waitables: List[object] = []
+                for process, entry in running.items():
+                    waitables.append(entry[4])
+                    waitables.append(process.sentinel)
+                ready = set(wait_ready(waitables, timeout))
+
+                finished = []
+                for process, (
+                    index,
+                    target,
+                    args,
+                    attempt,
+                    conn,
+                    t0,
+                ) in running.items():
+                    elapsed = time.perf_counter() - t0
+                    if conn in ready or conn.poll(0):
+                        status, payload = None, None
+                        try:
+                            status, payload = conn.recv()
+                        except (EOFError, OSError):
+                            pass
+                        process.join(timeout=5.0)
+                        if process.is_alive():
+                            process.terminate()
+                            process.join()
+                        if status == "ok":
+                            outcomes[index] = TaskOutcome(
+                                index=index,
+                                status=COMPUTED,
+                                attempts=attempt,
+                                seconds=elapsed,
+                                result=payload,
+                            )
+                        elif status == "error":
+                            outcomes[index] = TaskOutcome(
+                                index=index,
+                                status=FAILED,
+                                attempts=attempt,
+                                seconds=elapsed,
+                                error=str(payload),
+                            )
+                        else:  # EOF without a message: a crash
+                            self._crash(
+                                pending, outcomes, index, target, args,
+                                attempt, process, elapsed,
+                            )
+                    elif process.sentinel in ready or not process.is_alive():
+                        process.join()
+                        self._crash(
+                            pending, outcomes, index, target, args,
+                            attempt, process, elapsed,
+                        )
+                    elif (
+                        self.task_timeout is not None
+                        and elapsed > self.task_timeout
+                    ):
+                        process.terminate()
+                        process.join()
+                        outcomes[index] = TaskOutcome(
+                            index=index,
+                            status=FAILED,
+                            attempts=attempt,
+                            seconds=elapsed,
+                            error=f"timed out after {self.task_timeout:g}s "
+                            f"(attempt {attempt})",
+                        )
+                    else:
+                        continue
+                    finished.append(process)
+                for process in finished:
+                    entry = running.pop(process)
+                    entry[4].close()
+        finally:
+            for process, entry in running.items():
+                process.terminate()
+                process.join()
+                entry[4].close()
+        return True
+
+    def _crash(
+        self, pending, outcomes, index, target, args, attempt, process, elapsed
+    ) -> None:
+        """A worker died without reporting: retry or fail the task."""
+        if attempt <= self.max_retries:
+            pending.append((index, target, args, attempt + 1))
+            return
+        outcomes[index] = TaskOutcome(
+            index=index,
+            status=FAILED,
+            attempts=attempt,
+            seconds=elapsed,
+            error=f"worker crashed (exit code {process.exitcode}) "
+            f"after {attempt} attempt(s)",
+        )
+
+
+# ======================================================================
+# Per-entry-context parallel lifted solve
+# ======================================================================
+
+
+class ParallelSolveError(ValueError):
+    """A value that cannot cross the worker boundary."""
+
+
+def _encode_value(value, stmt_index: Dict[Instruction, int]):
+    """Encode a fact (or fact component) as plain, picklable data.
+
+    Facts are arbitrary hashable objects; the codec covers the shapes
+    the bundled analyses use — primitives, the 0-fact, instructions (by
+    shared index), tuples/frozensets, and ``__slots__``/dataclass value
+    objects reconstructed from their public fields.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return ("p", value)
+    if isinstance(value, ZeroFact):
+        return ("z",)
+    if isinstance(value, Instruction):
+        return ("s", stmt_index[value])
+    if isinstance(value, tuple):
+        return ("t", tuple(_encode_value(item, stmt_index) for item in value))
+    if isinstance(value, frozenset):
+        items = sorted(
+            (_encode_value(item, stmt_index) for item in value), key=repr
+        )
+        return ("f", tuple(items))
+    cls = type(value)
+    if dataclasses.is_dataclass(value):
+        args = [getattr(value, f.name) for f in dataclasses.fields(value)]
+    elif getattr(cls, "__slots__", None) is not None:
+        args = [
+            getattr(value, name)
+            for name in cls.__slots__
+            if not name.startswith("_")
+        ]
+    else:
+        raise ParallelSolveError(f"cannot serialize fact {value!r}")
+    return (
+        "o",
+        cls.__module__,
+        cls.__qualname__,
+        tuple(_encode_value(arg, stmt_index) for arg in args),
+    )
+
+
+def _decode_value(payload, stmts: Sequence[Instruction]):
+    tag = payload[0]
+    if tag == "p":
+        return payload[1]
+    if tag == "z":
+        return ZERO
+    if tag == "s":
+        return stmts[payload[1]]
+    if tag == "t":
+        return tuple(_decode_value(item, stmts) for item in payload[1])
+    if tag == "f":
+        return frozenset(_decode_value(item, stmts) for item in payload[1])
+    if tag == "o":
+        target = importlib.import_module(payload[1])
+        for part in payload[2].split("."):
+            target = getattr(target, part)
+        return target(*(_decode_value(arg, stmts) for arg in payload[3]))
+    raise ParallelSolveError(f"unknown fact payload tag {tag!r}")
+
+
+class _SeedSubsetProblem:
+    """A lifted problem restricted to a subset of its seed units.
+
+    Everything except the seeds delegates to the wrapped problem, so a
+    partition's solver sees the full program — it just starts fewer
+    tabulation contexts.
+    """
+
+    def __init__(self, problem, units) -> None:
+        self._problem = problem
+        self._units = units
+
+    def __getattr__(self, name):
+        return getattr(self._problem, name)
+
+    def initial_seeds(self):
+        seeds: Dict[Instruction, set] = {}
+        for stmt, fact in self._units:
+            seeds.setdefault(stmt, set()).add(fact)
+        return seeds
+
+    def initial_seed_values(self):
+        full = self._problem.initial_seed_values()
+        return {
+            stmt: {fact: full[stmt][fact] for fact in facts}
+            for stmt, facts in self.initial_seeds().items()
+        }
+
+
+def _seed_units(problem) -> List[Tuple[Instruction, object]]:
+    """The independent tabulation contexts: one (statement, fact) seed
+    unit each, in deterministic seed order."""
+    units = []
+    for stmt, facts in problem.initial_seeds().items():
+        for fact in sorted(facts, key=repr):
+            units.append((stmt, fact))
+    return units
+
+
+def _solve_partition_task(
+    problem, units, worklist_order, order_seed, stmt_index
+) -> Dict[str, object]:
+    """Worker body: solve one seed partition, return encoded values."""
+    from repro.ide.solver import IDESolver
+
+    solver = IDESolver(
+        _SeedSubsetProblem(problem, units),
+        worklist_order=worklist_order,
+        order_seed=order_seed,
+    )
+    ide_results = solver.solve()
+    entries = []
+    constraints: List[object] = []
+    constraint_ref: Dict[object, int] = {}
+    for (stmt, fact), value in ide_results.items():
+        ref = constraint_ref.get(value)
+        if ref is None:
+            ref = constraint_ref[value] = len(constraints)
+            constraints.append(value)
+        entries.append((stmt_index[stmt], _encode_value(fact, stmt_index), ref))
+    return {
+        "entries": entries,
+        "constraints": encode_constraints(problem.system, constraints),
+        "stats": dict(solver.stats),
+    }
+
+
+def solve_lifted_parallel(
+    spllift,
+    worklist_order: Optional[str] = None,
+    order_seed: int = 0,
+    workers: int = 2,
+):
+    """Solve ``spllift.problem`` across ``workers`` processes.
+
+    Returns ``(IDEResults, stats)`` on success, or ``None`` when the
+    solve cannot be partitioned (fewer than two seed units) or any
+    partition failed — the caller then runs the sequential solve.
+    """
+    problem = spllift.problem
+    system = spllift.system
+    units = _seed_units(problem)
+    if len(units) < 2:
+        return None
+    partition_count = min(workers, len(units))
+    partitions: List[List[Tuple[Instruction, object]]] = [
+        [] for _ in range(partition_count)
+    ]
+    for position, unit in enumerate(units):
+        partitions[position % partition_count].append(unit)
+
+    stmts = tuple(problem.icfg.reachable_instructions())
+    stmt_index = {stmt: position for position, stmt in enumerate(stmts)}
+
+    pool = ProcessTaskPool(max_workers=workers, max_retries=0)
+    try:
+        results = pool.run(
+            [
+                (
+                    _solve_partition_task,
+                    (problem, partition, worklist_order, order_seed, stmt_index),
+                )
+                for partition in partitions
+            ]
+        )
+    except ParallelSolveError:
+        return None
+    if any(not outcome.ok for outcome in results):
+        return None
+
+    # Deterministic merge: partitions in submission order, entries in
+    # each partition's (deterministic) solve order, duplicates joined.
+    values: Dict[Tuple[Instruction, object], object] = {}
+    merged_stats: Dict[str, object] = {}
+    for outcome in results:
+        payload = outcome.result
+        decoded = decode_constraints(system, payload["constraints"])
+        for stmt_ref, fact_payload, ref in payload["entries"]:
+            key = (stmts[stmt_ref], _decode_value(fact_payload, stmts))
+            old = values.get(key)
+            value = decoded[ref]
+            values[key] = value if old is None else (old | value)
+        for name, count in payload["stats"].items():
+            if isinstance(count, bool) or not isinstance(count, int):
+                continue
+            merged_stats[name] = merged_stats.get(name, 0) + count
+    merged_stats["worklist_order"] = results[0].result["stats"].get(
+        "worklist_order"
+    )
+    merged_stats["parallel_workers"] = max(1, pool.peak_workers)
+    merged_stats["parallel_partitions"] = partition_count
+
+    from repro.ide.solver import IDEResults
+
+    return (
+        IDEResults(values, problem.top_value(), problem.zero),
+        merged_stats,
+    )

@@ -192,14 +192,44 @@ class SPLLift(Generic[D]):
         self.analysis = analysis
 
     def solve(
-        self, worklist_order: Optional[str] = None, order_seed: int = 0
+        self,
+        worklist_order: Optional[str] = None,
+        order_seed: int = 0,
+        parallel: Optional[int] = None,
     ) -> SPLLiftResults[D]:
         """Run the IDE solver on the lifted problem (one single pass).
 
         ``worklist_order``/``order_seed`` select the phase-I iteration
         order (see :class:`IDESolver`); the fixed point — and therefore
         the result digest — is order-independent.
+
+        ``parallel`` (default ``$SPLLIFT_PARALLEL``, else 1) partitions
+        phase-I tabulation by entry context across worker processes and
+        joins the partial solutions deterministically; results are
+        bit-identical to the sequential solve, which also serves as the
+        fallback whenever the solve cannot be partitioned (see
+        :mod:`repro.core.parallel`).
         """
+        from repro.core.parallel import resolve_parallel, solve_lifted_parallel
+
+        workers = resolve_parallel(parallel)
+        started = time.perf_counter()
+        if workers > 1:
+            merged = solve_lifted_parallel(
+                self,
+                worklist_order=worklist_order,
+                order_seed=order_seed,
+                workers=workers,
+            )
+            if merged is not None:
+                ide_results, stats = merged
+                return SPLLiftResults(
+                    ide_results,
+                    self.system,
+                    self.feature_model,
+                    stats,
+                    time.perf_counter() - started,
+                )
         solver = IDESolver(
             self.problem, worklist_order=worklist_order, order_seed=order_seed
         )

@@ -49,6 +49,15 @@ def main(argv=None) -> int:
         help="route SPLLIFT runs through the analysis service's result "
         "store at this path (warm hits skip the solver)",
     )
+    parser.add_argument(
+        "--parallel",
+        "-j",
+        type=int,
+        default=None,
+        help="fan independent table2/table3 cells over this many worker "
+        "processes (0 = all cores; default: $SPLLIFT_PARALLEL, else 1); "
+        "results are bit-identical to a sequential campaign",
+    )
     args = parser.parse_args(argv)
 
     store = None
@@ -61,10 +70,16 @@ def main(argv=None) -> int:
         print(render_table1(run_table1()))
         print()
     if args.experiment in ("table2", "all"):
-        print(render_table2(run_table2(cutoff_seconds=args.cutoff, store=store)))
+        print(
+            render_table2(
+                run_table2(
+                    cutoff_seconds=args.cutoff, store=store, parallel=args.parallel
+                )
+            )
+        )
         print()
     if args.experiment in ("table3", "all"):
-        print(render_table3(run_table3(store=store)))
+        print(render_table3(run_table3(store=store, parallel=args.parallel)))
         print()
     if args.experiment in ("qualitative", "all"):
         print(render_qualitative(run_qualitative()))

@@ -13,14 +13,15 @@ Implements the paper's measurement protocol (Section 6.2):
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
 
-from repro.baselines.a2 import A2Problem
+from repro.baselines.a2 import measure_a2
+from repro.core.parallel import ProcessTaskPool, resolve_parallel
 from repro.core.solver import SPLLift, SPLLiftResults
 from repro.ifds.problem import IFDSProblem
-from repro.ifds.solver import IFDSSolver
 from repro.ir.icfg import ICFG
 from repro.spl.product_line import ProductLine
 
@@ -133,21 +134,65 @@ class A2Campaign:
         return self.per_configuration_seconds
 
 
+def _enumerate_a2_parallel(
+    analysis: IFDSProblem,
+    configurations: Iterable[frozenset],
+    cutoff_seconds: float,
+    workers: int,
+) -> Tuple[float, int]:
+    """Fan A2 configuration runs over worker processes, in waves.
+
+    Times are accumulated in *submission* order and the cutoff is applied
+    to that prefix, so the campaign stops after the same configurations
+    (and reports the same ``configurations_run``) as the sequential loop;
+    only the wall-clock changes.  A configuration whose worker fails for
+    any reason is simply re-run in the parent — A2 is deterministic, so
+    results cannot differ.  Returns ``(measured_total, runs)``.
+    """
+    pool = ProcessTaskPool(max_workers=workers, max_retries=1)
+    config_iter = iter(configurations)
+    total = 0.0
+    runs = 0
+    while True:
+        wave = list(itertools.islice(config_iter, workers * 2))
+        if not wave:
+            break
+        outcomes = pool.run(
+            [(measure_a2, (analysis, configuration)) for configuration in wave]
+        )
+        for configuration, outcome in zip(wave, outcomes):
+            if outcome.ok:
+                seconds, _ = outcome.result
+            else:
+                seconds, _ = measure_a2(analysis, configuration)
+            total += seconds
+            runs += 1
+            if total > cutoff_seconds:
+                return total, runs
+    return total, runs
+
+
 def run_a2_campaign(
     product_line: ProductLine,
     analysis_class: Type[IFDSProblem],
     cutoff_seconds: float = 60.0,
+    parallel: Optional[int] = None,
 ) -> A2Campaign:
-    """Run A2 over all valid configurations, with cutoff + estimation."""
+    """Run A2 over all valid configurations, with cutoff + estimation.
+
+    ``parallel`` (default ``$SPLLIFT_PARALLEL``, else 1) fans the
+    configuration enumeration over worker processes; the estimation
+    anchors always run in the parent, and the cutoff is applied to the
+    submission-order prefix so the campaign's accounting is identical to
+    the sequential protocol.
+    """
+    workers = resolve_parallel(parallel)
     analysis = analysis_class(product_line.icfg)
     valid_count = product_line.count_valid_configurations()
     reachable = product_line.features_reachable
 
     def run_one(configuration) -> Tuple[float, Dict[str, int]]:
-        solver = IFDSSolver(A2Problem(analysis, configuration))
-        started = time.perf_counter()
-        solver.solve()
-        return time.perf_counter() - started, dict(solver.stats)
+        return measure_a2(analysis, configuration)
 
     # The paper's estimation anchors: all features on, all features off.
     full_seconds, stats_full = run_one(frozenset(reachable))
@@ -165,14 +210,19 @@ def run_a2_campaign(
             stats_full=stats_full,
         )
 
-    total = 0.0
-    runs = 0
-    for configuration in product_line.valid_configurations():
-        seconds, _ = run_one(configuration)
-        total += seconds
-        runs += 1
-        if total > cutoff_seconds:
-            break
+    if workers > 1:
+        total, runs = _enumerate_a2_parallel(
+            analysis, product_line.valid_configurations(), cutoff_seconds, workers
+        )
+    else:
+        total = 0.0
+        runs = 0
+        for configuration in product_line.valid_configurations():
+            seconds, _ = run_one(configuration)
+            total += seconds
+            runs += 1
+            if total > cutoff_seconds:
+                break
     if runs == valid_count:
         return A2Campaign(
             configurations_run=runs,

@@ -17,8 +17,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.analyses import PAPER_ANALYSES
+from repro.core.parallel import ProcessTaskPool, resolve_parallel
 from repro.experiments.harness import (
     A2Campaign,
+    _service_name_for,
     measure_call_graph,
     run_a2_campaign,
     run_spllift_cached,
@@ -53,20 +55,66 @@ class Table2Row:
     cells: List[Table2Cell] = field(default_factory=list)
 
 
+def _table2_cell_task(
+    product_line: ProductLine,
+    analysis_class: Type[IFDSProblem],
+    cutoff_seconds: float,
+    need_spllift: bool,
+) -> Tuple[Optional[float], Optional[Dict[str, object]], A2Campaign]:
+    """One Table 2 cell, runnable in a worker process.
+
+    Returns ``(spllift_seconds, spllift_record, a2_campaign)``; the first
+    two are ``None`` when the parent already holds a store hit for the
+    SPLLIFT half (``need_spllift=False``), in which case only the A2
+    campaign runs here.
+    """
+    seconds: Optional[float] = None
+    record: Optional[Dict[str, object]] = None
+    if need_spllift:
+        seconds, record, _ = run_spllift_cached(product_line, analysis_class)
+    campaign = run_a2_campaign(
+        product_line, analysis_class, cutoff_seconds=cutoff_seconds
+    )
+    return seconds, record, campaign
+
+
+def _store_hit(product_line: ProductLine, analysis_class, store, fm_mode="edge"):
+    """The stored SPLLIFT record for this cell, or ``None``."""
+    if store is None:
+        return None
+    from repro.service import AnalysisJob
+
+    job = AnalysisJob.from_product_line(
+        product_line, _service_name_for(analysis_class), fm_mode=fm_mode
+    )
+    return store.get(job.digest)
+
+
 def run_table2(
     subjects: Sequence[Tuple[str, Callable[[], ProductLine]]] = None,
     analyses: Sequence[Tuple[str, Type[IFDSProblem]]] = PAPER_ANALYSES,
     cutoff_seconds: float = 60.0,
     store=None,
+    parallel: Optional[int] = None,
 ) -> List[Table2Row]:
     """Run the full Table 2 campaign (SPLLIFT and A2 per subject/analysis).
 
     With ``store`` (a :class:`~repro.service.ResultStore`), SPLLIFT runs
     are served through the analysis service's result store: warm hits
     skip the solver and report the recorded cold-run timing.
+
+    ``parallel`` (default ``$SPLLIFT_PARALLEL``, else 1) fans the
+    independent subject × analysis cells over worker processes; rows are
+    assembled in submission order and cold SPLLIFT records are persisted
+    by the parent, so the rendered table and every stored result digest
+    are identical to a sequential campaign.
     """
     subjects = subjects if subjects is not None else paper_subjects()
-    rows: List[Table2Row] = []
+    workers = resolve_parallel(parallel)
+
+    # Shared prerequisites stay in the parent: subjects are built (and
+    # their call-graph time measured) once, store hits are served here.
+    prepared = []  # (row, product_line)
     for name, builder in subjects:
         product_line = builder()
         row = Table2Row(
@@ -74,22 +122,49 @@ def run_table2(
             valid_configurations=product_line.count_valid_configurations(),
             call_graph_seconds=measure_call_graph(product_line),
         )
+        prepared.append((row, product_line))
+
+    cells = []  # (row, product_line, analysis_name, analysis_class, hit)
+    for row, product_line in prepared:
         for analysis_name, analysis_class in analyses:
-            spllift_seconds, _, _ = run_spllift_cached(
-                product_line, analysis_class, store=store
+            hit = _store_hit(product_line, analysis_class, store)
+            cells.append((row, product_line, analysis_name, analysis_class, hit))
+
+    outcomes: List[Optional[Tuple]] = [None] * len(cells)
+    if workers > 1 and len(cells) > 1:
+        pool = ProcessTaskPool(max_workers=workers, max_retries=1)
+        tasks = [
+            (
+                _table2_cell_task,
+                (product_line, analysis_class, cutoff_seconds, hit is None),
             )
-            campaign = run_a2_campaign(
-                product_line, analysis_class, cutoff_seconds=cutoff_seconds
+            for _, product_line, _, analysis_class, hit in cells
+        ]
+        for index, task in enumerate(pool.run(tasks)):
+            if task.ok:
+                outcomes[index] = task.result
+
+    for index, (row, product_line, analysis_name, analysis_class, hit) in enumerate(
+        cells
+    ):
+        outcome = outcomes[index]
+        if outcome is None:  # sequential, or this cell's worker failed
+            outcome = _table2_cell_task(
+                product_line, analysis_class, cutoff_seconds, hit is None
             )
-            row.cells.append(
-                Table2Cell(
-                    analysis=analysis_name,
-                    spllift_seconds=spllift_seconds,
-                    a2=campaign,
-                )
+        spllift_seconds, record, campaign = outcome
+        if hit is not None:
+            spllift_seconds = float(hit["solve_seconds"])
+        elif record is not None and store is not None:
+            store.put(record)
+        row.cells.append(
+            Table2Cell(
+                analysis=analysis_name,
+                spllift_seconds=spllift_seconds,
+                a2=campaign,
             )
-        rows.append(row)
-    return rows
+        )
+    return [row for row, _ in prepared]
 
 
 def _a2_cell(campaign: A2Campaign) -> str:

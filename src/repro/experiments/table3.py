@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.analyses import PAPER_ANALYSES
 from repro.baselines.a2 import A2Problem
+from repro.core.parallel import ProcessTaskPool, resolve_parallel
 from repro.experiments.harness import run_spllift_cached
+from repro.experiments.table2 import _store_hit
 from repro.ifds.problem import IFDSProblem
 from repro.ifds.solver import IFDSSolver
 from repro.spl.benchmarks import paper_subjects
@@ -63,39 +65,109 @@ def _a2_average(
     return total / len(configurations)
 
 
+def _table3_cell_task(
+    product_line: ProductLine,
+    analysis_class: Type[IFDSProblem],
+    need_regarded: bool,
+    need_ignored: bool,
+) -> Tuple[
+    Optional[float],
+    Optional[Dict[str, object]],
+    Optional[float],
+    Optional[Dict[str, object]],
+    float,
+]:
+    """One Table 3 cell, runnable in a worker process.
+
+    Returns ``(regarded_seconds, regarded_record, ignored_seconds,
+    ignored_record, a2_average)``; halves the parent already holds store
+    hits for come back as ``None``.
+    """
+    regarded = regarded_record = None
+    ignored = ignored_record = None
+    if need_regarded:
+        regarded, regarded_record, _ = run_spllift_cached(
+            product_line, analysis_class, fm_mode="edge"
+        )
+    if need_ignored:
+        ignored, ignored_record, _ = run_spllift_cached(
+            product_line, analysis_class, fm_mode="ignore"
+        )
+    average = _a2_average(product_line, analysis_class)
+    return regarded, regarded_record, ignored, ignored_record, average
+
+
 def run_table3(
     subjects: Sequence[Tuple[str, Callable[[], ProductLine]]] = None,
     analyses: Sequence[Tuple[str, Type[IFDSProblem]]] = PAPER_ANALYSES,
     store=None,
+    parallel: Optional[int] = None,
 ) -> List[Table3Row]:
     """Measure feature-model regarded vs ignored vs A2-average.
 
     ``store`` routes SPLLIFT runs through the analysis service's result
-    store (warm hits report the recorded cold-run timing).
+    store (warm hits report the recorded cold-run timing).  ``parallel``
+    (default ``$SPLLIFT_PARALLEL``, else 1) fans the independent cells
+    over worker processes with submission-order assembly, exactly as
+    :func:`repro.experiments.table2.run_table2`.
     """
     subjects = subjects if subjects is not None else paper_subjects()
-    rows: List[Table3Row] = []
+    workers = resolve_parallel(parallel)
+
+    prepared = []  # (row, product_line)
     for name, builder in subjects:
-        product_line = builder()
-        row = Table3Row(benchmark=name)
+        prepared.append((Table3Row(benchmark=name), builder()))
+
+    cells = []  # (row, product_line, analysis_name, analysis_class, hits)
+    for row, product_line in prepared:
         for analysis_name, analysis_class in analyses:
-            regarded, _, _ = run_spllift_cached(
-                product_line, analysis_class, fm_mode="edge", store=store
+            hits = (
+                _store_hit(product_line, analysis_class, store, fm_mode="edge"),
+                _store_hit(product_line, analysis_class, store, fm_mode="ignore"),
             )
-            ignored, _, _ = run_spllift_cached(
-                product_line, analysis_class, fm_mode="ignore", store=store
+            cells.append((row, product_line, analysis_name, analysis_class, hits))
+
+    outcomes: List[Optional[Tuple]] = [None] * len(cells)
+    if workers > 1 and len(cells) > 1:
+        pool = ProcessTaskPool(max_workers=workers, max_retries=1)
+        tasks = [
+            (
+                _table3_cell_task,
+                (product_line, analysis_class, hits[0] is None, hits[1] is None),
             )
-            average = _a2_average(product_line, analysis_class)
-            row.cells.append(
-                Table3Cell(
-                    analysis=analysis_name,
-                    regarded_seconds=regarded,
-                    ignored_seconds=ignored,
-                    a2_average_seconds=average,
-                )
+            for _, product_line, _, analysis_class, hits in cells
+        ]
+        for index, task in enumerate(pool.run(tasks)):
+            if task.ok:
+                outcomes[index] = task.result
+
+    for index, (row, product_line, analysis_name, analysis_class, hits) in enumerate(
+        cells
+    ):
+        outcome = outcomes[index]
+        if outcome is None:  # sequential, or this cell's worker failed
+            outcome = _table3_cell_task(
+                product_line, analysis_class, hits[0] is None, hits[1] is None
             )
-        rows.append(row)
-    return rows
+        regarded, regarded_record, ignored, ignored_record, average = outcome
+        regarded_hit, ignored_hit = hits
+        if regarded_hit is not None:
+            regarded = float(regarded_hit["solve_seconds"])
+        elif regarded_record is not None and store is not None:
+            store.put(regarded_record)
+        if ignored_hit is not None:
+            ignored = float(ignored_hit["solve_seconds"])
+        elif ignored_record is not None and store is not None:
+            store.put(ignored_record)
+        row.cells.append(
+            Table3Cell(
+                analysis=analysis_name,
+                regarded_seconds=regarded,
+                ignored_seconds=ignored,
+                a2_average_seconds=average,
+            )
+        )
+    return [row for row, _ in prepared]
 
 
 def render_table3(rows: List[Table3Row]) -> str:

@@ -201,6 +201,10 @@ class IDESolver(Generic[D, V]):
             "join_cache_hits": 0,
             "join_cache_misses": 0,
             "interned_edges": 0,
+            # Overridden by the parallel solve layer; a plain sequential
+            # solve is one partition on one worker.
+            "parallel_workers": 1,
+            "parallel_partitions": 1,
         }
         # Two-level jump index: target stmt -> d1 -> d2 -> jump function.
         # The nesting lets phase II enumerate exactly the pairs whose source

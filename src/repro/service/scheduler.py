@@ -3,9 +3,9 @@
 The scheduler is deliberately not a ``ProcessPoolExecutor``: a pool
 worker killed mid-job (OOM killer, segfault in a native extension, the
 fault-injection tests) takes a ``concurrent.futures`` pool down with a
-``BrokenProcessPool`` for *every* in-flight job.  Here each job runs in
-its own short-lived :class:`multiprocessing.Process` talking back over a
-pipe, so one crash costs one attempt of one job:
+``BrokenProcessPool`` for *every* in-flight job.  The per-job-process
+machinery lives in :class:`repro.core.parallel.ProcessTaskPool` (shared
+with the parallel solve layer); this module adds the job semantics:
 
 - **store first** — jobs whose digest is already in the result store are
   served without touching a worker (the warm path);
@@ -20,26 +20,31 @@ pipe, so one crash costs one attempt of one job:
 - **graceful degradation** — if worker processes cannot be spawned at
   all (restricted environments), the batch falls back to in-process
   execution with identical results.
+
+The pool blocks on ``multiprocessing.connection.wait`` over result pipes
+and process sentinels (timeout derived from the nearest job deadline),
+so an idle scheduler burns no CPU.  :attr:`BatchReport.workers` reports
+the parallelism *actually achieved* — 1 when every cold job degraded to
+inline execution, 0 when the whole batch was served from the store —
+and :meth:`BatchReport.describe` carries a per-executor breakdown.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.parallel import ProcessTaskPool
 from repro.service.jobs import AnalysisJob
 from repro.service.store import ResultStore
-from repro.service.worker import execute_job, worker_main
+from repro.service.worker import execute_job
 
 __all__ = ["JobOutcome", "BatchReport", "BatchScheduler", "run_batch"]
 
 #: Outcome.status values.
 CACHED, COMPUTED, FAILED = "cached", "computed", "failed"
-
-_POLL_SECONDS = 0.005
 
 
 @dataclass
@@ -86,7 +91,13 @@ class JobOutcome:
 
 @dataclass
 class BatchReport:
-    """Outcome of a whole batch, in submission order."""
+    """Outcome of a whole batch, in submission order.
+
+    ``workers`` is the number of worker processes that actually ran
+    concurrently at the batch's peak — not the configured maximum.  An
+    all-cached batch used none; a batch degraded to inline execution
+    used the calling process only.
+    """
 
     outcomes: List[JobOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -108,6 +119,14 @@ class BatchReport:
     def ok(self) -> bool:
         return self.failed == 0
 
+    @property
+    def executors(self) -> Dict[str, int]:
+        """How many jobs each executor kind handled (store/pool/inline)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.executor] = counts.get(outcome.executor, 0) + 1
+        return counts
+
     def describe(self) -> Dict[str, object]:
         return {
             "schema": "spllift-batch-report/v1",
@@ -117,6 +136,7 @@ class BatchReport:
             "failed": self.failed,
             "wall_seconds": round(self.wall_seconds, 6),
             "workers": self.workers,
+            "executors": self.executors,
         }
 
 
@@ -156,208 +176,51 @@ class BatchScheduler:
             else:
                 cold.append((index, job))
 
+        peak_workers = 0
         if cold:
-            if self.use_pool:
-                pooled = self._run_pool(cold, outcomes)
-            else:
-                pooled = False
-            if not pooled:
-                self._run_inline(
-                    [(i, j) for i, j in cold if i not in outcomes], outcomes
-                )
+            pool = ProcessTaskPool(
+                max_workers=self.max_workers,
+                task_timeout=self.job_timeout,
+                max_retries=self.max_retries,
+                use_pool=self.use_pool,
+            )
+            tasks = [(execute_job, (job,)) for _, job in cold]
+            results = pool.run(tasks)
+            peak_workers = pool.peak_workers
+            for (index, job), task in zip(cold, results):
+                if task.ok:
+                    if self.store is not None:
+                        self.store.put(task.result)
+                    outcomes[index] = JobOutcome(
+                        job=job,
+                        status=COMPUTED,
+                        attempts=task.attempts,
+                        seconds=task.seconds,
+                        record=task.result,
+                        executor=task.executor,
+                    )
+                else:
+                    outcomes[index] = JobOutcome(
+                        job=job,
+                        status=FAILED,
+                        attempts=task.attempts,
+                        seconds=task.seconds,
+                        error=task.error,
+                        executor=task.executor,
+                    )
 
-        report = BatchReport(
-            outcomes=[outcomes[index] for index in range(len(jobs))],
+        ordered = [outcomes[index] for index in range(len(jobs))]
+        if any(outcome.executor == "pool" for outcome in ordered):
+            workers = max(1, peak_workers)
+        elif any(outcome.executor == "inline" for outcome in ordered):
+            workers = 1
+        else:
+            workers = 0  # everything came from the store
+        return BatchReport(
+            outcomes=ordered,
             wall_seconds=time.perf_counter() - started,
-            workers=self.max_workers if self.use_pool else 1,
+            workers=workers,
         )
-        return report
-
-    # ------------------------------------------------------------------
-    # Process-pool execution
-    # ------------------------------------------------------------------
-
-    def _run_pool(
-        self,
-        cold: List[Tuple[int, AnalysisJob]],
-        outcomes: Dict[int, JobOutcome],
-    ) -> bool:
-        """Fan ``cold`` jobs over worker processes; ``False`` means the
-        pool could not be used at all (caller degrades to inline)."""
-        try:
-            import multiprocessing
-
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
-            )
-        except (ImportError, ValueError):
-            return False
-
-        pending: Deque[Tuple[int, AnalysisJob, int]] = deque(
-            (index, job, 1) for index, job in cold
-        )
-        # proc -> (index, job, attempt, parent connection, start time)
-        running: Dict[object, Tuple[int, AnalysisJob, int, object, float]] = {}
-
-        def settle(index, job, attempt, status, record, error, seconds):
-            if status == COMPUTED and self.store is not None:
-                self.store.put(record)
-            outcomes[index] = JobOutcome(
-                job=job,
-                status=status,
-                attempts=attempt,
-                seconds=seconds,
-                record=record,
-                error=error,
-                executor="pool",
-            )
-
-        try:
-            while pending or running:
-                while pending and len(running) < self.max_workers:
-                    index, job, attempt = pending.popleft()
-                    parent, child = context.Pipe(duplex=False)
-                    process = context.Process(
-                        target=worker_main, args=(job, child), daemon=True
-                    )
-                    try:
-                        process.start()
-                    except OSError:
-                        parent.close()
-                        child.close()
-                        if running:
-                            # Mid-batch resource exhaustion: requeue and
-                            # let in-flight workers drain first.
-                            pending.appendleft((index, job, attempt))
-                            break
-                        return False  # cannot start any worker right now
-                    child.close()
-                    running[process] = (
-                        index,
-                        job,
-                        attempt,
-                        parent,
-                        time.perf_counter(),
-                    )
-
-                finished = []
-                for process, (index, job, attempt, conn, t0) in running.items():
-                    elapsed = time.perf_counter() - t0
-                    if conn.poll(0):
-                        status, payload = None, None
-                        try:
-                            status, payload = conn.recv()
-                        except (EOFError, OSError):
-                            pass
-                        process.join(timeout=5.0)
-                        if process.is_alive():
-                            process.terminate()
-                            process.join()
-                        if status == "ok":
-                            settle(
-                                index, job, attempt, COMPUTED, payload, None, elapsed
-                            )
-                        elif status == "error":
-                            settle(
-                                index,
-                                job,
-                                attempt,
-                                FAILED,
-                                None,
-                                str(payload),
-                                elapsed,
-                            )
-                        else:  # EOF without a message: treat as a crash
-                            self._crash(
-                                pending, index, job, attempt, process, elapsed,
-                                settle,
-                            )
-                        finished.append(process)
-                    elif not process.is_alive():
-                        process.join()
-                        self._crash(
-                            pending, index, job, attempt, process, elapsed, settle
-                        )
-                        finished.append(process)
-                    elif (
-                        self.job_timeout is not None
-                        and elapsed > self.job_timeout
-                    ):
-                        process.terminate()
-                        process.join()
-                        settle(
-                            index,
-                            job,
-                            attempt,
-                            FAILED,
-                            None,
-                            f"timed out after {self.job_timeout:g}s "
-                            f"(attempt {attempt})",
-                            elapsed,
-                        )
-                        finished.append(process)
-                for process in finished:
-                    _, _, _, conn, _ = running.pop(process)
-                    conn.close()
-                if not finished:
-                    time.sleep(_POLL_SECONDS)
-        finally:
-            for process, (_, _, _, conn, _) in running.items():
-                process.terminate()
-                process.join()
-                conn.close()
-        return True
-
-    def _crash(self, pending, index, job, attempt, process, elapsed, settle):
-        """A worker died without reporting: retry or fail the job."""
-        if attempt <= self.max_retries:
-            pending.append((index, job, attempt + 1))
-            return
-        settle(
-            index,
-            job,
-            attempt,
-            FAILED,
-            None,
-            f"worker crashed (exit code {process.exitcode}) "
-            f"after {attempt} attempt(s)",
-            elapsed,
-        )
-
-    # ------------------------------------------------------------------
-    # In-process fallback
-    # ------------------------------------------------------------------
-
-    def _run_inline(
-        self,
-        cold: List[Tuple[int, AnalysisJob]],
-        outcomes: Dict[int, JobOutcome],
-    ) -> None:
-        for index, job in cold:
-            t0 = time.perf_counter()
-            try:
-                record = execute_job(job)
-            except Exception as error:  # noqa: BLE001 — per-job isolation
-                outcomes[index] = JobOutcome(
-                    job=job,
-                    status=FAILED,
-                    attempts=1,
-                    seconds=time.perf_counter() - t0,
-                    error=f"{type(error).__name__}: {error}",
-                    executor="inline",
-                )
-                continue
-            if self.store is not None:
-                self.store.put(record)
-            outcomes[index] = JobOutcome(
-                job=job,
-                status=COMPUTED,
-                attempts=1,
-                seconds=time.perf_counter() - t0,
-                record=record,
-                executor="inline",
-            )
 
 
 def run_batch(

@@ -123,28 +123,44 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Record count, total bytes, and per-kind breakdown."""
+        """Record count, total bytes, per-kind breakdown, corrupt count.
+
+        A single walk over the store, so the counts agree with each other
+        even when records are corrupt: ``records`` counts every file,
+        ``kinds`` classifies the decodable ones, and ``corrupt`` counts
+        the rest (undecodable JSON, non-dict payloads, vanished files) —
+        ``records == sum(kinds.values()) + corrupt`` always holds.
+        """
         records = 0
         total_bytes = 0
+        corrupt = 0
         kinds: Dict[str, int] = {}
         if self._objects.is_dir():
-            for shard in self._objects.iterdir():
+            for shard in sorted(self._objects.iterdir()):
                 if not shard.is_dir():
                     continue
-                for path in shard.glob("*.json"):
+                for path in sorted(shard.glob("*.json")):
                     records += 1
                     try:
                         total_bytes += path.stat().st_size
                     except OSError:
+                        pass
+                    try:
+                        record = json.loads(path.read_text())
+                    except (OSError, json.JSONDecodeError):
+                        corrupt += 1
                         continue
-        for record in self.iter_records():
-            kind = str(record.get("schema", "unknown"))
-            kinds[kind] = kinds.get(kind, 0) + 1
+                    if not isinstance(record, dict):
+                        corrupt += 1
+                        continue
+                    kind = str(record.get("schema", "unknown"))
+                    kinds[kind] = kinds.get(kind, 0) + 1
         return {
             "root": str(self.root),
             "records": records,
             "bytes": total_bytes,
             "kinds": kinds,
+            "corrupt": corrupt,
         }
 
     def prune(self, max_bytes: int) -> Dict[str, object]:

@@ -1,0 +1,216 @@
+"""Tests for the parallel solve layer (pool engine + partitioned solve).
+
+The pool tests use module-level targets that only misbehave inside a
+worker process (gated on the ``SPLLIFT_WORKER`` env var set by
+``_child_main``), so crash and timeout paths exercise real SIGKILLed /
+terminated processes without ever endangering the test process.
+"""
+
+import os
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analyses import (
+    PossibleTypesAnalysis,
+    TaintAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.core import SPLLift
+from repro.core.parallel import (
+    PARALLEL_ENV,
+    ProcessTaskPool,
+    resolve_parallel,
+    solve_lifted_parallel,
+)
+from repro.spl.examples import device_spl, figure1_with_model
+from repro.spl.generator import SubjectSpec, generate_subject
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(message):
+    raise RuntimeError(message)
+
+
+def _crash_once(marker):
+    if os.environ.get("SPLLIFT_WORKER") and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(9)
+    return "recovered"
+
+
+def _crash_always():
+    if os.environ.get("SPLLIFT_WORKER"):
+        os._exit(9)
+    return "inline"
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+class TestResolveParallel:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        assert resolve_parallel(None) == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "3")
+        assert resolve_parallel(None) == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "3")
+        assert resolve_parallel(2) == 2
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        assert resolve_parallel(0) == max(1, os.cpu_count() or 1)
+        assert resolve_parallel(-1) == max(1, os.cpu_count() or 1)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "many")
+        with pytest.raises(ValueError, match=PARALLEL_ENV):
+            resolve_parallel(None)
+
+
+class TestProcessTaskPool:
+    def test_results_in_submission_order(self):
+        pool = ProcessTaskPool(max_workers=3)
+        outcomes = pool.run([(_square, (i,)) for i in range(8)])
+        assert [o.result for o in outcomes] == [i * i for i in range(8)]
+        assert all(o.ok and o.index == i for i, o in enumerate(outcomes))
+        assert 1 <= pool.peak_workers <= 3
+
+    def test_reported_error_is_terminal(self):
+        pool = ProcessTaskPool(max_workers=2, max_retries=3)
+        (outcome,) = pool.run([(_boom, ("no dice",))])
+        assert not outcome.ok
+        assert outcome.attempts == 1  # deterministic failure: no retry
+        assert "RuntimeError: no dice" in outcome.error
+
+    def test_crash_is_retried(self, tmp_path):
+        marker = tmp_path / "crashed-once"
+        pool = ProcessTaskPool(max_workers=2, max_retries=1)
+        (outcome,) = pool.run([(_crash_once, (str(marker),))])
+        assert marker.exists()  # the first attempt really died
+        assert outcome.ok and outcome.result == "recovered"
+        assert outcome.attempts == 2
+
+    def test_zero_retries_fail_fast(self):
+        pool = ProcessTaskPool(max_workers=2, max_retries=0)
+        doomed, healthy = pool.run([(_crash_always, ()), (_square, (4,))])
+        assert not doomed.ok
+        assert doomed.attempts == 1
+        assert "worker crashed" in doomed.error
+        assert healthy.ok and healthy.result == 16
+
+    def test_timeout_is_terminal(self):
+        pool = ProcessTaskPool(max_workers=2, task_timeout=0.4, max_retries=3)
+        (outcome,) = pool.run([(_sleep, (30,))])
+        assert not outcome.ok
+        assert outcome.attempts == 1
+        assert "timed out" in outcome.error
+
+    def test_use_pool_false_runs_inline(self):
+        pool = ProcessTaskPool(max_workers=4, use_pool=False)
+        ok, bad = pool.run([(_square, (3,)), (_boom, ("inline",))])
+        assert ok.executor == "inline" and ok.result == 9
+        assert bad.executor == "inline" and "RuntimeError" in bad.error
+        assert pool.peak_workers == 0
+
+    def test_degrades_inline_when_no_context(self, monkeypatch):
+        def no_context():
+            raise OSError("processes forbidden")
+
+        monkeypatch.setattr("repro.core.parallel._pool_context", no_context)
+        pool = ProcessTaskPool(max_workers=4)
+        outcomes = pool.run([(_square, (i,)) for i in range(3)])
+        assert [o.result for o in outcomes] == [0, 1, 4]
+        assert all(o.executor == "inline" for o in outcomes)
+        assert pool.peak_workers == 0
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ProcessTaskPool(max_retries=-1)
+
+
+def _lift(product_line, analysis_class):
+    return SPLLift(
+        analysis_class(product_line.icfg),
+        feature_model=product_line.feature_model,
+    )
+
+
+class TestSolveParallel:
+    @pytest.mark.parametrize("builder", (figure1_with_model, device_spl))
+    @pytest.mark.parametrize(
+        "analysis_class", (UninitializedVariablesAnalysis, PossibleTypesAnalysis)
+    )
+    def test_parallel_digest_matches_sequential(self, builder, analysis_class):
+        product_line = builder()
+        sequential = _lift(product_line, analysis_class).solve()
+        parallel = _lift(product_line, analysis_class).solve(parallel=3)
+        assert parallel.result_digest() == sequential.result_digest()
+        assert parallel.result_lines() == sequential.result_lines()
+
+    def test_parallel_stats_report_partitions(self):
+        product_line = device_spl()
+        results = _lift(product_line, UninitializedVariablesAnalysis).solve(
+            parallel=3
+        )
+        assert results.stats["parallel_partitions"] >= 2
+        assert results.stats["parallel_workers"] >= 1
+
+    def test_sequential_stats_report_one_worker(self):
+        product_line = device_spl()
+        results = _lift(product_line, UninitializedVariablesAnalysis).solve()
+        assert results.stats["parallel_workers"] == 1
+        assert results.stats["parallel_partitions"] == 1
+
+    def test_single_seed_unit_falls_back(self):
+        """Taint seeds only the 0-fact: nothing to partition, so the
+        parallel layer declines and the sequential path answers."""
+        product_line = figure1_with_model()
+        spllift = _lift(product_line, TaintAnalysis)
+        assert (
+            solve_lifted_parallel(spllift, workers=4) is None
+        )
+        results = _lift(product_line, TaintAnalysis).solve(parallel=4)
+        sequential = _lift(product_line, TaintAnalysis).solve()
+        assert results.result_digest() == sequential.result_digest()
+        assert results.stats["parallel_workers"] == 1
+
+    def test_env_default_enables_parallelism(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "2")
+        product_line = device_spl()
+        via_env = _lift(product_line, UninitializedVariablesAnalysis).solve()
+        monkeypatch.delenv(PARALLEL_ENV)
+        sequential = _lift(product_line, UninitializedVariablesAnalysis).solve()
+        assert via_env.result_digest() == sequential.result_digest()
+        assert via_env.stats["parallel_partitions"] >= 2
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_generated_spls_parallel_equals_sequential(self, seed):
+        spec = SubjectSpec(
+            name=f"par-{seed}",
+            seed=seed,
+            classes=4,
+            methods_per_class=(2, 3),
+            statements_per_method=(3, 6),
+            annotation_density=0.4,
+            entry_fanout=4,
+            reachable_features=("A", "B", "C"),
+            dead_features=("DX",),
+        )
+        product_line = generate_subject(spec)
+        sequential = _lift(product_line, UninitializedVariablesAnalysis).solve()
+        parallel = _lift(product_line, UninitializedVariablesAnalysis).solve(
+            parallel=2
+        )
+        assert parallel.result_digest() == sequential.result_digest()

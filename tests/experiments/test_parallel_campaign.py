@@ -1,0 +1,84 @@
+"""Parallel campaign runs must be indistinguishable from sequential ones
+(modulo wall-clock): same stored result digests, same table structure,
+same A2 accounting."""
+
+from repro.analyses import (
+    ReachingDefinitionsAnalysis,
+    UninitializedVariablesAnalysis,
+)
+from repro.experiments.harness import run_a2_campaign
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.service import ResultStore
+from repro.spl.examples import device_spl, figure1_with_model
+
+SUBJECTS = [("fig1fm", figure1_with_model), ("device", device_spl)]
+ANALYSES = [
+    ("Uninitialized Variables", UninitializedVariablesAnalysis),
+    ("Reaching Definitions", ReachingDefinitionsAnalysis),
+]
+
+
+def _digests(store):
+    return sorted(record["result_digest"] for record in store.iter_records())
+
+
+class TestCampaignParallelism:
+    def test_a2_campaign_accounting_matches_sequential(self):
+        sequential = run_a2_campaign(
+            device_spl(), UninitializedVariablesAnalysis, cutoff_seconds=60.0
+        )
+        parallel = run_a2_campaign(
+            device_spl(),
+            UninitializedVariablesAnalysis,
+            cutoff_seconds=60.0,
+            parallel=3,
+        )
+        assert parallel.configurations_run == sequential.configurations_run
+        assert parallel.valid_configurations == sequential.valid_configurations
+        assert parallel.estimated == sequential.estimated
+
+    def test_table2_store_digests_match_sequential(self, tmp_path):
+        seq_store = ResultStore(tmp_path / "seq")
+        par_store = ResultStore(tmp_path / "par")
+        seq_rows = run_table2(
+            SUBJECTS, ANALYSES, cutoff_seconds=30.0, store=seq_store
+        )
+        par_rows = run_table2(
+            SUBJECTS, ANALYSES, cutoff_seconds=30.0, store=par_store, parallel=3
+        )
+        assert _digests(seq_store) == _digests(par_store)
+        assert [row.benchmark for row in par_rows] == [
+            row.benchmark for row in seq_rows
+        ]
+        assert [cell.analysis for row in par_rows for cell in row.cells] == [
+            cell.analysis for row in seq_rows for cell in row.cells
+        ]
+
+    def test_table2_parallel_serves_warm_hits(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = run_table2(
+            SUBJECTS, ANALYSES, cutoff_seconds=30.0, store=store, parallel=3
+        )
+        records_after_cold = store.stats()["records"]
+        warm = run_table2(
+            SUBJECTS, ANALYSES, cutoff_seconds=30.0, store=store, parallel=3
+        )
+        assert store.stats()["records"] == records_after_cold
+        for cold_row, warm_row in zip(cold, warm):
+            for cold_cell, warm_cell in zip(cold_row.cells, warm_row.cells):
+                # Warm cells report the recorded (rounded) cold timing.
+                assert (
+                    abs(warm_cell.spllift_seconds - cold_cell.spllift_seconds)
+                    < 1e-5
+                )
+
+    def test_table3_store_digests_match_sequential(self, tmp_path):
+        seq_store = ResultStore(tmp_path / "seq")
+        par_store = ResultStore(tmp_path / "par")
+        run_table3(SUBJECTS, ANALYSES, store=seq_store)
+        run_table3(SUBJECTS, ANALYSES, store=par_store, parallel=3)
+        digests = _digests(par_store)
+        assert digests == _digests(seq_store)
+        # Both fm_mode=edge and fm_mode=ignore records per cell.
+        assert len(digests) == len(SUBJECTS) * len(ANALYSES) * 2

@@ -6,6 +6,8 @@ The fault-injection hooks (``_test_crash_marker``, ``_test_crash_always``,
 real crash/retry machinery with real SIGKILLed processes.
 """
 
+import time
+
 import pytest
 
 from repro.service import (
@@ -147,6 +149,67 @@ class TestFailureHandling:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError, match="max_retries"):
             BatchScheduler(max_retries=-1)
+
+    def test_crash_with_zero_retries_fails_after_one_attempt(self):
+        job = _job(options={"_test_crash_always": True})
+        report = run_batch([job], store=None, use_pool=True, max_retries=0)
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1  # no retry budget at all
+        assert "worker crashed" in outcome.error
+
+
+class TestWorkerReporting:
+    def test_degraded_inline_reports_one_worker(self, monkeypatch):
+        """The workers-reporting regression: a batch whose pool could not
+        start must report the parallelism actually achieved (1, inline),
+        not the configured maximum."""
+
+        def no_context():
+            raise OSError("processes forbidden")
+
+        monkeypatch.setattr("repro.core.parallel._pool_context", no_context)
+        report = run_batch(
+            [_job(), _job(analysis="uninit")],
+            store=None,
+            use_pool=True,
+            max_workers=8,
+        )
+        assert report.failed == 0
+        assert report.workers == 1
+        assert report.executors == {"inline": 2}
+        document = report.describe()
+        assert document["workers"] == 1
+        assert document["executors"] == {"inline": 2}
+        assert all(row["executor"] == "inline" for row in document["jobs"])
+
+    def test_all_cached_batch_reports_zero_workers(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_batch([_job()], store=store, use_pool=False)
+        warm = run_batch([_job()], store=store, use_pool=True, max_workers=8)
+        assert warm.cached == 1
+        assert warm.workers == 0
+        assert warm.executors == {"store": 1}
+
+    def test_pool_batch_reports_achieved_workers(self):
+        report = run_batch(
+            [_job(), _job(analysis="uninit")], store=None, use_pool=True
+        )
+        if any(o.executor == "pool" for o in report.outcomes):
+            assert 1 <= report.workers <= 2
+        else:  # start-method unavailable: degraded inline
+            assert report.workers == 1
+        assert sum(report.executors.values()) == 2
+
+    def test_wait_loop_does_not_busy_wait(self):
+        """The busy-wait regression: while a worker sleeps, the parent
+        must block in ``connection.wait`` and burn (almost) no CPU."""
+        job = _job(options={"_test_sleep": 1.0})
+        cpu_before = time.process_time()
+        report = run_batch([job], store=None, use_pool=True)
+        cpu_spent = time.process_time() - cpu_before
+        if report.outcomes[0].executor == "pool":
+            assert cpu_spent < 0.5, f"parent burned {cpu_spent:.3f}s CPU"
 
 
 class TestCampaignEquivalence:

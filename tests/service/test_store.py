@@ -81,6 +81,7 @@ class TestMaintenance:
         assert stats["records"] == 0
         assert stats["bytes"] == 0
         assert stats["kinds"] == {}
+        assert stats["corrupt"] == 0
 
     def test_stats_counts_by_kind(self, store):
         store.put(_record())
@@ -89,6 +90,21 @@ class TestMaintenance:
         assert stats["records"] == 2
         assert stats["bytes"] > 0
         assert stats["kinds"] == {"spllift-result/v1": 1, "other/v1": 1}
+        assert stats["corrupt"] == 0
+
+    def test_stats_counts_agree_on_corrupt_records(self, store):
+        """The single-pass regression: ``records`` counts every file and
+        ``kinds``/``corrupt`` partition it, even with corrupt records
+        (the old double-walk let the two passes disagree)."""
+        store.put(_record())
+        store.put(_record(digest="cd" * 32, schema="other/v1"))
+        store.put(_record(digest="ef" * 32)).write_text("{broken json")
+        store.put(_record(digest="12" * 32)).write_text('["not", "a", "dict"]')
+        stats = store.stats()
+        assert stats["records"] == 4
+        assert stats["corrupt"] == 2
+        assert stats["kinds"] == {"spllift-result/v1": 1, "other/v1": 1}
+        assert stats["records"] == sum(stats["kinds"].values()) + stats["corrupt"]
 
     def test_iter_records_skips_corrupt(self, store):
         store.put(_record())

@@ -142,6 +142,20 @@ class TestAnalyze:
         assert rc == 1
         assert capsys.readouterr().out == default_out
 
+    def test_parallel_flag_keeps_findings(self, tmp_path, capsys):
+        source = tmp_path / "uninit.mj"
+        source.write_text(
+            "class Main { void main() { int u; int v;\n#ifdef (Init)\nu = 1;\n"
+            "#endif\nv = 2;\nprint(u); print(v); } }"
+        )
+        rc = main(["analyze", str(source), "--analysis", "uninit"])
+        sequential_out = capsys.readouterr().out
+        parallel_rc = main(
+            ["analyze", str(source), "--analysis", "uninit", "--parallel", "2"]
+        )
+        assert parallel_rc == rc
+        assert capsys.readouterr().out == sequential_out
+
     def test_bad_worklist_order_rejected(self, spl_file, capsys):
         with pytest.raises(SystemExit):
             main(["analyze", spl_file, "--analysis", "taint", "--worklist-order", "xyz"])

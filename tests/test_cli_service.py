@@ -135,6 +135,7 @@ class TestCache:
         out = capsys.readouterr().out
         assert rc == 0
         assert "records:    2" in out
+        assert "corrupt:    0" in out
         assert "spllift-result/v1: 2" in out
         rc = main(["cache", "clear", "--cache-dir", cache_dir])
         out = capsys.readouterr().out
@@ -143,6 +144,20 @@ class TestCache:
         rc = main(["cache", "stats", "--cache-dir", cache_dir])
         out = capsys.readouterr().out
         assert "records:    0" in out
+
+    def test_stats_reports_corrupt_records(self, manifest, cache_dir, capsys):
+        from pathlib import Path
+
+        main(["batch", manifest, "--cache-dir", cache_dir, "--no-pool"])
+        capsys.readouterr()
+        victim = next((Path(cache_dir) / "objects").rglob("*.json"))
+        victim.write_text("{broken json")
+        rc = main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "records:    2" in out
+        assert "corrupt:    1" in out
+        assert "spllift-result/v1: 1" in out
 
     def test_stats_reports_total_bytes(self, manifest, cache_dir, capsys):
         main(["batch", manifest, "--cache-dir", cache_dir, "--no-pool"])
