@@ -128,7 +128,10 @@ def _git_revision(repo_root: Path) -> Optional[str]:
 
 
 def run_benchmarks(
-    rounds: int, quick: bool, parallel: int = 4
+    rounds: int,
+    quick: bool,
+    parallel: int = 4,
+    max_overhead_pct: float = 2.0,
 ) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
 
@@ -270,6 +273,84 @@ def run_benchmarks(
         )
     )
 
+    # --- observability A/B: tracer disabled vs enabled ----------------
+    # ``off`` runs the exact code path every row above used (the
+    # NullTracer no-op guard); ``on`` installs a real tracer and pays
+    # for span bookkeeping.  The off row must stay within
+    # ``max_overhead_pct`` of the plain single-pass row measured above:
+    # disabled telemetry is required to be free (ISSUE 5 gate).
+    print("observability overhead A/B (tracer off vs on):", flush=True)
+    from repro.obs import runtime as obs_runtime
+
+    obs_analysis_name, obs_analysis_class = (
+        ANALYSES[0] if quick else ANALYSES[1]
+    )
+    obs_subject = "GPL-like"
+    obs_product_line = subjects[obs_subject]
+
+    def run_obs(
+        pl=obs_product_line, cls=obs_analysis_class
+    ) -> Dict[str, int]:
+        results = SPLLift(
+            cls(pl.icfg), feature_model=pl.feature_model
+        ).solve()
+        return results.stats
+
+    off_row = _record(
+        f"obs_overhead/{obs_subject}/{obs_analysis_name}/off", run_obs, rounds
+    )
+    rows.append(off_row)
+
+    obs_runtime.reset()
+    obs_runtime.enable_tracing()
+    try:
+        on_row = _record(
+            f"obs_overhead/{obs_subject}/{obs_analysis_name}/on",
+            run_obs,
+            rounds,
+        )
+        on_row["trace_events"] = len(obs_runtime.tracer().events())
+    finally:
+        obs_runtime.disable_tracing()
+        obs_runtime.reset()
+    rows.append(on_row)
+
+    baseline = next(
+        row
+        for row in rows
+        if row["benchmark"] == f"spllift/{obs_subject}/{obs_analysis_name}"
+    )
+    base_seconds = float(baseline["min_seconds"])
+    off_seconds = float(off_row["min_seconds"])
+    on_seconds = float(on_row["min_seconds"])
+    overhead_pct = (
+        100.0 * (off_seconds - base_seconds) / base_seconds
+        if base_seconds
+        else 0.0
+    )
+    off_row["overhead_pct_vs_plain"] = round(overhead_pct, 2)
+    if off_seconds:
+        on_row["overhead_pct_vs_off"] = round(
+            100.0 * (on_seconds - off_seconds) / off_seconds, 2
+        )
+    # Absolute slack absorbs scheduler noise on sub-10ms rows, where a
+    # single context switch dwarfs any percentage threshold.
+    slack_seconds = 0.005
+    if (
+        off_seconds - base_seconds > slack_seconds
+        and overhead_pct > max_overhead_pct
+    ):
+        raise SystemExit(
+            f"obs_overhead: disabled-telemetry run is {overhead_pct:.1f}% "
+            f"slower than the plain pass ({off_seconds:.6f}s vs "
+            f"{base_seconds:.6f}s); limit is {max_overhead_pct:.1f}%"
+        )
+    print(
+        f"  disabled-telemetry overhead vs plain pass: {overhead_pct:+.2f}% "
+        f"(limit {max_overhead_pct:.1f}%)",
+        flush=True,
+    )
+
     # --- analysis service: batch cold vs warm (the result-store path) --
     print("analysis service batch:", flush=True)
     import shutil
@@ -379,6 +460,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker count for the parallel solve / campaign rows "
         "(default 4)",
     )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=2.0,
+        help="fail if the disabled-telemetry obs_overhead row is more than "
+        "this many percent slower than the plain pass (default 2.0)",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error(f"--rounds must be >= 1, got {args.rounds}")
@@ -390,7 +478,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     repo_root = Path(__file__).resolve().parent.parent
     rows = run_benchmarks(
-        rounds=args.rounds, quick=args.quick, parallel=args.parallel
+        rounds=args.rounds,
+        quick=args.quick,
+        parallel=args.parallel,
+        max_overhead_pct=args.max_overhead_pct,
     )
     import os
 

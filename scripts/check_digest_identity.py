@@ -18,9 +18,13 @@ Usage::
 ``--parallel N`` additionally solves every combination with the
 partitioned parallel solver (``solve(parallel=N)``) and asserts those
 digests match the sequential reference too — the gate behind
-``repro.core.parallel``.  ``--baseline`` compares the first order's
-digests against a saved snapshot (written by ``--dump``), catching
-semantic drift between revisions, not just between orders.
+``repro.core.parallel``.  ``--telemetry`` re-solves with tracing and
+metrics enabled (sequential, and parallel when ``--parallel`` is given)
+and requires the digests to stay bit-identical — the gate behind
+``repro.obs``: observing the solver must never change what it computes.
+``--baseline`` compares the first order's digests against a saved
+snapshot (written by ``--dump``), catching semantic drift between
+revisions, not just between orders.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import sys
 from repro.analyses import PAPER_ANALYSES
 from repro.core import SPLLift
 from repro.ide.solver import WORKLIST_ORDERS
+from repro.obs import runtime as obs
 from repro.spl.benchmarks import paper_subjects
 
 
@@ -73,6 +78,12 @@ def main(argv=None) -> int:
         metavar="N",
         help="also solve with the partitioned parallel solver "
         "(N worker processes) and require identical digests",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="also solve with tracing/metrics enabled and require digests "
+        "identical to the untraced reference",
     )
     parser.add_argument(
         "--baseline",
@@ -124,6 +135,40 @@ def main(argv=None) -> int:
                 else f"{parallel_failures} mismatches"
             )
         )
+
+    if args.telemetry:
+        modes = [("sequential", 1)]
+        if args.parallel is not None:
+            modes.append((f"parallel={args.parallel}", args.parallel))
+        for mode_name, workers in modes:
+            obs.reset()
+            obs.enable_tracing()
+            try:
+                traced = compute_digests(
+                    reference_order, args.seed, parallel=workers
+                )
+            finally:
+                traced_events = len(obs.tracer().events())
+                obs.disable_tracing()
+                obs.reset()
+            traced_failures = 0
+            for key, digest in traced.items():
+                if digest != reference[key]:
+                    traced_failures += 1
+                    print(
+                        f"TELEMETRY MISMATCH ({mode_name}) {key}: "
+                        f"traced={digest[:16]}… untraced={reference[key][:16]}…"
+                    )
+            failures += traced_failures
+            print(
+                f"{len(traced)} digests with telemetry on ({mode_name}, "
+                f"{traced_events} trace events): "
+                + (
+                    "all identical to untraced"
+                    if not traced_failures
+                    else f"{traced_failures} mismatches"
+                )
+            )
 
     if args.baseline:
         saved = json.load(open(args.baseline))

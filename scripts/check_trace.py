@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Validate a trace file written by ``--trace`` (the CI telemetry gate).
+
+Checks, per Chrome ``trace_event`` semantics:
+
+- every event is an object with ``name``/``ph``/``ts``/``pid``/``tid``
+  and a known phase (``B``/``E``/``i``/``M``/``X``);
+- timestamps are numeric, non-negative and **monotonic per (pid, tid)
+  track** (the writer sorts globally, so this also holds globally);
+- ``B``/``E`` events nest properly per track: every ``E`` matches the
+  name of the innermost open ``B``, and no span is left open at the end
+  (balanced spans);
+- the file parses as strict JSON *and* line-wise (one event per line),
+  the dual format ``repro.obs.trace.write_trace`` promises.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_trace.py trace.json
+    PYTHONPATH=src python scripts/check_trace.py trace.json --min-events 10
+
+Exit status 0 when the trace is well-formed, 1 otherwise (with one line
+per violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+from repro.obs.trace import read_trace
+
+KNOWN_PHASES = ("B", "E", "i", "M", "X")
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def check_trace(path: str, min_events: int = 1) -> List[str]:
+    """All violations found in the trace at ``path`` (empty = valid)."""
+    errors: List[str] = []
+
+    # Dual-format check: strict JSON array, and one event per line.
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        return [f"not valid JSON: {error}"]
+    if not isinstance(document, list):
+        return [f"top level must be a JSON array, got {type(document).__name__}"]
+    body_lines = [
+        line
+        for line in text.splitlines()
+        if line.strip() not in ("", "[", "]")
+    ]
+    if len(body_lines) != len(document):
+        errors.append(
+            f"expected one event per line: {len(document)} events "
+            f"over {len(body_lines)} lines"
+        )
+
+    events = read_trace(path)
+    span_events = [e for e in events if e.get("ph") in ("B", "E", "i", "X")]
+    if len(span_events) < min_events:
+        errors.append(
+            f"expected at least {min_events} span event(s), "
+            f"got {len(span_events)}"
+        )
+
+    last_ts: Dict[Tuple[int, int], float] = {}
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    for position, event in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                errors.append(f"event #{position} missing {key!r}: {event}")
+                break
+        else:
+            ph = event["ph"]
+            if ph not in KNOWN_PHASES:
+                errors.append(f"event #{position} has unknown ph {ph!r}")
+                continue
+            ts = event["ts"]
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"event #{position} has bad ts {ts!r}")
+                continue
+            if ph == "M":
+                continue
+            track = (event["pid"], event["tid"])
+            if ts < last_ts.get(track, float("-inf")):
+                errors.append(
+                    f"event #{position} ({event['name']}): non-monotonic ts "
+                    f"{ts} on track {track} (previous {last_ts[track]})"
+                )
+            last_ts[track] = ts
+            if ph == "B":
+                stacks.setdefault(track, []).append(str(event["name"]))
+            elif ph == "E":
+                stack = stacks.get(track)
+                if not stack:
+                    errors.append(
+                        f"event #{position}: E {event['name']!r} with no "
+                        f"open span on track {track}"
+                    )
+                else:
+                    opened = stack.pop()
+                    if opened != event["name"]:
+                        errors.append(
+                            f"event #{position}: E {event['name']!r} closes "
+                            f"B {opened!r} on track {track} (bad nesting)"
+                        )
+    for track, stack in stacks.items():
+        if stack:
+            errors.append(f"unbalanced spans left open on track {track}: {stack}")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace file written by --trace")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="require at least this many B/E/i/X events (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    errors = check_trace(args.trace, min_events=args.min_events)
+    for error in errors:
+        print(f"check_trace: {error}")
+    events = read_trace(args.trace)
+    pids = sorted({e.get("pid") for e in events if e.get("ph") != "M"})
+    print(
+        f"{args.trace}: {len(events)} event(s), {len(pids)} process(es): "
+        + ("OK" if not errors else f"{len(errors)} violation(s)")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import runtime as obs
+
 __all__ = ["BDDManager", "BDDError"]
 
 
@@ -853,6 +855,7 @@ class BDDManager:
         size = len(live)
         if nvars < 2 or not live:
             self._reorders += 1
+            obs.tracer().instant("bdd/reorder", before=size, after=size)
             return size
         live_at: List[Set[int]] = [set() for _ in range(nvars)]
         ref: Dict[int, int] = {}
@@ -882,6 +885,12 @@ class BDDManager:
         self._satcount_cache.clear()
         self._support_cache.clear()
         self._reorders += 1
+        obs.tracer().instant(
+            "bdd/reorder",
+            before=size,
+            after=session.size,
+            swaps=self._reorder_swaps,
+        )
         return session.size
 
     def cache_stats(self) -> Dict[str, int]:

@@ -44,6 +44,9 @@ from repro.ide.solver import WORKLIST_ORDERS
 from repro.featuremodel import FeatureModel, FeatureModelError, parse_feature_model
 from repro.interp import Interpreter
 from repro.minijava.parser import ParseError
+from repro.obs import runtime as obs
+from repro.obs.progress import ProgressReporter
+from repro.obs.trace import read_trace, summarize_trace, write_trace
 from repro.service import (
     ResultStore,
     ServiceError,
@@ -57,6 +60,39 @@ from repro.utils import format_count
 __all__ = ["main"]
 
 ANALYSES = ("taint", "uninit", "nullness", "types", "rd", "typestate")
+
+
+def _telemetry_begin(args) -> None:
+    """Arm tracing/progress before a command runs (``--trace``/``--progress``)."""
+    if getattr(args, "trace", None):
+        obs.enable_tracing()
+    if getattr(args, "progress", False):
+        obs.set_progress(ProgressReporter())
+
+
+def _telemetry_end(args) -> None:
+    """Flush telemetry the command collected (``--trace``/``--metrics``)."""
+    progress = obs.progress()
+    if progress is not None:
+        progress.finish()
+        obs.set_progress(None)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        count = write_trace(
+            obs.tracer().events(), trace_path, run_id=obs.run_id()
+        )
+        print(f"trace: {count} event(s) written to {trace_path}", file=sys.stderr)
+    metrics_path = getattr(args, "metrics_file", None)
+    if metrics_path:
+        report = {
+            "schema": "spllift-metrics/v1",
+            "run_id": obs.run_id(),
+            "metrics": obs.metrics().describe(),
+        }
+        Path(metrics_path).write_text(
+            json.dumps(report, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
 
 
 def _load_product_line(args) -> ProductLine:
@@ -254,6 +290,9 @@ def _cmd_batch(args) -> int:
         f"in {report.wall_seconds:.3f}s "
         f"({report.workers} worker(s))"
     )
+    hit_ratio = obs.metrics().hit_ratio("store.get_hits", "store.get_misses")
+    if hit_ratio is not None:
+        print(f"store hit ratio: {hit_ratio:.2f}")
     if args.report:
         Path(args.report).write_text(
             json.dumps(report.describe(), indent=1, sort_keys=True) + "\n"
@@ -270,6 +309,14 @@ def _cmd_cache(args) -> int:
         print(f"records:    {stats['records']}")
         print(f"bytes:      {stats['bytes']}")
         print(f"corrupt:    {stats['corrupt']}")
+        session = stats.get("session") or {}
+        if session.get("gets"):
+            print(
+                f"hit_ratio:  {session['hit_ratio']:.2f} "
+                f"({session['hits']}/{session['gets']} gets this session)"
+            )
+        else:
+            print("hit_ratio:  n/a (no gets this session)")
         for kind, count in sorted(stats["kinds"].items()):
             print(f"  {kind}: {count}")
         return 0
@@ -295,6 +342,31 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    events = read_trace(args.file)
+    spans = [event for event in events if event.get("ph") in ("B", "E", "i")]
+    if not spans:
+        print(f"spllift: error: no trace events in {args.file}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(events)
+    pids = sorted({event.get("pid", 0) for event in spans})
+    print(f"trace: {args.file}")
+    print(
+        f"events: {len(spans)}  processes: {len(pids)}  "
+        f"wall: {summary['wall_us'] / 1e6:.3f}s"
+    )
+    print(f"{'span':<28} {'count':>8} {'total':>11} {'% wall':>8}")
+    for row in summary["rows"]:
+        print(
+            f"{row['name']:<28} {row['count']:>8} "
+            f"{row['total_us'] / 1e6:>10.3f}s {row['pct']:>7.1f}%"
+        )
+    print(
+        f"top-level span coverage: {summary['coverage_pct']:.1f}% of wall time"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spllift",
@@ -310,6 +382,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--entry", default="Main.main", help="entry point (default Main.main)"
+        )
+
+    def telemetry(p) -> None:
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="write a Chrome trace_event span trace here (opens in "
+            "Perfetto; summarize with `spllift trace summary FILE`)",
+        )
+        p.add_argument(
+            "--metrics",
+            dest="metrics_file",
+            metavar="FILE",
+            help="write the metrics registry (counters/gauges/histograms) "
+            "as JSON here",
         )
 
     analyze = sub.add_parser("analyze", help="run a lifted analysis")
@@ -347,6 +434,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the solve by entry context over this many worker "
         "processes (0 = all cores; default: $SPLLIFT_PARALLEL, else 1); "
         "results are bit-identical to the sequential solve",
+    )
+    telemetry(analyze)
+    analyze.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line (worklist depth, jump functions, BDD "
+        "nodes, elapsed) on stderr",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
@@ -400,7 +494,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run jobs in-process instead of a worker pool",
     )
     batch.add_argument("--report", help="write the batch report JSON here")
+    telemetry(batch)
     batch.set_defaults(handler=_cmd_batch)
+
+    trace = sub.add_parser(
+        "trace", help="inspect trace files written by --trace"
+    )
+    trace.add_argument("action", choices=("summary",))
+    trace.add_argument("file", help="trace file (Chrome trace_event JSON)")
+    trace.set_defaults(handler=_cmd_trace)
 
     cache = sub.add_parser(
         "cache", help="inspect, prune, or clear the result store"
@@ -422,8 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _telemetry_begin(args)
     try:
-        return args.handler(args)
+        code = args.handler(args)
+        _telemetry_end(args)
+        return code
     except (ServiceError, FeatureModelError, ParseError) as error:
         print(f"spllift: error: {error}", file=sys.stderr)
         return 2
@@ -433,6 +538,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         suffix = f": {name}" if name else ""
         print(f"spllift: error: {detail}{suffix}", file=sys.stderr)
         return 2
+    finally:
+        # Commands are one-shot, but `main` is also called in-process
+        # (tests, scripts): leave no tracing or progress state behind.
+        if getattr(args, "trace", None):
+            obs.disable_tracing()
+        obs.set_progress(None)
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro.constraints.serialize import decode_constraints, encode_constraints
 from repro.ifds.problem import ZERO, ZeroFact
 from repro.ir.instructions import Instruction
+from repro.obs import runtime as obs
 
 __all__ = [
     "PARALLEL_ENV",
@@ -127,25 +128,33 @@ def _pool_context():
 def _child_main(target, args, connection) -> None:
     """Worker-process entry: run the task, ship the outcome back.
 
-    Sends ``("ok", result)`` or ``("error", message)``; a worker that
-    dies without sending anything is classified as a crash (and
-    retried).  Marks the process as a worker so fault-injection hooks
-    arm and nested ``parallel=None`` resolution stays sequential.
+    Sends ``("ok", result, telemetry)`` or ``("error", message,
+    telemetry)``, where telemetry is the worker's metric snapshot and
+    drained span buffer (:func:`repro.obs.runtime.worker_payload`); a
+    worker that dies without sending anything is classified as a crash
+    (and retried).  Marks the process as a worker so fault-injection
+    hooks arm and nested ``parallel=None`` resolution stays sequential.
     """
     os.environ[_WORKER_ENV] = "1"
     os.environ[PARALLEL_ENV] = "1"
+    obs.activate_worker()
+    label = getattr(target, "__qualname__", None) or str(target)
     try:
-        result = target(*args)
+        with obs.tracer().span("pool/task", target=label, run_id=obs.run_id()):
+            result = target(*args)
     except BaseException as error:  # noqa: BLE001 — ship, don't swallow
         try:
-            connection.send(("error", f"{type(error).__name__}: {error}"))
+            connection.send(
+                ("error", f"{type(error).__name__}: {error}", obs.worker_payload())
+            )
         finally:
             connection.close()
         return
+    telemetry = obs.worker_payload()
     try:
-        connection.send(("ok", result))
+        connection.send(("ok", result, telemetry))
     except Exception as error:  # unpicklable result: report, don't crash
-        connection.send(("error", f"{type(error).__name__}: {error}"))
+        connection.send(("error", f"{type(error).__name__}: {error}", telemetry))
     finally:
         connection.close()
 
@@ -192,11 +201,21 @@ class ProcessTaskPool:
         tasks = list(tasks)
         outcomes: Dict[int, TaskOutcome] = {}
         self.peak_workers = 0
+        obs.ensure_run_id()  # workers inherit it through the environment
         if tasks and self.use_pool:
             self._run_pool(tasks, outcomes)
         for index, (target, args) in enumerate(tasks):
             if index not in outcomes:
                 outcomes[index] = self._run_inline(index, target, args)
+        metrics = obs.metrics()
+        metrics.gauge_max("pool.peak_workers", self.peak_workers)
+        for outcome in outcomes.values():
+            metrics.inc(
+                "pool.tasks_completed" if outcome.ok else "pool.tasks_failed"
+            )
+            if outcome.executor == "inline":
+                metrics.inc("pool.tasks_inline")
+            metrics.observe("pool.task_seconds", outcome.seconds)
         return [outcomes[index] for index in range(len(tasks))]
 
     # ------------------------------------------------------------------
@@ -306,11 +325,24 @@ class ProcessTaskPool:
                 ) in running.items():
                     elapsed = time.perf_counter() - t0
                     if conn in ready or conn.poll(0):
-                        status, payload = None, None
+                        status, payload, telemetry = None, None, None
                         try:
-                            status, payload = conn.recv()
+                            message = conn.recv()
+                            status, payload = message[0], message[1]
+                            if len(message) > 2:
+                                telemetry = message[2]
                         except (EOFError, OSError):
                             pass
+                        obs.absorb_payload(telemetry)
+                        obs.tracer().complete(
+                            "pool/dispatch",
+                            t0 * 1e6,
+                            time.perf_counter() * 1e6,
+                            tid=process.pid,
+                            index=index,
+                            attempt=attempt,
+                            status=status or "crashed",
+                        )
                         process.join(timeout=5.0)
                         if process.is_alive():
                             process.terminate()
@@ -348,6 +380,7 @@ class ProcessTaskPool:
                     ):
                         process.terminate()
                         process.join()
+                        obs.metrics().inc("pool.tasks_timeout")
                         outcomes[index] = TaskOutcome(
                             index=index,
                             status=FAILED,
@@ -373,7 +406,9 @@ class ProcessTaskPool:
         self, pending, outcomes, index, target, args, attempt, process, elapsed
     ) -> None:
         """A worker died without reporting: retry or fail the task."""
+        obs.metrics().inc("pool.tasks_crashed")
         if attempt <= self.max_retries:
+            obs.metrics().inc("pool.task_retries")
             pending.append((index, target, args, attempt + 1))
             return
         outcomes[index] = TaskOutcome(
@@ -569,18 +604,19 @@ def solve_lifted_parallel(
     # each partition's (deterministic) solve order, duplicates joined.
     values: Dict[Tuple[Instruction, object], object] = {}
     merged_stats: Dict[str, object] = {}
-    for outcome in results:
-        payload = outcome.result
-        decoded = decode_constraints(system, payload["constraints"])
-        for stmt_ref, fact_payload, ref in payload["entries"]:
-            key = (stmts[stmt_ref], _decode_value(fact_payload, stmts))
-            old = values.get(key)
-            value = decoded[ref]
-            values[key] = value if old is None else (old | value)
-        for name, count in payload["stats"].items():
-            if isinstance(count, bool) or not isinstance(count, int):
-                continue
-            merged_stats[name] = merged_stats.get(name, 0) + count
+    with obs.tracer().span("spllift/parallel/merge", partitions=partition_count):
+        for outcome in results:
+            payload = outcome.result
+            decoded = decode_constraints(system, payload["constraints"])
+            for stmt_ref, fact_payload, ref in payload["entries"]:
+                key = (stmts[stmt_ref], _decode_value(fact_payload, stmts))
+                old = values.get(key)
+                value = decoded[ref]
+                values[key] = value if old is None else (old | value)
+            for name, count in payload["stats"].items():
+                if isinstance(count, bool) or not isinstance(count, int):
+                    continue
+                merged_stats[name] = merged_stats.get(name, 0) + count
     merged_stats["worklist_order"] = results[0].result["stats"].get(
         "worklist_order"
     )

@@ -29,6 +29,7 @@ from repro.featuremodel.model import FeatureModel
 from repro.ide.solver import IDEResults, IDESolver
 from repro.ifds.problem import IFDSProblem, ZERO
 from repro.ir.instructions import Instruction
+from repro.obs import runtime as obs
 
 __all__ = ["SPLLift", "SPLLiftResults"]
 
@@ -213,6 +214,27 @@ class SPLLift(Generic[D]):
         from repro.core.parallel import resolve_parallel, solve_lifted_parallel
 
         workers = resolve_parallel(parallel)
+        # Live progress gets the BDD substrate's node count alongside the
+        # solver's own fields; set here because only this layer knows the
+        # constraint system.
+        progress = obs.progress()
+        if progress is not None and hasattr(self.system, "solver_stats"):
+            system = self.system
+            progress.extra = lambda: {
+                "bdd_nodes": system.solver_stats()["bdd_nodes"]
+            }
+        with obs.tracer().span(
+            "spllift/solve", workers=workers, fm_mode=self.fm_mode
+        ):
+            results = self._solve_timed(worklist_order, order_seed, workers)
+        self._publish_bdd_metrics()
+        return results
+
+    def _solve_timed(
+        self, worklist_order: Optional[str], order_seed: int, workers: int
+    ) -> SPLLiftResults[D]:
+        from repro.core.parallel import solve_lifted_parallel
+
         started = time.perf_counter()
         if workers > 1:
             merged = solve_lifted_parallel(
@@ -243,3 +265,17 @@ class SPLLift(Generic[D]):
             dict(solver.stats),
             elapsed,
         )
+
+    def _publish_bdd_metrics(self) -> None:
+        """Sample the BDD substrate into the registry (gauges: levels, not
+        increments — `solver_stats` is cumulative over the system's life)."""
+        if not hasattr(self.system, "solver_stats"):
+            return
+        stats = self.system.solver_stats()
+        metrics = obs.metrics()
+        for name, value in stats.items():
+            metrics.gauge_max(f"bdd.{name}", value)
+        hits = stats.get("bdd_apply_cache_hits", 0)
+        calls = hits + stats.get("bdd_apply_cache_misses", 0)
+        if calls:
+            metrics.gauge("bdd.apply_hit_ratio", hits / calls)

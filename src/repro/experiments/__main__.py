@@ -58,7 +58,24 @@ def main(argv=None) -> int:
         "processes (0 = all cores; default: $SPLLIFT_PARALLEL, else 1); "
         "results are bit-identical to a sequential campaign",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a merged Chrome trace_event span trace of the whole "
+        "campaign here (opens in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics_file",
+        metavar="FILE",
+        help="write the aggregated metrics registry as JSON here",
+    )
     args = parser.parse_args(argv)
+
+    from repro.obs import runtime as obs
+
+    if args.trace:
+        obs.enable_tracing()
 
     store = None
     if args.cache_dir:
@@ -100,6 +117,28 @@ def main(argv=None) -> int:
 
         print(render_scaling(run_scaling(UninitializedVariablesAnalysis)))
         print()
+
+    if args.trace:
+        from repro.obs.trace import write_trace
+
+        count = write_trace(
+            obs.tracer().events(), args.trace, run_id=obs.run_id()
+        )
+        print(
+            f"trace: {count} event(s) written to {args.trace}", file=sys.stderr
+        )
+        obs.disable_tracing()
+    if args.metrics_file:
+        import json
+
+        report = {
+            "schema": "spllift-metrics/v1",
+            "run_id": obs.run_id(),
+            "metrics": obs.metrics().describe(),
+        }
+        with open(args.metrics_file, "w") as handle:
+            handle.write(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"metrics written to {args.metrics_file}", file=sys.stderr)
     return 0
 
 

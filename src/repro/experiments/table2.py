@@ -26,6 +26,7 @@ from repro.experiments.harness import (
     run_spllift_cached,
 )
 from repro.ifds.problem import IFDSProblem
+from repro.obs import runtime as obs
 from repro.spl.benchmarks import paper_subjects
 from repro.spl.product_line import ProductLine
 from repro.utils.tables import render_table
@@ -70,11 +71,16 @@ def _table2_cell_task(
     """
     seconds: Optional[float] = None
     record: Optional[Dict[str, object]] = None
-    if need_spllift:
-        seconds, record, _ = run_spllift_cached(product_line, analysis_class)
-    campaign = run_a2_campaign(
-        product_line, analysis_class, cutoff_seconds=cutoff_seconds
-    )
+    with obs.tracer().span(
+        "table2/cell",
+        subject=product_line.name,
+        analysis=analysis_class.__name__,
+    ):
+        if need_spllift:
+            seconds, record, _ = run_spllift_cached(product_line, analysis_class)
+        campaign = run_a2_campaign(
+            product_line, analysis_class, cutoff_seconds=cutoff_seconds
+        )
     return seconds, record, campaign
 
 
@@ -111,7 +117,15 @@ def run_table2(
     """
     subjects = subjects if subjects is not None else paper_subjects()
     workers = resolve_parallel(parallel)
+    with obs.tracer().span("table2/campaign", workers=workers):
+        return _run_table2_campaign(
+            subjects, analyses, cutoff_seconds, store, workers
+        )
 
+
+def _run_table2_campaign(
+    subjects, analyses, cutoff_seconds, store, workers
+) -> List[Table2Row]:
     # Shared prerequisites stay in the parent: subjects are built (and
     # their call-graph time measured) once, store hits are served here.
     prepared = []  # (row, product_line)

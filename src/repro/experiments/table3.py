@@ -23,6 +23,7 @@ from repro.experiments.harness import run_spllift_cached
 from repro.experiments.table2 import _store_hit
 from repro.ifds.problem import IFDSProblem
 from repro.ifds.solver import IFDSSolver
+from repro.obs import runtime as obs
 from repro.spl.benchmarks import paper_subjects
 from repro.spl.product_line import ProductLine
 from repro.utils.tables import render_table
@@ -85,15 +86,20 @@ def _table3_cell_task(
     """
     regarded = regarded_record = None
     ignored = ignored_record = None
-    if need_regarded:
-        regarded, regarded_record, _ = run_spllift_cached(
-            product_line, analysis_class, fm_mode="edge"
-        )
-    if need_ignored:
-        ignored, ignored_record, _ = run_spllift_cached(
-            product_line, analysis_class, fm_mode="ignore"
-        )
-    average = _a2_average(product_line, analysis_class)
+    with obs.tracer().span(
+        "table3/cell",
+        subject=product_line.name,
+        analysis=analysis_class.__name__,
+    ):
+        if need_regarded:
+            regarded, regarded_record, _ = run_spllift_cached(
+                product_line, analysis_class, fm_mode="edge"
+            )
+        if need_ignored:
+            ignored, ignored_record, _ = run_spllift_cached(
+                product_line, analysis_class, fm_mode="ignore"
+            )
+        average = _a2_average(product_line, analysis_class)
     return regarded, regarded_record, ignored, ignored_record, average
 
 
@@ -113,7 +119,11 @@ def run_table3(
     """
     subjects = subjects if subjects is not None else paper_subjects()
     workers = resolve_parallel(parallel)
+    with obs.tracer().span("table3/campaign", workers=workers):
+        return _run_table3_campaign(subjects, analyses, store, workers)
 
+
+def _run_table3_campaign(subjects, analyses, store, workers) -> List[Table3Row]:
     prepared = []  # (row, product_line)
     for name, builder in subjects:
         prepared.append((Table3Row(benchmark=name), builder()))

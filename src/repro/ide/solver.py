@@ -39,6 +39,7 @@ from repro.ide.problem import IDEProblem
 from repro.ir.instructions import Instruction
 from repro.ir.program import IRMethod
 from repro.ir.rpo import RPORanker
+from repro.obs import runtime as obs
 
 __all__ = ["IDESolver", "IDEResults", "WORKLIST_ORDERS", "BucketQueue"]
 
@@ -263,10 +264,20 @@ class IDESolver(Generic[D, V]):
 
     def solve(self) -> IDEResults[D, V]:
         """Run both phases and return the solved values."""
-        self._build_jump_functions()
-        values = self._compute_values()
+        tracer = obs.tracer()
+        with tracer.span("ide/solve", order=self._order):
+            with tracer.span("ide/phase1/tabulation"):
+                self._build_jump_functions()
+            with tracer.span("ide/phase2/values"):
+                values = self._compute_values()
         self.stats.update(self.problem.edge_cache_stats())
         self.stats["worklist_order"] = self._order
+        # Mirror the per-solve stats dict (the compatibility view) into
+        # the process-wide registry, where campaigns aggregate.
+        obs.publish_stats("ide.solver", self.stats)
+        progress = obs.progress()
+        if progress is not None:
+            progress.finish()
         return IDEResults(values, self.problem.top_value(), self.problem.zero)
 
     def _build_jump_functions(self) -> None:
@@ -280,7 +291,18 @@ class IDESolver(Generic[D, V]):
         jump = self._jump
         fifo = self._order == "fifo"
         use_heap = self._use_heap
+        progress = obs.progress()
+        tick = 0
         while worklist:
+            # Live progress, masked to one pop in ~1k so the hot loop
+            # pays a mask-and-branch, nothing more.
+            tick += 1
+            if (tick & 1023) == 0 and progress is not None:
+                progress.tick(
+                    "ide/phase1",
+                    worklist=len(worklist),
+                    jumps=self.stats["jump_functions"],
+                )
             # Inlined `_pop` for the default and rpo orders; every
             # propagated entry has a jump-table row, so the lookup can
             # index directly.
@@ -603,32 +625,34 @@ class IDESolver(Generic[D, V]):
             return True
 
         # Phase II(i): start points and call sites.
+        tracer = obs.tracer()
         worklist: Deque[Tuple[Instruction, D]] = deque()
-        for stmt, fact_values in self.problem.initial_seed_values().items():
-            for fact, value in fact_values.items():
-                if set_value(stmt, fact, value):
-                    worklist.append((stmt, fact))
-        while worklist:
-            n, d = worklist.popleft()
-            value = values.get((n, d), top)
-            method = self.icfg.method_of(n)
-            if n is self.icfg.start_point_of(method):
-                for call in self.icfg.call_sites_in(method):
-                    # Indexed jump table: enumerate only the pairs whose
-                    # source fact is `d` instead of scanning all (d1, d2).
-                    rows = self._jump.get(call)
-                    row = rows.get(d) if rows is not None else None
-                    if not row:
-                        continue
-                    for d2, f in row.items():
-                        if set_value(call, d2, f.compute_target(value)):
-                            worklist.append((call, d2))
-            if self.icfg.is_call(n):
-                for callee, start, entry_facts in self._call_targets(n, d):
-                    for d3 in entry_facts:
-                        edge = self.problem.edge_call(n, d, callee, d3)
-                        if set_value(start, d3, edge.compute_target(value)):
-                            worklist.append((start, d3))
+        with tracer.span("ide/phase2/i"):
+            for stmt, fact_values in self.problem.initial_seed_values().items():
+                for fact, value in fact_values.items():
+                    if set_value(stmt, fact, value):
+                        worklist.append((stmt, fact))
+            while worklist:
+                n, d = worklist.popleft()
+                value = values.get((n, d), top)
+                method = self.icfg.method_of(n)
+                if n is self.icfg.start_point_of(method):
+                    for call in self.icfg.call_sites_in(method):
+                        # Indexed jump table: enumerate only the pairs whose
+                        # source fact is `d` instead of scanning all (d1, d2).
+                        rows = self._jump.get(call)
+                        row = rows.get(d) if rows is not None else None
+                        if not row:
+                            continue
+                        for d2, f in row.items():
+                            if set_value(call, d2, f.compute_target(value)):
+                                worklist.append((call, d2))
+                if self.icfg.is_call(n):
+                    for callee, start, entry_facts in self._call_targets(n, d):
+                        for d3 in entry_facts:
+                            edge = self.problem.edge_call(n, d, callee, d3)
+                            if set_value(start, d3, edge.compute_target(value)):
+                                worklist.append((start, d3))
 
         # Phase II(ii): every remaining node via its jump function.  The
         # two-level index looks up the start value once per source fact.
@@ -638,39 +662,42 @@ class IDESolver(Generic[D, V]):
         # to the value lattice (ROADMAP "batch constraint joins").
         jump = self._jump
         batch_joins = 0
-        for method in self.icfg.reachable_methods:
-            start = self.icfg.start_point_of(method)
-            # Start values looked up once per source fact per method, not
-            # once per (statement, source fact) pair.
-            start_values: Dict[D, V] = {}
-            for stmt in method.instructions:
-                if stmt is start:
-                    continue
-                rows = jump.get(stmt)
-                if rows is None:
-                    continue
-                incoming: Dict[D, List[V]] = {}
-                for d1, row in rows.items():
-                    start_value = start_values.get(d1)
-                    if start_value is None:
-                        start_value = start_values[d1] = values.get(
-                            (start, d1), top
-                        )
-                    if start_value == top:
+        with tracer.span("ide/phase2/ii"):
+            for method in self.icfg.reachable_methods:
+                start = self.icfg.start_point_of(method)
+                # Start values looked up once per source fact per method, not
+                # once per (statement, source fact) pair.
+                start_values: Dict[D, V] = {}
+                for stmt in method.instructions:
+                    if stmt is start:
                         continue
-                    for d2, f in row.items():
-                        contributions = incoming.get(d2)
-                        if contributions is None:
-                            contributions = incoming[d2] = []
-                        contributions.append(f.compute_target(start_value))
-                for d2, contributions in incoming.items():
-                    if len(contributions) == 1:
-                        set_value(stmt, d2, contributions[0])
-                    else:
-                        batch_joins += 1
-                        set_value(
-                            stmt, d2, self.problem.join_all_values(contributions)
-                        )
+                    rows = jump.get(stmt)
+                    if rows is None:
+                        continue
+                    incoming: Dict[D, List[V]] = {}
+                    for d1, row in rows.items():
+                        start_value = start_values.get(d1)
+                        if start_value is None:
+                            start_value = start_values[d1] = values.get(
+                                (start, d1), top
+                            )
+                        if start_value == top:
+                            continue
+                        for d2, f in row.items():
+                            contributions = incoming.get(d2)
+                            if contributions is None:
+                                contributions = incoming[d2] = []
+                            contributions.append(f.compute_target(start_value))
+                    for d2, contributions in incoming.items():
+                        if len(contributions) == 1:
+                            set_value(stmt, d2, contributions[0])
+                        else:
+                            batch_joins += 1
+                            set_value(
+                                stmt,
+                                d2,
+                                self.problem.join_all_values(contributions),
+                            )
         self.stats["value_updates"] += value_updates
         self.stats["value_batch_joins"] += batch_joins
         return values

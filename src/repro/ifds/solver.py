@@ -38,6 +38,7 @@ from repro.ifds.problem import IFDSProblem
 from repro.ir.instructions import Instruction
 from repro.ir.program import IRMethod
 from repro.ir.rpo import RPORanker
+from repro.obs import runtime as obs
 
 __all__ = ["IFDSSolver", "IFDSResults"]
 
@@ -145,6 +146,18 @@ class IFDSSolver(Generic[D]):
 
     def solve(self) -> IFDSResults[D]:
         """Run the tabulation to a fixed point and collect results."""
+        with obs.tracer().span("ifds/tabulation", order=self._order):
+            self._tabulate()
+        obs.publish_stats("ifds.solver", self.stats)
+        progress = obs.progress()
+        if progress is not None:
+            progress.finish()
+        facts_at: Dict[Instruction, Set[D]] = {
+            n: {d2 for (_, d2) in edges} for n, edges in self._path_edges.items()
+        }
+        return IFDSResults(facts_at, self.problem.zero)
+
+    def _tabulate(self) -> None:
         for stmt, facts in self.problem.initial_seeds().items():
             for fact in facts:
                 self._propagate(fact, stmt, fact)
@@ -152,7 +165,16 @@ class IFDSSolver(Generic[D]):
         kind_cache = self._kind_cache
         fifo = self._order == "fifo"
         use_heap = self._use_heap
+        progress = obs.progress()
+        tick = 0
         while worklist:
+            tick += 1
+            if (tick & 1023) == 0 and progress is not None:
+                progress.tick(
+                    "ifds/tabulation",
+                    worklist=len(worklist),
+                    path_edges=self.stats["path_edges"],
+                )
             if fifo:
                 d1, n, d2 = worklist.popleft()
             elif use_heap:
@@ -184,10 +206,6 @@ class IFDSSolver(Generic[D]):
                 self._process_exit(d1, n, d2)
                 if kind == 3:
                     self._process_normal(d1, n, d2)
-        facts_at: Dict[Instruction, Set[D]] = {
-            n: {d2 for (_, d2) in edges} for n, edges in self._path_edges.items()
-        }
-        return IFDSResults(facts_at, self.problem.zero)
 
     def _propagate(self, d1: D, n: Instruction, d2: D) -> None:
         edges = self._path_edges.get(n)

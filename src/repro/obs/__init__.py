@@ -1,0 +1,66 @@
+"""`repro.obs` — zero-dependency telemetry: metrics, tracing, progress.
+
+Import discipline: this package must import **only the standard
+library** (plus its own submodules), because instrumented modules deep
+inside ``repro`` import it during package initialization.  Those
+modules use ``from repro.obs import runtime as obs`` — a submodule
+import that is safe while ``repro/__init__`` is still executing.
+"""
+
+from repro.obs.metrics import HISTOGRAM_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.runtime import (
+    RUN_ID_ENV,
+    TELEMETRY_ENV,
+    absorb_payload,
+    activate_worker,
+    disable_tracing,
+    enable_tracing,
+    ensure_run_id,
+    metrics,
+    progress,
+    publish_stats,
+    reset,
+    run_id,
+    set_progress,
+    tracer,
+    tracing_enabled,
+    worker_payload,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    read_trace,
+    summarize_trace,
+    write_trace,
+)
+
+__all__ = [
+    "HISTOGRAM_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "RUN_ID_ENV",
+    "TELEMETRY_ENV",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "read_trace",
+    "summarize_trace",
+    "write_trace",
+    "absorb_payload",
+    "activate_worker",
+    "disable_tracing",
+    "enable_tracing",
+    "ensure_run_id",
+    "metrics",
+    "progress",
+    "publish_stats",
+    "reset",
+    "run_id",
+    "set_progress",
+    "tracer",
+    "tracing_enabled",
+    "worker_payload",
+]

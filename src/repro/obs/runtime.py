@@ -1,0 +1,198 @@
+"""Process-global telemetry state and the cross-process protocol.
+
+One process holds one :class:`~repro.obs.metrics.MetricsRegistry`
+(always on — recording a counter is a dict update, and only at phase
+boundaries, store operations and pool events, never per propagation)
+and one tracer (a :class:`~repro.obs.trace.NullTracer` until tracing is
+explicitly enabled, so the disabled path is a no-op guard).
+
+Cross-process flow (``repro.core.parallel`` workers and scheduler jobs):
+
+1. the parent calls :func:`ensure_run_id` / :func:`enable_tracing`,
+   which pin ``$SPLLIFT_RUN_ID`` (a uuid — workers must never mint their
+   own, date-dependent or otherwise) and ``$SPLLIFT_TELEMETRY`` in the
+   environment the workers inherit;
+2. each worker's entry point calls :func:`activate_worker`, installing a
+   **fresh** registry and tracer — under ``fork`` the child would
+   otherwise inherit the parent's buffers and double-report them;
+3. the worker ships :func:`worker_payload` (metric snapshot + drained
+   span buffer) back over its existing result pipe;
+4. the parent folds it in with :func:`absorb_payload` — counters add,
+   spans interleave on the shared monotonic timeline — so a ``-j 8``
+   campaign still yields one registry and one coherent trace.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "RUN_ID_ENV",
+    "TELEMETRY_ENV",
+    "metrics",
+    "tracer",
+    "progress",
+    "tracing_enabled",
+    "run_id",
+    "ensure_run_id",
+    "enable_tracing",
+    "disable_tracing",
+    "set_progress",
+    "publish_stats",
+    "reset",
+    "activate_worker",
+    "worker_payload",
+    "absorb_payload",
+]
+
+#: Campaign-wide run identifier, minted once in the parent and inherited
+#: by every worker through the environment.
+RUN_ID_ENV = "SPLLIFT_RUN_ID"
+
+#: Set (to "1") while tracing is enabled, so worker processes — forked
+#: or spawned — re-activate span collection on their side of the pipe.
+TELEMETRY_ENV = "SPLLIFT_TELEMETRY"
+
+
+class _ObsState:
+    __slots__ = ("metrics", "tracer", "progress")
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = NULL_TRACER
+        self.progress: Optional[ProgressReporter] = None
+
+
+_state = _ObsState()
+
+
+# ----------------------------------------------------------------------
+# Accessors
+# ----------------------------------------------------------------------
+
+
+def metrics() -> MetricsRegistry:
+    """This process's metrics registry (always available)."""
+    return _state.metrics
+
+
+def tracer():
+    """The active tracer — a :class:`NullTracer` unless tracing is on."""
+    return _state.tracer
+
+
+def progress() -> Optional[ProgressReporter]:
+    """The live progress reporter, or ``None`` (the default)."""
+    return _state.progress
+
+
+def tracing_enabled() -> bool:
+    return _state.tracer.enabled
+
+
+def run_id() -> Optional[str]:
+    """The campaign run id, if one has been established."""
+    return os.environ.get(RUN_ID_ENV) or None
+
+
+def ensure_run_id() -> str:
+    """The run id, minting one (uuid4) if this process is the first."""
+    value = os.environ.get(RUN_ID_ENV)
+    if not value:
+        value = uuid.uuid4().hex[:16]
+        os.environ[RUN_ID_ENV] = value
+    return value
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+
+def enable_tracing() -> Tracer:
+    """Install a recording tracer (idempotent) and mark the environment
+    so worker processes activate tracing too."""
+    if not isinstance(_state.tracer, Tracer):
+        _state.tracer = Tracer(run_id=ensure_run_id())
+        os.environ[TELEMETRY_ENV] = "1"
+    return _state.tracer
+
+
+def disable_tracing() -> None:
+    _state.tracer = NULL_TRACER
+    os.environ.pop(TELEMETRY_ENV, None)
+
+
+def set_progress(reporter: Optional[ProgressReporter]) -> None:
+    _state.progress = reporter
+
+
+def reset() -> None:
+    """Fresh registry, null tracer, no progress (tests, worker startup)."""
+    _state.metrics = MetricsRegistry()
+    _state.tracer = NULL_TRACER
+    _state.progress = None
+
+
+def publish_stats(prefix: str, stats: Dict[str, object]) -> None:
+    """Mirror a legacy ``stats`` dict into the registry as counters.
+
+    Only plain-int values are counters (booleans and strings — e.g.
+    ``worklist_order`` — stay in the dict-only view).  The dict remains
+    the per-solve compatibility view; the registry accumulates across
+    solves, which is what campaign-level aggregation wants.
+    """
+    inc = _state.metrics.inc
+    for name, value in stats.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        inc(f"{prefix}.{name}", value)
+
+
+# ----------------------------------------------------------------------
+# Worker protocol
+# ----------------------------------------------------------------------
+
+
+def activate_worker() -> None:
+    """Re-initialize telemetry inside a worker process.
+
+    Installs a fresh registry (a forked child inherits the parent's —
+    snapshotting that would double-count every merged counter) and, when
+    ``$SPLLIFT_TELEMETRY`` is set, a fresh tracer bound to the worker's
+    own pid.
+    """
+    _state.metrics = MetricsRegistry()
+    _state.progress = None
+    if os.environ.get(TELEMETRY_ENV) == "1":
+        _state.tracer = Tracer(run_id=run_id())
+    else:
+        _state.tracer = NULL_TRACER
+
+
+def worker_payload() -> Dict[str, object]:
+    """What a worker ships back beside its result: the metric snapshot
+    and (when tracing) its drained span buffer."""
+    return {
+        "metrics": _state.metrics.snapshot(),
+        "events": _state.tracer.drain(),
+        "run_id": run_id(),
+    }
+
+
+def absorb_payload(payload: Optional[Dict[str, object]]) -> None:
+    """Parent side: merge one worker's payload into this process."""
+    if not payload:
+        return
+    snapshot = payload.get("metrics")
+    if snapshot:
+        _state.metrics.merge(snapshot)
+    events: List[dict] = payload.get("events") or []
+    if events:
+        _state.tracer.absorb(events)

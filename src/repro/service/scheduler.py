@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.parallel import ProcessTaskPool
+from repro.obs import runtime as obs
 from repro.service.jobs import AnalysisJob
 from repro.service.store import ResultStore
 from repro.service.worker import execute_job
@@ -163,53 +164,62 @@ class BatchScheduler:
 
     def run(self, jobs: Sequence[AnalysisJob]) -> BatchReport:
         started = time.perf_counter()
+        obs.ensure_run_id()
         outcomes: Dict[int, JobOutcome] = {}
         cold: List[Tuple[int, AnalysisJob]] = []
+        metrics = obs.metrics()
 
-        # Warm path: serve every digest the store already has.
-        for index, job in enumerate(jobs):
-            record = self.store.get(job.digest) if self.store else None
-            if record is not None:
-                outcomes[index] = JobOutcome(
-                    job=job, status=CACHED, record=record, executor="store"
-                )
-            else:
-                cold.append((index, job))
-
-        peak_workers = 0
-        if cold:
-            pool = ProcessTaskPool(
-                max_workers=self.max_workers,
-                task_timeout=self.job_timeout,
-                max_retries=self.max_retries,
-                use_pool=self.use_pool,
-            )
-            tasks = [(execute_job, (job,)) for _, job in cold]
-            results = pool.run(tasks)
-            peak_workers = pool.peak_workers
-            for (index, job), task in zip(cold, results):
-                if task.ok:
-                    if self.store is not None:
-                        self.store.put(task.result)
+        with obs.tracer().span(
+            "service/batch", jobs=len(jobs), run_id=obs.run_id()
+        ):
+            # Warm path: serve every digest the store already has.
+            for index, job in enumerate(jobs):
+                record = self.store.get(job.digest) if self.store else None
+                if record is not None:
                     outcomes[index] = JobOutcome(
-                        job=job,
-                        status=COMPUTED,
-                        attempts=task.attempts,
-                        seconds=task.seconds,
-                        record=task.result,
-                        executor=task.executor,
+                        job=job, status=CACHED, record=record, executor="store"
                     )
                 else:
-                    outcomes[index] = JobOutcome(
-                        job=job,
-                        status=FAILED,
-                        attempts=task.attempts,
-                        seconds=task.seconds,
-                        error=task.error,
-                        executor=task.executor,
-                    )
+                    cold.append((index, job))
+
+            peak_workers = 0
+            if cold:
+                pool = ProcessTaskPool(
+                    max_workers=self.max_workers,
+                    task_timeout=self.job_timeout,
+                    max_retries=self.max_retries,
+                    use_pool=self.use_pool,
+                )
+                tasks = [(execute_job, (job,)) for _, job in cold]
+                results = pool.run(tasks)
+                peak_workers = pool.peak_workers
+                for (index, job), task in zip(cold, results):
+                    if task.ok:
+                        if self.store is not None:
+                            self.store.put(task.result)
+                        outcomes[index] = JobOutcome(
+                            job=job,
+                            status=COMPUTED,
+                            attempts=task.attempts,
+                            seconds=task.seconds,
+                            record=task.result,
+                            executor=task.executor,
+                        )
+                    else:
+                        outcomes[index] = JobOutcome(
+                            job=job,
+                            status=FAILED,
+                            attempts=task.attempts,
+                            seconds=task.seconds,
+                            error=task.error,
+                            executor=task.executor,
+                        )
 
         ordered = [outcomes[index] for index in range(len(jobs))]
+        for outcome in ordered:
+            metrics.inc(f"scheduler.jobs_{outcome.status}")
+            metrics.inc("scheduler.job_attempts", outcome.attempts)
+            metrics.observe("scheduler.job_seconds", outcome.seconds)
         if any(outcome.executor == "pool" for outcome in ordered):
             workers = max(1, peak_workers)
         elif any(outcome.executor == "inline" for outcome in ordered):

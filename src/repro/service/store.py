@@ -21,8 +21,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterator, Optional
+
+from repro.obs import runtime as obs
 
 __all__ = ["ResultStore", "default_cache_dir"]
 
@@ -63,6 +66,14 @@ class ResultStore:
     def get(self, digest: str) -> Optional[Dict[str, object]]:
         """The stored record, or ``None`` on a miss (including corrupt or
         mis-keyed records — a cache must fail open, toward recomputing)."""
+        t0 = time.perf_counter()
+        record = self._get(digest)
+        metrics = obs.metrics()
+        metrics.observe("store.get_seconds", time.perf_counter() - t0)
+        metrics.inc("store.get_hits" if record is not None else "store.get_misses")
+        return record
+
+    def _get(self, digest: str) -> Optional[Dict[str, object]]:
         path = self.path_for(digest)
         try:
             text = path.read_text()
@@ -97,6 +108,14 @@ class ResultStore:
 
     def put(self, record: Dict[str, object]) -> Path:
         """Persist a record under its own ``digest`` key (atomically)."""
+        t0 = time.perf_counter()
+        path = self._put(record)
+        metrics = obs.metrics()
+        metrics.observe("store.put_seconds", time.perf_counter() - t0)
+        metrics.inc("store.puts")
+        return path
+
+    def _put(self, record: Dict[str, object]) -> Path:
         digest = record.get("digest")
         if not isinstance(digest, str) or len(digest) < 8:
             raise ValueError(f"record has no usable digest: {digest!r}")
@@ -155,12 +174,26 @@ class ResultStore:
                         continue
                     kind = str(record.get("schema", "unknown"))
                     kinds[kind] = kinds.get(kind, 0) + 1
+        metrics = obs.metrics()
         return {
             "root": str(self.root),
             "records": records,
             "bytes": total_bytes,
             "kinds": kinds,
             "corrupt": corrupt,
+            # This-process traffic (all stores share one registry): what
+            # `spllift cache stats` and the batch summary report as the
+            # session hit ratio.
+            "session": {
+                "gets": metrics.counter_value("store.get_hits")
+                + metrics.counter_value("store.get_misses"),
+                "hits": metrics.counter_value("store.get_hits"),
+                "misses": metrics.counter_value("store.get_misses"),
+                "puts": metrics.counter_value("store.puts"),
+                "hit_ratio": metrics.hit_ratio(
+                    "store.get_hits", "store.get_misses"
+                ),
+            },
         }
 
     def prune(self, max_bytes: int) -> Dict[str, object]:

@@ -28,6 +28,7 @@ import signal
 import time
 from typing import Dict
 
+from repro.obs import runtime as obs
 from repro.service.jobs import AnalysisJob, resolve_analysis
 from repro.service.store import RESULT_SCHEMA
 
@@ -55,6 +56,17 @@ def _maybe_crash(job: AnalysisJob) -> None:
 
 def execute_job(job: AnalysisJob) -> Dict[str, object]:
     """Run one analysis job and return its store-ready record."""
+    with obs.tracer().span(
+        "service/job",
+        label=job.label,
+        analysis=job.analysis,
+        digest=job.digest[:12],
+        run_id=obs.run_id(),
+    ):
+        return _execute_job(job)
+
+
+def _execute_job(job: AnalysisJob) -> Dict[str, object]:
     from repro.core.solver import SPLLift
     from repro.spl.product_line import ProductLine
 

@@ -1,0 +1,110 @@
+"""Cross-process aggregation property: the parent's merged counters equal
+the sum of what surviving workers actually shipped.
+
+Worker targets are module-level (picklable) and misbehave only inside a
+real worker process (gated on ``SPLLIFT_WORKER``, the idiom from
+``tests/core/test_parallel.py``), so the crash-retry and timeout paths
+exercise genuinely killed processes.  A killed worker's telemetry dies
+with its pipe — its partial counters must *not* appear in the parent —
+while a retried attempt that succeeds contributes exactly once.
+"""
+
+import os
+import tempfile
+import time
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parallel import ProcessTaskPool
+from repro.obs import runtime as obs
+
+
+def _work(amount):
+    obs.metrics().inc("prop.work", amount)
+    with obs.tracer().span("prop/task", amount=amount):
+        pass
+    return amount
+
+
+def _work_crash_once(amount, marker):
+    if os.environ.get("SPLLIFT_WORKER") and not os.path.exists(marker):
+        obs.metrics().inc("prop.work", amount)  # dies with the worker
+        open(marker, "w").close()
+        os._exit(9)
+    return _work(amount)
+
+
+def _work_timeout(amount):
+    obs.metrics().inc("prop.work", amount)  # never reaches the parent
+    if os.environ.get("SPLLIFT_WORKER"):
+        time.sleep(30)
+    return amount
+
+
+class TestMergedCounterProperty:
+    @given(
+        amounts=st.lists(st.integers(1, 50), min_size=1, max_size=3),
+        crash_amount=st.integers(1, 50),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_merge_equals_sum_of_surviving_workers(
+        self, amounts, crash_amount
+    ):
+        # hypothesis re-runs the body without re-running the autouse
+        # fixture, so clear the process-global registry per example.
+        obs.reset()
+        with tempfile.TemporaryDirectory() as tmp:
+            marker = os.path.join(tmp, "crash-marker")
+            tasks = [(_work, (amount,)) for amount in amounts]
+            tasks.append((_work_crash_once, (crash_amount, marker)))
+            pool = ProcessTaskPool(max_workers=2, max_retries=1)
+            outcomes = pool.run(tasks)
+
+        all_amounts = amounts + [crash_amount]
+        expected = sum(
+            amount
+            for outcome, amount in zip(outcomes, all_amounts)
+            if outcome.ok
+        )
+        registry = obs.metrics()
+        assert registry.counter_value("prop.work") == expected
+        completed = sum(1 for outcome in outcomes if outcome.ok)
+        assert registry.counter_value("pool.tasks_completed") == completed
+        # The first attempt of the crash-once task really died and was
+        # requeued; its successful retry is the only contribution.
+        if outcomes[-1].ok and outcomes[-1].attempts == 2:
+            assert registry.counter_value("pool.tasks_crashed") >= 1
+            assert registry.counter_value("pool.task_retries") >= 1
+
+    def test_timed_out_worker_contributes_nothing(self):
+        obs.reset()
+        pool = ProcessTaskPool(max_workers=2, task_timeout=0.4, max_retries=2)
+        healthy, doomed = pool.run([(_work, (5,)), (_work_timeout, (9,))])
+        assert healthy.ok and not doomed.ok
+        registry = obs.metrics()
+        assert registry.counter_value("prop.work") == 5
+        assert registry.counter_value("pool.tasks_timeout") == 1
+        assert registry.counter_value("pool.tasks_completed") == 1
+
+    def test_worker_spans_merge_into_parent_trace(self):
+        obs.reset()
+        obs.enable_tracing()
+        pool = ProcessTaskPool(max_workers=2)
+        outcomes = pool.run([(_work, (amount,)) for amount in (1, 2, 3)])
+        assert all(outcome.ok for outcome in outcomes)
+        events = obs.tracer().events()
+        worker_pids = {
+            event["pid"] for event in events if event["name"] == "prop/task"
+        }
+        # Worker-side spans arrived over the pipes, on worker pids.
+        assert worker_pids
+        assert os.getpid() not in worker_pids
+        # Parent-side dispatch spans: one B/E pair per task.
+        dispatch = [e for e in events if e["name"] == "pool/dispatch"]
+        assert len(dispatch) == 6
+        run_ids = {
+            event["args"]["run_id"]
+            for event in events
+            if event["name"] == "pool/task" and event["ph"] == "B"
+        }
+        assert run_ids == {obs.run_id()}  # one campaign id across workers

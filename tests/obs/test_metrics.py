@@ -1,0 +1,145 @@
+"""Tests for the metrics registry: counters, gauges, histograms, merge."""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import HISTOGRAM_BOUNDS, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean is None
+        assert histogram.min is None and histogram.max is None
+
+    def test_observe_tracks_count_sum_min_max(self):
+        histogram = Histogram()
+        for value in (0.5, 2.0, 0.25):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(2.75)
+        assert histogram.min == 0.25
+        assert histogram.max == 2.0
+        assert histogram.mean == pytest.approx(2.75 / 3)
+
+    def test_buckets_are_exponential_with_overflow(self):
+        histogram = Histogram()
+        histogram.observe(0.0)  # below the first bound
+        histogram.observe(HISTOGRAM_BOUNDS[-1] * 10)  # past the last bound
+        assert histogram.buckets[0] == 1
+        assert histogram.buckets[-1] == 1
+        assert sum(histogram.buckets) == histogram.count
+
+    def test_merge_equals_combined_observation(self):
+        left, right, combined = Histogram(), Histogram(), Histogram()
+        for value in (0.001, 0.5):
+            left.observe(value)
+            combined.observe(value)
+        for value in (3.0, 0.0002):
+            right.observe(value)
+            combined.observe(value)
+        left.merge(right.snapshot())
+        assert left.snapshot() == combined.snapshot()
+
+    def test_merge_into_empty(self):
+        source = Histogram()
+        source.observe(1.5)
+        target = Histogram()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.tasks_completed")
+        registry.inc("pool.tasks_completed", 4)
+        assert registry.counter_value("pool.tasks_completed") == 5
+        assert registry.counter_value("never_written") == 0
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("bdd.nodes", 10.0)
+        registry.gauge("bdd.nodes", 3.0)
+        assert registry.gauge_value("bdd.nodes") == 3.0
+
+    def test_gauge_max_keeps_high_water_mark(self):
+        registry = MetricsRegistry()
+        registry.gauge_max("pool.peak_workers", 2)
+        registry.gauge_max("pool.peak_workers", 8)
+        registry.gauge_max("pool.peak_workers", 4)
+        assert registry.gauge_value("pool.peak_workers") == 8
+
+    def test_observe_creates_histogram(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("store.get_seconds") is None
+        registry.observe("store.get_seconds", 0.01)
+        assert registry.histogram("store.get_seconds").count == 1
+
+    def test_hit_ratio(self):
+        registry = MetricsRegistry()
+        assert registry.hit_ratio("hits", "misses") is None
+        registry.inc("hits", 3)
+        registry.inc("misses", 1)
+        assert registry.hit_ratio("hits", "misses") == pytest.approx(0.75)
+
+    def test_snapshot_is_json_and_pickle_friendly(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.gauge("b", 1.5)
+        registry.observe("c", 0.25)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_merge_adds_counters_and_histograms_maxes_gauges(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.inc("n", 2)
+        parent.gauge("g", 5.0)
+        parent.observe("h", 1.0)
+        worker.inc("n", 3)
+        worker.inc("worker_only", 1)
+        worker.gauge("g", 3.0)
+        worker.observe("h", 2.0)
+        parent.merge(worker.snapshot())
+        assert parent.counter_value("n") == 5
+        assert parent.counter_value("worker_only") == 1
+        assert parent.gauge_value("g") == 5.0  # max, not last-write
+        histogram = parent.histogram("h")
+        assert histogram.count == 2
+        assert histogram.total == pytest.approx(3.0)
+
+    def test_describe_is_sorted_and_has_means(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        registry.observe("lat", 0.5)
+        report = registry.describe()
+        assert list(report["counters"]) == ["a", "z"]
+        assert report["histograms"]["lat"]["mean"] == pytest.approx(0.5)
+
+    @given(
+        chunks=st.lists(
+            st.lists(st.integers(0, 1000), max_size=5), max_size=5
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_order_independent_for_counters(self, chunks):
+        """Merging worker snapshots in any order yields identical sums."""
+        snapshots = []
+        for chunk in chunks:
+            worker = MetricsRegistry()
+            for value in chunk:
+                worker.inc("work", value)
+            snapshots.append(worker.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snapshot in snapshots:
+            forward.merge(snapshot)
+        for snapshot in reversed(snapshots):
+            backward.merge(snapshot)
+        assert forward.counter_value("work") == backward.counter_value("work")
+        assert forward.counter_value("work") == sum(map(sum, chunks))

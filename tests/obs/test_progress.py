@@ -1,0 +1,61 @@
+"""Tests for the live progress line."""
+
+import io
+
+from repro.obs.progress import ProgressReporter
+
+
+class TestProgressReporter:
+    def test_tick_renders_phase_and_fields(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        reporter.tick("ide/phase1", worklist=1234, jumps=56)
+        output = stream.getvalue()
+        assert "ide/phase1" in output
+        assert "worklist 1,234" in output
+        assert "jumps 56" in output
+        assert reporter.updates == 1
+
+    def test_throttled_by_interval(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=3600.0)
+        reporter.tick("phase")
+        reporter.tick("phase")
+        reporter.tick("phase")
+        # First tick lands (last_emit starts at 0); the rest are inside
+        # the interval window and dropped.
+        assert reporter.updates == 1
+
+    def test_extra_provider_fields_are_merged(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        reporter.extra = lambda: {"bdd_nodes": 99}
+        reporter.tick("phase", worklist=1)
+        assert "bdd_nodes 99" in stream.getvalue()
+
+    def test_explicit_fields_beat_extra(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        reporter.extra = lambda: {"worklist": 0}
+        reporter.tick("phase", worklist=42)
+        assert "worklist 42" in stream.getvalue()
+
+    def test_finish_clears_the_line(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        reporter.tick("phase", worklist=7)
+        reporter.finish()
+        assert stream.getvalue().endswith("\r")
+
+    def test_finish_without_tick_writes_nothing(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream).finish()
+        assert stream.getvalue() == ""
+
+    def test_broken_stream_is_tolerated(self):
+        stream = io.StringIO()
+        stream.close()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        reporter.tick("phase")  # must not raise
+        reporter.finish()
+        assert reporter.updates == 0

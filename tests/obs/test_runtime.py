@@ -1,0 +1,156 @@
+"""Tests for the process-global obs runtime and the compat stats view."""
+
+import os
+
+from repro.analyses import TaintAnalysis, UninitializedVariablesAnalysis
+from repro.core import SPLLift
+from repro.ide import IDESolver
+from repro.ide.binary import ifds_as_ide
+from repro.ifds import IFDSSolver
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
+from repro.spl import figure1, figure1_with_model
+
+
+class TestRuntimeState:
+    def test_defaults(self):
+        assert isinstance(obs.metrics(), MetricsRegistry)
+        assert isinstance(obs.tracer(), NullTracer)
+        assert obs.progress() is None
+        assert not obs.tracing_enabled()
+
+    def test_enable_tracing_is_idempotent(self):
+        first = obs.enable_tracing()
+        second = obs.enable_tracing()
+        assert first is second
+        assert obs.tracing_enabled()
+        assert os.environ[obs.TELEMETRY_ENV] == "1"
+        obs.disable_tracing()
+        assert not obs.tracing_enabled()
+        assert obs.TELEMETRY_ENV not in os.environ
+
+    def test_run_id_minted_once_and_inherited(self):
+        assert obs.run_id() is None
+        minted = obs.ensure_run_id()
+        assert obs.ensure_run_id() == minted
+        assert os.environ[obs.RUN_ID_ENV] == minted
+        assert obs.run_id() == minted
+        assert len(minted) == 16
+
+    def test_tracer_carries_run_id(self):
+        tracer = obs.enable_tracing()
+        assert tracer.run_id == obs.run_id()
+
+    def test_publish_stats_skips_non_counters(self):
+        obs.publish_stats(
+            "x", {"n": 3, "flag": True, "order": "rpo", "rate": 0.5}
+        )
+        assert obs.metrics().counter_value("x.n") == 3
+        assert obs.metrics().counters == {"x.n": 3}
+
+    def test_activate_worker_installs_fresh_state(self):
+        obs.metrics().inc("parent_only", 7)
+        obs.activate_worker()
+        assert obs.metrics().counter_value("parent_only") == 0
+        assert isinstance(obs.tracer(), NullTracer)
+
+    def test_activate_worker_respects_telemetry_env(self):
+        obs.enable_tracing()
+        with obs.tracer().span("parent"):
+            pass
+        obs.activate_worker()  # simulates the post-fork child
+        assert isinstance(obs.tracer(), Tracer)
+        assert obs.tracer().events() == []  # parent's buffer not inherited
+
+    def test_worker_payload_roundtrip(self):
+        obs.enable_tracing()
+        obs.activate_worker()
+        obs.metrics().inc("pool.tasks_completed")
+        with obs.tracer().span("pool/task"):
+            pass
+        payload = obs.worker_payload()
+        obs.reset()
+        obs.enable_tracing()
+        obs.absorb_payload(payload)
+        assert obs.metrics().counter_value("pool.tasks_completed") == 1
+        assert [e["name"] for e in obs.tracer().events()] == [
+            "pool/task",
+            "pool/task",
+        ]
+        obs.absorb_payload(None)  # tolerated: crashed worker, old protocol
+        assert obs.metrics().counter_value("pool.tasks_completed") == 1
+
+
+class TestCompatStatsView:
+    """The ISSUE 5 gate: legacy ``stats`` dicts stay authoritative and
+    the registry mirrors them exactly."""
+
+    def test_ide_solver_stats_mirrored_as_counters(self):
+        solver = IDESolver(ifds_as_ide(TaintAnalysis(figure1().icfg)))
+        solver.solve()
+        registry = obs.metrics()
+        mirrored = 0
+        for name, value in solver.stats.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            assert registry.counter_value(f"ide.solver.{name}") == value
+            mirrored += 1
+        assert mirrored >= 4  # jump_functions, flow_applications, ...
+        assert "jump_functions" in solver.stats  # legacy keys still there
+
+    def test_ifds_solver_stats_mirrored_as_counters(self):
+        solver = IFDSSolver(TaintAnalysis(figure1().icfg))
+        solver.solve()
+        registry = obs.metrics()
+        for name, value in solver.stats.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            assert registry.counter_value(f"ifds.solver.{name}") == value
+
+    def test_registry_accumulates_across_solves(self):
+        problem = ifds_as_ide(TaintAnalysis(figure1().icfg))
+        first = IDESolver(problem)
+        first.solve()
+        second = IDESolver(ifds_as_ide(TaintAnalysis(figure1().icfg)))
+        second.solve()
+        total = obs.metrics().counter_value("ide.solver.jump_functions")
+        assert total == (
+            first.stats["jump_functions"] + second.stats["jump_functions"]
+        )
+
+    def test_spllift_solve_publishes_bdd_gauges(self):
+        product_line = figure1_with_model()
+        SPLLift(
+            UninitializedVariablesAnalysis(product_line.icfg),
+            feature_model=product_line.feature_model,
+        ).solve()
+        gauges = obs.metrics().gauges
+        assert any(name.startswith("bdd.") for name in gauges)
+
+
+class TestSolverTracing:
+    def test_sequential_solve_emits_phase_spans(self):
+        obs.enable_tracing()
+        product_line = figure1_with_model()
+        SPLLift(
+            UninitializedVariablesAnalysis(product_line.icfg),
+            feature_model=product_line.feature_model,
+        ).solve()
+        names = {e["name"] for e in obs.tracer().events()}
+        assert {
+            "spllift/solve",
+            "ide/solve",
+            "ide/phase1/tabulation",
+            "ide/phase2/values",
+            "ide/phase2/i",
+            "ide/phase2/ii",
+        } <= names
+
+    def test_untraced_solve_buffers_nothing(self):
+        product_line = figure1_with_model()
+        SPLLift(
+            UninitializedVariablesAnalysis(product_line.icfg),
+            feature_model=product_line.feature_model,
+        ).solve()
+        assert obs.tracer().events() == []

@@ -244,3 +244,78 @@ class TestMoreAnalyses:
     def test_types_analysis(self, spl_file, capsys):
         rc = main(["analyze", spl_file, "--analysis", "types"])
         assert rc == 1  # informational facts at exits
+
+
+class TestTelemetry:
+    """The ``--trace``/``--metrics`` surfaces and ``trace summary``."""
+
+    def test_analyze_trace_writes_chrome_trace(
+        self, spl_file, tmp_path, capsys
+    ):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        events = json.loads(trace_path.read_text())
+        names = {event["name"] for event in events}
+        assert {"spllift/solve", "ide/solve", "ide/phase1/tabulation"} <= names
+        begins = sum(1 for event in events if event["ph"] == "B")
+        ends = sum(1 for event in events if event["ph"] == "E")
+        assert begins == ends and begins > 0
+        # The CLI tears tracing down after the run (in-process callers).
+        from repro.obs import runtime as obs
+
+        assert not obs.tracing_enabled()
+
+    def test_analyze_metrics_report(self, spl_file, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        report = json.loads(metrics_path.read_text())
+        assert report["schema"] == "spllift-metrics/v1"
+        assert report["metrics"]["counters"]["ide.solver.jump_functions"] > 0
+
+    def test_trace_summary_breakdown(self, spl_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "uninit",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["trace", "summary", str(trace_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ide/phase1/tabulation" in out
+        assert "top-level span coverage:" in out
+
+    def test_trace_summary_rejects_eventless_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]\n")
+        rc = main(["trace", "summary", str(empty)])
+        assert rc == 2
+        assert "no trace events" in capsys.readouterr().err
