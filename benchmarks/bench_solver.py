@@ -432,6 +432,95 @@ def run_benchmarks(
         }
 
     rows.append(_record("micro/bdd_kernel/deep_chain_5000", run_deep_chain, rounds))
+
+    # --- BDD kernel micro-benchmark: unique-table churn ----------------
+    # A 48-variable threshold function ("at least 16 of 48") built by
+    # dynamic programming: ~1,300 applies whose intermediates intern and
+    # abandon tens of thousands of distinct nodes — the find-or-create
+    # path and its packed-key probes dominate.
+    def run_unique_churn() -> Dict[str, int]:
+        manager = BDDManager()
+        xs = [manager.var(f"u{i:02d}") for i in range(48)]
+        threshold = 16
+        # counts[j] = BDD for "at least j of the variables seen so far".
+        counts = [manager.true] + [manager.false] * threshold
+        for x in xs:
+            for j in range(threshold, 0, -1):
+                counts[j] = manager.or_(
+                    counts[j], manager.and_(x, counts[j - 1])
+                )
+        stats = manager.cache_stats()
+        return {
+            "result_nodes": manager.node_count(counts[threshold]),
+            "bdd_nodes": stats["unique_entries"],
+            "total_nodes": stats["nodes"],
+            "apply_calls": stats["apply_calls"],
+            "apply_cache_misses": stats["apply_cache_misses"],
+        }
+
+    rows.append(_record("micro/bdd_kernel/unique_churn", run_unique_churn, rounds))
+
+    # --- BDD kernel micro-benchmark: apply storm ------------------------
+    # 1,500 pseudo-random cubes over 14 variables (multiplicative-hash
+    # literal selection, no RNG state) OR-ed into one accumulator: a
+    # cache-hit-heavy apply mix — the computed-table probe is the cost.
+    def run_apply_storm() -> Dict[str, int]:
+        manager = BDDManager()
+        xs = [manager.var(f"s{i:02d}") for i in range(14)]
+        acc = manager.false
+        for k in range(1500):
+            bits = (k * 0x9E3779B1) & 0x3FFF
+            cube = manager.true
+            for i in range(14):
+                if bits >> i & 1:
+                    literal = (
+                        xs[i] if (bits >> ((i + 7) % 14)) & 1 else manager.not_(xs[i])
+                    )
+                    cube = manager.and_(cube, literal)
+            acc = manager.or_(acc, cube)
+        stats = manager.cache_stats()
+        return {
+            "result_nodes": manager.node_count(acc),
+            "bdd_nodes": stats["unique_entries"],
+            "apply_calls": stats["apply_calls"],
+            "apply_cache_hits": stats["apply_cache_hits"],
+            "apply_cache_misses": stats["apply_cache_misses"],
+        }
+
+    rows.append(_record("micro/bdd_kernel/apply_storm", run_apply_storm, rounds))
+
+    # --- BDD kernel micro-benchmark: wide model counting ----------------
+    # Repeated satcount over a ~4,000-node disjunction of pseudo-random
+    # cubes over 20 variables; each round declares one more variable,
+    # which (correctly) invalidates the count memo, so every round pays
+    # the full `_satcount_raw` DAG walk.
+    def run_satcount_wide() -> Dict[str, int]:
+        manager = BDDManager()
+        xs = [manager.var(f"w{i:02d}") for i in range(20)]
+        acc = manager.false
+        for k in range(500):
+            bits = (k * 0x9E3779B1) & 0xFFFFF
+            cube = manager.true
+            for i in range(20):
+                if bits >> i & 1:
+                    literal = (
+                        xs[i] if (bits >> ((i + 11) % 20)) & 1 else manager.not_(xs[i])
+                    )
+                    cube = manager.and_(cube, literal)
+            acc = manager.or_(acc, cube)
+        checksum = 0
+        for round_index in range(50):
+            manager.var(f"pad{round_index:02d}")
+            checksum ^= manager.satcount(acc)
+        stats = manager.cache_stats()
+        return {
+            "result_nodes": manager.node_count(acc),
+            "bdd_nodes": stats["unique_entries"],
+            "satcount_checksum_low": checksum & 0xFFFFFFFF,
+            "apply_calls": stats["apply_calls"],
+        }
+
+    rows.append(_record("micro/bdd_kernel/satcount_wide", run_satcount_wide, rounds))
     return rows
 
 
@@ -467,6 +556,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail if the disabled-telemetry obs_overhead row is more than "
         "this many percent slower than the plain pass (default 2.0)",
     )
+    parser.add_argument(
+        "--stats-out",
+        type=Path,
+        default=None,
+        help="also write the rows' work counters as a spllift-metrics/v1 "
+        "snapshot (row.stat -> value) for scripts/compare_metrics.py",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error(f"--rounds must be >= 1, got {args.rounds}")
@@ -499,6 +595,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    if args.stats_out is not None:
+        # Work counters only (wall times live in the main report): the
+        # format compare_metrics.py consumes, so CI can gate counter
+        # drift — e.g. a BDD-node or apply-miss blowup — independently
+        # of machine speed.
+        counters = {
+            f"{row['benchmark']}.{stat}": value
+            for row in rows
+            for stat, value in sorted(row["stats"].items())
+            if isinstance(value, int) and not isinstance(value, bool)
+        }
+        snapshot = {
+            "schema": "spllift-metrics/v1",
+            "source": "bench_solver",
+            "git_revision": report["git_revision"],
+            "metrics": {"counters": counters, "gauges": {}, "histograms": {}},
+        }
+        args.stats_out.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.stats_out}")
     return 0
 
 

@@ -13,10 +13,17 @@ Checks, per Chrome ``trace_event`` semantics:
 - the file parses as strict JSON *and* line-wise (one event per line),
   the dual format ``repro.obs.trace.write_trace`` promises.
 
+With ``--folded`` the file is instead validated as folded-stack output
+(``spllift trace summary --folded``): every line must be
+``frame[;frame...] value`` with non-empty frames, no whitespace inside
+the stack, and a positive integer value — the format ``flamegraph.pl``
+consumes.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_trace.py trace.json
     PYTHONPATH=src python scripts/check_trace.py trace.json --min-events 10
+    PYTHONPATH=src python scripts/check_trace.py trace.folded --folded
 
 Exit status 0 when the trace is well-formed, 1 otherwise (with one line
 per violation).
@@ -114,6 +121,44 @@ def check_trace(path: str, min_events: int = 1) -> List[str]:
     return errors
 
 
+def check_folded(path: str, min_stacks: int = 1) -> List[str]:
+    """Violations of the folded-stack format at ``path`` (empty = valid)."""
+    errors: List[str] = []
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    stacks = 0
+    seen: Dict[str, int] = {}
+    for position, line in enumerate(lines):
+        if not line.strip():
+            errors.append(f"line {position + 1}: blank line")
+            continue
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            errors.append(f"line {position + 1}: expected 'stack value': {line!r}")
+            continue
+        if not value.isdigit() or int(value) <= 0:
+            errors.append(
+                f"line {position + 1}: value must be a positive integer, "
+                f"got {value!r}"
+            )
+        frames = stack.split(";")
+        if any(not frame or any(ch.isspace() for ch in frame) for frame in frames):
+            errors.append(
+                f"line {position + 1}: empty or whitespace-bearing frame "
+                f"in {stack!r}"
+            )
+        if stack in seen:
+            errors.append(
+                f"line {position + 1}: duplicate stack {stack!r} "
+                f"(first on line {seen[stack] + 1})"
+            )
+        seen.setdefault(stack, position)
+        stacks += 1
+    if stacks < min_stacks:
+        errors.append(f"expected at least {min_stacks} stack(s), got {stacks}")
+    return errors
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="trace file written by --trace")
@@ -123,7 +168,23 @@ def main(argv=None) -> int:
         default=1,
         help="require at least this many B/E/i/X events (default 1)",
     )
+    parser.add_argument(
+        "--folded",
+        action="store_true",
+        help="validate folded-stack output of `spllift trace summary "
+        "--folded` instead of a Chrome trace",
+    )
     args = parser.parse_args(argv)
+
+    if args.folded:
+        errors = check_folded(args.trace, min_stacks=args.min_events)
+        for error in errors:
+            print(f"check_trace: {error}")
+        print(
+            f"{args.trace}: folded stacks: "
+            + ("OK" if not errors else f"{len(errors)} violation(s)")
+        )
+        return 1 if errors else 0
 
     errors = check_trace(args.trace, min_events=args.min_events)
     for error in errors:

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Diff two ``--metrics`` JSON snapshots and fail on counter drift.
+
+``BENCH_solver.json`` tracks wall time; this script is the equivalent
+gate for the *work* counters behind it — jump-function blowup, BDD node
+or apply-miss explosions show up here even when a fast machine hides
+them from the timing numbers.
+
+Counters and gauges present in both snapshots are compared by relative
+drift ``(current - baseline) / baseline``; histograms by their
+``count``.  A comparison fails when drift exceeds the threshold in
+either direction (a large unexplained *drop* usually means work was
+silently skipped).  Thresholds are relative fractions: ``0.1`` = ±10%.
+
+Usage::
+
+    python scripts/compare_metrics.py baseline.json current.json
+    python scripts/compare_metrics.py base.json cur.json --threshold 0.05
+    python scripts/compare_metrics.py base.json cur.json \\
+        --threshold-for 'bdd.*=0.5' --threshold-for 'ide.jumps=0.0' \\
+        --only 'bdd.*' --ignore '*.wall_us'
+
+Per-name thresholds are fnmatch patterns; the most specific match wins
+(longest pattern, ties broken in favor of later flags).  Keys present
+in only one snapshot are reported and fail the comparison unless
+``--allow-missing`` is given.  Exit status 0 when within thresholds,
+1 on drift or missing keys, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Sections of a snapshot's ``metrics`` object and the scalar compared.
+_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def load_snapshot(path: str) -> Dict[str, float]:
+    """Flatten a ``--metrics`` file into ``name -> scalar``.
+
+    Counter/gauge values map directly; histograms contribute their
+    sample ``count`` under ``<name>.count``.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    metrics = document.get("metrics", document)
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: no metrics object found")
+    flat: Dict[str, float] = {}
+    for section in _SECTIONS:
+        entries = metrics.get(section, {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: metrics.{section} is not an object")
+        for name, value in entries.items():
+            if section == "histograms":
+                if isinstance(value, dict) and isinstance(
+                    value.get("count"), (int, float)
+                ):
+                    flat[f"{name}.count"] = float(value["count"])
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[name] = float(value)
+    return flat
+
+
+def parse_threshold_overrides(specs: List[str]) -> List[Tuple[str, float]]:
+    """Parse repeated ``PATTERN=FRACTION`` flags (validated)."""
+    overrides: List[Tuple[str, float]] = []
+    for spec in specs:
+        pattern, sep, raw = spec.rpartition("=")
+        if not sep or not pattern:
+            raise ValueError(f"bad --threshold-for {spec!r}: expected NAME=FRACTION")
+        try:
+            fraction = float(raw)
+        except ValueError:
+            raise ValueError(f"bad --threshold-for {spec!r}: {raw!r} is not a number")
+        if fraction < 0:
+            raise ValueError(f"bad --threshold-for {spec!r}: threshold must be >= 0")
+        overrides.append((pattern, fraction))
+    return overrides
+
+
+def threshold_for(
+    name: str, default: float, overrides: List[Tuple[str, float]]
+) -> float:
+    """Most specific matching override (longest pattern, later flags win)."""
+    best: Optional[Tuple[int, int]] = None
+    chosen = default
+    for position, (pattern, fraction) in enumerate(overrides):
+        if fnmatch.fnmatchcase(name, pattern):
+            rank = (len(pattern), position)
+            if best is None or rank >= best:
+                best = rank
+                chosen = fraction
+    return chosen
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    default_threshold: float,
+    overrides: List[Tuple[str, float]],
+    only: List[str],
+    ignore: List[str],
+    allow_missing: bool,
+) -> Tuple[List[str], List[str]]:
+    """Returns ``(violations, report_lines)``."""
+
+    def selected(name: str) -> bool:
+        if only and not any(fnmatch.fnmatchcase(name, p) for p in only):
+            return False
+        return not any(fnmatch.fnmatchcase(name, p) for p in ignore)
+
+    violations: List[str] = []
+    report: List[str] = []
+    names = sorted(set(baseline) | set(current))
+    for name in names:
+        if not selected(name):
+            continue
+        in_base, in_cur = name in baseline, name in current
+        if not (in_base and in_cur):
+            side = "baseline" if not in_base else "current"
+            line = f"{name}: missing from {side}"
+            report.append(line)
+            if not allow_missing:
+                violations.append(line)
+            continue
+        base, cur = baseline[name], current[name]
+        limit = threshold_for(name, default_threshold, overrides)
+        if base == cur:
+            drift = 0.0
+        elif base == 0.0:
+            drift = float("inf")
+        else:
+            drift = (cur - base) / abs(base)
+        ok = abs(drift) <= limit
+        drift_text = f"{drift:+.1%}" if drift not in (float("inf"),) else "+inf"
+        line = (
+            f"{name}: {base:g} -> {cur:g} ({drift_text}, limit ±{limit:.1%})"
+        )
+        report.append(line + ("" if ok else "  DRIFT"))
+        if not ok:
+            violations.append(line)
+    return violations, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline --metrics snapshot")
+    parser.add_argument("current", help="current --metrics snapshot")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="default relative drift threshold (fraction; default 0.1 = ±10%%)",
+    )
+    parser.add_argument(
+        "--threshold-for",
+        action="append",
+        default=[],
+        metavar="PATTERN=FRACTION",
+        help="per-counter threshold override (fnmatch pattern; repeatable)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="compare only matching names (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="skip matching names (repeatable)",
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="report but do not fail on keys present in only one snapshot",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only violations and the verdict line",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        overrides = parse_threshold_overrides(args.threshold_for)
+        baseline = load_snapshot(args.baseline)
+        current = load_snapshot(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"compare_metrics: {error}", file=sys.stderr)
+        return 2
+
+    violations, report = compare(
+        baseline,
+        current,
+        args.threshold,
+        overrides,
+        args.only,
+        args.ignore,
+        args.allow_missing,
+    )
+    for line in report:
+        if not args.quiet or line.endswith("DRIFT"):
+            print(line)
+    compared = sum(1 for line in report if "->" in line)
+    print(
+        f"compare_metrics: {compared} metric(s) compared: "
+        + ("OK" if not violations else f"{len(violations)} drifted")
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

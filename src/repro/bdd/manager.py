@@ -12,12 +12,19 @@ node is uniquely identified by its ``(level, low, high)`` triple, which makes
 the representation canonical: two BDDs represent the same Boolean function if
 and only if they are the same integer.
 
-All traversals (``apply``, negation, cofactors, model counting, support,
-cube/model enumeration) run on explicit work stacks rather than Python
-recursion, so the engine handles orderings thousands of variables deep
-without tripping ``sys.getrecursionlimit()``.  The manager also implements
-Rudell-style sifting (:meth:`sift`) for dynamic variable reordering; the
-paper's Section 5 leaves ordering as future work.
+Storage is data-oriented (:mod:`repro.bdd.tables`): nodes live in flat
+parallel columns, the unique table and all operation caches are keyed by
+packed integers instead of tuples, and the binary apply kernels are
+per-opcode "frame machines" — one mutable frame per expanded operand
+pair, with child resolution, cache probes and node construction all
+inlined on locals-bound columns, so the hot loop allocates one list per
+cache miss and nothing per probe.  All traversals (``apply``, negation,
+cofactors, model counting, support, cube/model enumeration) run on
+explicit work stacks rather than Python recursion, so the engine handles
+orderings thousands of variables deep without tripping
+``sys.getrecursionlimit()``.  The manager also implements Rudell-style
+sifting (:meth:`sift`) for dynamic variable reordering; the paper's
+Section 5 leaves ordering as future work.
 
 Example
 -------
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.bdd.tables import FALSE, TRUE, TERMINAL_LEVEL, NodeStore
 from repro.obs import runtime as obs
 
 __all__ = ["BDDManager", "BDDError"]
@@ -41,19 +49,20 @@ class BDDError(Exception):
     """Raised for invalid BDD operations (unknown variables, foreign nodes)."""
 
 
-# Terminal node ids.  They occupy the two first slots of the node arrays.
-FALSE = 0
-TRUE = 1
+# Backwards-compatible alias; the canonical definition lives in tables.py.
+_TERMINAL_LEVEL = TERMINAL_LEVEL
 
-# Level assigned to terminal nodes; larger than any variable level.
-_TERMINAL_LEVEL = 1 << 60
-
-# Integer opcodes for the apply kernel.  Ints hash faster than the op-name
-# strings previously used in cache keys, and let the kernel dispatch the
-# terminal cases inline instead of through a callback per operand pair.
+# Integer opcodes for the apply dispatch (`_reduce_balanced` and friends).
 _OP_AND = 0
 _OP_OR = 1
 _OP_XOR = 2
+
+# Soft per-opcode computed-table capacity.  The apply/restrict caches are
+# lossy: when one crosses this many entries at kernel entry it is flushed
+# wholesale (the BuDDy/CUDD computed table is likewise lossy, overwriting
+# on collision).  Flushing is always sound — the caches are pure
+# memoization — and bounds cache memory on adversarial workloads.
+_CACHE_CAPACITY = 1 << 18
 
 
 class BDDManager:
@@ -72,24 +81,35 @@ class BDDManager:
     """
 
     def __init__(self, ordering: Optional[Sequence[str]] = None) -> None:
-        # Node storage: parallel lists indexed by node id.
-        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
-        self._low: List[int] = [FALSE, TRUE]  # unused for terminals
-        self._high: List[int] = [FALSE, TRUE]
-        # (level, low, high) -> node id
-        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Node columns + packed-key unique table (see repro.bdd.tables).
+        self._store = NodeStore()
         # Variable bookkeeping.
         self._var_level: Dict[str, int] = {}
         self._level_var: List[str] = []
-        # Memoization caches.
-        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
+        # Memoization caches.  The binary-op caches are per opcode, keyed
+        # by the packed operand pair `(a << shift) | b`; they and the
+        # restrict cache embed the store's shift in their keys, so the
+        # store flushes them on an amortized-doubling rebuild.
+        self._and_cache: Dict[int, int] = {}
+        self._or_cache: Dict[int, int] = {}
+        self._xor_cache: Dict[int, int] = {}
+        self._restrict_cache: Dict[int, int] = {}
+        self._store.grow_clears = (
+            self._and_cache,
+            self._or_cache,
+            self._xor_cache,
+            self._restrict_cache,
+        )
+        self._not_cache: Dict[int, int] = {}
+        self._satcount_cache: Dict[int, int] = {}
+        self._support_cache: Dict[int, frozenset] = {}
+        # Unified apply accounting: one (hit or miss) tick per cache
+        # probe, wherever the probe happens — top-level fast path and
+        # in-kernel probes share the same counters.
         self._apply_hits = 0
         self._apply_misses = 0
         self._apply_calls = 0
-        self._not_cache: Dict[int, int] = {}
-        self._restrict_cache: Dict[Tuple[int, int, bool], int] = {}
-        self._satcount_cache: Dict[int, int] = {}
-        self._support_cache: Dict[int, frozenset] = {}
+        self._cache_flushes = 0
         # Reordering counters.
         self._reorders = 0
         self._reorder_swaps = 0
@@ -125,7 +145,7 @@ class BDDManager:
             # Cached counts are normalized against the number of declared
             # variables, so they are invalidated by a new declaration.
             self._satcount_cache.clear()
-        return self._mk(level, FALSE, TRUE)
+        return self._store.mk(level, FALSE, TRUE)
 
     def nvar(self, name: str) -> int:
         """Return the BDD for the negation of variable ``name``."""
@@ -133,7 +153,7 @@ class BDDManager:
         if level is None:
             self.var(name)
             level = self._var_level[name]
-        return self._mk(level, TRUE, FALSE)
+        return self._store.mk(level, TRUE, FALSE)
 
     @property
     def variables(self) -> Tuple[str, ...]:
@@ -161,20 +181,10 @@ class BDDManager:
 
     def _mk(self, level: int, low: int, high: int) -> int:
         """Find-or-create the node ``(level, low, high)`` (reduced form)."""
-        if low == high:
-            return low
-        key = (level, low, high)
-        node = self._unique.get(key)
-        if node is None:
-            node = len(self._level)
-            self._level.append(level)
-            self._low.append(low)
-            self._high.append(high)
-            self._unique[key] = node
-        return node
+        return self._store.mk(level, low, high)
 
     def _check(self, node: int) -> None:
-        if not 0 <= node < len(self._level):
+        if not 0 <= node < len(self._store.level):
             raise BDDError(f"node {node} does not belong to this manager")
 
     # ------------------------------------------------------------------
@@ -203,40 +213,47 @@ class BDDManager:
         self._check(node)
         if self.is_terminal(node):
             raise BDDError("terminal nodes have no decision variable")
-        return self._level_var[self._level[node]]
+        return self._level_var[self._store.level[node]]
 
     def low(self, node: int) -> int:
         """The ``else`` (variable = false) child."""
         self._check(node)
         if self.is_terminal(node):
             raise BDDError("terminal nodes have no children")
-        return self._low[node]
+        return self._store.low[node]
 
     def high(self, node: int) -> int:
         """The ``then`` (variable = true) child."""
         self._check(node)
         if self.is_terminal(node):
             raise BDDError("terminal nodes have no children")
-        return self._high[node]
+        return self._store.high[node]
 
     def node_count(self, node: int) -> int:
         """Number of distinct internal nodes reachable from ``node``."""
         self._check(node)
         seen = set()
+        add = seen.add
         stack = [node]
-        low_, high_ = self._low, self._high
+        push = stack.append
+        pop = stack.pop
+        low_, high_ = self._store.low, self._store.high
         while stack:
-            current = stack.pop()
+            current = pop()
             if current <= TRUE or current in seen:
                 continue
-            seen.add(current)
-            stack.append(low_[current])
-            stack.append(high_[current])
+            add(current)
+            push(low_[current])
+            push(high_[current])
         return len(seen)
 
     def total_nodes(self) -> int:
-        """Total number of nodes ever interned (terminals included)."""
-        return len(self._level)
+        """Size of the node columns (terminals included).
+
+        Retired slots awaiting reuse count too; this is the storage
+        footprint, not the live-node count (see :meth:`live_nodes`).
+        """
+        return len(self._store.level)
 
     def live_nodes(self) -> int:
         """Number of registered (unique-table) internal nodes plus terminals.
@@ -244,7 +261,7 @@ class BDDManager:
         Unlike :meth:`total_nodes` this excludes nodes retired by
         :meth:`sift`; it is the size metric reorder triggers should use.
         """
-        return len(self._unique) + 2
+        return len(self._store.unique) + 2
 
     # ------------------------------------------------------------------
     # Boolean operations
@@ -261,8 +278,13 @@ class BDDManager:
             result = TRUE - node
             cache[node] = result
             return result
-        level_, low_, high_ = self._level, self._low, self._high
-        unique = self._unique
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
+        unique = store.unique
+        unique_get = unique.get
+        free = store.free
+        s = store.shift
+        limit = store.limit
         stack = [node]
         push = stack.append
         while stack:
@@ -285,164 +307,539 @@ class BDDManager:
             nhigh = TRUE - high if high <= TRUE else cache[high]
             # Negation never merges children (nlow == nhigh would imply
             # low == high), so the node is created unconditionally.
-            key = (level_[current], nlow, nhigh)
-            res = unique.get(key)
+            level = level_[current]
+            mkey = ((level << s) | nlow) << s | nhigh
+            res = unique_get(mkey)
             if res is None:
-                res = len(level_)
-                level_.append(key[0])
-                low_.append(nlow)
-                high_.append(nhigh)
-                unique[key] = res
+                if free:
+                    res = free.pop()
+                    level_[res] = level
+                    low_[res] = nlow
+                    high_[res] = nhigh
+                    unique[mkey] = res
+                else:
+                    res = len(level_)
+                    level_.append(level)
+                    low_.append(nlow)
+                    high_.append(nhigh)
+                    unique[mkey] = res
+                    if res + 1 >= limit:
+                        store.grow()
+                        s = store.shift
+                        limit = store.limit
             cache[current] = res
         return cache[node]
-
-    def _apply(self, opcode: int, f: int, g: int) -> int:
-        """Memoized binary apply on an explicit work stack.
-
-        The stack holds two kinds of frames: ``(0, f, g)`` expands an operand
-        pair and ``(1, level, key)`` combines the two child results sitting
-        on ``results``.  Terminal cases are decided inline per opcode; all
-        three operations are commutative, so operand pairs are normalized
-        ``f <= g`` at every level (not just the public entry point), which
-        roughly doubles the apply-cache hit rate of the old recursive kernel.
-        """
-        self._apply_calls += 1
-        level_, low_, high_ = self._level, self._low, self._high
-        unique = self._unique
-        cache = self._apply_cache
-        hits = misses = 0
-        results: List[int] = []
-        rpush = results.append
-        stack: List[Tuple[int, int, int]] = [(0, f, g)]
-        push = stack.append
-        while stack:
-            tag, a, b = stack.pop()
-            if tag:
-                # Combine: children were expanded low-first, so results holds
-                # [..., low_result, high_result].
-                high_r = results.pop()
-                low_r = results[-1]
-                if low_r == high_r:
-                    res = low_r
-                else:
-                    key = (a, low_r, high_r)
-                    res = unique.get(key)
-                    if res is None:
-                        res = len(level_)
-                        level_.append(a)
-                        low_.append(low_r)
-                        high_.append(high_r)
-                        unique[key] = res
-                results[-1] = res
-                cache[b] = res
-                continue
-            if b < a:
-                a, b = b, a
-            # Inline terminal decisions (a <= b).
-            if opcode == _OP_AND:
-                if a == FALSE:
-                    rpush(FALSE)
-                    continue
-                if a == TRUE or a == b:
-                    rpush(b if a == TRUE else a)
-                    continue
-            elif opcode == _OP_OR:
-                if a == TRUE:
-                    rpush(TRUE)
-                    continue
-                if a == FALSE or a == b:
-                    rpush(b if a == FALSE else a)
-                    continue
-            else:  # _OP_XOR
-                if a == b:
-                    rpush(FALSE)
-                    continue
-                if a == FALSE:
-                    rpush(b)
-                    continue
-            key = (opcode, a, b)
-            cached = cache.get(key)
-            if cached is not None:
-                hits += 1
-                rpush(cached)
-                continue
-            misses += 1
-            level_a, level_b = level_[a], level_[b]
-            if level_a < level_b:
-                level = level_a
-                a_low, a_high = low_[a], high_[a]
-                b_low = b_high = b
-            elif level_b < level_a:
-                level = level_b
-                a_low = a_high = a
-                b_low, b_high = low_[b], high_[b]
-            else:
-                level = level_a
-                a_low, a_high = low_[a], high_[a]
-                b_low, b_high = low_[b], high_[b]
-            push((1, level, key))
-            push((0, a_high, b_high))
-            push((0, a_low, b_low))
-        self._apply_hits += hits
-        self._apply_misses += misses
-        return results[0]
 
     def and_(self, f: int, g: int) -> int:
         """Conjunction (commutative; arguments normalized for the cache).
 
-        Terminal cases and the apply-cache are probed here, before the
-        work-stack kernel spins up: after warmup the overwhelming majority
-        of calls on the lifted hot path are repeats, and the probe answers
-        them with one dict lookup.
+        Terminal cases and the single computed-table probe happen here —
+        a hit returns without entering the kernel at all; a miss drops
+        straight into the frame machine, which expands the root pair
+        without re-probing it.
         """
-        self._check(f)
-        self._check(g)
+        store = self._store
+        n = len(store.level)
+        if not (0 <= f < n and 0 <= g < n):
+            self._check(f)
+            self._check(g)
         if g < f:
             f, g = g, f
         if f == FALSE:
             return FALSE
         if f == TRUE or f == g:
             return g if f == TRUE else f
-        cached = self._apply_cache.get((_OP_AND, f, g))
-        if cached is not None:
-            self._apply_calls += 1
+        self._apply_calls += 1
+        res = self._and_cache.get((f << store.shift) | g)
+        if res is not None:
             self._apply_hits += 1
-            return cached
-        return self._apply(_OP_AND, f, g)
+            return res
+        return self._apply_and(f, g)
 
     def or_(self, f: int, g: int) -> int:
         """Disjunction (commutative; arguments normalized for the cache)."""
-        self._check(f)
-        self._check(g)
+        store = self._store
+        n = len(store.level)
+        if not (0 <= f < n and 0 <= g < n):
+            self._check(f)
+            self._check(g)
         if g < f:
             f, g = g, f
         if f == TRUE:
             return TRUE
         if f == FALSE or f == g:
             return g if f == FALSE else f
-        cached = self._apply_cache.get((_OP_OR, f, g))
-        if cached is not None:
-            self._apply_calls += 1
+        self._apply_calls += 1
+        res = self._or_cache.get((f << store.shift) | g)
+        if res is not None:
             self._apply_hits += 1
-            return cached
-        return self._apply(_OP_OR, f, g)
+            return res
+        return self._apply_or(f, g)
 
     def xor(self, f: int, g: int) -> int:
         """Exclusive or."""
-        self._check(f)
-        self._check(g)
+        store = self._store
+        n = len(store.level)
+        if not (0 <= f < n and 0 <= g < n):
+            self._check(f)
+            self._check(g)
         if g < f:
             f, g = g, f
         if f == g:
             return FALSE
         if f == FALSE:
             return g
-        cached = self._apply_cache.get((_OP_XOR, f, g))
-        if cached is not None:
-            self._apply_calls += 1
+        self._apply_calls += 1
+        res = self._xor_cache.get((f << store.shift) | g)
+        if res is not None:
             self._apply_hits += 1
-            return cached
-        return self._apply(_OP_XOR, f, g)
+            return res
+        return self._apply_xor(f, g)
+
+    # Each binary operation has its own frame-machine kernel.  The three
+    # kernels are structurally identical (only the inline terminal
+    # decisions differ — compare the `res =` blocks at the top of the
+    # resolve loop); keeping them specialized avoids a per-step opcode
+    # dispatch and lets each probe its own single-opcode cache with a
+    # two-int packed key.
+    #
+    # Kernel shape: the public wrapper already probed the computed table,
+    # so entry means the root pair is a guaranteed miss.  The outer loop
+    # expands one missed pair, resolving both child pairs *in place*
+    # (terminal rules, then the cache) before a frame is ever allocated.
+    # A pair whose children both resolve costs no frame at all; otherwise
+    # one mutable frame [key, level, low_result, a_high, b_high] parks
+    # the resolved half while the missed child expands — `key` is the
+    # pair's packed cache key, computed once at probe time, so the
+    # combine step never re-packs (store growth re-shifts packing, so the
+    # mk path repacks every in-flight frame key when it triggers a grow).
+    # The combine loop interns the node (free-list reuse, then append
+    # with amortized-doubling growth), caches the pair's result and feeds
+    # it into the parent frame — probing the parent's high pair inline so
+    # a frame is popped the moment its second half arrives.  At most one
+    # frame and zero tuples per cache miss.
+
+    def _apply_and(self, a: int, b: int, FALSE=FALSE, TRUE=TRUE) -> int:
+        """AND kernel; operands are internal, normalized ``a < b``, and
+        already known to miss the computed table (the wrapper probed).
+
+        The terminal ids ride in as default arguments so the hot loop
+        reads them with ``LOAD_FAST`` instead of a global lookup.
+        """
+        store = self._store
+        cache = self._and_cache
+        if len(cache) >= _CACHE_CAPACITY:
+            cache.clear()
+            self._cache_flushes += 1
+        s = store.shift
+        key = (a << s) | b
+        hits = 0
+        misses = 1
+        limit = store.limit
+        level_, low_, high_ = store.level, store.low, store.high
+        unique = store.unique
+        unique_get = unique.get
+        free = store.free
+        cache_get = cache.get
+        stack: List[list] = []
+        push = stack.append
+        while True:
+            # Expand the missed pair (a, b) whose cache key is `key`;
+            # child keys are packed once at probe time and travel with
+            # the frame, so the combine step never re-packs.
+            la = level_[a]
+            lb = level_[b]
+            if la < lb:
+                level = la
+                a0, a1 = low_[a], high_[a]
+                b0 = b1 = b
+            elif lb < la:
+                level = lb
+                a0 = a1 = a
+                b0, b1 = low_[b], high_[b]
+            else:
+                level = la
+                a0, a1 = low_[a], high_[a]
+                b0, b1 = low_[b], high_[b]
+            # Resolve the low pair in place: terminal rules, then cache.
+            if b0 < a0:
+                a0, b0 = b0, a0
+            if a0 == FALSE:
+                r0 = FALSE
+            elif a0 == TRUE or a0 == b0:
+                r0 = b0 if a0 == TRUE else a0
+            else:
+                ck = (a0 << s) | b0
+                r0 = cache_get(ck)
+                if r0 is None:
+                    misses += 1
+                    push([key, level, None, a1, b1])
+                    a, b, key = a0, b0, ck
+                    continue
+                hits += 1
+            # Low half resolved: try the high pair the same way.
+            if b1 < a1:
+                a1, b1 = b1, a1
+            if a1 == FALSE:
+                res = FALSE
+            elif a1 == TRUE or a1 == b1:
+                res = b1 if a1 == TRUE else a1
+            else:
+                ck = (a1 << s) | b1
+                res = cache_get(ck)
+                if res is None:
+                    misses += 1
+                    push([key, level, r0, a1, b1])
+                    a, b, key = a1, b1, ck
+                    continue
+                hits += 1
+            # Both halves in hand, no frame needed: combine and unwind.
+            while True:
+                if r0 != res:
+                    mkey = ((level << s) | r0) << s | res
+                    node = unique_get(mkey)
+                    if node is None:
+                        if free:
+                            node = free.pop()
+                            level_[node] = level
+                            low_[node] = r0
+                            high_[node] = res
+                            unique[mkey] = node
+                        else:
+                            node = len(level_)
+                            level_.append(level)
+                            low_.append(r0)
+                            high_.append(res)
+                            unique[mkey] = node
+                            if node + 1 >= limit:
+                                # Growth re-shifts key packing: repack
+                                # the in-flight pair keys (store.grow()
+                                # already re-keyed the unique table and
+                                # cleared the caches in place).
+                                old = s
+                                store.grow()
+                                s = store.shift
+                                limit = store.limit
+                                mask = (1 << old) - 1
+                                key = ((key >> old) << s) | (key & mask)
+                                for fr in stack:
+                                    k = fr[0]
+                                    fr[0] = ((k >> old) << s) | (k & mask)
+                    res = node
+                cache[key] = res
+                if not stack:
+                    self._apply_hits += hits
+                    self._apply_misses += misses
+                    return res
+                frame = stack.pop()
+                low_r = frame[2]
+                if low_r is None:
+                    # `res` is the parent's low half; probe its high pair.
+                    a1, b1 = frame[3], frame[4]
+                    if b1 < a1:
+                        a1, b1 = b1, a1
+                    if a1 == FALSE:
+                        r1 = FALSE
+                    elif a1 == TRUE or a1 == b1:
+                        r1 = b1 if a1 == TRUE else a1
+                    else:
+                        ck = (a1 << s) | b1
+                        r1 = cache_get(ck)
+                        if r1 is None:
+                            misses += 1
+                            frame[2] = res
+                            push(frame)
+                            a, b, key = a1, b1, ck
+                            break
+                        hits += 1
+                    key, level, r0 = frame[0], frame[1], res
+                    res = r1
+                    continue
+                # `res` is the parent's high half: combine it.
+                key, level, r0 = frame[0], frame[1], low_r
+
+    def _apply_or(self, a: int, b: int, FALSE=FALSE, TRUE=TRUE) -> int:
+        """OR kernel; operands are internal, normalized ``a < b``, and
+        already known to miss the computed table (the wrapper probed)."""
+        store = self._store
+        cache = self._or_cache
+        if len(cache) >= _CACHE_CAPACITY:
+            cache.clear()
+            self._cache_flushes += 1
+        s = store.shift
+        key = (a << s) | b
+        hits = 0
+        misses = 1
+        limit = store.limit
+        level_, low_, high_ = store.level, store.low, store.high
+        unique = store.unique
+        unique_get = unique.get
+        free = store.free
+        cache_get = cache.get
+        stack: List[list] = []
+        push = stack.append
+        while True:
+            la = level_[a]
+            lb = level_[b]
+            if la < lb:
+                level = la
+                a0, a1 = low_[a], high_[a]
+                b0 = b1 = b
+            elif lb < la:
+                level = lb
+                a0 = a1 = a
+                b0, b1 = low_[b], high_[b]
+            else:
+                level = la
+                a0, a1 = low_[a], high_[a]
+                b0, b1 = low_[b], high_[b]
+            if b0 < a0:
+                a0, b0 = b0, a0
+            if a0 == TRUE:
+                r0 = TRUE
+            elif a0 == FALSE or a0 == b0:
+                r0 = b0 if a0 == FALSE else a0
+            else:
+                ck = (a0 << s) | b0
+                r0 = cache_get(ck)
+                if r0 is None:
+                    misses += 1
+                    push([key, level, None, a1, b1])
+                    a, b, key = a0, b0, ck
+                    continue
+                hits += 1
+            if b1 < a1:
+                a1, b1 = b1, a1
+            if a1 == TRUE:
+                res = TRUE
+            elif a1 == FALSE or a1 == b1:
+                res = b1 if a1 == FALSE else a1
+            else:
+                ck = (a1 << s) | b1
+                res = cache_get(ck)
+                if res is None:
+                    misses += 1
+                    push([key, level, r0, a1, b1])
+                    a, b, key = a1, b1, ck
+                    continue
+                hits += 1
+            while True:
+                if r0 != res:
+                    mkey = ((level << s) | r0) << s | res
+                    node = unique_get(mkey)
+                    if node is None:
+                        if free:
+                            node = free.pop()
+                            level_[node] = level
+                            low_[node] = r0
+                            high_[node] = res
+                            unique[mkey] = node
+                        else:
+                            node = len(level_)
+                            level_.append(level)
+                            low_.append(r0)
+                            high_.append(res)
+                            unique[mkey] = node
+                            if node + 1 >= limit:
+                                old = s
+                                store.grow()
+                                s = store.shift
+                                limit = store.limit
+                                mask = (1 << old) - 1
+                                key = ((key >> old) << s) | (key & mask)
+                                for fr in stack:
+                                    k = fr[0]
+                                    fr[0] = ((k >> old) << s) | (k & mask)
+                    res = node
+                cache[key] = res
+                if not stack:
+                    self._apply_hits += hits
+                    self._apply_misses += misses
+                    return res
+                frame = stack.pop()
+                low_r = frame[2]
+                if low_r is None:
+                    a1, b1 = frame[3], frame[4]
+                    if b1 < a1:
+                        a1, b1 = b1, a1
+                    if a1 == TRUE:
+                        r1 = TRUE
+                    elif a1 == FALSE or a1 == b1:
+                        r1 = b1 if a1 == FALSE else a1
+                    else:
+                        ck = (a1 << s) | b1
+                        r1 = cache_get(ck)
+                        if r1 is None:
+                            misses += 1
+                            frame[2] = res
+                            push(frame)
+                            a, b, key = a1, b1, ck
+                            break
+                        hits += 1
+                    key, level, r0 = frame[0], frame[1], res
+                    res = r1
+                    continue
+                key, level, r0 = frame[0], frame[1], low_r
+
+    def _apply_xor(self, a: int, b: int, FALSE=FALSE, TRUE=TRUE) -> int:
+        """XOR kernel; operands are internal, normalized ``a < b``, and
+        already known to miss the computed table (the wrapper probed)."""
+        store = self._store
+        cache = self._xor_cache
+        if len(cache) >= _CACHE_CAPACITY:
+            cache.clear()
+            self._cache_flushes += 1
+        s = store.shift
+        key = (a << s) | b
+        hits = 0
+        misses = 1
+        limit = store.limit
+        level_, low_, high_ = store.level, store.low, store.high
+        unique = store.unique
+        unique_get = unique.get
+        free = store.free
+        cache_get = cache.get
+        stack: List[list] = []
+        push = stack.append
+        while True:
+            la = level_[a]
+            lb = level_[b]
+            if la < lb:
+                level = la
+                a0, a1 = low_[a], high_[a]
+                b0 = b1 = b
+            elif lb < la:
+                level = lb
+                a0 = a1 = a
+                b0, b1 = low_[b], high_[b]
+            else:
+                level = la
+                a0, a1 = low_[a], high_[a]
+                b0, b1 = low_[b], high_[b]
+            if b0 < a0:
+                a0, b0 = b0, a0
+            if a0 == b0:
+                r0 = FALSE
+            elif a0 == FALSE:
+                r0 = b0
+            else:
+                ck = (a0 << s) | b0
+                r0 = cache_get(ck)
+                if r0 is None:
+                    misses += 1
+                    push([key, level, None, a1, b1])
+                    a, b, key = a0, b0, ck
+                    continue
+                hits += 1
+            if b1 < a1:
+                a1, b1 = b1, a1
+            if a1 == b1:
+                res = FALSE
+            elif a1 == FALSE:
+                res = b1
+            else:
+                ck = (a1 << s) | b1
+                res = cache_get(ck)
+                if res is None:
+                    misses += 1
+                    push([key, level, r0, a1, b1])
+                    a, b, key = a1, b1, ck
+                    continue
+                hits += 1
+            while True:
+                if r0 != res:
+                    mkey = ((level << s) | r0) << s | res
+                    node = unique_get(mkey)
+                    if node is None:
+                        if free:
+                            node = free.pop()
+                            level_[node] = level
+                            low_[node] = r0
+                            high_[node] = res
+                            unique[mkey] = node
+                        else:
+                            node = len(level_)
+                            level_.append(level)
+                            low_.append(r0)
+                            high_.append(res)
+                            unique[mkey] = node
+                            if node + 1 >= limit:
+                                old = s
+                                store.grow()
+                                s = store.shift
+                                limit = store.limit
+                                mask = (1 << old) - 1
+                                key = ((key >> old) << s) | (key & mask)
+                                for fr in stack:
+                                    k = fr[0]
+                                    fr[0] = ((k >> old) << s) | (k & mask)
+                    res = node
+                cache[key] = res
+                if not stack:
+                    self._apply_hits += hits
+                    self._apply_misses += misses
+                    return res
+                frame = stack.pop()
+                low_r = frame[2]
+                if low_r is None:
+                    a1, b1 = frame[3], frame[4]
+                    if b1 < a1:
+                        a1, b1 = b1, a1
+                    if a1 == b1:
+                        r1 = FALSE
+                    elif a1 == FALSE:
+                        r1 = b1
+                    else:
+                        ck = (a1 << s) | b1
+                        r1 = cache_get(ck)
+                        if r1 is None:
+                            misses += 1
+                            frame[2] = res
+                            push(frame)
+                            a, b, key = a1, b1, ck
+                            break
+                        hits += 1
+                    key, level, r0 = frame[0], frame[1], res
+                    res = r1
+                    continue
+                key, level, r0 = frame[0], frame[1], low_r
+
+    def _apply(self, opcode: int, f: int, g: int) -> int:
+        """Opcode-dispatched apply for pre-checked operands.
+
+        Internal callers (balanced reductions) come through here; the
+        terminal rules mirror the public wrappers so accounting and
+        results are identical either way.
+        """
+        if g < f:
+            f, g = g, f
+        if opcode == _OP_AND:
+            if f == FALSE:
+                return FALSE
+            if f == TRUE or f == g:
+                return g if f == TRUE else f
+            cache = self._and_cache
+            kernel = self._apply_and
+        elif opcode == _OP_OR:
+            if f == TRUE:
+                return TRUE
+            if f == FALSE or f == g:
+                return g if f == FALSE else f
+            cache = self._or_cache
+            kernel = self._apply_or
+        else:
+            if f == g:
+                return FALSE
+            if f == FALSE:
+                return g
+            cache = self._xor_cache
+            kernel = self._apply_xor
+        self._apply_calls += 1
+        res = cache.get((f << self._store.shift) | g)
+        if res is not None:
+            self._apply_hits += 1
+            return res
+        return kernel(f, g)
 
     def implies(self, f: int, g: int) -> int:
         """Implication ``f -> g`` as ``not f or g``."""
@@ -518,32 +915,55 @@ class BDDManager:
         return self._restrict(node, level, value)
 
     def _restrict(self, node: int, level: int, value: bool) -> int:
-        level_, low_, high_ = self._level, self._low, self._high
-        unique = self._unique
+        store = self._store
         cache = self._restrict_cache
+        if len(cache) >= _CACHE_CAPACITY:
+            cache.clear()
+            self._cache_flushes += 1
+        s = store.shift
+        limit = store.limit
+        level_, low_, high_ = store.level, store.low, store.high
+        unique = store.unique
+        unique_get = unique.get
+        free = store.free
+        vbit = 1 if value else 0
         results: List[int] = []
         rpush = results.append
-        # Frames: (0, node, 0) expands, (1, node, key) combines.
-        stack: List[Tuple[int, int, object]] = [(0, node, 0)]
+        # Frames: (0, node) expands, (1, node) combines.  The cache key
+        # is re-packed from the frame's node at combine time, because an
+        # amortized-doubling rebuild inside this walk changes the shift.
+        stack: List[Tuple[int, int]] = [(0, node)]
         push = stack.append
         while stack:
-            tag, current, key = stack.pop()
+            tag, current = stack.pop()
             if tag:
                 high_r = results.pop()
                 low_r = results[-1]
                 if low_r == high_r:
                     res = low_r
                 else:
-                    mkey = (level_[current], low_r, high_r)
-                    res = unique.get(mkey)
+                    lvl = level_[current]
+                    mkey = ((lvl << s) | low_r) << s | high_r
+                    res = unique_get(mkey)
                     if res is None:
-                        res = len(level_)
-                        level_.append(mkey[0])
-                        low_.append(low_r)
-                        high_.append(high_r)
-                        unique[mkey] = res
+                        if free:
+                            res = free.pop()
+                            level_[res] = lvl
+                            low_[res] = low_r
+                            high_[res] = high_r
+                            unique[mkey] = res
+                        else:
+                            res = len(level_)
+                            level_.append(lvl)
+                            low_.append(low_r)
+                            high_.append(high_r)
+                            unique[mkey] = res
+                            if res + 1 >= limit:
+                                store.grow()
+                                s = store.shift
+                                limit = store.limit
                 results[-1] = res
-                cache[key] = res
+                cache[((current << s) | level) << 1 | vbit] = res
                 continue
             node_level = level_[current]
             if node_level > level:
@@ -551,7 +971,7 @@ class BDDManager:
                 # a branch where the variable was skipped.
                 rpush(current)
                 continue
-            ckey = (current, level, value)
+            ckey = ((current << s) | level) << 1 | vbit
             cached = cache.get(ckey)
             if cached is not None:
                 rpush(cached)
@@ -561,9 +981,9 @@ class BDDManager:
                 cache[ckey] = res
                 rpush(res)
                 continue
-            push((1, current, ckey))
-            push((0, high_[current], 0))
-            push((0, low_[current], 0))
+            push((1, current))
+            push((0, high_[current]))
+            push((0, low_[current]))
         return results[0]
 
     def exists(self, node: int, names: Iterable[str]) -> int:
@@ -601,15 +1021,17 @@ class BDDManager:
         the evaluation actually branches on them.
         """
         self._check(node)
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         while node > TRUE:
-            name = self._level_var[self._level[node]]
+            name = self._level_var[level_[node]]
             try:
                 value = assignment[name]
             except KeyError:
                 raise BDDError(
                     f"assignment does not cover variable {name!r}"
                 ) from None
-            node = self._high[node] if value else self._low[node]
+            node = high_[node] if value else low_[node]
         return node == TRUE
 
     def support(self, node: int) -> frozenset:
@@ -626,7 +1048,8 @@ class BDDManager:
         levels: Set[int] = set()
         seen: Set[int] = set()
         stack = [node]
-        level_, low_, high_ = self._level, self._low, self._high
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         while stack:
             current = stack.pop()
             if current <= TRUE or current in seen:
@@ -679,7 +1102,8 @@ class BDDManager:
         second ``satcount`` of a root below level 0 came back too small).
         """
         total = len(self._level_var)
-        level_, low_, high_ = self._level, self._low, self._high
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         cache = self._satcount_cache
         if node > TRUE and node not in cache:
             stack = [node]
@@ -750,7 +1174,8 @@ class BDDManager:
         self, node: int, names: Tuple[str, ...]
     ) -> Iterator[Dict[str, bool]]:
         nvars = len(names)
-        level_, low_, high_ = self._level, self._low, self._high
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         var_level = self._var_level
         partial: Dict[str, bool] = {}
         # Frames: (index, node, (name, value)) descends after recording the
@@ -790,16 +1215,18 @@ class BDDManager:
         self._check(node)
         if node == FALSE:
             return None
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         model: Dict[str, bool] = {}
         current = node
         while current > TRUE:
-            name = self._level_var[self._level[current]]
-            if self._low[current] != FALSE:
+            name = self._level_var[level_[current]]
+            if low_[current] != FALSE:
                 model[name] = False
-                current = self._low[current]
+                current = low_[current]
             else:
                 model[name] = True
-                current = self._high[current]
+                current = high_[current]
         return model
 
     # ------------------------------------------------------------------
@@ -817,7 +1244,8 @@ class BDDManager:
         Every externally held node handle **must** be listed in ``roots``;
         handles in ``roots`` keep their ids and keep denoting the same
         Boolean function across the reorder (levels of their internal nodes
-        change, unreferenced nodes are retired from the unique table).
+        change, unreferenced nodes are retired from the unique table and
+        their column slots recycled through the store's free list).
         Operation caches are cleared afterwards, since cached results may
         reference retired nodes.
 
@@ -841,7 +1269,8 @@ class BDDManager:
         root_set = {r for r in roots if r > TRUE}
         for r in root_set:
             self._check(r)
-        level_, low_, high_ = self._level, self._low, self._high
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         # Session liveness: reachable set, per-level live sets, refcounts.
         live: Set[int] = set()
         stack = list(root_set)
@@ -878,8 +1307,11 @@ class BDDManager:
         for name in first_names + rest:
             session.sift_var(name, max_growth)
 
-        # Cached op results may reference retired nodes or depend on levels.
-        self._apply_cache.clear()
+        # Cached op results may reference retired nodes or depend on levels,
+        # and retired slots are about to be recycled by the free list.
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._xor_cache.clear()
         self._not_cache.clear()
         self._restrict_cache.clear()
         self._satcount_cache.clear()
@@ -893,15 +1325,31 @@ class BDDManager:
         )
         return session.size
 
-    def cache_stats(self) -> Dict[str, int]:
-        """Sizes of the internal caches (for diagnostics and benchmarks)."""
+    def cache_stats(self) -> Dict[str, object]:
+        """Sizes and health of the internal tables (diagnostics, benches).
+
+        ``unique_load_factor`` and ``apply_cache_occupancy`` are floats in
+        ``[0, 1]`` — table fill relative to the current packed-key
+        capacity and the computed-table soft capacity; everything else is
+        a plain counter.
+        """
+        store = self._store
+        apply_entries = (
+            len(self._and_cache) + len(self._or_cache) + len(self._xor_cache)
+        )
         return {
-            "nodes": len(self._level),
-            "unique_entries": len(self._unique),
-            "apply_cache": len(self._apply_cache),
+            "nodes": len(store.level),
+            "unique_entries": len(store.unique),
+            "unique_shift": store.shift,
+            "unique_rebuilds": store.rebuilds,
+            "unique_load_factor": store.load_factor(),
+            "free_nodes": len(store.free),
+            "apply_cache": apply_entries,
             "apply_cache_hits": self._apply_hits,
             "apply_cache_misses": self._apply_misses,
             "apply_calls": self._apply_calls,
+            "apply_cache_flushes": self._cache_flushes,
+            "apply_cache_occupancy": apply_entries / (3 * _CACHE_CAPACITY),
             "not_cache": len(self._not_cache),
             "restrict_cache": len(self._restrict_cache),
             "reorders": self._reorders,
@@ -933,7 +1381,8 @@ class BDDManager:
         if node == TRUE:
             yield ()
             return
-        level_, low_, high_ = self._level, self._low, self._high
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         level_var = self._level_var
         path: List[Tuple[str, bool]] = []
         # Frames: (node, literal) appends the literal (if any) then visits
@@ -959,6 +1408,8 @@ class BDDManager:
     def to_dot(self, node: int, name: str = "bdd") -> str:
         """Graphviz DOT rendering of the BDD rooted at ``node``."""
         self._check(node)
+        store = self._store
+        level_, low_, high_ = store.level, store.low, store.high
         lines = [f"digraph {name} {{", "  rankdir=TB;"]
         lines.append('  n0 [shape=box, label="0"];')
         lines.append('  n1 [shape=box, label="1"];')
@@ -969,9 +1420,9 @@ class BDDManager:
             if current <= TRUE or current in seen:
                 continue
             seen.add(current)
-            label = self._level_var[self._level[current]]
+            label = self._level_var[level_[current]]
             lines.append(f'  n{current} [shape=circle, label="{label}"];')
-            low, high = self._low[current], self._high[current]
+            low, high = low_[current], high_[current]
             lines.append(f"  n{current} -> n{low} [style=dashed];")
             lines.append(f"  n{current} -> n{high} [style=solid];")
             stack.extend((low, high))
@@ -985,7 +1436,8 @@ class _SiftSession:
     Tracks per-level live sets, refcounts for the reachable sub-DAG, and the
     live size, and implements the adjacent-level swap primitive that keeps
     node ids denoting the same function (nodes are relabeled or rebuilt in
-    place; retired nodes are removed from the unique table, never reused).
+    place; retired nodes are removed from the unique table and their column
+    slots handed to the store's free list for reuse).
     """
 
     __slots__ = ("mgr", "ref", "live_at", "size")
@@ -1037,9 +1489,12 @@ class _SiftSession:
         denoting the same Boolean function.
         """
         mgr = self.mgr
+        store = mgr._store
         y = x + 1
-        level_, low_, high_ = mgr._level, mgr._low, mgr._high
-        unique = mgr._unique
+        level_, low_, high_ = store.level, store.low, store.high
+        unique = store.unique
+        store_key = store.key
+        free = store.free
         ref = self.ref
         live_at = self.live_at
         old_y = frozenset(live_at[y])
@@ -1048,11 +1503,11 @@ class _SiftSession:
         # as they are relabeled or rebuilt.  (Entries of untracked garbage
         # nodes at these levels are overwritten on re-registration.)
         for n in old_x:
-            key = (x, low_[n], high_[n])
+            key = store_key(x, low_[n], high_[n])
             if unique.get(key) == n:
                 del unique[key]
         for n in old_y:
-            key = (y, low_[n], high_[n])
+            key = store_key(y, low_[n], high_[n])
             if unique.get(key) == n:
                 del unique[key]
         new_x: Set[int] = set()
@@ -1066,21 +1521,30 @@ class _SiftSession:
                 rebuilt.append(n)
             else:
                 level_[n] = y
-                unique[(y, low_[n], high_[n])] = n
+                unique[store_key(y, low_[n], high_[n])] = n
                 new_y.add(n)
 
         def mk_y(low: int, high: int) -> int:
             if low == high:
                 return low
-            key = (y, low, high)
+            key = store_key(y, low, high)
             hit = unique.get(key)
             if hit is not None and hit in new_y:
                 return hit
-            node = len(level_)
-            level_.append(y)
-            low_.append(low)
-            high_.append(high)
-            unique[key] = node
+            if free:
+                node = free.pop()
+                level_[node] = y
+                low_[node] = low
+                high_[node] = high
+                unique[key] = node
+            else:
+                node = len(level_)
+                level_.append(y)
+                low_.append(low)
+                high_.append(high)
+                unique[key] = node
+                if node + 1 >= store.limit:
+                    store.grow()
             new_y.add(node)
             ref[node] = 0
             if low > TRUE:
@@ -1103,11 +1567,15 @@ class _SiftSession:
                 self.size -= 1
                 lvl = level_[d]
                 live_at[lvl].discard(d)
-                key = (lvl, low_[d], high_[d])
+                key = store_key(lvl, low_[d], high_[d])
                 if unique.get(key) == d:
                     del unique[key]
                 stack.append(low_[d])
                 stack.append(high_[d])
+                # Safe to recycle immediately: a refcount of zero means no
+                # live node (and no pending rebuild — parents hold refs on
+                # their children until processed) can still read this row.
+                free.append(d)
 
         # Phase 2: rebuild the dependent x-nodes in place from their four
         # cofactors; fresh children land at level y.
@@ -1126,7 +1594,7 @@ class _SiftSession:
             # A rebuilt node has a child testing the swapped-in variable, so
             # it still depends on it: c0 != c1 and the node stays internal.
             low_[n], high_[n] = c0, c1
-            unique[(x, c0, c1)] = n
+            unique[store_key(x, c0, c1)] = n
             new_x.add(n)
             if c0 > TRUE:
                 ref[c0] = ref.get(c0, 0) + 1
@@ -1136,10 +1604,10 @@ class _SiftSession:
             deref(high)
 
         # Phase 3: surviving y-nodes (still referenced) move up to x.
-        for s in live_at[y]:
-            level_[s] = x
-            unique[(x, low_[s], high_[s])] = s
-            new_x.add(s)
+        for survivor in live_at[y]:
+            level_[survivor] = x
+            unique[store_key(x, low_[survivor], high_[survivor])] = survivor
+            new_x.add(survivor)
         live_at[x] = new_x
         live_at[y] = new_y
 

@@ -46,7 +46,7 @@ from repro.interp import Interpreter
 from repro.minijava.parser import ParseError
 from repro.obs import runtime as obs
 from repro.obs.progress import ProgressReporter
-from repro.obs.trace import read_trace, summarize_trace, write_trace
+from repro.obs.trace import fold_trace, read_trace, summarize_trace, write_trace
 from repro.service import (
     ResultStore,
     ServiceError,
@@ -348,6 +348,20 @@ def _cmd_trace(args) -> int:
     if not spans:
         print(f"spllift: error: no trace events in {args.file}", file=sys.stderr)
         return 2
+    if getattr(args, "folded", False):
+        # Folded-stack export (`flamegraph.pl`-compatible): one line per
+        # distinct stack, self time in microseconds.  Machine output only
+        # — no headers, so it pipes straight into flamegraph tooling.
+        lines = fold_trace(events)
+        if not lines:
+            print(
+                f"spllift: error: no closed spans to fold in {args.file}",
+                file=sys.stderr,
+            )
+            return 2
+        for line in lines:
+            print(line)
+        return 0
     summary = summarize_trace(events)
     pids = sorted({event.get("pid", 0) for event in spans})
     print(f"trace: {args.file}")
@@ -502,6 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("action", choices=("summary",))
     trace.add_argument("file", help="trace file (Chrome trace_event JSON)")
+    trace.add_argument(
+        "--folded",
+        action="store_true",
+        help="emit folded-stack lines (`stack;frames self_us`) for "
+        "flamegraph.pl / speedscope instead of the summary table",
+    )
     trace.set_defaults(handler=_cmd_trace)
 
     cache = sub.add_parser(

@@ -166,14 +166,20 @@ class BddConstraintSystem(ConstraintSystem):
             self._interned[node] = constraint
         return constraint
 
-    def solver_stats(self) -> Dict[str, int]:
-        """BDD substrate counters for :attr:`IDESolver.stats` and benches."""
+    def solver_stats(self) -> Dict[str, object]:
+        """BDD substrate counters for :attr:`IDESolver.stats` and benches.
+
+        The two ``*_load_factor``/``*_occupancy`` entries are floats in
+        ``[0, 1]`` (table-health gauges); the rest are plain counters.
+        """
         stats = self.manager.cache_stats()
         return {
             "bdd_nodes": stats["unique_entries"],
             "bdd_apply_calls": stats["apply_calls"],
             "bdd_apply_cache_hits": stats["apply_cache_hits"],
             "bdd_apply_cache_misses": stats["apply_cache_misses"],
+            "unique_load_factor": stats["unique_load_factor"],
+            "apply_cache_occupancy": stats["apply_cache_occupancy"],
             "reorders": stats["reorders"],
             "reorder_swaps": stats["reorder_swaps"],
         }

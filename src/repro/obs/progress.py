@@ -29,7 +29,9 @@ class ProgressReporter:
         self._stream = stream if stream is not None else sys.stderr
         self.interval = interval
         self._started = time.perf_counter()
-        self._last_emit = 0.0
+        # -inf, not 0.0: perf_counter's epoch is unspecified (it can start
+        # near zero at boot/process start), and the first tick must land.
+        self._last_emit = float("-inf")
         self._dirty = False
         self._width = 0
         #: Optional provider of extra fields (e.g. live BDD node count),

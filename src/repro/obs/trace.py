@@ -39,6 +39,7 @@ __all__ = [
     "write_trace",
     "read_trace",
     "summarize_trace",
+    "fold_trace",
 ]
 
 
@@ -331,3 +332,49 @@ def summarize_trace(events: List[dict]) -> Dict[str, object]:
         "top_level_us": top_level,
         "coverage_pct": (100.0 * top_level / wall) if wall else 0.0,
     }
+
+
+def fold_trace(events: List[dict]) -> List[str]:
+    """Collapse a span trace into folded-stack lines for flamegraph tools.
+
+    Output is Brendan Gregg's "folded" format — one line per distinct
+    call stack, ``frame;frame;...;frame <value>`` — with the value being
+    the stack's **self time in integer microseconds** (time inside the
+    innermost frame not covered by its child spans), summed over every
+    occurrence on any ``(pid, tid)`` track.  Feeding the lines to
+    ``flamegraph.pl`` (or any speedscope-style importer) reproduces the
+    span hierarchy with correct inclusive widths, because a stack's
+    inclusive time is its own self time plus its descendants'.
+
+    Frames containing ``;`` (the stack separator) or whitespace are
+    sanitized to ``_``; zero-self-time stacks are dropped.  Lines are
+    sorted for deterministic output.
+    """
+    folded: Dict[str, float] = {}
+    # Per-track stack of [name, start_ts, child_time_us].
+    stacks: Dict[Tuple[int, int], List[List[object]]] = {}
+    for event in sorted(events, key=lambda event: float(event.get("ts", 0.0))):
+        ph = event.get("ph")
+        if ph not in ("B", "E"):
+            continue
+        track = (event.get("pid", 0), event.get("tid", 0))
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            name = "".join(
+                "_" if ch == ";" or ch.isspace() else ch
+                for ch in str(event["name"])
+            )
+            stack.append([name, float(event["ts"]), 0.0])
+        elif stack:
+            name, started, child_time = stack.pop()
+            elapsed = float(event["ts"]) - started
+            if stack:
+                stack[-1][2] += elapsed
+            path = ";".join(frame[0] for frame in stack) if stack else ""
+            key = f"{path};{name}" if path else name
+            folded[key] = folded.get(key, 0.0) + max(0.0, elapsed - child_time)
+    return sorted(
+        f"{key} {int(round(value))}"
+        for key, value in folded.items()
+        if int(round(value)) > 0
+    )

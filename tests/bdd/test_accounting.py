@@ -1,0 +1,120 @@
+"""Regression tests for unified apply-cache accounting.
+
+Historically the `and_`/`or_`/`xor` wrappers probed the cache with their
+own tuple key before entering the kernel, and a wrapper-level hit was
+never reflected in the miss denominator — `bdd.apply_hit_ratio`
+overstated misses.  The rewritten core has exactly one probe site per
+operand pair, and every probe ticks exactly one of
+``apply_cache_hits``/``apply_cache_misses`` wherever it happens
+(top-level fast path or in-kernel).
+"""
+
+import pytest
+
+import repro.bdd.manager as manager_mod
+from repro.bdd import BDDManager
+
+
+def counters(mgr):
+    stats = mgr.cache_stats()
+    return (
+        stats["apply_calls"],
+        stats["apply_cache_hits"],
+        stats["apply_cache_misses"],
+    )
+
+
+class TestUnifiedAccounting:
+    def test_pinned_totals_on_known_workload(self):
+        """Exact counter values for a fixed 4-variable workload.
+
+        The second round repeats the same three top-level operations; each
+        must count as one call and one *hit* (previously these wrapper
+        hits bypassed the counters entirely).
+        """
+        mgr = BDDManager()
+        a, b, c, d = (mgr.var(n) for n in "abcd")
+        f = mgr.and_(a, b)
+        g = mgr.or_(c, d)
+        h = mgr.xor(f, g)
+        assert counters(mgr) == (3, 0, 6)
+        assert (mgr.and_(a, b), mgr.or_(c, d), mgr.xor(f, g)) == (f, g, h)
+        assert counters(mgr) == (6, 3, 6)
+
+    def test_terminal_shortcuts_do_not_count(self):
+        mgr = BDDManager()
+        x = mgr.var("x")
+        mgr.and_(x, mgr.true)
+        mgr.and_(x, mgr.false)
+        mgr.or_(x, x)
+        mgr.xor(x, x)
+        assert counters(mgr) == (0, 0, 0)
+
+    def test_hits_plus_misses_cover_every_probe(self):
+        """hits + misses never goes backwards relative to calls.
+
+        Every non-trivial call makes at least one probe, so the probe
+        total must grow at least as fast as the call total.
+        """
+        mgr = BDDManager()
+        xs = [mgr.var(f"x{i}") for i in range(8)]
+        f = mgr.true
+        for i in range(8):
+            f = mgr.and_(f, mgr.or_(xs[i], xs[(i + 1) % 8]))
+        calls, hits, misses = counters(mgr)
+        assert calls > 0
+        assert hits + misses >= calls
+
+    def test_balanced_reduction_uses_same_counters(self):
+        mgr = BDDManager()
+        xs = [mgr.var(f"x{i}") for i in range(16)]
+        mgr.and_all(xs)
+        calls, hits, misses = counters(mgr)
+        assert calls == 15  # n-1 pairwise applies, balanced or not
+        assert hits + misses >= calls
+        # Re-reducing replays the same pairs: all top-level hits.
+        mgr.and_all(xs)
+        calls2, hits2, misses2 = counters(mgr)
+        assert calls2 == 30
+        assert misses2 == misses
+        assert hits2 == hits + 15
+
+    def test_hit_ratio_denominator_consistency(self):
+        """The published ratio uses hits/(hits+misses); both sides of a
+        repeat-heavy workload must move the same counters."""
+        mgr = BDDManager()
+        xs = [mgr.var(f"x{i}") for i in range(6)]
+        f = mgr.or_all(mgr.and_(xs[i], xs[(i + 1) % 6]) for i in range(6))
+        _, hits_before, misses_before = counters(mgr)
+        for _ in range(10):
+            mgr.or_all(mgr.and_(xs[i], xs[(i + 1) % 6]) for i in range(6))
+        _, hits_after, misses_after = counters(mgr)
+        assert misses_after == misses_before  # replay is all hits
+        assert hits_after > hits_before
+
+    def test_cache_flush_keeps_results_and_counts(self, monkeypatch):
+        """A computed-table flush (soft capacity) is lossy but sound."""
+        monkeypatch.setattr(manager_mod, "_CACHE_CAPACITY", 8)
+        mgr = BDDManager()
+        xs = [mgr.var(f"x{i}") for i in range(10)]
+        f = mgr.or_all(mgr.and_(xs[i], xs[(i + 1) % 10]) for i in range(10))
+        stats = mgr.cache_stats()
+        assert stats["apply_cache_flushes"] >= 1
+        ref = BDDManager()
+        ys = [ref.var(f"x{i}") for i in range(10)]
+        g = ref.or_all(ref.and_(ys[i], ys[(i + 1) % 10]) for i in range(10))
+        assert mgr.to_expr_string(f) == ref.to_expr_string(g)
+
+    def test_occupancy_and_load_factor_gauges(self):
+        mgr = BDDManager()
+        stats = mgr.cache_stats()
+        assert stats["unique_load_factor"] == 0.0
+        assert stats["apply_cache_occupancy"] == 0.0
+        xs = [mgr.var(f"x{i}") for i in range(6)]
+        mgr.or_all(mgr.and_(xs[i], xs[(i + 1) % 6]) for i in range(6))
+        stats = mgr.cache_stats()
+        assert 0.0 < stats["unique_load_factor"] <= 1.0
+        assert 0.0 < stats["apply_cache_occupancy"] <= 1.0
+        assert stats["apply_cache_occupancy"] == pytest.approx(
+            stats["apply_cache"] / (3 * manager_mod._CACHE_CAPACITY)
+        )

@@ -1,0 +1,153 @@
+"""Tests for the data-oriented node store (packed keys, growth, free list)."""
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager
+from repro.bdd.tables import FALSE, TRUE, NodeStore
+
+
+def shrink(store, shift=4):
+    """Rewind a store's key width so growth triggers on tiny workloads.
+
+    Only valid while the unique table is empty (no keys to re-pack).
+    """
+    assert not store.unique
+    store.shift = shift
+    store.limit = 1 << shift
+
+
+class TestNodeStore:
+    def test_mk_collapses_redundant_test(self):
+        store = NodeStore()
+        assert store.mk(0, TRUE, TRUE) == TRUE
+        assert store.mk(3, FALSE, FALSE) == FALSE
+
+    def test_mk_interns(self):
+        store = NodeStore()
+        n1 = store.mk(0, FALSE, TRUE)
+        n2 = store.mk(0, FALSE, TRUE)
+        assert n1 == n2
+        assert len(store.unique) == 1
+
+    def test_columns_indexed_by_id(self):
+        store = NodeStore()
+        n = store.mk(7, FALSE, TRUE)
+        assert store.level[n] == 7
+        assert store.low[n] == FALSE
+        assert store.high[n] == TRUE
+
+    def test_grow_rekeys_existing_nodes(self):
+        store = NodeStore()
+        shrink(store, shift=3)  # ids/levels up to 8
+        nodes = {}
+        for level in range(8):
+            nodes[level] = store.mk(level, FALSE, TRUE)
+        assert store.rebuilds >= 1
+        assert store.shift > 3
+        # Every pre-growth node is still found under its re-packed key.
+        for level, node in nodes.items():
+            assert store.mk(level, FALSE, TRUE) == node
+        assert len(store.unique) == len(nodes)
+
+    def test_grow_clears_registered_caches_in_place(self):
+        store = NodeStore()
+        shrink(store, shift=3)
+        cache = {123: 456}
+        store.grow_clears = (cache,)
+        alias = cache  # kernels hold direct references across a rebuild
+        for level in range(8):
+            store.mk(level, FALSE, TRUE)
+        assert store.rebuilds >= 1
+        assert alias == {} and alias is cache
+
+    def test_free_list_reuse(self):
+        store = NodeStore()
+        n = store.mk(0, FALSE, TRUE)
+        key = store.key(0, FALSE, TRUE)
+        del store.unique[key]
+        store.retire(n)
+        m = store.mk(1, TRUE, FALSE)
+        assert m == n  # slot recycled, columns rewritten
+        assert store.level[m] == 1
+        assert len(store.level) == 3  # terminals + one recycled slot
+
+    def test_load_factor(self):
+        store = NodeStore()
+        assert store.load_factor() == 0.0
+        store.mk(0, FALSE, TRUE)
+        assert store.load_factor() == pytest.approx(1 / store.limit)
+
+
+class TestManagerGrowth:
+    """End-to-end: amortized-doubling rebuilds mid-operation stay correct."""
+
+    def _tiny_manager(self):
+        mgr = BDDManager()
+        shrink(mgr._store, shift=4)  # grow after ~14 internal nodes
+        return mgr
+
+    def test_semantics_survive_rebuilds(self):
+        mgr = self._tiny_manager()
+        ref = BDDManager()
+        names = [f"x{i}" for i in range(6)]
+
+        def build(m):
+            xs = [m.var(n) for n in names]
+            f = m.or_(m.and_(xs[0], xs[1]), m.xor(xs[2], xs[3]))
+            return m.and_(f, m.or_(xs[4], m.not_(xs[5])))
+
+        f_tiny, f_ref = build(mgr), build(ref)
+        assert mgr._store.rebuilds >= 1, "workload must cross the growth limit"
+        assert ref._store.rebuilds == 0
+        for bits in range(1 << len(names)):
+            assign = {n: bool(bits >> i & 1) for i, n in enumerate(names)}
+            assert mgr.evaluate(f_tiny, assign) == ref.evaluate(f_ref, assign)
+        assert mgr.satcount(f_tiny) == ref.satcount(f_ref)
+
+    def test_growth_inside_wide_conjunction(self):
+        mgr = self._tiny_manager()
+        chain = mgr.and_all(mgr.var(f"v{i:02d}") for i in range(40))
+        assert mgr._store.rebuilds >= 1
+        assert mgr.satcount(chain) == 1
+        assert mgr.node_count(chain) == 40
+
+    def test_foreign_node_still_rejected_after_growth(self):
+        mgr = self._tiny_manager()
+        mgr.and_all(mgr.var(f"v{i:02d}") for i in range(40))
+        with pytest.raises(BDDError):
+            mgr.not_(10_000_000)
+
+
+class TestSiftRetirement:
+    def test_sift_recycles_retired_slots(self):
+        mgr = BDDManager()
+        xs = [mgr.var(f"x{i}") for i in range(8)]
+        # An order-sensitive function: pairs (x0&x4) | (x1&x5) | ...
+        f = mgr.or_all(mgr.and_(xs[i], xs[i + 4]) for i in range(4))
+        mgr.sift([f])
+        free_after_first = len(mgr._store.free)
+        total_after_first = mgr.total_nodes()
+        # Build more structure; retired slots must be reused before the
+        # columns grow.
+        g = mgr.and_(f, xs[0])
+        assert mgr.total_nodes() <= total_after_first + max(
+            0, 4 - free_after_first
+        ) + 4
+        # Repeated sifting of the same roots must not leak column growth.
+        for _ in range(3):
+            mgr.sift([f, g])
+        assert mgr.total_nodes() <= total_after_first + 8
+
+    def test_sift_preserves_semantics_with_reuse(self):
+        mgr = BDDManager()
+        names = [f"x{i}" for i in range(6)]
+        xs = [mgr.var(n) for n in names]
+        f = mgr.or_all(mgr.and_(xs[i], xs[(i + 3) % 6]) for i in range(6))
+        models_before = list(mgr.iter_models(f))
+        count_before = mgr.satcount(f)
+        for _ in range(2):
+            mgr.sift([f])
+        assert mgr.satcount(f) == count_before
+        assert sorted(
+            tuple(sorted(m.items())) for m in mgr.iter_models(f)
+        ) == sorted(tuple(sorted(m.items())) for m in models_before)

@@ -9,6 +9,7 @@ from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Tracer,
+    fold_trace,
     read_trace,
     summarize_trace,
     write_trace,
@@ -178,3 +179,60 @@ class TestSummarizeTrace:
         assert summary["wall_us"] == 0.0
         assert summary["rows"] == []
         assert summary["coverage_pct"] == 0.0
+
+
+class TestFoldTrace:
+    def _span(self, name, begin, end, pid=1, tid=1):
+        return [
+            {"name": name, "ph": "B", "ts": begin, "pid": pid, "tid": tid},
+            {"name": name, "ph": "E", "ts": end, "pid": pid, "tid": tid},
+        ]
+
+    def test_self_time_attribution(self):
+        # outer [0, 100] with inner [10, 30]: outer self = 80, inner = 20.
+        events = (
+            self._span("outer", 0.0, 100.0)[:1]
+            + self._span("inner", 10.0, 30.0)
+            + self._span("outer", 0.0, 100.0)[1:]
+        )
+        assert fold_trace(events) == ["outer 80", "outer;inner 20"]
+
+    def test_repeated_stacks_accumulate(self):
+        events = (
+            self._span("task", 0.0, 10.0) + self._span("task", 20.0, 35.0)
+        )
+        assert fold_trace(events) == ["task 25"]
+
+    def test_tracks_fold_independently(self):
+        events = self._span("task", 0.0, 10.0, pid=1) + self._span(
+            "task", 0.0, 10.0, pid=2
+        )
+        assert fold_trace(events) == ["task 20"]
+
+    def test_frame_sanitization(self):
+        events = self._span("bdd apply;hot", 0.0, 5.0)
+        assert fold_trace(events) == ["bdd_apply_hot 5"]
+
+    def test_zero_self_time_dropped(self):
+        events = (
+            self._span("outer", 0.0, 10.0)[:1]
+            + self._span("inner", 0.0, 10.0)
+            + self._span("outer", 0.0, 10.0)[1:]
+        )
+        assert fold_trace(events) == ["outer;inner 10"]
+
+    def test_live_tracer_folds(self):
+        tracer = Tracer()
+        with tracer.span("solve"):
+            with tracer.span("phase1"):
+                pass
+        lines = fold_trace(tracer.events())
+        assert any(line.startswith("solve ") for line in lines) or any(
+            line.startswith("solve;phase1 ") for line in lines
+        )
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack and value.isdigit()
+
+    def test_empty(self):
+        assert fold_trace([]) == []

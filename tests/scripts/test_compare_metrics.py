@@ -1,0 +1,157 @@
+"""Tests for scripts/compare_metrics.py (the counter-drift CI gate)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "compare_metrics.py"
+
+
+def snapshot(path: Path, counters=None, gauges=None, histograms=None):
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "spllift-metrics/v1",
+                "metrics": {
+                    "counters": counters or {},
+                    "gauges": gauges or {},
+                    "histograms": histograms or {},
+                },
+            }
+        )
+    )
+    return path
+
+
+def run(*argv):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, argv)],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestCompareMetrics:
+    def test_identical_snapshots_pass(self, tmp_path):
+        base = snapshot(tmp_path / "a.json", counters={"ide.jumps": 100})
+        cur = snapshot(tmp_path / "b.json", counters={"ide.jumps": 100})
+        result = run(base, cur)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "OK" in result.stdout
+
+    def test_injected_drift_fails(self, tmp_path):
+        """The CI self-test: a 50% counter blowup must exit nonzero."""
+        base = snapshot(
+            tmp_path / "a.json",
+            counters={"ide.jumps": 1000, "bdd.apply_cache_misses": 400},
+        )
+        cur = snapshot(
+            tmp_path / "b.json",
+            counters={"ide.jumps": 1500, "bdd.apply_cache_misses": 400},
+        )
+        result = run(base, cur, "--threshold", "0.1")
+        assert result.returncode == 1
+        assert "ide.jumps" in result.stdout
+        assert "DRIFT" in result.stdout
+
+    def test_drift_within_threshold_passes(self, tmp_path):
+        base = snapshot(tmp_path / "a.json", counters={"ide.jumps": 1000})
+        cur = snapshot(tmp_path / "b.json", counters={"ide.jumps": 1049})
+        assert run(base, cur, "--threshold", "0.05").returncode == 0
+
+    def test_large_drop_also_fails(self, tmp_path):
+        """A silent work drop is as suspicious as a blowup."""
+        base = snapshot(tmp_path / "a.json", counters={"ide.jumps": 1000})
+        cur = snapshot(tmp_path / "b.json", counters={"ide.jumps": 100})
+        assert run(base, cur).returncode == 1
+
+    def test_per_counter_threshold_override(self, tmp_path):
+        base = snapshot(
+            tmp_path / "a.json",
+            counters={"bdd.apply_calls": 100, "ide.jumps": 100},
+        )
+        cur = snapshot(
+            tmp_path / "b.json",
+            counters={"bdd.apply_calls": 140, "ide.jumps": 100},
+        )
+        # 40% over a 10% default fails...
+        assert run(base, cur).returncode == 1
+        # ...but a bdd.* override admits it without loosening ide.jumps.
+        result = run(base, cur, "--threshold-for", "bdd.*=0.5")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_most_specific_override_wins(self, tmp_path):
+        base = snapshot(tmp_path / "a.json", counters={"bdd.apply_calls": 100})
+        cur = snapshot(tmp_path / "b.json", counters={"bdd.apply_calls": 140})
+        result = run(
+            base,
+            cur,
+            "--threshold-for",
+            "bdd.*=0.5",
+            "--threshold-for",
+            "bdd.apply_calls=0.1",
+        )
+        assert result.returncode == 1
+
+    def test_missing_key_fails_unless_allowed(self, tmp_path):
+        base = snapshot(tmp_path / "a.json", counters={"ide.jumps": 10})
+        cur = snapshot(tmp_path / "b.json", counters={})
+        assert run(base, cur).returncode == 1
+        assert run(base, cur, "--allow-missing").returncode == 0
+
+    def test_only_and_ignore_filters(self, tmp_path):
+        base = snapshot(
+            tmp_path / "a.json",
+            counters={"ide.jumps": 100, "noise.value": 1},
+        )
+        cur = snapshot(
+            tmp_path / "b.json",
+            counters={"ide.jumps": 100, "noise.value": 99},
+        )
+        assert run(base, cur).returncode == 1
+        assert run(base, cur, "--only", "ide.*").returncode == 0
+        assert run(base, cur, "--ignore", "noise.*").returncode == 0
+
+    def test_gauges_and_histograms_compared(self, tmp_path):
+        base = snapshot(
+            tmp_path / "a.json",
+            gauges={"bdd.unique_load_factor": 0.5},
+            histograms={"span.solve": {"count": 4, "mean": 1.0}},
+        )
+        cur = snapshot(
+            tmp_path / "b.json",
+            gauges={"bdd.unique_load_factor": 0.95},
+            histograms={"span.solve": {"count": 4, "mean": 2.0}},
+        )
+        result = run(base, cur)
+        assert result.returncode == 1
+        assert "bdd.unique_load_factor" in result.stdout
+        # Histogram means are derived, not gated; counts are.
+        assert "span.solve.count" in result.stdout
+
+    def test_malformed_input_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        good = snapshot(tmp_path / "good.json", counters={})
+        assert run(bad, good).returncode == 2
+
+    def test_real_snapshot_roundtrip(self, tmp_path):
+        """A snapshot produced by the live registry gates against itself."""
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.obs.metrics import MetricsRegistry
+        finally:
+            sys.path.pop(0)
+        registry = MetricsRegistry()
+        registry.inc("ide.jumps", 42)
+        registry.gauge("bdd.unique_load_factor", 0.25)
+        registry.observe("solve.seconds", 1.5)
+        document = {
+            "schema": "spllift-metrics/v1",
+            "metrics": registry.describe(),
+        }
+        path = tmp_path / "live.json"
+        path.write_text(json.dumps(document))
+        assert run(path, path).returncode == 0

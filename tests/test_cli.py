@@ -293,6 +293,10 @@ class TestTelemetry:
         report = json.loads(metrics_path.read_text())
         assert report["schema"] == "spllift-metrics/v1"
         assert report["metrics"]["counters"]["ide.solver.jump_functions"] > 0
+        # BDD table-health gauges ride along with the solver stats.
+        gauges = report["metrics"]["gauges"]
+        assert 0.0 < gauges["bdd.unique_load_factor"] <= 1.0
+        assert 0.0 <= gauges["bdd.apply_cache_occupancy"] <= 1.0
 
     def test_trace_summary_breakdown(self, spl_file, tmp_path, capsys):
         trace_path = tmp_path / "trace.json"
@@ -312,6 +316,44 @@ class TestTelemetry:
         assert rc == 0
         assert "ide/phase1/tabulation" in out
         assert "top-level span coverage:" in out
+
+    def test_trace_summary_folded_export(self, spl_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "uninit",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["trace", "summary", str(trace_path), "--folded"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = out.splitlines()
+        assert lines, "folded export must produce at least one stack"
+        for line in lines:
+            stack, sep, value = line.rpartition(" ")
+            assert sep and stack and value.isdigit()
+            assert all(frame for frame in stack.split(";"))
+        assert any(line.startswith("spllift/solve;") for line in lines)
+        # The folded file passes the format gate in scripts/check_trace.py.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        folded_path = tmp_path / "trace.folded"
+        folded_path.write_text(out)
+        script = Path(__file__).resolve().parents[1] / "scripts" / "check_trace.py"
+        result = subprocess.run(
+            [sys.executable, str(script), str(folded_path), "--folded"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
 
     def test_trace_summary_rejects_eventless_file(self, tmp_path, capsys):
         empty = tmp_path / "empty.json"
