@@ -389,6 +389,75 @@ def run_benchmarks(
     finally:
         shutil.rmtree(store_root, ignore_errors=True)
 
+    # --- analysis service: fleet of schedulers over a shared backend --
+    # Two independent scheduler/client instances against one sqlite file
+    # and one served HTTP store: the first cold-populates, the second
+    # must be served 100% from the shared store.
+    print("analysis service fleet (shared backends):", flush=True)
+    import threading
+
+    from repro.service import make_server, open_store
+
+    fleet_root = Path(tempfile.mkdtemp(prefix="spllift-bench-fleet-"))
+    server = None
+    server_thread = None
+    try:
+        db_path = fleet_root / "fleet.db"
+        served = open_store(f"sqlite://{fleet_root / 'served.db'}")
+        server = make_server(served, port=0)
+        host, port = server.server_address
+        server_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        server_thread.start()
+
+        fleet_backends = (
+            ("sqlite", lambda: open_store(f"sqlite://{db_path}")),
+            ("http", lambda: open_store(f"http://{host}:{port}")),
+        )
+        for backend_name, open_client in fleet_backends:
+            client_a, client_b = open_client(), open_client()
+
+            def run_fleet_cold(client=client_a) -> Dict[str, int]:
+                client.clear()
+                report = run_batch(jobs, store=client, use_pool=False)
+                return {"computed": report.computed, "cached": report.cached}
+
+            cold_row = _record(
+                f"service/fleet_cold/{backend_name}/{len(jobs)}_jobs",
+                run_fleet_cold,
+                rounds,
+            )
+            rows.append(cold_row)
+
+            def run_fleet_warm(client=client_b) -> Dict[str, int]:
+                report = run_batch(jobs, store=client, use_pool=False)
+                if report.cached != len(jobs):
+                    raise SystemExit(
+                        f"fleet_warm/{backend_name}: second scheduler hit "
+                        f"{report.cached}/{len(jobs)} records"
+                    )
+                return {"computed": report.computed, "cached": report.cached}
+
+            warm_row = _record(
+                f"service/fleet_warm/{backend_name}/{len(jobs)}_jobs",
+                run_fleet_warm,
+                rounds,
+            )
+            cold_seconds = float(cold_row["min_seconds"])
+            warm_seconds = float(warm_row["min_seconds"])
+            if warm_seconds:
+                warm_row["speedup_vs_cold"] = round(
+                    cold_seconds / warm_seconds, 2
+                )
+            rows.append(warm_row)
+    finally:
+        if server is not None:
+            server.shutdown()
+        if server_thread is not None:
+            server_thread.join(timeout=5)
+        shutil.rmtree(fleet_root, ignore_errors=True)
+
     # --- solver micro-benchmarks (binary IDE embedding vs direct IFDS)
     print("solver micro-benchmarks:", flush=True)
     product = derive_product(

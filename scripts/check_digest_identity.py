@@ -22,9 +22,14 @@ digests match the sequential reference too — the gate behind
 metrics enabled (sequential, and parallel when ``--parallel`` is given)
 and requires the digests to stay bit-identical — the gate behind
 ``repro.obs``: observing the solver must never change what it computes.
-``--baseline`` compares the first order's digests against a saved
-snapshot (written by ``--dump``), catching semantic drift between
-revisions, not just between orders.
+``--backends`` routes the paper campaign through the batch scheduler
+against a sqlite store and a served HTTP store, asserting (a) the
+computed result digests match the direct-solve reference and (b) a
+second run is served 100% from each store with identical digests — the
+gate behind ``repro.service.backends``: where a result is stored must
+never change what it says.  ``--baseline`` compares the first order's
+digests against a saved snapshot (written by ``--dump``), catching
+semantic drift between revisions, not just between orders.
 """
 
 from __future__ import annotations
@@ -32,6 +37,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
+import threading
+from pathlib import Path
 
 from repro.analyses import PAPER_ANALYSES
 from repro.core import SPLLift
@@ -59,6 +67,64 @@ def compute_digests(order: str, seed: int, parallel: int = 1) -> dict:
     return digests
 
 
+def check_backends(reference: dict) -> int:
+    """Run the paper campaign through each store backend; count mismatches.
+
+    For sqlite and HTTP each: a cold batch populates the store and its
+    computed digests must match ``reference``; a warm batch must be
+    served entirely from the store with the same digests.
+    """
+    from repro.service import make_server, open_store, paper_campaign_jobs
+
+    jobs = paper_campaign_jobs()
+    failures = 0
+
+    def run_rounds(backend_name: str, store) -> int:
+        from repro.service import run_batch
+
+        bad = 0
+        for phase in ("cold", "warm"):
+            report = run_batch(jobs, store=store, max_workers=2)
+            for outcome in report.outcomes:
+                key = f"{outcome.job.label}/{outcome.job.analysis}"
+                expected = reference.get(key)
+                digest = outcome.result_digest
+                if expected is None or digest != expected:
+                    bad += 1
+                    print(
+                        f"BACKEND MISMATCH ({backend_name}, {phase}) {key}: "
+                        f"{str(digest)[:16]}… vs {str(expected)[:16]}…"
+                    )
+            if phase == "warm" and report.cached != len(jobs):
+                bad += 1
+                print(
+                    f"BACKEND MISS ({backend_name}): warm run served "
+                    f"{report.cached}/{len(jobs)} from the store"
+                )
+        print(
+            f"{len(jobs)} digests × cold+warm via {backend_name} store: "
+            + ("all identical" if not bad else f"{bad} mismatches")
+        )
+        return bad
+
+    with tempfile.TemporaryDirectory(prefix="spllift-backends-") as tmp:
+        failures += run_rounds(
+            "sqlite", open_store(f"sqlite://{Path(tmp) / 'fleet.db'}")
+        )
+
+        served = open_store(f"sqlite://{Path(tmp) / 'served.db'}")
+        server = make_server(served, port=0)
+        host, port = server.server_address
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            failures += run_rounds("http", open_store(f"http://{host}:{port}"))
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -84,6 +150,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="also solve with tracing/metrics enabled and require digests "
         "identical to the untraced reference",
+    )
+    parser.add_argument(
+        "--backends",
+        action="store_true",
+        help="also run the campaign through the sqlite and HTTP store "
+        "backends and require identical digests cold and warm",
     )
     parser.add_argument(
         "--baseline",
@@ -169,6 +241,9 @@ def main(argv=None) -> int:
                     else f"{traced_failures} mismatches"
                 )
             )
+
+    if args.backends:
+        failures += check_backends(reference)
 
     if args.baseline:
         saved = json.load(open(args.baseline))

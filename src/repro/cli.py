@@ -9,13 +9,21 @@ Analyze a MiniJava product line from the shell::
     spllift metrics shop.mj --feature-model shop.fm
     spllift batch manifest.json --report report.json
     spllift cache stats
+    spllift serve --cache-dir sqlite:///var/tmp/fleet.db --port 8765
 
 ``analyze`` prints, per finding, the statement and the feature constraint
 under which it occurs; ``interfaces`` prints a feature's emergent
 interface; ``run`` executes one configuration with the interpreter;
 ``metrics`` prints the Table-1-style subject metrics; ``batch`` fans a
-manifest of jobs over the analysis service (worker pool + result store);
-``cache`` inspects, prunes (LRU, ``--max-bytes``), or clears the store.
+manifest of jobs (a flat list or a dependency DAG) over the analysis
+service (worker pool + result store); ``cache`` inspects, prunes (LRU,
+``--max-bytes``), or clears the store; ``serve`` shares one store with a
+fleet of schedulers over HTTP.
+
+Everywhere a cache dir is accepted, the spec selects the store backend:
+a plain path (directory store), ``sqlite://file.db`` (single-file WAL
+store, safe for concurrent schedulers on one host), or
+``http://host:port`` (client of a ``spllift serve`` daemon).
 
 User errors — missing input files, unparseable feature models, unknown
 analysis names, bad manifests — exit with status 2 and a one-line
@@ -26,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sqlite3
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
@@ -48,11 +57,12 @@ from repro.obs import runtime as obs
 from repro.obs.progress import ProgressReporter
 from repro.obs.trace import fold_trace, read_trace, summarize_trace, write_trace
 from repro.service import (
-    ResultStore,
     ServiceError,
     default_cache_dir,
-    load_manifest,
+    load_manifest_plan,
+    open_store,
     run_batch,
+    serve_store,
 )
 from repro.spl import ProductLine
 from repro.utils import format_count
@@ -256,22 +266,22 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
-def _batch_store(args) -> Optional[ResultStore]:
+def _batch_store(args):
     if getattr(args, "no_store", False):
         return None
-    cache_dir = getattr(args, "cache_dir", None)
-    return ResultStore(Path(cache_dir) if cache_dir else None)
+    return open_store(getattr(args, "cache_dir", None))
 
 
 def _cmd_batch(args) -> int:
-    jobs = load_manifest(args.manifest)
+    plan = load_manifest_plan(args.manifest)
     report = run_batch(
-        jobs,
+        plan.jobs,
         store=_batch_store(args),
         max_workers=args.jobs,
         job_timeout=args.timeout,
         max_retries=args.retries,
         use_pool=not args.no_pool,
+        dependencies=plan.dependencies,
     )
     width = max(len(outcome.job.label) for outcome in report.outcomes)
     for outcome in report.outcomes:
@@ -281,14 +291,18 @@ def _cmd_batch(args) -> int:
             f"{outcome.job.analysis:<24} {outcome.status:<8} "
             f"{outcome.seconds:7.3f}s  {digest}"
         )
+        if outcome.wait_seconds >= 0.0005:
+            line += f"  (waited {outcome.wait_seconds:.3f}s)"
         if outcome.error:
             line += f"  ({outcome.error})"
         print(line)
+    skipped = f", {report.skipped} skipped" if report.skipped else ""
+    waves = f", {report.waves} wave(s)" if plan.has_dependencies else ""
     print(
         f"{len(report.outcomes)} job(s): {report.cached} cached, "
-        f"{report.computed} computed, {report.failed} failed "
+        f"{report.computed} computed, {report.failed} failed{skipped} "
         f"in {report.wall_seconds:.3f}s "
-        f"({report.workers} worker(s))"
+        f"({report.workers} worker(s){waves})"
     )
     hit_ratio = obs.metrics().hit_ratio("store.get_hits", "store.get_misses")
     if hit_ratio is not None:
@@ -302,10 +316,12 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    store = ResultStore(Path(args.cache_dir) if args.cache_dir else None)
+    store = open_store(args.cache_dir)
     if args.action == "stats":
         stats = store.stats()
-        print(f"cache root: {stats['root']}")
+        root = stats.get("url") or stats.get("root", "")
+        print(f"cache root: {root}")
+        print(f"backend:    {stats.get('backend', store.kind)}")
         print(f"records:    {stats['records']}")
         print(f"bytes:      {stats['bytes']}")
         print(f"corrupt:    {stats['corrupt']}")
@@ -330,7 +346,7 @@ def _cmd_cache(args) -> int:
         summary = store.prune(args.max_bytes)
         print(
             f"pruned {summary['removed']} record(s) "
-            f"({summary['freed_bytes']} bytes) from {store.root}"
+            f"({summary['freed_bytes']} bytes) from {_store_location(store)}"
         )
         print(
             f"remaining: {summary['remaining_records']} record(s), "
@@ -338,7 +354,45 @@ def _cmd_cache(args) -> int:
         )
         return 0
     removed = store.clear()
-    print(f"removed {removed} record(s) from {store.root}")
+    print(f"removed {removed} record(s) from {_store_location(store)}")
+    return 0
+
+
+def _store_location(store) -> str:
+    """Where a store lives, backend-independently (for messages)."""
+    for attribute in ("root", "path", "base_url"):
+        value = getattr(store, attribute, None)
+        if value is not None:
+            return str(value)
+    return store.kind
+
+
+def _cmd_serve(args) -> int:
+    spec = args.cache_dir
+    if spec and str(spec).startswith(("http://", "https://")):
+        raise ServiceError(
+            "cannot serve an http:// store — point clients at it directly"
+        )
+    store = open_store(spec)
+
+    def announce(host: str, port: int) -> None:
+        print(
+            f"serving {store.kind} store {_store_location(store)} "
+            f"on http://{host}:{port}",
+            flush=True,
+        )
+        print(
+            f"point clients at it with --cache-dir http://{host}:{port}",
+            flush=True,
+        )
+
+    serve_store(
+        store,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        ready_callback=announce,
+    )
     return 0
 
 
@@ -483,7 +537,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("manifest", help="batch manifest (JSON)")
     batch.add_argument(
         "--cache-dir",
-        help=f"result store root (default {default_cache_dir()})",
+        help="result store spec: a path, sqlite://file.db, or "
+        f"http://host:port (default {default_cache_dir()})",
     )
     batch.add_argument(
         "--no-store",
@@ -530,7 +585,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("stats", "prune", "clear"))
     cache.add_argument(
         "--cache-dir",
-        help=f"result store root (default {default_cache_dir()})",
+        help="result store spec: a path, sqlite://file.db, or "
+        f"http://host:port (default {default_cache_dir()})",
     )
     cache.add_argument(
         "--max-bytes",
@@ -538,6 +594,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune: evict least-recently-used records down to this size",
     )
     cache.set_defaults(handler=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a result store over HTTP to a fleet of schedulers",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="store to serve: a path or sqlite://file.db "
+        f"(default {default_cache_dir()})",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (default 8765; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
@@ -557,6 +636,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         detail = error.strerror or str(error)
         suffix = f": {name}" if name else ""
         print(f"spllift: error: {detail}{suffix}", file=sys.stderr)
+        return 2
+    except sqlite3.Error as error:
+        print(f"spllift: error: sqlite store: {error}", file=sys.stderr)
         return 2
     finally:
         # Commands are one-shot, but `main` is also called in-process

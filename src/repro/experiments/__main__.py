@@ -47,7 +47,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cache-dir",
         help="route SPLLIFT runs through the analysis service's result "
-        "store at this path (warm hits skip the solver)",
+        "store: a path, sqlite://file.db, or http://host:port "
+        "(warm hits skip the solver)",
     )
     parser.add_argument(
         "--parallel",
@@ -79,9 +80,9 @@ def main(argv=None) -> int:
 
     store = None
     if args.cache_dir:
-        from repro.service import ResultStore
+        from repro.service import open_store
 
-        store = ResultStore(args.cache_dir)
+        store = open_store(args.cache_dir)
 
     if args.experiment in ("table1", "all"):
         print(render_table1(run_table1()))

@@ -1,0 +1,69 @@
+"""Pluggable result-store backends behind one three-method protocol.
+
+The service's cache API has always been three methods — ``get``/``put``/
+``contains`` — and :class:`~repro.service.backends.base.StoreBackend`
+makes that contract explicit so the scheduler, the experiments harness,
+and the CLI can run against any of three interchangeable backends:
+
+- :class:`~repro.service.store.ResultStore` — the original sharded
+  directory of JSON records (``kind="dir"``, the default);
+- :class:`~repro.service.backends.sqlite.SqliteStore` — one sqlite file
+  in WAL mode, safe for concurrent schedulers on one host
+  (``kind="sqlite"``);
+- :class:`~repro.service.backends.http.HttpStore` — a client for the
+  ``spllift serve`` daemon, sharing warm results across hosts
+  (``kind="http"``).
+
+Backends are selected by URL-style spec everywhere a cache dir is
+accepted (:func:`open_store`)::
+
+    /path/to/cache          directory store rooted there
+    sqlite:///tmp/fleet.db  sqlite store in that file
+    http://host:8765        client of a served store
+    (none)                  directory store at the default cache dir
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.service.backends.base import InstrumentedStore, StoreBackend
+from repro.service.backends.http import HttpStore, RemoteStoreError
+from repro.service.backends.sqlite import SqliteStore
+
+__all__ = [
+    "StoreBackend",
+    "InstrumentedStore",
+    "HttpStore",
+    "RemoteStoreError",
+    "SqliteStore",
+    "open_store",
+    "BACKEND_KINDS",
+]
+
+#: The selectable backend kinds, in preference/documentation order.
+BACKEND_KINDS = ("dir", "sqlite", "http")
+
+_SQLITE_PREFIX = "sqlite://"
+
+
+def open_store(spec: Optional[Union[str, Path]] = None) -> StoreBackend:
+    """Open the backend a ``--cache-dir`` spec names (see module doc).
+
+    ``None`` opens the directory store at the default cache dir; a
+    plain path opens a directory store there; ``sqlite://<file>`` and
+    ``http(s)://host:port`` select the other backends.
+    """
+    from repro.service.store import ResultStore
+
+    if spec is None:
+        return ResultStore()
+    if isinstance(spec, Path):
+        return ResultStore(spec)
+    text = str(spec)
+    if text.startswith(_SQLITE_PREFIX):
+        return SqliteStore(text[len(_SQLITE_PREFIX):])
+    if text.startswith(("http://", "https://")):
+        return HttpStore(text)
+    return ResultStore(Path(text))

@@ -31,6 +31,25 @@ Batch manifests (``spllift batch <manifest>``) are JSON::
 
 or, for the paper's Table 2/3 campaign, simply ``{"campaign": "paper"}``
 (the 12 subject×analysis jobs).
+
+Manifests may also be dependency **DAGs**: a job entry can carry an
+``id`` (any unique string) and ``after`` (a list of predecessor ids)::
+
+    {"jobs": [
+        {"id": "rd",    "subject": "GPL-like", "analysis": "rd"},
+        {"id": "types", "subject": "GPL-like", "analysis": "types"},
+        {"id": "uninit", "subject": "GPL-like", "analysis": "uninit",
+         "after": ["rd", "types"]}
+    ]}
+
+:func:`parse_manifest_plan` returns the :class:`BatchPlan` (jobs +
+dependency edges, validated acyclic with every id resolved); the
+scheduler dispatches jobs in topological order as their predecessors
+complete.  Edges are *ordering* constraints — results stay
+content-addressed per job, so a dependency already present in the
+result store satisfies its edges without running ("store-first edges").
+Unknown ids, duplicate ids, self-edges and cycles are
+:class:`ServiceError`\\ s (CLI exit 2).
 """
 
 from __future__ import annotations
@@ -50,12 +69,15 @@ __all__ = [
     "ServiceError",
     "AnalysisJob",
     "ANALYSIS_ALIASES",
+    "BatchPlan",
     "canonical_analysis_name",
     "resolve_analysis",
     "known_analyses",
     "canonical_feature_model_text",
     "load_manifest",
+    "load_manifest_plan",
     "parse_manifest",
+    "parse_manifest_plan",
     "paper_campaign_jobs",
 ]
 
@@ -382,26 +404,131 @@ def paper_campaign_jobs(
     return jobs
 
 
+@dataclass(frozen=True)
+class BatchPlan:
+    """A validated batch: jobs plus their dependency edges.
+
+    ``dependencies[i]`` holds the indices of the jobs that must complete
+    before ``jobs[i]`` may run; ``ids[i]`` is the manifest id (auto-named
+    ``#<position>`` when the entry declared none).  Construction via
+    :func:`parse_manifest_plan` guarantees the edge list is acyclic and
+    every referenced id exists.
+    """
+
+    jobs: Tuple[AnalysisJob, ...]
+    ids: Tuple[str, ...]
+    dependencies: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def has_dependencies(self) -> bool:
+        return any(self.dependencies)
+
+    def topological_order(self) -> List[int]:
+        """Job indices in a dependency-respecting order (Kahn's
+        algorithm, stable by position); raises :class:`ServiceError`
+        naming the jobs on a cycle."""
+        indegree = [len(set(deps)) for deps in self.dependencies]
+        dependents: Dict[int, List[int]] = {}
+        for index, deps in enumerate(self.dependencies):
+            for dep in set(deps):
+                dependents.setdefault(dep, []).append(index)
+        ready = [index for index, count in enumerate(indegree) if count == 0]
+        order: List[int] = []
+        while ready:
+            index = ready.pop(0)
+            order.append(index)
+            for dependent in dependents.get(index, ()):
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self.jobs):
+            stuck = sorted(
+                self.ids[index]
+                for index, count in enumerate(indegree)
+                if count > 0
+            )
+            raise ServiceError(
+                "dependency cycle in manifest involving: " + ", ".join(stuck)
+            )
+        return order
+
+
 def parse_manifest(document: object, base_dir: Path) -> List[AnalysisJob]:
     """Turn a decoded manifest document into jobs (see module docstring)."""
+    return list(parse_manifest_plan(document, base_dir).jobs)
+
+
+def parse_manifest_plan(document: object, base_dir: Path) -> BatchPlan:
+    """Turn a decoded manifest document into a validated
+    :class:`BatchPlan` (jobs + dependency DAG, see module docstring)."""
     if not isinstance(document, dict):
         raise ServiceError("manifest must be a JSON object")
     campaign = document.get("campaign")
     jobs: List[AnalysisJob] = []
+    ids: List[str] = []
+    after: List[Tuple[str, ...]] = []
     if campaign is not None:
         if campaign != "paper":
             raise ServiceError(
                 f"unknown campaign {campaign!r} (known: paper)"
             )
-        jobs.extend(paper_campaign_jobs())
+        for job in paper_campaign_jobs():
+            jobs.append(job)
+            ids.append(f"#{len(ids)}")
+            after.append(())
     entries = document.get("jobs", [])
     if not isinstance(entries, list):
         raise ServiceError('manifest "jobs" must be a list')
     for position, entry in enumerate(entries):
         jobs.append(_job_from_spec(entry, position, base_dir))
+        job_id, predecessors = _edges_from_spec(entry, position)
+        ids.append(job_id if job_id is not None else f"#{len(ids)}")
+        after.append(predecessors)
     if not jobs:
         raise ServiceError("manifest contains no jobs")
-    return jobs
+    seen: Dict[str, int] = {}
+    for index, job_id in enumerate(ids):
+        if job_id in seen:
+            raise ServiceError(f"duplicate job id {job_id!r} in manifest")
+        seen[job_id] = index
+    dependencies: List[Tuple[int, ...]] = []
+    for index, predecessors in enumerate(after):
+        resolved = []
+        for predecessor in predecessors:
+            target = seen.get(predecessor)
+            if target is None:
+                raise ServiceError(
+                    f"job {ids[index]!r}: unknown dependency id "
+                    f"{predecessor!r}"
+                )
+            if target == index:
+                raise ServiceError(
+                    f"job {ids[index]!r} cannot depend on itself"
+                )
+            resolved.append(target)
+        dependencies.append(tuple(resolved))
+    plan = BatchPlan(
+        jobs=tuple(jobs), ids=tuple(ids), dependencies=tuple(dependencies)
+    )
+    plan.topological_order()  # raises on cycles — validate at parse time
+    return plan
+
+
+def _edges_from_spec(
+    entry: object, position: int
+) -> Tuple[Optional[str], Tuple[str, ...]]:
+    """The (id, after) pair of one manifest entry, type-checked."""
+    if not isinstance(entry, dict):
+        return None, ()  # _job_from_spec already rejected it
+    job_id = entry.get("id")
+    if job_id is not None and (not isinstance(job_id, str) or not job_id):
+        raise ServiceError(f'job #{position}: "id" must be a non-empty string')
+    predecessors = entry.get("after", [])
+    if not isinstance(predecessors, list) or not all(
+        isinstance(item, str) for item in predecessors
+    ):
+        raise ServiceError(f'job #{position}: "after" must be a list of job ids')
+    return job_id, tuple(predecessors)
 
 
 def _job_from_spec(entry: object, position: int, base_dir: Path) -> AnalysisJob:
@@ -454,11 +581,16 @@ def _job_from_spec(entry: object, position: int, base_dir: Path) -> AnalysisJob:
 
 
 def load_manifest(path: str) -> List[AnalysisJob]:
-    """Read and parse a batch manifest file."""
+    """Read and parse a batch manifest file (jobs only)."""
+    return list(load_manifest_plan(path).jobs)
+
+
+def load_manifest_plan(path: str) -> BatchPlan:
+    """Read and parse a batch manifest file into a :class:`BatchPlan`."""
     manifest_path = Path(path)
     text = _read_text(manifest_path)
     try:
         document = json.loads(text)
     except json.JSONDecodeError as error:
         raise ServiceError(f"bad manifest {path}: {error}") from error
-    return parse_manifest(document, manifest_path.parent)
+    return parse_manifest_plan(document, manifest_path.parent)

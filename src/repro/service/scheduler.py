@@ -21,6 +21,24 @@ with the parallel solve layer); this module adds the job semantics:
   all (restricted environments), the batch falls back to in-process
   execution with identical results.
 
+Batches may carry a dependency **DAG** (manifest entries with
+``id``/``after``, see :class:`~repro.service.jobs.BatchPlan`).  The
+scheduler then dispatches in waves of ready jobs: a job becomes ready
+once every predecessor has settled successfully, and each wave fans over
+the same pool.  Three DAG-specific rules:
+
+- **store-first edges** — a *cached* job settles immediately, before any
+  scheduling, so its dependents don't wait for it (results are
+  content-addressed: an edge is an ordering constraint, not a data
+  flow the scheduler must reenact);
+- **failed-predecessor skip** — a job whose predecessor failed (or was
+  itself skipped) is marked ``skipped``, transitively, instead of
+  running against a missing precondition;
+- **wait accounting** — every outcome records ``wait_seconds``, the time
+  the job spent blocked on predecessors before dispatch (0 for jobs
+  ready at batch start), mirrored into the
+  ``scheduler.dag_wait_seconds`` histogram.
+
 The pool blocks on ``multiprocessing.connection.wait`` over result pipes
 and process sentinels (timeout derived from the nearest job deadline),
 so an idle scheduler burns no CPU.  :attr:`BatchReport.workers` reports
@@ -38,14 +56,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.parallel import ProcessTaskPool
 from repro.obs import runtime as obs
-from repro.service.jobs import AnalysisJob
-from repro.service.store import ResultStore
+from repro.service.jobs import AnalysisJob, BatchPlan, ServiceError
 from repro.service.worker import execute_job
 
 __all__ = ["JobOutcome", "BatchReport", "BatchScheduler", "run_batch"]
 
 #: Outcome.status values.
-CACHED, COMPUTED, FAILED = "cached", "computed", "failed"
+CACHED, COMPUTED, FAILED, SKIPPED = "cached", "computed", "failed", "skipped"
 
 
 @dataclass
@@ -53,12 +70,13 @@ class JobOutcome:
     """What happened to one job of a batch."""
 
     job: AnalysisJob
-    status: str  # cached | computed | failed
+    status: str  # cached | computed | failed | skipped
     attempts: int = 0
     seconds: float = 0.0
     record: Optional[Dict[str, object]] = None
     error: Optional[str] = None
-    executor: str = "store"  # store | pool | inline
+    executor: str = "store"  # store | pool | inline | none
+    wait_seconds: float = 0.0  # time spent blocked on DAG predecessors
 
     @property
     def ok(self) -> bool:
@@ -81,6 +99,7 @@ class JobOutcome:
             "attempts": self.attempts,
             "seconds": round(self.seconds, 6),
             "executor": self.executor,
+            "wait_seconds": round(self.wait_seconds, 6),
         }
         if self.record is not None:
             row["result_digest"] = self.record.get("result_digest")
@@ -103,6 +122,7 @@ class BatchReport:
     outcomes: List[JobOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
     workers: int = 1
+    waves: int = 1  # dispatch waves (1 for dependency-free batches)
 
     @property
     def cached(self) -> int:
@@ -117,8 +137,12 @@ class BatchReport:
         return sum(1 for outcome in self.outcomes if outcome.status == FAILED)
 
     @property
+    def skipped(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == SKIPPED)
+
+    @property
     def ok(self) -> bool:
-        return self.failed == 0
+        return self.failed == 0 and self.skipped == 0
 
     @property
     def executors(self) -> Dict[str, int]:
@@ -135,8 +159,10 @@ class BatchReport:
             "cached": self.cached,
             "computed": self.computed,
             "failed": self.failed,
+            "skipped": self.skipped,
             "wall_seconds": round(self.wall_seconds, 6),
             "workers": self.workers,
+            "waves": self.waves,
             "executors": self.executors,
         }
 
@@ -146,7 +172,7 @@ class BatchScheduler:
 
     def __init__(
         self,
-        store: Optional[ResultStore] = None,
+        store=None,
         max_workers: Optional[int] = None,
         job_timeout: Optional[float] = None,
         max_retries: int = 1,
@@ -162,84 +188,157 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
 
-    def run(self, jobs: Sequence[AnalysisJob]) -> BatchReport:
+    def run_plan(self, plan: BatchPlan) -> BatchReport:
+        """Run a parsed manifest plan (jobs + dependency DAG)."""
+        return self.run(plan.jobs, dependencies=plan.dependencies)
+
+    def run(
+        self,
+        jobs: Sequence[AnalysisJob],
+        dependencies: Optional[Sequence[Sequence[int]]] = None,
+    ) -> BatchReport:
+        """Run ``jobs``; ``dependencies[i]`` (job indices) must settle
+        successfully before job ``i`` dispatches."""
         started = time.perf_counter()
         obs.ensure_run_id()
+        if dependencies is not None and len(dependencies) != len(jobs):
+            raise ServiceError(
+                f"dependency list covers {len(dependencies)} of "
+                f"{len(jobs)} jobs"
+            )
+        deps: List[frozenset] = [
+            frozenset(dependencies[index]) if dependencies else frozenset()
+            for index in range(len(jobs))
+        ]
         outcomes: Dict[int, JobOutcome] = {}
-        cold: List[Tuple[int, AnalysisJob]] = []
         metrics = obs.metrics()
+        peak_workers = 0
+        waves = 0
 
         with obs.tracer().span(
             "service/batch", jobs=len(jobs), run_id=obs.run_id()
         ):
-            # Warm path: serve every digest the store already has.
+            # Warm path first, dependencies notwithstanding: a cached job
+            # settles its outgoing edges without running (store-first).
             for index, job in enumerate(jobs):
                 record = self.store.get(job.digest) if self.store else None
                 if record is not None:
                     outcomes[index] = JobOutcome(
                         job=job, status=CACHED, record=record, executor="store"
                     )
-                else:
-                    cold.append((index, job))
 
-            peak_workers = 0
-            if cold:
+            pending = [
+                index for index in range(len(jobs)) if index not in outcomes
+            ]
+            while pending:
+                # Settle skips first (transitively: a skip settles too).
+                still_pending: List[int] = []
+                for index in pending:
+                    settled_bad = [
+                        dep
+                        for dep in deps[index]
+                        if dep in outcomes and not outcomes[dep].ok
+                    ]
+                    if settled_bad:
+                        predecessors = ", ".join(
+                            jobs[dep].label for dep in sorted(settled_bad)
+                        )
+                        outcomes[index] = JobOutcome(
+                            job=jobs[index],
+                            status=SKIPPED,
+                            executor="none",
+                            error=f"predecessor failed: {predecessors}",
+                            wait_seconds=(
+                                time.perf_counter() - started if waves else 0.0
+                            ),
+                        )
+                    else:
+                        still_pending.append(index)
+                pending = still_pending
+                ready = [
+                    index
+                    for index in pending
+                    if all(dep in outcomes for dep in deps[index])
+                ]
+                if not pending:
+                    break
+                if not ready:
+                    # Unreachable for plans validated at parse time; a
+                    # hand-built dependency list can still deadlock.
+                    stuck = ", ".join(jobs[index].label for index in pending)
+                    raise ServiceError(
+                        f"dependency deadlock: no runnable job among {stuck}"
+                    )
+
+                wave_wait = time.perf_counter() - started if waves else 0.0
+                waves += 1
                 pool = ProcessTaskPool(
                     max_workers=self.max_workers,
                     task_timeout=self.job_timeout,
                     max_retries=self.max_retries,
                     use_pool=self.use_pool,
                 )
-                tasks = [(execute_job, (job,)) for _, job in cold]
+                tasks = [(execute_job, (jobs[index],)) for index in ready]
                 results = pool.run(tasks)
-                peak_workers = pool.peak_workers
-                for (index, job), task in zip(cold, results):
+                peak_workers = max(peak_workers, pool.peak_workers)
+                for index, task in zip(ready, results):
                     if task.ok:
                         if self.store is not None:
                             self.store.put(task.result)
                         outcomes[index] = JobOutcome(
-                            job=job,
+                            job=jobs[index],
                             status=COMPUTED,
                             attempts=task.attempts,
                             seconds=task.seconds,
                             record=task.result,
                             executor=task.executor,
+                            wait_seconds=wave_wait,
                         )
                     else:
                         outcomes[index] = JobOutcome(
-                            job=job,
+                            job=jobs[index],
                             status=FAILED,
                             attempts=task.attempts,
                             seconds=task.seconds,
                             error=task.error,
                             executor=task.executor,
+                            wait_seconds=wave_wait,
                         )
+                pending = [index for index in pending if index not in outcomes]
 
         ordered = [outcomes[index] for index in range(len(jobs))]
         for outcome in ordered:
             metrics.inc(f"scheduler.jobs_{outcome.status}")
             metrics.inc("scheduler.job_attempts", outcome.attempts)
             metrics.observe("scheduler.job_seconds", outcome.seconds)
+        if any(deps):
+            for outcome, dep_set in zip(ordered, deps):
+                if dep_set:
+                    metrics.observe(
+                        "scheduler.dag_wait_seconds", outcome.wait_seconds
+                    )
         if any(outcome.executor == "pool" for outcome in ordered):
             workers = max(1, peak_workers)
         elif any(outcome.executor == "inline" for outcome in ordered):
             workers = 1
         else:
-            workers = 0  # everything came from the store
+            workers = 0  # everything came from the store (or was skipped)
         return BatchReport(
             outcomes=ordered,
             wall_seconds=time.perf_counter() - started,
             workers=workers,
+            waves=max(1, waves),
         )
 
 
 def run_batch(
     jobs: Sequence[AnalysisJob],
-    store: Optional[ResultStore] = None,
+    store=None,
     max_workers: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 1,
     use_pool: bool = True,
+    dependencies: Optional[Sequence[Sequence[int]]] = None,
 ) -> BatchReport:
     """One-call convenience wrapper around :class:`BatchScheduler`."""
     scheduler = BatchScheduler(
@@ -249,4 +348,4 @@ def run_batch(
         max_retries=max_retries,
         use_pool=use_pool,
     )
-    return scheduler.run(jobs)
+    return scheduler.run(jobs, dependencies=dependencies)

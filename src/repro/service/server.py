@@ -1,0 +1,214 @@
+"""The ``spllift serve`` daemon: a result store over stdlib HTTP.
+
+Wraps any *local* store backend (directory or sqlite) and serves the
+wire protocol consumed by
+:class:`~repro.service.backends.http.HttpStore` — GET/HEAD/PUT on
+``/objects/<digest>`` plus the admin endpoints (``/stats``, ``/clear``,
+``/prune``, ``/health``).  Zero dependencies: ``http.server``'s
+:class:`~http.server.ThreadingHTTPServer` handles each request on its
+own thread, a server-wide lock serializes store access (record bodies
+are small; correctness beats parallel file I/O here), and the sqlite
+backend's WAL mode means *other processes* on the host can still use
+the same database file directly while it is being served.
+
+The server never trusts the client: a PUT whose body is not a JSON
+object, or whose ``digest`` field disagrees with the URL, is a 400 —
+mis-keyed records must not enter the store, because every reader
+validates digests and would treat them as misses forever.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.obs import runtime as obs
+
+__all__ = ["StoreRequestHandler", "make_server", "serve_store"]
+
+_OBJECTS_PREFIX = "/objects/"
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """One request against the served store."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "spllift-store/1"
+
+    # The bound store and its lock live on the server object
+    # (set by :func:`make_server`).
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: Dict[str, object]) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_empty(self, status: int) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _digest_from_path(self) -> Optional[str]:
+        if not self.path.startswith(_OBJECTS_PREFIX):
+            return None
+        digest = self.path[len(_OBJECTS_PREFIX):]
+        if len(digest) < 8 or not all(
+            c in "0123456789abcdef" for c in digest
+        ):
+            return None
+        return digest
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _store(self):
+        return self.server.store
+
+    def _locked(self):
+        return self.server.store_lock
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        obs.metrics().inc("server.requests")
+        if self.path == "/health":
+            store = self._store()
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "backend": store.kind,
+                    "root": str(getattr(store, "root", getattr(store, "path", ""))),
+                },
+            )
+            return
+        if self.path == "/stats":
+            with self._locked():
+                stats = self._store().stats()
+            self._send_json(200, stats)
+            return
+        digest = self._digest_from_path()
+        if digest is None:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        with self._locked():
+            record = self._store().get(digest)
+        if record is None:
+            self._send_json(404, {"error": "miss"})
+            return
+        self._send_json(200, record)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        obs.metrics().inc("server.requests")
+        digest = self._digest_from_path()
+        if digest is None:
+            self._send_empty(404)
+            return
+        with self._locked():
+            present = self._store().contains(digest)
+        self._send_empty(200 if present else 404)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        obs.metrics().inc("server.requests")
+        digest = self._digest_from_path()
+        if digest is None:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            record = json.loads(self._read_body())
+        except json.JSONDecodeError:
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            self._send_json(
+                400, {"error": "record digest must match the URL digest"}
+            )
+            return
+        with self._locked():
+            self._store().put(record)
+        self._send_empty(204)
+
+    def do_POST(self) -> None:  # noqa: N802
+        obs.metrics().inc("server.requests")
+        if self.path == "/clear":
+            with self._locked():
+                removed = self._store().clear()
+            self._send_json(200, {"removed": removed})
+            return
+        if self.path == "/prune":
+            try:
+                document = json.loads(self._read_body() or b"{}")
+                max_bytes = int(document["max_bytes"])
+                if max_bytes < 0:
+                    raise ValueError(max_bytes)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                self._send_json(
+                    400, {"error": 'prune needs a JSON body {"max_bytes": n >= 0}'}
+                )
+                return
+            with self._locked():
+                summary = self._store().prune(max_bytes)
+            self._send_json(200, summary)
+            return
+        self._send_json(404, {"error": f"unknown path {self.path}"})
+
+
+def make_server(
+    store,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run store server (``port=0`` picks a free port).
+
+    The caller owns the lifecycle: ``serve_forever()`` to block,
+    ``shutdown()``/``server_close()`` to stop (tests run it on a
+    daemon thread).
+    """
+    server = ThreadingHTTPServer((host, port), StoreRequestHandler)
+    server.daemon_threads = True
+    server.store = store
+    server.store_lock = threading.Lock()
+    server.verbose = verbose
+    return server
+
+
+def serve_store(
+    store,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    ready_callback=None,
+) -> Tuple[str, int]:
+    """Serve ``store`` until interrupted; returns the bound address.
+
+    ``ready_callback(host, port)`` fires after the socket is bound —
+    the CLI uses it to print the URL clients should point at.
+    """
+    server = make_server(store, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    if ready_callback is not None:
+        ready_callback(bound_host, bound_port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return bound_host, bound_port

@@ -1,4 +1,4 @@
-"""Content-addressed result store for the analysis service.
+"""Directory-backed content-addressed result store (the default backend).
 
 Layout (one JSON document per record, sharded by digest prefix)::
 
@@ -14,6 +14,11 @@ name, or that fails to decode, is treated as a miss — the store is a
 cache, so corruption degrades to a cold solve, never to a wrong answer.
 Writes go through a temp file + ``os.replace`` so concurrent writers and
 crashes can never leave a half-written record behind.
+
+This is one of three interchangeable backends behind the
+:class:`~repro.service.backends.base.StoreBackend` protocol — see
+:mod:`repro.service.backends` for the sqlite and HTTP ones and the
+URL-style selection (``path`` / ``sqlite://…`` / ``http://…``).
 """
 
 from __future__ import annotations
@@ -21,15 +26,12 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import time
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.obs import runtime as obs
+from repro.service.backends.base import RESULT_SCHEMA, InstrumentedStore
 
-__all__ = ["ResultStore", "default_cache_dir"]
-
-RESULT_SCHEMA = "spllift-result/v1"
+__all__ = ["ResultStore", "default_cache_dir", "RESULT_SCHEMA"]
 
 
 def default_cache_dir() -> Path:
@@ -42,8 +44,10 @@ def default_cache_dir() -> Path:
     return base / "spllift"
 
 
-class ResultStore:
+class ResultStore(InstrumentedStore):
     """On-disk content-addressed store of serialized analysis results."""
+
+    kind = "dir"
 
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
@@ -60,18 +64,8 @@ class ResultStore:
     # Read side
     # ------------------------------------------------------------------
 
-    def contains(self, digest: str) -> bool:
+    def _contains(self, digest: str) -> bool:
         return self.path_for(digest).is_file()
-
-    def get(self, digest: str) -> Optional[Dict[str, object]]:
-        """The stored record, or ``None`` on a miss (including corrupt or
-        mis-keyed records — a cache must fail open, toward recomputing)."""
-        t0 = time.perf_counter()
-        record = self._get(digest)
-        metrics = obs.metrics()
-        metrics.observe("store.get_seconds", time.perf_counter() - t0)
-        metrics.inc("store.get_hits" if record is not None else "store.get_misses")
-        return record
 
     def _get(self, digest: str) -> Optional[Dict[str, object]]:
         path = self.path_for(digest)
@@ -106,19 +100,8 @@ class ResultStore:
     # Write side
     # ------------------------------------------------------------------
 
-    def put(self, record: Dict[str, object]) -> Path:
-        """Persist a record under its own ``digest`` key (atomically)."""
-        t0 = time.perf_counter()
-        path = self._put(record)
-        metrics = obs.metrics()
-        metrics.observe("store.put_seconds", time.perf_counter() - t0)
-        metrics.inc("store.puts")
-        return path
-
     def _put(self, record: Dict[str, object]) -> Path:
-        digest = record.get("digest")
-        if not isinstance(digest, str) or len(digest) < 8:
-            raise ValueError(f"record has no usable digest: {digest!r}")
+        digest = str(record["digest"])
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(record, sort_keys=True, indent=1)
@@ -149,7 +132,13 @@ class ResultStore:
         ``kinds`` classifies the decodable ones, and ``corrupt`` counts
         the rest (undecodable JSON, non-dict payloads, vanished files) —
         ``records == sum(kinds.values()) + corrupt`` always holds.
+
+        A missing or empty store reports zeros; a root that exists but is
+        not a directory is a genuine configuration error and raises
+        ``NotADirectoryError`` (the CLI renders it as a one-line error).
         """
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(20, "cache root is not a directory", str(self.root))
         records = 0
         total_bytes = 0
         corrupt = 0
@@ -174,40 +163,34 @@ class ResultStore:
                         continue
                     kind = str(record.get("schema", "unknown"))
                     kinds[kind] = kinds.get(kind, 0) + 1
-        metrics = obs.metrics()
         return {
+            "backend": self.kind,
             "root": str(self.root),
             "records": records,
             "bytes": total_bytes,
             "kinds": kinds,
             "corrupt": corrupt,
-            # This-process traffic (all stores share one registry): what
-            # `spllift cache stats` and the batch summary report as the
-            # session hit ratio.
-            "session": {
-                "gets": metrics.counter_value("store.get_hits")
-                + metrics.counter_value("store.get_misses"),
-                "hits": metrics.counter_value("store.get_hits"),
-                "misses": metrics.counter_value("store.get_misses"),
-                "puts": metrics.counter_value("store.puts"),
-                "hit_ratio": metrics.hit_ratio(
-                    "store.get_hits", "store.get_misses"
-                ),
-            },
+            "session": self.session_stats(),
         }
 
     def prune(self, max_bytes: int) -> Dict[str, object]:
         """Evict least-recently-used records until the store fits.
 
-        Records are ranked by access time (falling back to modification
-        time on filesystems mounted ``noatime``) and removed oldest-first
-        until the total size is at most ``max_bytes``.  Shard directories
-        left empty are removed.  Returns a summary dict with ``removed``,
-        ``freed_bytes``, ``remaining_bytes`` and ``remaining_records``.
+        Records are ranked by one clock chosen *store-wide*: access time
+        when the filesystem demonstrably maintains it (some record shows
+        ``atime > mtime``, i.e. a read after the write), else
+        modification time for every record.  Mixing the two per file —
+        the old ``max(atime, mtime)`` — interleaves "last read" and
+        "last written" rankings on ``relatime``/``noatime`` mounts, where
+        only *some* files ever get an atime bump, and evicts recently
+        read records ahead of long-untouched ones.  Shard directories
+        left empty are removed.  Returns a summary dict with
+        ``removed``, ``freed_bytes``, ``remaining_bytes`` and
+        ``remaining_records``.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
-        entries = []  # (last_use, size, path)
+        infos: List[Tuple[os.stat_result, Path]] = []
         total = 0
         if self._objects.is_dir():
             for shard in self._objects.iterdir():
@@ -218,9 +201,13 @@ class ResultStore:
                         info = path.stat()
                     except OSError:
                         continue
-                    last_use = max(info.st_atime, info.st_mtime)
-                    entries.append((last_use, info.st_size, path))
+                    infos.append((info, path))
                     total += info.st_size
+        atime_tracked = any(info.st_atime > info.st_mtime for info, _ in infos)
+        entries = [
+            (info.st_atime if atime_tracked else info.st_mtime, info.st_size, path)
+            for info, path in infos
+        ]
         entries.sort(key=lambda entry: (entry[0], str(entry[2])))
         removed = 0
         freed = 0

@@ -1,0 +1,188 @@
+"""Tests for dependency-DAG batch manifests and wave scheduling.
+
+Manifest entries may carry ``id`` and ``after`` (a list of predecessor
+ids); :func:`parse_manifest_plan` validates edges at parse time and the
+scheduler dispatches in topological waves with store-first edges and
+transitive failed-predecessor skips.
+"""
+
+import json
+
+import pytest
+
+from repro.service import (
+    AnalysisJob,
+    BatchScheduler,
+    ResultStore,
+    ServiceError,
+    load_manifest_plan,
+    parse_manifest_plan,
+    run_batch,
+)
+from repro.spl.examples import FIGURE1_SOURCE
+
+BROKEN_SOURCE = "class Main { void main() { this does not parse } }"
+
+
+def _job(analysis="taint", **kwargs):
+    kwargs.setdefault("label", "fig1")
+    kwargs.setdefault("source", FIGURE1_SOURCE)
+    return AnalysisJob(analysis=analysis, **kwargs)
+
+
+def _manifest(entries):
+    return {"schema": "spllift-batch/v1", "jobs": entries}
+
+
+def _entry(job_id=None, after=None, analysis="taint", source=FIGURE1_SOURCE):
+    entry = {"source": source, "analysis": analysis}
+    if job_id is not None:
+        entry["id"] = job_id
+    if after is not None:
+        entry["after"] = after
+    return entry
+
+
+DIAMOND = [
+    _entry("a", analysis="taint"),
+    _entry("b", after=["a"], analysis="uninit"),
+    _entry("c", after=["a"], analysis="rd"),
+    _entry("d", after=["b", "c"], analysis="types"),
+]
+
+
+class TestManifestParsing:
+    def test_flat_manifest_has_no_dependencies(self):
+        plan = parse_manifest_plan(_manifest([_entry(), _entry("x")]), None)
+        assert not plan.has_dependencies
+        assert plan.dependencies == ((), ())
+
+    def test_auto_ids_for_unnamed_entries(self):
+        plan = parse_manifest_plan(_manifest([_entry(), _entry("x")]), None)
+        assert plan.ids == ("#0", "x")
+
+    def test_diamond_edges_resolve_to_indices(self):
+        plan = parse_manifest_plan(_manifest(DIAMOND), None)
+        assert plan.has_dependencies
+        assert plan.dependencies == ((), (0,), (0,), (1, 2))
+
+    def test_topological_order_respects_edges(self):
+        plan = parse_manifest_plan(_manifest(DIAMOND), None)
+        order = plan.topological_order()
+        position = {index: rank for rank, index in enumerate(order)}
+        for index, predecessors in enumerate(plan.dependencies):
+            for predecessor in predecessors:
+                assert position[predecessor] < position[index]
+
+    def test_cycle_rejected_at_parse_time(self):
+        entries = [
+            _entry("a", after=["b"]),
+            _entry("b", after=["a"], analysis="uninit"),
+        ]
+        with pytest.raises(ServiceError, match="dependency cycle"):
+            parse_manifest_plan(_manifest(entries), None)
+
+    def test_unknown_dependency_id_rejected(self):
+        entries = [_entry("a", after=["ghost"])]
+        with pytest.raises(ServiceError, match="unknown dependency id"):
+            parse_manifest_plan(_manifest(entries), None)
+
+    def test_self_dependency_rejected(self):
+        entries = [_entry("a", after=["a"])]
+        with pytest.raises(ServiceError, match="depend on itself"):
+            parse_manifest_plan(_manifest(entries), None)
+
+    def test_duplicate_id_rejected(self):
+        entries = [_entry("a"), _entry("a", analysis="uninit")]
+        with pytest.raises(ServiceError, match="duplicate job id"):
+            parse_manifest_plan(_manifest(entries), None)
+
+    def test_after_must_be_string_list(self):
+        with pytest.raises(ServiceError, match='"after" must be a list'):
+            parse_manifest_plan(
+                _manifest([{"source": FIGURE1_SOURCE, "analysis": "taint",
+                            "after": "a"}]),
+                None,
+            )
+
+    def test_load_manifest_plan_from_file(self, tmp_path):
+        path = tmp_path / "dag.json"
+        path.write_text(json.dumps(_manifest(DIAMOND)))
+        plan = load_manifest_plan(path)
+        assert len(plan.jobs) == 4
+        assert plan.dependencies[3] == (1, 2)
+
+
+class TestDagExecution:
+    def test_diamond_executes_topologically(self, tmp_path):
+        plan = parse_manifest_plan(_manifest(DIAMOND), None)
+        store = ResultStore(tmp_path / "store")
+        scheduler = BatchScheduler(store=store, use_pool=False)
+        report = scheduler.run_plan(plan)
+        assert report.computed == 4
+        assert report.failed == 0 and report.skipped == 0
+        assert report.waves == 3  # a | b,c | d
+        # Dependent jobs record time spent blocked on predecessors.
+        assert report.outcomes[0].wait_seconds == 0.0
+        for outcome in report.outcomes[1:]:
+            assert outcome.wait_seconds > 0.0
+        assert report.outcomes[3].wait_seconds >= report.outcomes[1].wait_seconds
+
+    def test_warm_diamond_is_one_wave(self, tmp_path):
+        plan = parse_manifest_plan(_manifest(DIAMOND), None)
+        store = ResultStore(tmp_path / "store")
+        BatchScheduler(store=store, use_pool=False).run_plan(plan)
+        warm = BatchScheduler(store=store, use_pool=False).run_plan(plan)
+        assert warm.cached == 4
+        assert warm.waves == 1
+        assert warm.workers == 0
+
+    def test_failed_predecessor_skips_transitively(self, tmp_path):
+        entries = [
+            _entry("a", source=BROKEN_SOURCE),
+            _entry("b", after=["a"], analysis="uninit"),
+            _entry("d", after=["b"], analysis="types"),
+            _entry("lone", analysis="rd"),
+        ]
+        plan = parse_manifest_plan(_manifest(entries), None)
+        report = BatchScheduler(use_pool=False).run_plan(plan)
+        statuses = [outcome.status for outcome in report.outcomes]
+        assert statuses == ["failed", "skipped", "skipped", "computed"]
+        assert report.skipped == 2
+        assert not report.ok
+        for outcome in report.outcomes[1:3]:
+            assert outcome.executor == "none"
+            assert "predecessor failed" in outcome.error
+
+    def test_cached_predecessor_settles_before_scheduling(self, tmp_path):
+        """Store-first edges: a warm predecessor unblocks its dependents
+        in the first wave."""
+        store = ResultStore(tmp_path / "store")
+        run_batch([_job()], store=store, use_pool=False)  # warm up "a"
+        entries = [_entry("a"), _entry("b", after=["a"], analysis="uninit")]
+        plan = parse_manifest_plan(_manifest(entries), None)
+        report = BatchScheduler(store=store, use_pool=False).run_plan(plan)
+        assert report.outcomes[0].status == "cached"
+        assert report.outcomes[1].status == "computed"
+        assert report.waves == 1
+
+    def test_dependency_length_mismatch_rejected(self):
+        with pytest.raises(ServiceError, match="dependency list covers"):
+            BatchScheduler(use_pool=False).run([_job()], dependencies=[])
+
+    def test_hand_built_deadlock_detected(self):
+        # parse_manifest_plan can't produce this; the scheduler still
+        # refuses to spin on an unsatisfiable dependency list.
+        jobs = [_job(), _job(analysis="uninit")]
+        with pytest.raises(ServiceError, match="deadlock"):
+            BatchScheduler(use_pool=False).run(
+                jobs, dependencies=[(1,), (0,)]
+            )
+
+    def test_report_rows_carry_wait_seconds(self, tmp_path):
+        plan = parse_manifest_plan(_manifest(DIAMOND), None)
+        report = BatchScheduler(use_pool=False).run_plan(plan)
+        document = report.describe()
+        assert document["waves"] == 3
+        for row in document["jobs"]:
+            assert "wait_seconds" in row

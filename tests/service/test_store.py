@@ -197,6 +197,49 @@ class TestPrune:
             "remaining_records": 0,
         }
 
+    def test_mtime_clock_on_noatime_mounts(self, store):
+        """On a noatime mount reads never advance atime, so every record
+        shows a stale constant atime; LRU must fall back to mtime for
+        *all* entries instead of mixing the two clocks per file."""
+        import os
+
+        paths = []
+        for i in range(4):
+            digest = f"{i:02x}" * 32
+            path = store.put(_record(digest=digest))
+            os.utime(path, (500_000, 1_000_000 + i * 100))
+            paths.append((digest, path))
+        sizes = [p.stat().st_size for _, p in paths]
+        summary = store.prune(max_bytes=sum(sizes[2:]))
+        assert summary["removed"] == 2
+        for digest, _ in paths[:2]:
+            assert not store.contains(digest)
+        for digest, _ in paths[2:]:
+            assert store.contains(digest)
+
+    def test_atime_clock_when_reads_are_tracked(self, store):
+        """When atimes demonstrably advance past mtimes, reads are the
+        LRU clock — even where it disagrees with write order."""
+        import os
+
+        paths = []
+        for i in range(4):
+            digest = f"{i:02x}" * 32
+            path = store.put(_record(digest=digest))
+            # Write clock runs backwards; read clock runs forwards.
+            mtime = 1_000_000 - i * 100
+            atime = 2_000_000 + i * 100
+            os.utime(path, (atime, mtime))
+            paths.append((digest, path))
+        sizes = [p.stat().st_size for _, p in paths]
+        summary = store.prune(max_bytes=sum(sizes[2:]))
+        assert summary["removed"] == 2
+        # Least-recently-*read* evicted first, despite newest mtimes.
+        for digest, _ in paths[:2]:
+            assert not store.contains(digest)
+        for digest, _ in paths[2:]:
+            assert store.contains(digest)
+
 
 class TestDefaultCacheDir:
     def test_env_override(self, monkeypatch, tmp_path):

@@ -199,6 +199,165 @@ class TestCache:
         assert rc == 2
         assert captured.err.startswith("spllift: error: ")
 
+    def test_stats_on_missing_dir_reports_zeros(self, tmp_path, capsys):
+        rc = main(
+            ["cache", "stats", "--cache-dir", str(tmp_path / "never-made")]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.err == ""
+        assert "records:    0" in captured.out
+        assert "bytes:      0" in captured.out
+        # Asking for stats must not create the directory.
+        assert not (tmp_path / "never-made").exists()
+
+    def test_stats_on_file_path_is_one_line_error(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "plain-file"
+        not_a_dir.write_text("hello")
+        rc = main(["cache", "stats", "--cache-dir", str(not_a_dir)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("spllift: error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+
+
+class TestBackendSpecs:
+    """URL-style --cache-dir specs select the sqlite/HTTP backends."""
+
+    def test_batch_and_stats_via_sqlite_spec(self, manifest, tmp_path, capsys):
+        spec = f"sqlite://{tmp_path / 'store.db'}"
+        rc = main(["batch", manifest, "--cache-dir", spec, "--no-pool"])
+        assert rc == 0
+        rc = main(["batch", manifest, "--cache-dir", spec, "--no-pool"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 cached" in out
+        rc = main(["cache", "stats", "--cache-dir", spec])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend:    sqlite" in out
+        assert "records:    2" in out
+
+    def test_sqlite_stats_on_missing_file_reports_zeros(self, tmp_path, capsys):
+        spec = f"sqlite://{tmp_path / 'missing.db'}"
+        rc = main(["cache", "stats", "--cache-dir", spec])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "records:    0" in out
+        assert not (tmp_path / "missing.db").exists()
+
+    def test_corrupt_sqlite_file_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.db"
+        path.write_text("this is not a database")
+        rc = main(["cache", "stats", "--cache-dir", f"sqlite://{path}"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("spllift: error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_http_stats_with_dead_server_is_one_line_error(self, capsys):
+        rc = main(["cache", "stats", "--cache-dir", "http://127.0.0.1:9"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("spllift: error: ")
+        assert "Traceback" not in captured.err
+
+    def test_serve_refuses_http_spec(self, capsys):
+        rc = main(["serve", "--cache-dir", "http://127.0.0.1:9"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "cannot serve an http:// store" in captured.err
+
+    def test_batch_against_served_store(self, manifest, tmp_path, capsys):
+        import threading
+
+        from repro.service import make_server, open_store
+
+        backing = open_store(f"sqlite://{tmp_path / 'served.db'}")
+        server = make_server(backing, port=0)
+        host, port = server.server_address
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            spec = f"http://{host}:{port}"
+            rc = main(["batch", manifest, "--cache-dir", spec, "--no-pool"])
+            assert rc == 0
+            rc = main(["batch", manifest, "--cache-dir", spec, "--no-pool"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "2 cached" in out and "0 computed" in out
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+
+class TestDagCli:
+    def test_dag_manifest_runs_and_reports_waves(self, tmp_path, capsys):
+        manifest = tmp_path / "dag.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {"id": "a", "source": FIGURE1_SOURCE,
+                         "analysis": "taint"},
+                        {"id": "b", "after": ["a"], "source": FIGURE1_SOURCE,
+                         "analysis": "uninit"},
+                    ]
+                }
+            )
+        )
+        rc = main(
+            [
+                "batch",
+                str(manifest),
+                "--cache-dir",
+                str(tmp_path / "store"),
+                "--no-pool",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 computed" in out
+        assert "2 wave(s)" in out
+
+    def test_cycle_is_one_line_error(self, tmp_path, capsys):
+        manifest = tmp_path / "cycle.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {"id": "a", "after": ["b"], "source": FIGURE1_SOURCE,
+                         "analysis": "taint"},
+                        {"id": "b", "after": ["a"], "source": FIGURE1_SOURCE,
+                         "analysis": "uninit"},
+                    ]
+                }
+            )
+        )
+        rc = main(["batch", str(manifest)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("spllift: error: dependency cycle")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_unknown_dependency_id_is_one_line_error(self, tmp_path, capsys):
+        manifest = tmp_path / "ghost.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {"id": "a", "after": ["ghost"],
+                         "source": FIGURE1_SOURCE, "analysis": "taint"},
+                    ]
+                }
+            )
+        )
+        rc = main(["batch", str(manifest)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "unknown dependency id" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
 
 class TestCleanErrors:
     """Every user error: exit code 2, one ``spllift: error:`` line, no
