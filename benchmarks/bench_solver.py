@@ -458,6 +458,115 @@ def run_benchmarks(
             server_thread.join(timeout=5)
         shutil.rmtree(fleet_root, ignore_errors=True)
 
+    # --- incremental re-solve: one method edited out of N --------------
+    # Per subject: a sqlite summary store is populated from the pristine
+    # source, one method is edited (smallest dirty closure — the 1-of-N
+    # developer-edit scenario), and the edited subject is solved cold
+    # (no store) vs warm (summaries injected).  Warm rounds each start
+    # from a fresh copy of the populated store, because a warm solve
+    # harvests the recomputed methods under their *edited* digests —
+    # reusing those in round 2 would measure a 0-edit re-solve instead.
+    # Digest identity between cold and warm is asserted, not assumed.
+    print("incremental re-solve (1-method edit, cold vs warm):", flush=True)
+    from repro.ide.summaries import summary_cache_for
+    from repro.spl.edits import edited_product_line
+
+    inc_subjects = (
+        ("GPL-like",)
+        if quick
+        else ("BerkeleyDB-like", "GPL-like", "MM08-like")
+    )
+    inc_analysis_name, inc_analysis_class = (
+        "reaching_definitions",
+        ReachingDefinitionsAnalysis,
+    )
+    builders = dict(SUBJECT_BUILDERS)
+    for subject_name in inc_subjects:
+        builder = builders[subject_name]
+        inc_root = Path(tempfile.mkdtemp(prefix="spllift-bench-inc-"))
+        try:
+            populated_db = inc_root / "summaries.db"
+            pristine = builder()
+            n_methods = len(pristine.icfg.call_graph.reachable_methods)
+            populate = SPLLift(
+                inc_analysis_class(pristine.icfg),
+                feature_model=pristine.feature_model,
+            )
+            populate.solve(
+                summaries=summary_cache_for(
+                    populate, open_store(f"sqlite://{populated_db}")
+                )
+            )
+            # The store runs in WAL mode; fold the log into the main file
+            # so the per-round file copies below carry every record.
+            import sqlite3
+
+            with sqlite3.connect(populated_db) as conn:
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            _, target, dirty = edited_product_line(builder())
+            prefix = f"incremental/edit_1_of_{n_methods}/{subject_name}"
+            digests: Dict[str, str] = {}
+
+            def run_inc_cold(b=builder, t=target) -> Dict[str, int]:
+                pl, _, _ = edited_product_line(b(), t)
+                results = SPLLift(
+                    inc_analysis_class(pl.icfg),
+                    feature_model=pl.feature_model,
+                ).solve()
+                digests["cold"] = results.result_digest()
+                return results.stats
+
+            cold_row = _record(f"{prefix}/cold", run_inc_cold, rounds)
+            rows.append(cold_row)
+
+            def run_inc_warm(b=builder, t=target) -> Dict[str, int]:
+                warm_db = inc_root / "warm.db"
+                # Remove the previous round's database *and* its WAL/SHM
+                # sidecars: sqlite would otherwise replay the stale log
+                # over the fresh copy, perturbing the per-round store.
+                for stale in (
+                    warm_db,
+                    warm_db.with_name("warm.db-wal"),
+                    warm_db.with_name("warm.db-shm"),
+                ):
+                    stale.unlink(missing_ok=True)
+                shutil.copyfile(populated_db, warm_db)
+                pl, _, _ = edited_product_line(b(), t)
+                spllift = SPLLift(
+                    inc_analysis_class(pl.icfg),
+                    feature_model=pl.feature_model,
+                )
+                results = spllift.solve(
+                    summaries=summary_cache_for(
+                        spllift, open_store(f"sqlite://{warm_db}")
+                    )
+                )
+                digests["warm"] = results.result_digest()
+                return results.stats
+
+            warm_row = _record(f"{prefix}/warm", run_inc_warm, rounds)
+            if digests["warm"] != digests["cold"]:
+                raise SystemExit(
+                    f"{prefix}: warm digest differs from cold reference"
+                )
+            warm_stats = warm_row["stats"]  # type: ignore[assignment]
+            reused = warm_stats.get("summaries_reused", 0)
+            recomputed = warm_stats.get("summaries_recomputed", 0)
+            warm_row["analysis"] = inc_analysis_name
+            warm_row["edited_method"] = target
+            warm_row["dirty_methods"] = dirty
+            warm_row["reuse_ratio"] = round(
+                reused / max(1, reused + recomputed), 4
+            )
+            warm_seconds = float(warm_row["min_seconds"])
+            if warm_seconds:
+                warm_row["speedup_vs_cold"] = round(
+                    float(cold_row["min_seconds"]) / warm_seconds, 2
+                )
+            rows.append(warm_row)
+        finally:
+            shutil.rmtree(inc_root, ignore_errors=True)
+
     # --- solver micro-benchmarks (binary IDE embedding vs direct IFDS)
     print("solver micro-benchmarks:", flush=True)
     product = derive_product(

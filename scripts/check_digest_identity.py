@@ -27,7 +27,11 @@ against a sqlite store and a served HTTP store, asserting (a) the
 computed result digests match the direct-solve reference and (b) a
 second run is served 100% from each store with identical digests — the
 gate behind ``repro.service.backends``: where a result is stored must
-never change what it says.  ``--baseline`` compares the first order's
+never change what it says.  ``--incremental`` gates the incremental
+solve path (``repro.ide.summaries``): per subject, populate a summary
+store, apply a scripted one-method edit, and require the warm re-solve
+bit-identical to a cold solve of the edited subject with a reuse ratio
+of at least 0.8.  ``--baseline`` compares the first order's
 digests against a saved snapshot (written by ``--dump``), catching
 semantic drift between revisions, not just between orders.
 """
@@ -65,6 +69,108 @@ def compute_digests(order: str, seed: int, parallel: int = 1) -> dict:
                 results.result_digest()
             )
     return digests
+
+
+def check_incremental(reference: dict, seed: int, parallel=None) -> int:
+    """Gate the incremental solve path; count mismatches.
+
+    For each of the 12 subject × analysis combinations, against a
+    per-subject sqlite summary store:
+
+    1. a *populate* solve of the pristine subject with the summary cache
+       armed — its digest must equal the cold reference (arming the
+       cache on a cold store must change nothing);
+    2. a scripted one-method edit (``repro.spl.edits``), then a cold
+       solve of the edited subject — the new reference;
+    3. a *warm* incremental solve of the same edited subject — digest
+       bit-identical to (2), with ``summaries_reused > 0`` and a reuse
+       ratio ≥ 0.8 (the 1-of-N edit must be near-O(dirty) work);
+    4. with ``--parallel N``: a parallel cold solve of the edited
+       subject, also bit-identical (the incremental path itself is
+       sequential; this pins warm-vs-parallel equality).
+    """
+    from repro.ide.summaries import summary_cache_for
+    from repro.service import open_store
+    from repro.spl.edits import edited_product_line
+
+    failures = 0
+    rows = 0
+    with tempfile.TemporaryDirectory(prefix="spllift-incremental-") as tmp:
+        for subject_name, builder in paper_subjects():
+            store = open_store(f"sqlite://{Path(tmp) / subject_name}.db")
+            for analysis_name, analysis_cls in PAPER_ANALYSES:
+                key = f"{subject_name}/{slug(analysis_name)}"
+                rows += 1
+
+                def lift(product_line):
+                    return SPLLift(
+                        analysis_cls(product_line.icfg),
+                        feature_model=product_line.feature_model,
+                    )
+
+                populate = lift(builder())
+                populated = populate.solve(
+                    order_seed=seed,
+                    summaries=summary_cache_for(populate, store),
+                ).result_digest()
+                if populated != reference[key]:
+                    failures += 1
+                    print(
+                        f"INCREMENTAL POPULATE MISMATCH {key}: "
+                        f"{populated[:16]}… vs {reference[key][:16]}…"
+                    )
+
+                edited, target, dirty = edited_product_line(builder())
+                cold = lift(edited).solve(order_seed=seed).result_digest()
+
+                edited_again, _, _ = edited_product_line(builder())
+                warm_solver = lift(edited_again)
+                warm = warm_solver.solve(
+                    order_seed=seed,
+                    summaries=summary_cache_for(warm_solver, store),
+                )
+                stats = warm.stats
+                reused = stats.get("summaries_reused", 0)
+                recomputed = stats.get("summaries_recomputed", 0)
+                ratio = reused / max(1, reused + recomputed)
+                if warm.result_digest() != cold:
+                    failures += 1
+                    print(
+                        f"INCREMENTAL MISMATCH {key} (edit {target}): "
+                        f"warm={warm.result_digest()[:16]}… cold={cold[:16]}…"
+                    )
+                if reused == 0:
+                    failures += 1
+                    print(f"INCREMENTAL NO REUSE {key} (edit {target})")
+                if ratio < 0.8:
+                    failures += 1
+                    print(
+                        f"INCREMENTAL LOW REUSE {key} (edit {target}): "
+                        f"{reused} reused / {recomputed} recomputed "
+                        f"= {ratio:.2f} < 0.8"
+                    )
+
+                if parallel is not None:
+                    par_edit, _, _ = edited_product_line(builder())
+                    par = lift(par_edit).solve(
+                        order_seed=seed, parallel=parallel
+                    ).result_digest()
+                    if par != cold:
+                        failures += 1
+                        print(
+                            f"INCREMENTAL PARALLEL MISMATCH {key}: "
+                            f"parallel={par[:16]}… cold={cold[:16]}…"
+                        )
+    suffix = (
+        f", warm vs parallel={parallel} cold included"
+        if parallel is not None
+        else ""
+    )
+    print(
+        f"{rows} digests cold vs incremental (1-method edit{suffix}): "
+        + ("all identical" if not failures else f"{failures} failures")
+    )
+    return failures
 
 
 def check_backends(reference: dict) -> int:
@@ -158,6 +264,15 @@ def main(argv=None) -> int:
         "backends and require identical digests cold and warm",
     )
     parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="also gate the incremental solve path: populate a summary "
+        "store, edit one method per subject, and require the warm "
+        "re-solve bit-identical to a cold solve of the edited subject "
+        "with reuse ratio >= 0.8 (uses --parallel for an extra "
+        "parallel-cold comparison)",
+    )
+    parser.add_argument(
         "--baseline",
         help="JSON file of reference digests to compare the first order against",
     )
@@ -244,6 +359,9 @@ def main(argv=None) -> int:
 
     if args.backends:
         failures += check_backends(reference)
+
+    if args.incremental:
+        failures += check_incremental(reference, args.seed, args.parallel)
 
     if args.baseline:
         saved = json.load(open(args.baseline))

@@ -122,6 +122,7 @@ def _findings(
     reorder: Optional[str] = None,
     worklist_order: Optional[str] = None,
     parallel: Optional[int] = None,
+    incremental_cache: Optional[str] = None,
 ) -> Tuple[List[Tuple[str, str, str]], SPLLiftResults]:
     icfg = product_line.icfg
     feature_model = product_line.feature_model if fm_mode != "ignore" else None
@@ -130,7 +131,15 @@ def _findings(
         spllift = SPLLift(
             analysis, feature_model=feature_model, fm_mode=fm_mode, reorder=reorder
         )
-        return spllift.solve(worklist_order=worklist_order, parallel=parallel)
+        summaries = None
+        if incremental_cache:
+            from repro.ide.summaries import summary_cache_for
+            from repro.service import open_store
+
+            summaries = summary_cache_for(spllift, open_store(incremental_cache))
+        return spllift.solve(
+            worklist_order=worklist_order, parallel=parallel, summaries=summaries
+        )
 
     if analysis_name == "taint":
         analysis = TaintAnalysis(icfg)
@@ -194,7 +203,19 @@ def _cmd_analyze(args) -> int:
         reorder=args.reorder,
         worklist_order=args.worklist_order,
         parallel=args.parallel,
+        incremental_cache=args.incremental_cache,
     )
+    if args.incremental_cache:
+        # One-line reuse report on stderr; stdout (the findings) must be
+        # byte-identical between cold and warm solves.
+        stats = results.stats
+        print(
+            "summaries: "
+            f"{stats.get('summaries_reused', 0)} reused, "
+            f"{stats.get('summaries_recomputed', 0)} recomputed, "
+            f"{stats.get('summaries_invalidated', 0)} invalidated",
+            file=sys.stderr,
+        )
     if not findings:
         print(f"{args.analysis}: no findings (in any valid product)")
         return 0
@@ -502,6 +523,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the solve by entry context over this many worker "
         "processes (0 = all cores; default: $SPLLIFT_PARALLEL, else 1); "
         "results are bit-identical to the sequential solve",
+    )
+    analyze.add_argument(
+        "--incremental-cache",
+        metavar="SPEC",
+        default=None,
+        help="method-summary store for incremental re-analysis: a path, "
+        "sqlite://file.db, or http://host:port; summaries of "
+        "content-unchanged methods are reused and fresh ones stored "
+        "back (results bit-identical to a cold solve; implies a "
+        "sequential solve)",
     )
     telemetry(analyze)
     analyze.add_argument(

@@ -62,17 +62,29 @@ def encode_constraints(
 
 
 def decode_constraints(
-    system: ConstraintSystem, document: Dict[str, object]
+    system: ConstraintSystem,
+    document: Dict[str, object],
+    *,
+    require_declared_vars: bool = False,
 ) -> List[Constraint]:
     """Decode a document produced by :func:`encode_constraints` into
-    constraints of ``system``, in root order."""
+    constraints of ``system``, in root order.
+
+    With ``require_declared_vars`` a BDD document naming a variable the
+    receiving manager has not declared raises :class:`ConstraintCodecError`
+    instead of silently declaring it.  Callers for whom the variable set
+    is part of the contract (e.g. the incremental summary cache, whose
+    digests depend on a deterministic variable order) use this to turn a
+    stale or foreign document into a controlled miss rather than
+    poisoning the manager's order.
+    """
     if document.get("schema") != CONSTRAINT_CODEC_SCHEMA:
         raise ConstraintCodecError(
             f"not a constraint document: schema={document.get('schema')!r}"
         )
     codec = document.get("codec")
     if codec == "bdd-nodes":
-        return _decode_bdd(system, document)
+        return _decode_bdd(system, document, require_declared_vars)
     if codec == "formula":
         return [system.parse(text) for text in document["roots"]]
     raise ConstraintCodecError(f"unknown constraint codec {codec!r}")
@@ -140,9 +152,24 @@ def _encode_reachable(
         node_ref[node] = len(nodes) - 1 + _REF_BASE
 
 
-def _decode_bdd(system, document: Dict[str, object]) -> List[Constraint]:
+def _decode_bdd(
+    system, document: Dict[str, object], require_declared_vars: bool = False
+) -> List[Constraint]:
     manager = system.manager
-    variables = [manager.var(str(name)) for name in document["vars"]]
+    names = document.get("vars")
+    if not isinstance(names, list):
+        raise ConstraintCodecError(f"malformed variable table {names!r}")
+    if require_declared_vars:
+        has_var = getattr(manager, "has_var", None)
+        if has_var is None:
+            declared = set(manager.variables)
+            has_var = declared.__contains__
+        unknown = [str(name) for name in names if not has_var(str(name))]
+        if unknown:
+            raise ConstraintCodecError(
+                f"document names undeclared variables {unknown!r}"
+            )
+    variables = [manager.var(str(name)) for name in names]
     resolved: List[int] = [manager.false, manager.true]
     for row in document["nodes"]:
         try:

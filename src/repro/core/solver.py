@@ -197,6 +197,7 @@ class SPLLift(Generic[D]):
         worklist_order: Optional[str] = None,
         order_seed: int = 0,
         parallel: Optional[int] = None,
+        summaries: Optional[object] = None,
     ) -> SPLLiftResults[D]:
         """Run the IDE solver on the lifted problem (one single pass).
 
@@ -210,10 +211,21 @@ class SPLLift(Generic[D]):
         bit-identical to the sequential solve, which also serves as the
         fallback whenever the solve cannot be partitioned (see
         :mod:`repro.core.parallel`).
+
+        ``summaries`` arms incremental re-analysis: a
+        :class:`~repro.ide.summaries.SummaryCache` whose stored
+        per-method summaries are injected for content-identical methods
+        and refreshed for the rest (see ``summary_cache_for``).  An
+        armed solve runs sequentially — injection rewires one solver's
+        tables in place, which does not compose with the by-seed
+        partitioning — so ``parallel`` is ignored; results stay
+        bit-identical either way.
         """
         from repro.core.parallel import resolve_parallel, solve_lifted_parallel
 
         workers = resolve_parallel(parallel)
+        if summaries is not None:
+            workers = 1
         # Live progress gets the BDD substrate's node count alongside the
         # solver's own fields; set here because only this layer knows the
         # constraint system.
@@ -226,12 +238,18 @@ class SPLLift(Generic[D]):
         with obs.tracer().span(
             "spllift/solve", workers=workers, fm_mode=self.fm_mode
         ):
-            results = self._solve_timed(worklist_order, order_seed, workers)
+            results = self._solve_timed(
+                worklist_order, order_seed, workers, summaries
+            )
         self._publish_bdd_metrics()
         return results
 
     def _solve_timed(
-        self, worklist_order: Optional[str], order_seed: int, workers: int
+        self,
+        worklist_order: Optional[str],
+        order_seed: int,
+        workers: int,
+        summaries: Optional[object] = None,
     ) -> SPLLiftResults[D]:
         from repro.core.parallel import solve_lifted_parallel
 
@@ -253,7 +271,10 @@ class SPLLift(Generic[D]):
                     time.perf_counter() - started,
                 )
         solver = IDESolver(
-            self.problem, worklist_order=worklist_order, order_seed=order_seed
+            self.problem,
+            worklist_order=worklist_order,
+            order_seed=order_seed,
+            summaries=summaries,
         )
         started = time.perf_counter()
         ide_results = solver.solve()

@@ -178,9 +178,14 @@ class IDESolver(Generic[D, V]):
         problem: IDEProblem[D, V],
         worklist_order: Optional[str] = None,
         order_seed: int = 0,
+        summaries: Optional[object] = None,
     ) -> None:
         worklist_order = resolve_worklist_order(worklist_order)
         self._order = worklist_order
+        # Incremental warm-summary provider (repro.ide.summaries); None
+        # on a cold solve.  The provider may detach itself in attach()
+        # when the problem shape does not support reuse.
+        self._summaries = summaries
         if worklist_order == "random":
             import random as _random
 
@@ -202,6 +207,13 @@ class IDESolver(Generic[D, V]):
             "join_cache_hits": 0,
             "join_cache_misses": 0,
             "interned_edges": 0,
+            # Incremental reuse split: contexts injected from the store,
+            # contexts tabulated while a summary cache was armed, and
+            # reachable methods whose stored record was missing/unusable.
+            # All deterministic zeros on a cold solve.
+            "summaries_reused": 0,
+            "summaries_recomputed": 0,
+            "summaries_invalidated": 0,
             # Overridden by the parallel solve layer; a plain sequential
             # solve is one partition on one worker.
             "parallel_workers": 1,
@@ -268,6 +280,10 @@ class IDESolver(Generic[D, V]):
         with tracer.span("ide/solve", order=self._order):
             with tracer.span("ide/phase1/tabulation"):
                 self._build_jump_functions()
+            if self._summaries is not None:
+                # Store the freshly computed method summaries before the
+                # value phase; phase II reads, never extends, jump rows.
+                self._summaries.harvest(self)
             with tracer.span("ide/phase2/values"):
                 values = self._compute_values()
         self.stats.update(self.problem.edge_cache_stats())
@@ -282,9 +298,20 @@ class IDESolver(Generic[D, V]):
 
     def _build_jump_functions(self) -> None:
         seed_function = self.problem.seed_edge_function()
+        if self._summaries is not None:
+            self._summaries.attach(self)
+        summaries = self._summaries  # attach() may have detached it
         for stmt, facts in self.problem.initial_seeds().items():
+            method = self.icfg.method_of(stmt)
+            ensure = (
+                summaries is not None
+                and stmt is self.icfg.start_point_of(method)
+            )
             for fact in facts:
-                self._propagate(fact, stmt, fact, seed_function)
+                if ensure:
+                    summaries.ensure_context(self, method, fact, stmt)
+                else:
+                    self._propagate(fact, stmt, fact, seed_function)
         kind_cache = self._kind_cache
         worklist = self._worklist
         pending = self._pending
@@ -497,9 +524,17 @@ class IDESolver(Generic[D, V]):
     ) -> None:
         return_sites = self.icfg.return_sites_of(n)
         seed_function = self.problem.seed_edge_function()
+        provider = self._summaries
         for callee, start, entry_facts in self._call_targets(n, d2):
             for d3 in entry_facts:
-                self._propagate(d3, start, d3, seed_function)
+                if provider is None:
+                    self._propagate(d3, start, d3, seed_function)
+                else:
+                    # Warm path: inject the stored fixed point for the
+                    # callee context (or fall back to seeding it) before
+                    # the end-summaries lookup below, so an injected
+                    # callee's summaries apply on this very visit.
+                    provider.ensure_context(self, callee, d3, start)
                 context = (callee, d3)
                 self._incoming.setdefault(context, set()).add((n, d1, d2))
                 summaries = self._end_summaries.get(context)

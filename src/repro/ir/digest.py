@@ -1,0 +1,171 @@
+"""Content digests for lowered methods, local and transitive.
+
+Incremental re-analysis keys a method's stored IFDS/IDE summaries by a
+*transitive* content digest: a hash of the method's own lowered body
+combined with the digests of everything it can call.  An edit to one
+method therefore changes the digests of that method and of all its
+transitive callers — exactly the dirty closure that must be re-tabulated
+— while every other method keeps its digest and its stored summaries
+stay addressable.
+
+Recursion makes the naive "hash of body + callee hashes" definition
+circular, so the transitive digest is computed over the condensation of
+the call graph: Tarjan's algorithm groups mutually-recursive methods
+into strongly connected components, each component gets one digest from
+its members' local digests plus its callee components' digests, and a
+method's transitive digest mixes its own local digest into its
+component's.  Methods in the same recursion group share fate (editing
+one dirties all), which is the correct invalidation granularity — their
+summaries are a joint fixed point.
+
+Digests are content-only: they cover the lowered instructions (including
+operand types that matter for dispatch), signature, local typing and the
+method-level ``#ifdef`` annotation, but not statement line numbers, so
+edits that merely shift code up or down the file do not invalidate
+untouched methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+from repro.ir.callgraph import CallGraph
+from repro.ir.instructions import Instruction, Invoke
+from repro.ir.program import IRMethod
+
+__all__ = [
+    "DIGEST_VERSION",
+    "method_local_digest",
+    "transitive_method_digests",
+]
+
+# Bump when the digest recipe changes: stored summaries keyed under an
+# older recipe must read as misses, never as stale hits.
+DIGEST_VERSION = "spllift-method-digest/v1"
+
+
+def _instruction_lines(instruction: Instruction) -> Iterable[str]:
+    yield str(instruction)
+    if isinstance(instruction, Invoke):
+        # str(Invoke) prints the receiver local but not its declared type,
+        # which CHA dispatch depends on.
+        yield f"  static_type={instruction.static_type}"
+
+
+def method_local_digest(method: IRMethod) -> str:
+    """Digest of one method's own lowered content, ignoring callees."""
+    hasher = hashlib.sha256()
+    lines: List[str] = [
+        DIGEST_VERSION,
+        method.qualified_name,
+        f"params={','.join(method.params)}",
+        f"returns={method.return_type}",
+        f"annotation={method.annotation}",
+        "locals=" + ",".join(f"{n}:{t}" for n, t in sorted(method.local_types.items())),
+        "source_locals=" + ",".join(method.source_locals),
+    ]
+    for instruction in method.instructions:
+        lines.extend(_instruction_lines(instruction))
+    hasher.update("\n".join(lines).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _sha256(lines: Iterable[str]) -> str:
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def transitive_method_digests(call_graph: CallGraph) -> Dict[IRMethod, str]:
+    """Transitive content digest for every reachable method.
+
+    A method's digest covers its local digest and, via the call-graph
+    condensation, the local digests of everything it can transitively
+    call.  Two programs assign a method the same digest exactly when the
+    method and its whole callee cone are content-identical — the
+    condition under which its summaries are reusable verbatim.
+    """
+    methods = list(call_graph.reachable_methods)
+    reachable = set(methods)
+    callees: Dict[IRMethod, List[IRMethod]] = {}
+    for method in methods:
+        targets = set()
+        for instruction in method.instructions:
+            if isinstance(instruction, Invoke):
+                targets.update(
+                    t for t in call_graph.callees(instruction) if t in reachable
+                )
+        callees[method] = sorted(targets, key=lambda m: m.qualified_name)
+
+    local = {method: method_local_digest(method) for method in methods}
+
+    # Iterative Tarjan SCC.  Components complete callees-first, so every
+    # callee component's digest exists by the time its callers finish.
+    index: Dict[IRMethod, int] = {}
+    lowlink: Dict[IRMethod, int] = {}
+    on_stack: Dict[IRMethod, bool] = {}
+    stack: List[IRMethod] = []
+    component_of: Dict[IRMethod, int] = {}
+    component_digest: Dict[int, str] = {}
+    counter = 0
+    components = 0
+
+    for root in methods:
+        if root in index:
+            continue
+        work: List[tuple] = [(root, 0)]
+        while work:
+            node, child_pos = work.pop()
+            children = callees[node]
+            if child_pos == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            else:
+                # Resuming after children[child_pos - 1] completed.
+                lowlink[node] = min(lowlink[node], lowlink[children[child_pos - 1]])
+            recurse = False
+            for pos in range(child_pos, len(children)):
+                child = children[pos]
+                if child not in index:
+                    work.append((node, pos + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if on_stack.get(child):
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                members: List[IRMethod] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    members.append(member)
+                    if member is node:
+                        break
+                component = components
+                components += 1
+                for member in members:
+                    component_of[member] = component
+                callee_components = sorted(
+                    {
+                        component_digest[component_of[target]]
+                        for member in members
+                        for target in callees[member]
+                        if component_of[target] != component
+                    }
+                )
+                component_digest[component] = _sha256(
+                    ["scc"]
+                    + sorted(local[member] for member in members)
+                    + callee_components
+                )
+
+    return {
+        method: _sha256(
+            ["method", method.qualified_name, local[method],
+             component_digest[component_of[method]]]
+        )
+        for method in methods
+    }

@@ -1,0 +1,129 @@
+"""Scripted single-method edits for incremental-analysis experiments.
+
+The edit benchmark and the ``--incremental`` digest check need a
+reproducible "developer touched one method" event.  The edit applied
+here is deliberately semantics-preserving at the analysis level — a
+fresh, never-read local declaration at the top of the method body — but
+that is *not* what the correctness argument rests on: cold and warm
+re-solves are always compared on the *same edited source*, so any edit
+would do.  A content-changing edit is exactly what flips the method's
+digest (and its transitive callers') and forces the dirty closure to
+recompute.
+
+Target selection picks the reachable non-entry method with the smallest
+dirty closure (the method itself plus its transitive callers), ties
+broken by qualified name — the best case for incrementality and a
+deterministic one, so benchmark rows and CI baselines are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Set, Tuple
+
+from repro.ir.callgraph import CallGraph
+from repro.ir.program import IRMethod
+from repro.minijava.ast import IntLit, Type, VarDecl
+from repro.minijava.parser import parse_program
+from repro.minijava.pretty import pretty_print
+from repro.spl.product_line import ProductLine
+
+__all__ = [
+    "EDIT_LOCAL",
+    "dirty_closure",
+    "choose_edit_target",
+    "apply_scripted_edit",
+    "edited_product_line",
+]
+
+#: Name of the local the scripted edit introduces; fresh by construction
+#: (generated subjects and the hand-written examples never use it).
+EDIT_LOCAL = "editProbe0"
+
+
+def dirty_closure(call_graph: CallGraph, method: IRMethod) -> Set[IRMethod]:
+    """The methods whose summaries an edit to ``method`` invalidates:
+    the method itself plus its transitive callers."""
+    seen = {method}
+    stack = [method]
+    while stack:
+        current = stack.pop()
+        for call in call_graph.callers(current):
+            caller = call.method
+            if caller not in seen:
+                seen.add(caller)
+                stack.append(caller)
+    return seen
+
+
+def choose_edit_target(product_line: ProductLine) -> Tuple[str, int]:
+    """Pick the edit target: ``(qualified name, dirty closure size)``.
+
+    Deterministic: smallest dirty closure first, then lexicographic on
+    the qualified name.  Entry methods are excluded — editing the entry
+    dirties everything, which is the (separately measured) worst case,
+    not the 1-of-N scenario.
+    """
+    icfg = product_line.icfg
+    graph = icfg.call_graph
+    entries = set(icfg.entry_points)
+    best = None
+    for method in graph.reachable_methods:
+        if method in entries:
+            continue
+        size = len(dirty_closure(graph, method))
+        key = (size, method.qualified_name)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        raise ValueError(f"{product_line.name}: no editable method")
+    return best[1], best[0]
+
+
+def apply_scripted_edit(source: str, qualified_name: str) -> str:
+    """Insert ``int editProbe0 = 0;`` at the top of the named method and
+    re-render the program (annotations preserved)."""
+    program = parse_program(source)
+    class_name, _, method_name = qualified_name.partition(".")
+    for cls in program.classes:
+        if cls.name != class_name:
+            continue
+        for method in cls.methods:
+            if method.name != method_name:
+                continue
+            method.body.statements.insert(
+                0, VarDecl(Type("int"), EDIT_LOCAL, IntLit(0))
+            )
+            return pretty_print(program, with_annotations=True)
+    raise ValueError(f"no method {qualified_name!r} in program")
+
+
+def edited_product_line(
+    product_line: ProductLine, qualified_name: str = None
+) -> Tuple[ProductLine, str, int]:
+    """A copy of ``product_line`` with one method edited.
+
+    Returns ``(edited product line, edited method, dirty closure size)``.
+    The copy shares the feature model and entry point but re-parses from
+    the edited source, so its IR/ICFG are fresh.
+    """
+    if qualified_name is None:
+        qualified_name, dirty = choose_edit_target(product_line)
+    else:
+        icfg = product_line.icfg
+        target = next(
+            m
+            for m in icfg.call_graph.reachable_methods
+            if m.qualified_name == qualified_name
+        )
+        dirty = len(dirty_closure(icfg.call_graph, target))
+    edited_source = apply_scripted_edit(product_line.source, qualified_name)
+    edited = replace(
+        product_line,
+        name=f"{product_line.name}+edit",
+        source=edited_source,
+        _ast=None,
+        _ir=None,
+        _icfg=None,
+    )
+    return edited, qualified_name, dirty

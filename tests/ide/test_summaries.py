@@ -1,0 +1,301 @@
+"""Tests for the method-summary codec (repro.ide.summaries).
+
+Covers the fact codec, the strict constraint decode used for summary
+records, and the fail-open contract: truncated, mis-keyed or otherwise
+malformed records must decode to a *miss* (``None`` / dropped context),
+never to an exception or — worse — to a wrong fixed point.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analyses import (
+    PossibleTypesAnalysis,
+    ReachingDefinitionsAnalysis,
+)
+from repro.analyses.facts import (
+    DefFact,
+    FieldFact,
+    LocalFact,
+    TypedField,
+    TypedLocal,
+)
+from repro.analyses.typestate import TypestateFact
+from repro.constraints.bddsystem import BddConstraintSystem
+from repro.constraints.serialize import (
+    ConstraintCodecError,
+    decode_constraints,
+    encode_constraints,
+)
+from repro.core import SPLLift
+from repro.ide.solver import IDESolver
+from repro.ide.summaries import (
+    SUMMARY_SCHEMA,
+    SummaryCodecError,
+    decode_fact,
+    encode_fact,
+    problem_key_for,
+    summary_cache_for,
+    summary_record_key,
+)
+from repro.ifds.problem import ZERO
+from repro.ir.digest import method_local_digest
+from repro.service import ResultStore
+from repro.spl import gpl_mini
+
+VARS = ("A", "B", "C", "D")
+
+
+def _terms():
+    base = st.sampled_from(VARS)
+
+    def build(system, spec):
+        kind = spec[0]
+        if kind == "var":
+            return system.var(spec[1])
+        if kind == "not":
+            return ~build(system, spec[1])
+        left, right = build(system, spec[1]), build(system, spec[2])
+        return (left & right) if kind == "and" else (left | right)
+
+    spec = st.recursive(
+        base.map(lambda name: ("var", name)),
+        lambda children: st.one_of(
+            children.map(lambda c: ("not", c)),
+            st.tuples(children, children).map(lambda t: ("and", *t)),
+            st.tuples(children, children).map(lambda t: ("or", *t)),
+        ),
+        max_leaves=8,
+    )
+    return spec, build
+
+
+SPEC, BUILD = _terms()
+
+
+def _armed_pair(tmp_path, analysis_cls=PossibleTypesAnalysis):
+    """A populated store plus a *fresh* attached cache over the same
+    program — the receiver side of a warm solve, ready for decode
+    experiments."""
+    store = ResultStore(tmp_path / "store")
+    product_line = gpl_mini()
+
+    spllift = SPLLift(
+        analysis_cls(product_line.icfg),
+        feature_model=product_line.feature_model,
+    )
+    cold = spllift.solve(summaries=summary_cache_for(spllift, store))
+
+    warm_lift = SPLLift(
+        analysis_cls(product_line.icfg),
+        feature_model=product_line.feature_model,
+    )
+    cache = summary_cache_for(warm_lift, store)
+    receiver = IDESolver(warm_lift.problem, summaries=cache)
+    cache.attach(receiver)
+    assert cache._active
+    return store, cache, cold
+
+
+def _some_record(store, min_contexts=1):
+    """Any summary record with at least ``min_contexts`` contexts."""
+    for record in store.iter_records():
+        if (
+            record.get("schema") == SUMMARY_SCHEMA
+            and len(record["contexts"]) >= min_contexts
+        ):
+            return record
+    return None
+
+
+def _method_for(cache, record):
+    for method, digest in cache._digest_of.items():
+        if digest == record["method_digest"]:
+            return method
+    raise AssertionError(f"no live method for {record['method']}")
+
+
+class TestFactCodec:
+    def test_simple_facts_round_trip(self):
+        for fact in (
+            ZERO,
+            LocalFact("x"),
+            FieldFact("Device", "buffer"),
+            TypedLocal("v", "Node"),
+            TypedField("Graph", "head", "Node"),
+            TypestateFact("conn", "open"),
+        ):
+            assert decode_fact(encode_fact(fact, {}), {}) == fact
+
+    def test_def_fact_round_trip_uses_local_digest(self):
+        product_line = gpl_mini()
+        method = next(
+            m
+            for m in product_line.icfg.call_graph.reachable_methods
+            if m.instructions
+        )
+        digest = method_local_digest(method)
+        fact = DefFact("x", method.instructions[0])
+        document = encode_fact(fact, {method: digest})
+        assert document[:2] == ["def", "x"]
+        assert document[2] == digest  # keyed by the *local* digest
+        assert decode_fact(document, {digest: method}) == fact
+
+    def test_def_fact_unknown_site_digest_rejected(self):
+        with pytest.raises(SummaryCodecError):
+            decode_fact(["def", "x", "no-such-digest", 0], {})
+
+    def test_def_fact_site_index_out_of_range_rejected(self):
+        product_line = gpl_mini()
+        method = next(
+            iter(product_line.icfg.call_graph.reachable_methods)
+        )
+        digest = method_local_digest(method)
+        for index in (-1, len(method.instructions), "0"):
+            with pytest.raises(SummaryCodecError):
+                decode_fact(["def", "x", digest, index], {digest: method})
+
+    def test_malformed_documents_rejected(self):
+        for document in ([], ["wat"], ["local"], ["zero", "extra"], "zero", 7):
+            with pytest.raises(SummaryCodecError):
+                decode_fact(document, {})
+
+
+class TestRecordKeys:
+    def test_problem_key_distinguishes_analyses(self):
+        product_line = gpl_mini()
+        keys = {
+            problem_key_for(
+                SPLLift(
+                    cls(product_line.icfg),
+                    feature_model=product_line.feature_model,
+                ).problem
+            )
+            for cls in (PossibleTypesAnalysis, ReachingDefinitionsAnalysis)
+        }
+        assert len(keys) == 2
+
+    def test_record_key_depends_on_both_halves(self):
+        assert summary_record_key("p1", "d1") != summary_record_key("p1", "d2")
+        assert summary_record_key("p1", "d1") != summary_record_key("p2", "d1")
+
+
+class TestStrictConstraintDecode:
+    @given(specs=st.lists(SPEC, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_summary_edge_constraints_round_trip(self, specs):
+        """The property the record codec rests on: a batch of summary
+        edge constraints survives encode → fresh manager → decode as
+        semantically equal functions, under the strict (declared-vars
+        only) decode the warm path uses."""
+        sender = BddConstraintSystem()
+        for name in VARS:
+            sender.var(name)
+        batch = [BUILD(sender, spec) for spec in specs]
+        document = encode_constraints(sender, batch)
+
+        receiver = BddConstraintSystem()
+        for name in VARS:
+            receiver.var(name)
+        decoded = decode_constraints(
+            receiver, document, require_declared_vars=True
+        )
+        rebuilt = [BUILD(receiver, spec) for spec in specs]
+        assert decoded == rebuilt
+
+    def test_undeclared_variable_rejected_in_strict_mode(self):
+        sender = BddConstraintSystem()
+        constraint = sender.var("Zonk")
+        document = encode_constraints(sender, [constraint])
+        receiver = BddConstraintSystem()
+        receiver.var("A")
+        with pytest.raises(ConstraintCodecError):
+            decode_constraints(receiver, document, require_declared_vars=True)
+        # The permissive mode (cross-process result shipping) still works.
+        assert decode_constraints(receiver, document) == [receiver.var("Zonk")]
+
+
+class TestRecordRejection:
+    """Tampered records must decode as misses, never raise or inject."""
+
+    def test_intact_record_decodes(self, tmp_path):
+        store, cache, _ = _armed_pair(tmp_path)
+        record = _some_record(store)
+        method = _method_for(cache, record)
+        entries = cache._decode_record(method, record)
+        assert entries  # at least one context
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        store, cache, _ = _armed_pair(tmp_path)
+        record = _some_record(store)
+        method = _method_for(cache, record)
+        assert (
+            cache._decode_record(method, {**record, "schema": "bogus/v9"})
+            is None
+        )
+
+    def test_mis_keyed_method_is_a_miss(self, tmp_path):
+        store, cache, _ = _armed_pair(tmp_path)
+        record = _some_record(store)
+        method = _method_for(cache, record)
+        assert (
+            cache._decode_record(
+                method, {**record, "method": "Other.method"}
+            )
+            is None
+        )
+        assert (
+            cache._decode_record(
+                method, {**record, "method_digest": "0" * 64}
+            )
+            is None
+        )
+
+    def test_truncated_record_is_a_miss(self, tmp_path):
+        store, cache, _ = _armed_pair(tmp_path)
+        record = _some_record(store)
+        method = _method_for(cache, record)
+        for field in ("constraints", "facts", "contexts"):
+            truncated = dict(record)
+            del truncated[field]
+            assert cache._decode_record(method, truncated) is None
+
+    def test_dangling_constraint_root_is_a_miss(self, tmp_path):
+        store, cache, _ = _armed_pair(tmp_path)
+        record = _some_record(store)
+        method = _method_for(cache, record)
+        tampered = dict(record)
+        tampered["constraints"] = {
+            **record["constraints"],
+            "roots": list(record["constraints"]["roots"]) + [10 ** 9],
+        }
+        assert cache._decode_record(method, tampered) is None
+
+    def test_negative_ref_never_aliases(self, tmp_path):
+        """A corrupt negative table ref must fail the context, not read
+        the table's tail through Python's negative indexing."""
+        store, cache, _ = _armed_pair(tmp_path)
+        record = _some_record(store)
+        method = _method_for(cache, record)
+        tampered = dict(record)
+        tampered["contexts"] = [
+            {**context, "entry": -1} for context in record["contexts"]
+        ]
+        assert cache._decode_record(method, tampered) is None
+
+    def test_bad_context_dropped_alone(self, tmp_path):
+        """One undecodable context leaves the record's other contexts
+        injectable (per-context fail-open)."""
+        store, cache, _ = _armed_pair(tmp_path)
+        record = _some_record(store, min_contexts=2)
+        if record is None:
+            pytest.skip("no multi-context record in this subject")
+        method = _method_for(cache, record)
+        intact = cache._decode_record(method, record)
+        tampered = dict(record)
+        tampered["contexts"] = [
+            {**record["contexts"][0], "entry": -1}
+        ] + record["contexts"][1:]
+        partial = cache._decode_record(method, tampered)
+        assert partial is not None
+        assert len(partial) == len(intact) - 1

@@ -1,0 +1,122 @@
+"""Tests for content digests of lowered methods (repro.ir.digest).
+
+The digests are the invalidation keys of incremental re-analysis, so
+the properties that matter are *stability* (identical content → same
+digest across independent parses), *locality* (an edit changes exactly
+the edited method's local digest, and transitively only its callers),
+and *SCC grouping* (mutual recursion shares one fate — editing either
+member invalidates both).
+"""
+
+from repro.ir import ICFG, lower_program
+from repro.ir.digest import (
+    method_local_digest,
+    transitive_method_digests,
+)
+from repro.minijava import parse_program
+from repro.spl.edits import dirty_closure
+
+SOURCE = """
+class Util {
+    int helper(int x) { return x + 1; }
+    int wrapper(int x) { int y = this.helper(x); return y; }
+    int even(int n) { if (n < 1) { return 1; } int r = this.odd(n - 1); return r; }
+    int odd(int n) { if (n < 1) { return 0; } int r = this.even(n - 1); return r; }
+}
+class Main {
+    void main() {
+        Util u = new Util();
+        int a = u.wrapper(1);
+        int b = u.even(4);
+        print(a + b);
+    }
+}
+"""
+
+#: Same program with ``Util.helper`` edited (constant changed).
+EDITED = SOURCE.replace("return x + 1;", "return x + 2;")
+
+#: Same program, shifted down by blank lines and reindented commentary —
+#: content-identical at the IR level.
+SHIFTED = "\n\n\n" + SOURCE
+
+
+def _icfg(source):
+    return ICFG.for_entry(lower_program(parse_program(source)), "Main.main")
+
+
+def _digests(source):
+    icfg = _icfg(source)
+    transitive = transitive_method_digests(icfg.call_graph)
+    return {m.qualified_name: d for m, d in transitive.items()}
+
+
+def _local_digests(source):
+    icfg = _icfg(source)
+    return {
+        m.qualified_name: method_local_digest(m)
+        for m in icfg.call_graph.reachable_methods
+    }
+
+
+class TestStability:
+    def test_deterministic_across_parses(self):
+        assert _digests(SOURCE) == _digests(SOURCE)
+        assert _local_digests(SOURCE) == _local_digests(SOURCE)
+
+    def test_line_shifts_do_not_invalidate(self):
+        """Digests hash content, not positions: moving every method down
+        three lines must not flip a single digest."""
+        assert _digests(SHIFTED) == _digests(SOURCE)
+
+    def test_distinct_methods_distinct_digests(self):
+        locals_ = _local_digests(SOURCE)
+        assert len(set(locals_.values())) == len(locals_)
+
+
+class TestLocality:
+    def test_edit_changes_exactly_the_dirty_closure(self):
+        before, after = _digests(SOURCE), _digests(EDITED)
+        changed = {name for name in before if before[name] != after[name]}
+        # helper's own digest changes; wrapper and main call into it.
+        assert changed == {"Util.helper", "Util.wrapper", "Main.main"}
+
+    def test_local_digest_changes_only_for_edited_method(self):
+        before, after = _local_digests(SOURCE), _local_digests(EDITED)
+        changed = {name for name in before if before[name] != after[name]}
+        assert changed == {"Util.helper"}
+
+    def test_transitive_change_set_matches_dirty_closure(self):
+        """The set of methods whose transitive digest an edit flips is
+        exactly ``dirty_closure`` — the invariant warm counters rely on
+        (``summaries_invalidated == len(dirty_closure)``)."""
+        icfg = _icfg(SOURCE)
+        graph = icfg.call_graph
+        before, after = _digests(SOURCE), _digests(EDITED)
+        target = next(
+            m
+            for m in graph.reachable_methods
+            if m.qualified_name == "Util.helper"
+        )
+        expected = {m.qualified_name for m in dirty_closure(graph, target)}
+        changed = {name for name in before if before[name] != after[name]}
+        assert changed == expected
+
+
+class TestSCCGrouping:
+    def test_mutual_recursion_shares_fate(self):
+        """even/odd form one SCC: editing either flips both transitive
+        digests (callers through the cycle can observe either body)."""
+        edited_odd = SOURCE.replace("return 0;", "return 7;")
+        before, after = _digests(SOURCE), _digests(edited_odd)
+        changed = {name for name in before if before[name] != after[name]}
+        assert {"Util.even", "Util.odd"} <= changed
+        # wrapper/helper sit outside the cycle and stay clean.
+        assert "Util.wrapper" not in changed
+        assert "Util.helper" not in changed
+
+    def test_scc_members_keep_distinct_digests(self):
+        """Shared fate, not shared identity: the members' digests still
+        differ (their local bodies differ)."""
+        digests = _digests(SOURCE)
+        assert digests["Util.even"] != digests["Util.odd"]
