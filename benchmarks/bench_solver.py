@@ -202,6 +202,33 @@ def run_benchmarks(
             )
         )
 
+    # --- A/B rows: evaluation engine (tabulation vs lifted Datalog) ---
+    # Same subject/analysis pairs as the ``spllift/...`` single passes
+    # above, solved with ``engine="datalog"`` — the semi-naive rule
+    # evaluator.  Results are bit-identical (gated by
+    # scripts/check_digest_identity.py --engine datalog); these rows are
+    # the wall-time and work-counter A/B.
+    print("spllift A/B (datalog engine):", flush=True)
+    engine_subjects = ("GPL-like",) if quick else tuple(subjects)
+    engine_analyses = ANALYSES[:1] if quick else ANALYSES
+    for subject_name in engine_subjects:
+        product_line = subjects[subject_name]
+        for analysis_name, analysis_class in engine_analyses:
+
+            def run_datalog(pl=product_line, cls=analysis_class) -> Dict[str, int]:
+                results = SPLLift(
+                    cls(pl.icfg), feature_model=pl.feature_model
+                ).solve(engine="datalog")
+                return results.stats
+
+            rows.append(
+                _record(
+                    f"engine/datalog/{subject_name}/{analysis_name}",
+                    run_datalog,
+                    rounds,
+                )
+            )
+
     # --- parallel solve and campaign (sequential vs -j) ----------------
     # The per-entry partitioned solve on the seed-richest analysis, and
     # the Table 2 campaign fanned over worker processes.  The campaign

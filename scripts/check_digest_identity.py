@@ -12,13 +12,17 @@ Usage::
     PYTHONPATH=src python scripts/check_digest_identity.py
     PYTHONPATH=src python scripts/check_digest_identity.py --orders fifo rpo
     PYTHONPATH=src python scripts/check_digest_identity.py --parallel 2
+    PYTHONPATH=src python scripts/check_digest_identity.py --engine datalog
     PYTHONPATH=src python scripts/check_digest_identity.py --baseline digests.json
     PYTHONPATH=src python scripts/check_digest_identity.py --dump digests.json
 
 ``--parallel N`` additionally solves every combination with the
 partitioned parallel solver (``solve(parallel=N)``) and asserts those
 digests match the sequential reference too — the gate behind
-``repro.core.parallel``.  ``--telemetry`` re-solves with tracing and
+``repro.core.parallel``.  ``--engine datalog`` re-solves every
+combination with the lifted-Datalog evaluation engine and requires its
+digests bit-identical to the tabulation reference — the cross-checking
+gate behind ``repro.datalog``.  ``--telemetry`` re-solves with tracing and
 metrics enabled (sequential, and parallel when ``--parallel`` is given)
 and requires the digests to stay bit-identical — the gate behind
 ``repro.obs``: observing the solver must never change what it computes.
@@ -56,7 +60,9 @@ def slug(analysis_name: str) -> str:
     return analysis_name.lower().replace(" ", "_")
 
 
-def compute_digests(order: str, seed: int, parallel: int = 1) -> dict:
+def compute_digests(
+    order: str, seed: int, parallel: int = 1, engine: str = None
+) -> dict:
     digests = {}
     for subject_name, builder in paper_subjects():
         product_line = builder()
@@ -64,7 +70,12 @@ def compute_digests(order: str, seed: int, parallel: int = 1) -> dict:
             results = SPLLift(
                 analysis_cls(product_line.icfg),
                 feature_model=product_line.feature_model,
-            ).solve(worklist_order=order, order_seed=seed, parallel=parallel)
+            ).solve(
+                worklist_order=order,
+                order_seed=seed,
+                parallel=parallel,
+                engine=engine,
+            )
             digests[f"{subject_name}/{slug(analysis_name)}"] = (
                 results.result_digest()
             )
@@ -252,6 +263,14 @@ def main(argv=None) -> int:
         "(N worker processes) and require identical digests",
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="ENGINE",
+        help="also solve every combination with this evaluation engine "
+        "(e.g. datalog) and require digests identical to the tabulation "
+        "reference — the gate behind repro.datalog",
+    )
+    parser.add_argument(
         "--telemetry",
         action="store_true",
         help="also solve with tracing/metrics enabled and require digests "
@@ -320,6 +339,29 @@ def main(argv=None) -> int:
                 "all identical to sequential"
                 if not parallel_failures
                 else f"{parallel_failures} mismatches"
+            )
+        )
+
+    if args.engine is not None:
+        engine_digests = compute_digests(
+            reference_order, args.seed, engine=args.engine
+        )
+        engine_failures = 0
+        for key, digest in engine_digests.items():
+            if digest != reference[key]:
+                engine_failures += 1
+                print(
+                    f"ENGINE MISMATCH {key}: "
+                    f"{args.engine}={digest[:16]}… "
+                    f"tabulate={reference[key][:16]}…"
+                )
+        failures += engine_failures
+        print(
+            f"{len(engine_digests)} digests with engine={args.engine}: "
+            + (
+                "all identical to tabulation"
+                if not engine_failures
+                else f"{engine_failures} mismatches"
             )
         )
 

@@ -22,9 +22,10 @@ Usage::
 
 Per-name thresholds are fnmatch patterns; the most specific match wins
 (longest pattern, ties broken in favor of later flags).  Keys present
-in only one snapshot are reported and fail the comparison unless
-``--allow-missing`` is given.  Exit status 0 when within thresholds,
-1 on drift or missing keys, 2 on malformed input.
+in only one snapshot are reported (marked ``MISSING``, printed even
+under ``--quiet``, and counted separately in the verdict) and fail the
+comparison unless ``--allow-missing`` is given.  Exit status 0 when
+within thresholds, 1 on drift or missing keys, 2 on malformed input.
 """
 
 from __future__ import annotations
@@ -124,7 +125,7 @@ def compare(
         if not (in_base and in_cur):
             side = "baseline" if not in_base else "current"
             line = f"{name}: missing from {side}"
-            report.append(line)
+            report.append(line + ("" if allow_missing else "  MISSING"))
             if not allow_missing:
                 violations.append(line)
             continue
@@ -208,12 +209,16 @@ def main(argv=None) -> int:
         args.allow_missing,
     )
     for line in report:
-        if not args.quiet or line.endswith("DRIFT"):
+        if not args.quiet or line.endswith(("DRIFT", "MISSING")):
             print(line)
     compared = sum(1 for line in report if "->" in line)
+    missing = sum(1 for line in report if ": missing from" in line)
+    scope = f"{compared} metric(s) compared"
+    if missing:
+        scope += f", {missing} missing"
     print(
-        f"compare_metrics: {compared} metric(s) compared: "
-        + ("OK" if not violations else f"{len(violations)} drifted")
+        f"compare_metrics: {scope}: "
+        + ("OK" if not violations else f"{len(violations)} violation(s)")
     )
     return 1 if violations else 0
 

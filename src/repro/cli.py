@@ -49,6 +49,7 @@ from repro.analyses.typestate import FILE_PROTOCOL, TypestateAnalysis
 from repro.constraints.bddsystem import REORDER_POLICIES
 from repro.core import SPLLift, compute_emergent_interface
 from repro.core.solver import SPLLiftResults
+from repro.datalog import resolve_engine
 from repro.ide.solver import WORKLIST_ORDERS
 from repro.featuremodel import FeatureModel, FeatureModelError, parse_feature_model
 from repro.interp import Interpreter
@@ -123,7 +124,20 @@ def _findings(
     worklist_order: Optional[str] = None,
     parallel: Optional[int] = None,
     incremental_cache: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[List[Tuple[str, str, str]], SPLLiftResults]:
+    # Engine validation happens here (not via argparse choices) so a bad
+    # value — from the flag or $SPLLIFT_ENGINE — follows the clean-error
+    # contract: one `spllift: error: …` line, exit 2, no traceback.
+    try:
+        engine = resolve_engine(engine)
+    except ValueError as error:
+        raise ServiceError(str(error))
+    if engine == "datalog" and incremental_cache:
+        raise ServiceError(
+            "--engine datalog does not support --incremental-cache "
+            "(incremental summary injection is a tabulation-engine feature)"
+        )
     icfg = product_line.icfg
     feature_model = product_line.feature_model if fm_mode != "ignore" else None
 
@@ -138,7 +152,10 @@ def _findings(
 
             summaries = summary_cache_for(spllift, open_store(incremental_cache))
         return spllift.solve(
-            worklist_order=worklist_order, parallel=parallel, summaries=summaries
+            worklist_order=worklist_order,
+            parallel=parallel,
+            summaries=summaries,
+            engine=engine,
         )
 
     if analysis_name == "taint":
@@ -204,6 +221,7 @@ def _cmd_analyze(args) -> int:
         worklist_order=args.worklist_order,
         parallel=args.parallel,
         incremental_cache=args.incremental_cache,
+        engine=args.engine,
     )
     if args.incremental_cache:
         # One-line reuse report on stderr; stdout (the findings) must be
@@ -523,6 +541,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the solve by entry context over this many worker "
         "processes (0 = all cores; default: $SPLLIFT_PARALLEL, else 1); "
         "results are bit-identical to the sequential solve",
+    )
+    analyze.add_argument(
+        "--engine",
+        default=None,
+        metavar="ENGINE",
+        help="evaluation engine: 'tabulate' (two-phase IDE tabulation, "
+        "the default) or 'datalog' (semi-naive lifted-Datalog fixpoint; "
+        "bit-identical results, sequential, no --incremental-cache); "
+        "default: $SPLLIFT_ENGINE, else tabulate",
     )
     analyze.add_argument(
         "--incremental-cache",

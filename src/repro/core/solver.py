@@ -18,6 +18,7 @@ the 0-fact's value gives each statement's reachability constraint
 from __future__ import annotations
 
 import hashlib
+import sys
 import time
 from typing import Dict, Generic, Hashable, List, Optional, TypeVar, Union
 
@@ -198,6 +199,7 @@ class SPLLift(Generic[D]):
         order_seed: int = 0,
         parallel: Optional[int] = None,
         summaries: Optional[object] = None,
+        engine: Optional[str] = None,
     ) -> SPLLiftResults[D]:
         """Run the IDE solver on the lifted problem (one single pass).
 
@@ -218,13 +220,39 @@ class SPLLift(Generic[D]):
         and refreshed for the rest (see ``summary_cache_for``).  An
         armed solve runs sequentially — injection rewires one solver's
         tables in place, which does not compose with the by-seed
-        partitioning — so ``parallel`` is ignored; results stay
-        bit-identical either way.
-        """
-        from repro.core.parallel import resolve_parallel, solve_lifted_parallel
+        partitioning — so ``parallel`` beyond 1 is downgraded with a
+        warning and the stats report the achieved ``parallel_workers``;
+        results stay bit-identical either way.
 
+        ``engine`` selects the evaluation engine (default
+        ``$SPLLIFT_ENGINE``, else ``tabulate``): ``"tabulate"`` is the
+        two-phase IDE tabulation above; ``"datalog"`` compiles the
+        lifted problem to constraint-annotated Datalog rules and runs a
+        semi-naive fixpoint (:mod:`repro.datalog`) — an independent
+        engine whose results are bit-identical.  The datalog engine is
+        sequential and does not support ``summaries``.
+        """
+        from repro.core.parallel import resolve_parallel
+        from repro.datalog import resolve_engine
+
+        engine = resolve_engine(engine)
+        if engine == "datalog" and summaries is not None:
+            raise ValueError(
+                "engine 'datalog' does not support incremental summaries "
+                "(use the tabulation engine for warm solves)"
+            )
         workers = resolve_parallel(parallel)
-        if summaries is not None:
+        if workers > 1 and (summaries is not None or engine == "datalog"):
+            reason = (
+                "incremental summaries force a sequential solve"
+                if summaries is not None
+                else "the datalog engine is sequential"
+            )
+            print(
+                f"spllift: warning: {reason}; "
+                f"ignoring parallel={workers} (running 1 worker)",
+                file=sys.stderr,
+            )
             workers = 1
         # Live progress gets the BDD substrate's node count alongside the
         # solver's own fields; set here because only this layer knows the
@@ -236,13 +264,30 @@ class SPLLift(Generic[D]):
                 "bdd_nodes": system.solver_stats()["bdd_nodes"]
             }
         with obs.tracer().span(
-            "spllift/solve", workers=workers, fm_mode=self.fm_mode
+            "spllift/solve", workers=workers, fm_mode=self.fm_mode, engine=engine
         ):
-            results = self._solve_timed(
-                worklist_order, order_seed, workers, summaries
-            )
+            if engine == "datalog":
+                results = self._solve_datalog()
+            else:
+                results = self._solve_timed(
+                    worklist_order, order_seed, workers, summaries
+                )
         self._publish_bdd_metrics()
         return results
+
+    def _solve_datalog(self) -> SPLLiftResults[D]:
+        from repro.datalog import DatalogSolver
+
+        solver = DatalogSolver(self.problem)
+        started = time.perf_counter()
+        ide_results = solver.solve()
+        elapsed = time.perf_counter() - started
+        stats: Dict[str, int] = {"engine": "datalog"}
+        stats.update(solver.stats)
+        stats.update({"parallel_workers": 1, "parallel_partitions": 1})
+        return SPLLiftResults(
+            ide_results, self.system, self.feature_model, stats, elapsed
+        )
 
     def _solve_timed(
         self,

@@ -1,0 +1,209 @@
+"""Semi-naive, set-at-a-time evaluation over constraint-annotated tuples.
+
+The data model follows Shahin/Chechik's lifted Datalog: a *relation*
+maps tuple keys to feature constraints — ``R(t) @ c`` means "``t`` is
+derivable exactly in the products satisfying ``c``".  Deriving the same
+tuple along several rule firings *disjoins* the constraints (a tuple
+holds if any derivation applies); a rule body's joined tuples *conjoin*
+theirs (all premises must hold in the same product).
+
+Evaluation is stratified semi-naive:
+
+- rules are grouped into **strata** evaluated in order; each stratum
+  runs to its own fixpoint before the next starts (the rule graph here
+  is negation-free, so strata are a scheduling device, not a semantic
+  one — mutually recursive rules simply share a stratum);
+- within a stratum, every iteration fires each rule once per body
+  relation whose **delta** (the tuples that changed last iteration) is
+  non-empty; rule firings contribute ``(key, constraint)`` pairs into
+  the head relation's *pending* buffer;
+- at the end of an iteration every relation **advances**: pending
+  contributions per key are folded with one batched
+  ``ConstraintSystem.or_all`` (set-at-a-time, not tuple-at-a-time),
+  disjoined into the stored constraint, and become the next delta —
+  unless the stored constraint already implies the batch, in which case
+  the contribution is *retracted as subsumed* and nothing re-fires.
+
+Because ``∧`` distributes over ``∨``, firing rules on deltas joined
+against full relations covers every derivation; re-deriving a covered
+tuple only costs a subsumption check (canonical constraints make that
+check constant time).  Termination follows from monotonicity over the
+finite constraint lattice spanned by the program's annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["Relation", "Rule", "SemiNaiveEvaluator"]
+
+Key = Hashable
+
+
+class Relation:
+    """One constraint-annotated tuple store with a delta and a pending
+    buffer.
+
+    ``tuples`` is the fixpoint-so-far (key → constraint, never false);
+    ``delta`` the tuples whose constraint changed in the last advance;
+    ``pending`` the raw contributions of the current iteration, folded
+    set-at-a-time on :meth:`advance`.  ``on_insert`` (if set) is called
+    once per key on its *first* insertion — the hook the IFDS compiler
+    uses to maintain join indexes without scanning.
+    """
+
+    __slots__ = ("name", "tuples", "delta", "pending", "on_insert")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tuples: Dict[Key, object] = {}
+        self.delta: Dict[Key, object] = {}
+        self.pending: Dict[Key, List[object]] = {}
+        self.on_insert: Optional[Callable[[Key], None]] = None
+
+    def contribute(self, key: Key, constraint) -> None:
+        """Buffer one derivation ``key @ constraint`` for the next advance."""
+        if constraint.is_false:
+            return  # holds in no product — not a tuple at all
+        bucket = self.pending.get(key)
+        if bucket is None:
+            bucket = self.pending[key] = []
+        bucket.append(constraint)
+
+    def advance(self, system, counters: Dict[str, int]) -> bool:
+        """Fold pending into the store; the fold becomes the new delta.
+
+        Returns whether anything changed (i.e. the new delta is
+        non-empty).  Contributions whose disjunction is already implied
+        by the stored constraint are counted as ``subsumption_hits`` and
+        dropped — the semi-naive loop never re-fires on them.
+        """
+        self.delta = delta = {}
+        pending, self.pending = self.pending, {}
+        tuples = self.tuples
+        on_insert = self.on_insert
+        or_all = system.or_all
+        derived = subsumed = batches = 0
+        for key, contributions in pending.items():
+            if len(contributions) == 1:
+                batch = contributions[0]
+            else:
+                batches += 1
+                batch = or_all(contributions)
+            stored = tuples.get(key)
+            if stored is None:
+                tuples[key] = batch
+                delta[key] = batch
+                derived += 1
+                if on_insert is not None:
+                    on_insert(key)
+                continue
+            joined = stored | batch
+            if joined is stored or joined == stored:
+                # Canonical constraints: equality means the batch is
+                # implied by what we already knew — retract it.
+                subsumed += 1
+                continue
+            tuples[key] = joined
+            delta[key] = batch
+        counters["tuples_derived"] += derived
+        counters["subsumption_hits"] += subsumed
+        counters["or_all_batches"] += batches
+        counters["delta_tuples"] += len(delta)
+        return bool(delta)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {len(self.tuples)} tuples)"
+
+
+class Rule:
+    """One rule: fires on a body relation's delta, contributes to heads.
+
+    ``fire(relation, delta)`` receives the body relation whose delta is
+    being replayed plus that delta (a key → constraint dict); it may
+    join against any relation's full ``tuples`` and must emit via
+    ``contribute``.  A rule with several body relations is fired once
+    per body relation with a non-empty delta — the classic semi-naive
+    rewrite ``ΔR₁ ⋈ R₂ ∪ R₁ ⋈ ΔR₂`` (the Δ⋈Δ overlap is harmless: the
+    disjunction is idempotent).
+    """
+
+    __slots__ = ("name", "body", "fire")
+
+    def __init__(
+        self,
+        name: str,
+        body: Sequence[Relation],
+        fire: Callable[[Relation, Dict[Key, object]], None],
+    ) -> None:
+        self.name = name
+        self.body = tuple(body)
+        self.fire = fire
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name!r})"
+
+
+class SemiNaiveEvaluator:
+    """Stratified semi-naive fixpoint over :class:`Relation` stores."""
+
+    def __init__(self, system, relations: Sequence[Relation]) -> None:
+        self.system = system
+        self.relations = tuple(relations)
+        self.counters: Dict[str, int] = {
+            "rules_fired": 0,
+            "tuples_derived": 0,
+            "subsumption_hits": 0,
+            "or_all_batches": 0,
+            "delta_tuples": 0,
+            "iterations": 0,
+            "strata": 0,
+        }
+
+    def evaluate(self, strata: Sequence[Sequence[Rule]]) -> None:
+        """Run each stratum's rules to a fixpoint, in order.
+
+        Facts must be loaded via ``contribute`` before the call (they
+        form iteration 0's delta).  On return every relation's delta is
+        empty — the exhaustion test the unit suite pins down.
+        """
+        counters = self.counters
+        system = self.system
+        for index, rules in enumerate(strata):
+            counters["strata"] += 1
+            # Iteration 0: pending facts (and any prior stratum's
+            # conclusions contributed since the last advance) become the
+            # initial delta.
+            changed = False
+            for relation in self.relations:
+                changed |= relation.advance(system, counters)
+            if index > 0:
+                # A later stratum must see every conclusion of the
+                # earlier ones, whose deltas are exhausted — replay the
+                # full stores as this stratum's initial delta.
+                for relation in self.relations:
+                    if relation.tuples:
+                        relation.delta = dict(relation.tuples)
+                        changed = True
+            while changed:
+                counters["iterations"] += 1
+                # Snapshot the deltas: firings contribute to pending,
+                # never mutate a delta mid-iteration.
+                snapshot = [
+                    (relation, relation.delta)
+                    for relation in self.relations
+                    if relation.delta
+                ]
+                for rule in rules:
+                    for relation, delta in snapshot:
+                        if relation in rule.body:
+                            counters["rules_fired"] += 1
+                            rule.fire(relation, delta)
+                changed = False
+                for relation in self.relations:
+                    changed |= relation.advance(system, counters)
+        for relation in self.relations:
+            relation.delta = {}

@@ -60,6 +60,14 @@ def main(argv=None) -> int:
         "results are bit-identical to a sequential campaign",
     )
     parser.add_argument(
+        "--engine",
+        metavar="ENGINE",
+        default=None,
+        help="SPLLIFT evaluation engine for table2/table3 cells "
+        "(tabulate or datalog; default: $SPLLIFT_ENGINE, else tabulate); "
+        "result digests are identical either way — timings are the A/B",
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         help="write a merged Chrome trace_event span trace of the whole "
@@ -74,6 +82,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro.obs import runtime as obs
+
+    if args.engine is not None:
+        from repro.datalog import resolve_engine
+
+        try:
+            resolve_engine(args.engine)
+        except ValueError as error:
+            parser.error(str(error))
 
     if args.trace:
         obs.enable_tracing()
@@ -91,13 +107,20 @@ def main(argv=None) -> int:
         print(
             render_table2(
                 run_table2(
-                    cutoff_seconds=args.cutoff, store=store, parallel=args.parallel
+                    cutoff_seconds=args.cutoff,
+                    store=store,
+                    parallel=args.parallel,
+                    engine=args.engine,
                 )
             )
         )
         print()
     if args.experiment in ("table3", "all"):
-        print(render_table3(run_table3(store=store, parallel=args.parallel)))
+        print(
+            render_table3(
+                run_table3(store=store, parallel=args.parallel, engine=args.engine)
+            )
+        )
         print()
     if args.experiment in ("qualitative", "all"):
         print(render_qualitative(run_qualitative()))

@@ -27,6 +27,7 @@ from repro.spl.product_line import ProductLine
 
 __all__ = [
     "A2Campaign",
+    "engine_job_options",
     "measure_call_graph",
     "run_spllift",
     "run_spllift_cached",
@@ -56,13 +57,14 @@ def run_spllift(
     product_line: ProductLine,
     analysis_class: Type[IFDSProblem],
     fm_mode: str = "edge",
+    engine: Optional[str] = None,
 ) -> Tuple[float, SPLLiftResults]:
     """One SPLLIFT run; returns (seconds, results)."""
     analysis = analysis_class(product_line.icfg)
     feature_model = product_line.feature_model if fm_mode != "ignore" else None
     spllift = SPLLift(analysis, feature_model=feature_model, fm_mode=fm_mode)
     started = time.perf_counter()
-    results = spllift.solve()
+    results = spllift.solve(engine=engine)
     return time.perf_counter() - started, results
 
 
@@ -80,11 +82,27 @@ def _service_name_for(analysis_class: Type[IFDSProblem]) -> str:
     return "".join(words)
 
 
+def engine_job_options(engine: Optional[str]) -> Dict[str, object]:
+    """Job options encoding an engine choice.
+
+    The default engine is *omitted* so job digests — and therefore
+    every already-populated result store — stay byte-identical to runs
+    that never mention an engine; a non-default engine becomes part of
+    the job identity (its record is a distinct store entry even though
+    the result digest matches).
+    """
+    from repro.datalog import resolve_engine
+
+    resolved = resolve_engine(engine)
+    return {} if resolved == "tabulate" else {"engine": resolved}
+
+
 def run_spllift_cached(
     product_line: ProductLine,
     analysis_class: Type[IFDSProblem],
     fm_mode: str = "edge",
     store=None,
+    engine: Optional[str] = None,
 ) -> Tuple[float, Dict[str, object], bool]:
     """Store-aware :func:`run_spllift` — the experiments' warm path.
 
@@ -97,13 +115,18 @@ def run_spllift_cached(
     from repro.service import AnalysisJob, build_record
 
     job = AnalysisJob.from_product_line(
-        product_line, _service_name_for(analysis_class), fm_mode=fm_mode
+        product_line,
+        _service_name_for(analysis_class),
+        fm_mode=fm_mode,
+        options=engine_job_options(engine),
     )
     if store is not None:
         record = store.get(job.digest)
         if record is not None:
             return float(record["solve_seconds"]), record, True
-    seconds, results = run_spllift(product_line, analysis_class, fm_mode=fm_mode)
+    seconds, results = run_spllift(
+        product_line, analysis_class, fm_mode=fm_mode, engine=engine
+    )
     record = build_record(job, results, solve_seconds=seconds)
     if store is not None:
         store.put(record)

@@ -21,6 +21,7 @@ from repro.core.parallel import ProcessTaskPool, resolve_parallel
 from repro.experiments.harness import (
     A2Campaign,
     _service_name_for,
+    engine_job_options,
     measure_call_graph,
     run_a2_campaign,
     run_spllift_cached,
@@ -61,6 +62,7 @@ def _table2_cell_task(
     analysis_class: Type[IFDSProblem],
     cutoff_seconds: float,
     need_spllift: bool,
+    engine: Optional[str] = None,
 ) -> Tuple[Optional[float], Optional[Dict[str, object]], A2Campaign]:
     """One Table 2 cell, runnable in a worker process.
 
@@ -77,21 +79,28 @@ def _table2_cell_task(
         analysis=analysis_class.__name__,
     ):
         if need_spllift:
-            seconds, record, _ = run_spllift_cached(product_line, analysis_class)
+            seconds, record, _ = run_spllift_cached(
+                product_line, analysis_class, engine=engine
+            )
         campaign = run_a2_campaign(
             product_line, analysis_class, cutoff_seconds=cutoff_seconds
         )
     return seconds, record, campaign
 
 
-def _store_hit(product_line: ProductLine, analysis_class, store, fm_mode="edge"):
+def _store_hit(
+    product_line: ProductLine, analysis_class, store, fm_mode="edge", engine=None
+):
     """The stored SPLLIFT record for this cell, or ``None``."""
     if store is None:
         return None
     from repro.service import AnalysisJob
 
     job = AnalysisJob.from_product_line(
-        product_line, _service_name_for(analysis_class), fm_mode=fm_mode
+        product_line,
+        _service_name_for(analysis_class),
+        fm_mode=fm_mode,
+        options=engine_job_options(engine),
     )
     return store.get(job.digest)
 
@@ -102,6 +111,7 @@ def run_table2(
     cutoff_seconds: float = 60.0,
     store=None,
     parallel: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[Table2Row]:
     """Run the full Table 2 campaign (SPLLIFT and A2 per subject/analysis).
 
@@ -114,17 +124,21 @@ def run_table2(
     assembled in submission order and cold SPLLIFT records are persisted
     by the parent, so the rendered table and every stored result digest
     are identical to a sequential campaign.
+
+    ``engine`` selects the SPLLIFT evaluation engine for every cell
+    (``tabulate``/``datalog``; results are bit-identical, timings are
+    the A/B of interest).
     """
     subjects = subjects if subjects is not None else paper_subjects()
     workers = resolve_parallel(parallel)
     with obs.tracer().span("table2/campaign", workers=workers):
         return _run_table2_campaign(
-            subjects, analyses, cutoff_seconds, store, workers
+            subjects, analyses, cutoff_seconds, store, workers, engine
         )
 
 
 def _run_table2_campaign(
-    subjects, analyses, cutoff_seconds, store, workers
+    subjects, analyses, cutoff_seconds, store, workers, engine=None
 ) -> List[Table2Row]:
     # Shared prerequisites stay in the parent: subjects are built (and
     # their call-graph time measured) once, store hits are served here.
@@ -141,7 +155,7 @@ def _run_table2_campaign(
     cells = []  # (row, product_line, analysis_name, analysis_class, hit)
     for row, product_line in prepared:
         for analysis_name, analysis_class in analyses:
-            hit = _store_hit(product_line, analysis_class, store)
+            hit = _store_hit(product_line, analysis_class, store, engine=engine)
             cells.append((row, product_line, analysis_name, analysis_class, hit))
 
     outcomes: List[Optional[Tuple]] = [None] * len(cells)
@@ -150,7 +164,7 @@ def _run_table2_campaign(
         tasks = [
             (
                 _table2_cell_task,
-                (product_line, analysis_class, cutoff_seconds, hit is None),
+                (product_line, analysis_class, cutoff_seconds, hit is None, engine),
             )
             for _, product_line, _, analysis_class, hit in cells
         ]
@@ -164,7 +178,7 @@ def _run_table2_campaign(
         outcome = outcomes[index]
         if outcome is None:  # sequential, or this cell's worker failed
             outcome = _table2_cell_task(
-                product_line, analysis_class, cutoff_seconds, hit is None
+                product_line, analysis_class, cutoff_seconds, hit is None, engine
             )
         spllift_seconds, record, campaign = outcome
         if hit is not None:

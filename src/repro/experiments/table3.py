@@ -71,6 +71,7 @@ def _table3_cell_task(
     analysis_class: Type[IFDSProblem],
     need_regarded: bool,
     need_ignored: bool,
+    engine: Optional[str] = None,
 ) -> Tuple[
     Optional[float],
     Optional[Dict[str, object]],
@@ -93,11 +94,11 @@ def _table3_cell_task(
     ):
         if need_regarded:
             regarded, regarded_record, _ = run_spllift_cached(
-                product_line, analysis_class, fm_mode="edge"
+                product_line, analysis_class, fm_mode="edge", engine=engine
             )
         if need_ignored:
             ignored, ignored_record, _ = run_spllift_cached(
-                product_line, analysis_class, fm_mode="ignore"
+                product_line, analysis_class, fm_mode="ignore", engine=engine
             )
         average = _a2_average(product_line, analysis_class)
     return regarded, regarded_record, ignored, ignored_record, average
@@ -108,6 +109,7 @@ def run_table3(
     analyses: Sequence[Tuple[str, Type[IFDSProblem]]] = PAPER_ANALYSES,
     store=None,
     parallel: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[Table3Row]:
     """Measure feature-model regarded vs ignored vs A2-average.
 
@@ -115,15 +117,18 @@ def run_table3(
     store (warm hits report the recorded cold-run timing).  ``parallel``
     (default ``$SPLLIFT_PARALLEL``, else 1) fans the independent cells
     over worker processes with submission-order assembly, exactly as
-    :func:`repro.experiments.table2.run_table2`.
+    :func:`repro.experiments.table2.run_table2`.  ``engine`` selects
+    the SPLLIFT evaluation engine for every cell.
     """
     subjects = subjects if subjects is not None else paper_subjects()
     workers = resolve_parallel(parallel)
     with obs.tracer().span("table3/campaign", workers=workers):
-        return _run_table3_campaign(subjects, analyses, store, workers)
+        return _run_table3_campaign(subjects, analyses, store, workers, engine)
 
 
-def _run_table3_campaign(subjects, analyses, store, workers) -> List[Table3Row]:
+def _run_table3_campaign(
+    subjects, analyses, store, workers, engine=None
+) -> List[Table3Row]:
     prepared = []  # (row, product_line)
     for name, builder in subjects:
         prepared.append((Table3Row(benchmark=name), builder()))
@@ -132,8 +137,12 @@ def _run_table3_campaign(subjects, analyses, store, workers) -> List[Table3Row]:
     for row, product_line in prepared:
         for analysis_name, analysis_class in analyses:
             hits = (
-                _store_hit(product_line, analysis_class, store, fm_mode="edge"),
-                _store_hit(product_line, analysis_class, store, fm_mode="ignore"),
+                _store_hit(
+                    product_line, analysis_class, store, fm_mode="edge", engine=engine
+                ),
+                _store_hit(
+                    product_line, analysis_class, store, fm_mode="ignore", engine=engine
+                ),
             )
             cells.append((row, product_line, analysis_name, analysis_class, hits))
 
@@ -143,7 +152,7 @@ def _run_table3_campaign(subjects, analyses, store, workers) -> List[Table3Row]:
         tasks = [
             (
                 _table3_cell_task,
-                (product_line, analysis_class, hits[0] is None, hits[1] is None),
+                (product_line, analysis_class, hits[0] is None, hits[1] is None, engine),
             )
             for _, product_line, _, analysis_class, hits in cells
         ]
@@ -157,7 +166,7 @@ def _run_table3_campaign(subjects, analyses, store, workers) -> List[Table3Row]:
         outcome = outcomes[index]
         if outcome is None:  # sequential, or this cell's worker failed
             outcome = _table3_cell_task(
-                product_line, analysis_class, hits[0] is None, hits[1] is None
+                product_line, analysis_class, hits[0] is None, hits[1] is None, engine
             )
         regarded, regarded_record, ignored, ignored_record, average = outcome
         regarded_hit, ignored_hit = hits

@@ -89,10 +89,12 @@ def _execute_job(job: AnalysisJob) -> Dict[str, object]:
         fm_mode=job.fm_mode,
         reorder=str(reorder) if reorder is not None else None,
     )
+    engine = options.get("engine")
     started = time.perf_counter()
     results = spllift.solve(
         worklist_order=str(options.get("worklist_order", "fifo")),
         order_seed=int(options.get("order_seed", 0)),
+        engine=str(engine) if engine is not None else None,
     )
     elapsed = time.perf_counter() - started
     return build_record(job, results, solve_seconds=elapsed)

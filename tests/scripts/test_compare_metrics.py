@@ -101,6 +101,42 @@ class TestCompareMetrics:
         assert run(base, cur).returncode == 1
         assert run(base, cur, "--allow-missing").returncode == 0
 
+    def test_missing_key_named_in_diff(self, tmp_path):
+        """A one-sided counter must be named, not skipped or crashed on."""
+        base = snapshot(
+            tmp_path / "a.json",
+            counters={"ide.jumps": 10, "datalog.rules_fired": 7},
+        )
+        cur = snapshot(tmp_path / "b.json", counters={"ide.jumps": 10})
+        result = run(base, cur)
+        assert result.returncode == 1
+        assert "datalog.rules_fired: missing from current" in result.stdout
+        assert "MISSING" in result.stdout
+        assert "1 missing" in result.stdout
+
+    def test_missing_key_printed_under_quiet(self, tmp_path):
+        """--quiet must still surface what failed the gate."""
+        base = snapshot(tmp_path / "a.json", counters={"datalog.iterations": 3})
+        cur = snapshot(tmp_path / "b.json", counters={})
+        result = run(base, cur, "--quiet")
+        assert result.returncode == 1
+        assert "datalog.iterations: missing from current" in result.stdout
+
+    def test_missing_from_baseline_also_reported(self, tmp_path):
+        base = snapshot(tmp_path / "a.json", counters={})
+        cur = snapshot(tmp_path / "b.json", counters={"datalog.strata": 1})
+        result = run(base, cur)
+        assert result.returncode == 1
+        assert "datalog.strata: missing from baseline" in result.stdout
+
+    def test_allow_missing_not_marked_as_violation(self, tmp_path):
+        base = snapshot(tmp_path / "a.json", counters={"ide.jumps": 10})
+        cur = snapshot(tmp_path / "b.json", counters={})
+        result = run(base, cur, "--allow-missing")
+        assert result.returncode == 0
+        assert "OK" in result.stdout
+        assert "MISSING" not in result.stdout  # reported, not flagged
+
     def test_only_and_ignore_filters(self, tmp_path):
         base = snapshot(
             tmp_path / "a.json",

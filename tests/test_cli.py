@@ -161,6 +161,112 @@ class TestAnalyze:
             main(["analyze", spl_file, "--analysis", "taint", "--worklist-order", "xyz"])
 
 
+class TestEngineFlag:
+    def test_datalog_engine_same_findings(self, spl_file, fm_file, capsys):
+        main(["analyze", spl_file, "--analysis", "taint", "--feature-model", fm_file])
+        tabulate_out = capsys.readouterr().out
+        rc = main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--feature-model",
+                fm_file,
+                "--engine",
+                "datalog",
+            ]
+        )
+        assert rc == 1
+        assert capsys.readouterr().out == tabulate_out
+
+    def test_datalog_stats_reported(self, spl_file, capsys):
+        main(["analyze", spl_file, "--analysis", "taint", "--engine", "datalog", "--stats"])
+        out = capsys.readouterr().out
+        assert "engine: datalog" in out
+        assert "rules_fired" in out
+
+    def test_unknown_engine_clean_error(self, spl_file, capsys):
+        rc = main(["analyze", spl_file, "--analysis", "taint", "--engine", "bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("spllift: error: ")
+        assert "bogus" in err
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+    def test_engine_env_var_resolved(self, spl_file, capsys, monkeypatch):
+        monkeypatch.setenv("SPLLIFT_ENGINE", "not-an-engine")
+        rc = main(["analyze", spl_file, "--analysis", "taint"])
+        assert rc == 2
+        assert "not-an-engine" in capsys.readouterr().err
+
+    def test_datalog_rejects_incremental_cache(self, spl_file, tmp_path, capsys):
+        rc = main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--engine",
+                "datalog",
+                "--incremental-cache",
+                str(tmp_path / "inc.db"),
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("spllift: error: ")
+        assert "--incremental-cache" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_incremental_cache_parallel_warns_and_reports_one_worker(
+        self, spl_file, tmp_path, capsys
+    ):
+        """--parallel with --incremental-cache must not silently downgrade."""
+        rc = main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--incremental-cache",
+                str(tmp_path / "inc.db"),
+                "--parallel",
+                "2",
+                "--stats",
+            ]
+        )
+        assert rc in (0, 1)
+        captured = capsys.readouterr()
+        warnings = [
+            line
+            for line in captured.err.splitlines()
+            if line.startswith("spllift: warning: ")
+        ]
+        assert len(warnings) == 1
+        assert "ignoring parallel=2" in warnings[0]
+        assert "parallel_workers: 1" in captured.out
+
+    def test_datalog_parallel_warns(self, spl_file, capsys):
+        rc = main(
+            [
+                "analyze",
+                spl_file,
+                "--analysis",
+                "taint",
+                "--engine",
+                "datalog",
+                "--parallel",
+                "2",
+                "--stats",
+            ]
+        )
+        assert rc in (0, 1)
+        captured = capsys.readouterr()
+        assert "datalog engine is sequential" in captured.err
+        assert "parallel_workers: 1" in captured.out
+
+
 class TestRun:
     def test_run_configuration(self, spl_file, capsys):
         rc = main(["run", spl_file, "--config", "G"])
