@@ -323,6 +323,17 @@ def run_benchmarks(
         ).solve()
         return results.stats
 
+    # A fresh plain row measured back-to-back with the off row: the
+    # process has aged since the single-pass section (warm BDD tables,
+    # allocator state), so gating against that early row measures drift,
+    # not overhead.
+    plain_row = _record(
+        f"obs_overhead/{obs_subject}/{obs_analysis_name}/plain",
+        run_obs,
+        rounds,
+    )
+    rows.append(plain_row)
+
     off_row = _record(
         f"obs_overhead/{obs_subject}/{obs_analysis_name}/off", run_obs, rounds
     )
@@ -342,12 +353,7 @@ def run_benchmarks(
         obs_runtime.reset()
     rows.append(on_row)
 
-    baseline = next(
-        row
-        for row in rows
-        if row["benchmark"] == f"spllift/{obs_subject}/{obs_analysis_name}"
-    )
-    base_seconds = float(baseline["min_seconds"])
+    base_seconds = float(plain_row["min_seconds"])
     off_seconds = float(off_row["min_seconds"])
     on_seconds = float(on_row["min_seconds"])
     overhead_pct = (
@@ -375,6 +381,60 @@ def run_benchmarks(
     print(
         f"  disabled-telemetry overhead vs plain pass: {overhead_pct:+.2f}% "
         f"(limit {max_overhead_pct:.1f}%)",
+        flush=True,
+    )
+
+    # --- flight recorder A/B: ring disarmed vs armed ------------------
+    # The flight ring is *always on* by default (it is what makes a
+    # worker crash explainable), so its cost is held to a hard <2%:
+    # ``flight_off`` disarms the ring entirely, ``flight_on`` is the
+    # default path every row above already ran.
+    print("flight recorder overhead A/B (ring off vs on):", flush=True)
+    max_flight_overhead_pct = 2.0
+    obs_runtime.reset()
+    obs_runtime.disable_flight()
+    try:
+        flight_off_row = _record(
+            f"obs_overhead/{obs_subject}/{obs_analysis_name}/flight_off",
+            run_obs,
+            rounds,
+        )
+    finally:
+        obs_runtime.reset()
+    rows.append(flight_off_row)
+
+    flight_on_row = _record(
+        f"obs_overhead/{obs_subject}/{obs_analysis_name}/flight_on",
+        run_obs,
+        rounds,
+    )
+    flight_on_row["flight_events"] = len(obs_runtime.flight().events())
+    obs_runtime.reset()
+    rows.append(flight_on_row)
+
+    flight_off_seconds = float(flight_off_row["min_seconds"])
+    flight_on_seconds = float(flight_on_row["min_seconds"])
+    flight_overhead_pct = (
+        100.0 * (flight_on_seconds - flight_off_seconds) / flight_off_seconds
+        if flight_off_seconds
+        else 0.0
+    )
+    flight_on_row["overhead_pct_vs_flight_off"] = round(
+        flight_overhead_pct, 2
+    )
+    if (
+        flight_on_seconds - flight_off_seconds > slack_seconds
+        and flight_overhead_pct > max_flight_overhead_pct
+    ):
+        raise SystemExit(
+            f"obs_overhead: armed flight ring is "
+            f"{flight_overhead_pct:.1f}% slower than disarmed "
+            f"({flight_on_seconds:.6f}s vs {flight_off_seconds:.6f}s); "
+            f"limit is {max_flight_overhead_pct:.1f}%"
+        )
+    print(
+        f"  armed-ring overhead vs disarmed: {flight_overhead_pct:+.2f}% "
+        f"(limit {max_flight_overhead_pct:.1f}%)",
         flush=True,
     )
 

@@ -26,6 +26,11 @@ gate behind ``repro.datalog``.  ``--telemetry`` re-solves with tracing and
 metrics enabled (sequential, and parallel when ``--parallel`` is given)
 and requires the digests to stay bit-identical — the gate behind
 ``repro.obs``: observing the solver must never change what it computes.
+``--obs`` extends that gate to the full observability stack: one pass
+with the flight recorder and a structured event log armed, and one pass
+through a served HTTP store with a run id set (so trace-context
+propagation headers ride every request) — all digests must stay
+bit-identical to the bare reference.
 ``--backends`` routes the paper campaign through the batch scheduler
 against a sqlite store and a served HTTP store, asserting (a) the
 computed result digests match the direct-solve reference and (b) a
@@ -184,6 +189,104 @@ def check_incremental(reference: dict, seed: int, parallel=None) -> int:
     return failures
 
 
+def check_obs(reference: dict, order: str, seed: int) -> int:
+    """Gate the observability stack; count mismatches.
+
+    Two passes, both of which must be invisible in the results:
+
+    1. flight recorder + structured event log armed (``enable_flight``
+       + ``enable_log``), all 12 combinations re-solved in process;
+    2. the paper campaign run against a served HTTP store with a run id
+       set, so every store request carries the
+       ``X-SPLLIFT-Run-Id``/``X-SPLLIFT-Parent-Span`` propagation
+       headers and the server opens correlated request spans.
+    """
+    from repro.service import make_server, open_store, run_batch
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="spllift-obs-") as tmp:
+        log_path = Path(tmp) / "events.jsonl"
+        obs.reset()
+        obs.enable_flight()
+        obs.enable_log(log_path)
+        try:
+            observed = compute_digests(order, seed)
+        finally:
+            flight_events = len(obs.flight().events())
+            log_lines = sum(
+                1 for line in log_path.read_text().splitlines() if line
+            )
+            obs.disable_log()
+            obs.reset()
+        observed_failures = 0
+        for key, digest in observed.items():
+            if digest != reference[key]:
+                observed_failures += 1
+                print(
+                    f"OBS MISMATCH {key}: observed={digest[:16]}… "
+                    f"bare={reference[key][:16]}…"
+                )
+        failures += observed_failures
+        print(
+            f"{len(observed)} digests with flight recorder + event log "
+            f"armed ({flight_events} ring events, {log_lines} log lines): "
+            + (
+                "all identical to bare"
+                if not observed_failures
+                else f"{observed_failures} mismatches"
+            )
+        )
+
+        from repro.service import paper_campaign_jobs
+
+        served = open_store(f"sqlite://{Path(tmp) / 'served.db'}")
+        server = make_server(served, port=0)
+        host, port = server.server_address
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        obs.reset()
+        run = obs.ensure_run_id()
+        batch_log = Path(tmp) / "batch-events.jsonl"
+        obs.enable_log(batch_log)
+        propagated_failures = 0
+        try:
+            report = run_batch(
+                paper_campaign_jobs(),
+                store=open_store(f"http://{host}:{port}"),
+                max_workers=2,
+            )
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            batch_log_lines = sum(
+                1 for line in batch_log.read_text().splitlines() if line
+            )
+            obs.disable_log()
+            obs.reset()
+        for outcome in report.outcomes:
+            key = f"{outcome.job.label}/{outcome.job.analysis}"
+            expected = reference.get(key)
+            if expected is None or outcome.result_digest != expected:
+                propagated_failures += 1
+                print(
+                    f"OBS PROPAGATION MISMATCH {key}: "
+                    f"{str(outcome.result_digest)[:16]}… vs "
+                    f"{str(expected)[:16]}…"
+                )
+        failures += propagated_failures
+        print(
+            f"{len(report.outcomes)} digests via HTTP store with "
+            f"trace-context propagation (run {run[:8]}…, "
+            f"{batch_log_lines} log lines): "
+            + (
+                "all identical to bare"
+                if not propagated_failures
+                else f"{propagated_failures} mismatches"
+            )
+        )
+    return failures
+
+
 def check_backends(reference: dict) -> int:
     """Run the paper campaign through each store backend; count mismatches.
 
@@ -275,6 +378,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="also solve with tracing/metrics enabled and require digests "
         "identical to the untraced reference",
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="also solve with the flight recorder and event log armed, "
+        "and run the campaign through a served HTTP store with "
+        "trace-context propagation headers, requiring identical digests",
     )
     parser.add_argument(
         "--backends",
@@ -398,6 +508,9 @@ def main(argv=None) -> int:
                     else f"{traced_failures} mismatches"
                 )
             )
+
+    if args.obs:
+        failures += check_obs(reference, reference_order, args.seed)
 
     if args.backends:
         failures += check_backends(reference)

@@ -19,11 +19,20 @@ With ``--folded`` the file is instead validated as folded-stack output
 the stack, and a positive integer value — the format ``flamegraph.pl``
 consumes.
 
+With ``--flight`` the file is validated as a ``spllift-flight/v1``
+crash dump — or a ``spllift-batch-report/v1`` report, in which case
+every attached per-job flight dump is validated.  Each dump must name
+the in-flight job, carry monotonically-sequenced events within the ring
+capacity, and keep its open-span stack well-formed — the CI gate behind
+the flight recorder: a worker SIGKILLed mid-batch must still leave a
+usable postmortem.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_trace.py trace.json
     PYTHONPATH=src python scripts/check_trace.py trace.json --min-events 10
     PYTHONPATH=src python scripts/check_trace.py trace.folded --folded
+    PYTHONPATH=src python scripts/check_trace.py report.json --flight
 
 Exit status 0 when the trace is well-formed, 1 otherwise (with one line
 per violation).
@@ -159,6 +168,85 @@ def check_folded(path: str, min_stacks: int = 1) -> List[str]:
     return errors
 
 
+def check_flight(path: str, min_events: int = 1) -> Tuple[List[str], int]:
+    """Violations in the flight dump(s) at ``path``, plus the dump count.
+
+    Accepts a raw ``spllift-flight/v1`` dump or a batch report carrying
+    per-job ``flight`` attachments (``load_flight_dump`` handles both).
+    """
+    from repro.obs.flight import FLIGHT_SCHEMA, load_flight_dump
+
+    try:
+        dumps = load_flight_dump(path)["dumps"]
+    except (OSError, ValueError) as error:
+        return [str(error)], 0
+
+    errors: List[str] = []
+    for index, dump in enumerate(dumps):
+        where = f"dump #{index}"
+        if dump.get("schema") != FLIGHT_SCHEMA:
+            errors.append(f"{where}: bad schema {dump.get('schema')!r}")
+        if not str(dump.get("reason") or "").strip():
+            errors.append(f"{where}: missing crash reason")
+        capacity = dump.get("capacity")
+        if not isinstance(capacity, int) or capacity < 1:
+            errors.append(f"{where}: bad ring capacity {capacity!r}")
+            capacity = None
+
+        job = dump.get("job")
+        if not isinstance(job, dict) or not job.get("label"):
+            errors.append(f"{where}: does not name the in-flight job")
+
+        events = dump.get("events")
+        if not isinstance(events, list):
+            errors.append(f"{where}: events must be a list")
+            continue
+        if len(events) < min_events:
+            errors.append(
+                f"{where}: expected at least {min_events} event(s), "
+                f"got {len(events)}"
+            )
+        if capacity is not None and len(events) > capacity:
+            errors.append(
+                f"{where}: {len(events)} events exceed ring "
+                f"capacity {capacity}"
+            )
+        last_seq = None
+        for position, event in enumerate(events):
+            if not isinstance(event, dict):
+                errors.append(f"{where}: event #{position} is not an object")
+                continue
+            for key in ("seq", "ts", "kind", "name"):
+                if key not in event:
+                    errors.append(
+                        f"{where}: event #{position} missing {key!r}"
+                    )
+            seq = event.get("seq")
+            if isinstance(seq, int):
+                if last_seq is not None and seq <= last_seq:
+                    errors.append(
+                        f"{where}: event #{position} seq {seq} not "
+                        f"increasing (previous {last_seq})"
+                    )
+                last_seq = seq
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(
+                    f"{where}: event #{position} has bad ts {ts!r}"
+                )
+
+        open_spans = dump.get("open_spans")
+        if not isinstance(open_spans, list):
+            errors.append(f"{where}: open_spans must be a list")
+        else:
+            for position, span in enumerate(open_spans):
+                if not isinstance(span, dict) or not span.get("name"):
+                    errors.append(
+                        f"{where}: open span #{position} has no name"
+                    )
+    return errors, len(dumps)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="trace file written by --trace")
@@ -174,7 +262,23 @@ def main(argv=None) -> int:
         help="validate folded-stack output of `spllift trace summary "
         "--folded` instead of a Chrome trace",
     )
+    parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="validate a spllift-flight/v1 crash dump (or the flight "
+        "dumps attached to a batch report) instead of a Chrome trace",
+    )
     args = parser.parse_args(argv)
+
+    if args.flight:
+        errors, dumps = check_flight(args.trace, min_events=args.min_events)
+        for error in errors:
+            print(f"check_trace: {error}")
+        print(
+            f"{args.trace}: {dumps} flight dump(s): "
+            + ("OK" if not errors else f"{len(errors)} violation(s)")
+        )
+        return 1 if errors else 0
 
     if args.folded:
         errors = check_folded(args.trace, min_stacks=args.min_events)

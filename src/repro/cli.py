@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sqlite3
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
@@ -55,7 +57,14 @@ from repro.featuremodel import FeatureModel, FeatureModelError, parse_feature_mo
 from repro.interp import Interpreter
 from repro.minijava.parser import ParseError
 from repro.obs import runtime as obs
+from repro.obs.flight import load_flight_dump, render_postmortem
+from repro.obs.log import LOG_ENV, format_line, iter_log
 from repro.obs.progress import ProgressReporter
+from repro.obs.regress import (
+    compare,
+    load_snapshot,
+    parse_threshold_overrides,
+)
 from repro.obs.trace import fold_trace, read_trace, summarize_trace, write_trace
 from repro.service import (
     ServiceError,
@@ -74,11 +83,16 @@ ANALYSES = ("taint", "uninit", "nullness", "types", "rd", "typestate")
 
 
 def _telemetry_begin(args) -> None:
-    """Arm tracing/progress before a command runs (``--trace``/``--progress``)."""
+    """Arm tracing/progress/logging before a command runs
+    (``--trace``/``--progress``/``--log``/``$SPLLIFT_LOG``)."""
     if getattr(args, "trace", None):
         obs.enable_tracing()
     if getattr(args, "progress", False):
         obs.set_progress(ProgressReporter())
+    log_path = getattr(args, "log", None) or os.environ.get(LOG_ENV)
+    if log_path and hasattr(args, "log"):
+        obs.enable_log(log_path)
+        args._log_enabled = True
 
 
 def _telemetry_end(args) -> None:
@@ -436,7 +450,12 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    events = read_trace(args.file)
+    try:
+        events = read_trace(args.file)
+    except ValueError as error:
+        # Empty or truncated trace files (a killed --trace run) must
+        # follow the one-line error contract, not traceback.
+        raise ServiceError(f"{args.file} is not a valid trace file: {error}")
     spans = [event for event in events if event.get("ph") in ("B", "E", "i")]
     if not spans:
         print(f"spllift: error: no trace events in {args.file}", file=sys.stderr)
@@ -474,6 +493,87 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_obs_postmortem(args) -> int:
+    try:
+        document = load_flight_dump(args.file)
+    except ValueError as error:
+        raise ServiceError(str(error))
+    dumps = document["dumps"]
+    for position, dump in enumerate(dumps):
+        if position:
+            print()
+        for line in render_postmortem(dump, last=args.last):
+            print(line)
+    if len(dumps) > 1:
+        print()
+        print(f"{len(dumps)} flight dump(s) in {args.file}")
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    try:
+        overrides = parse_threshold_overrides(args.threshold_for)
+        baseline = load_snapshot(args.baseline)
+        current = load_snapshot(args.current)
+    except ValueError as error:
+        raise ServiceError(str(error))
+    violations, report = compare(
+        baseline,
+        current,
+        args.threshold,
+        overrides,
+        args.only,
+        args.ignore,
+        args.allow_missing,
+    )
+    for line in report:
+        if not args.quiet or line.endswith(("DRIFT", "MISSING")):
+            print(line)
+    compared = sum(1 for line in report if "->" in line)
+    missing = sum(1 for line in report if ": missing from" in line)
+    scope = f"{compared} metric(s) compared"
+    if missing:
+        scope += f", {missing} missing"
+    print(
+        f"obs diff: {scope}: "
+        + ("OK" if not violations else f"{len(violations)} violation(s)")
+    )
+    return 1 if violations else 0
+
+
+def _cmd_obs_tail(args) -> int:
+    records = list(iter_log(args.file))
+    for record in records[-args.lines:] if args.lines else records:
+        print(format_line(record))
+    if not args.follow:
+        return 0
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            handle.seek(0, 2)  # only lines appended from now on
+            while True:
+                line = handle.readline()
+                if not line:
+                    time.sleep(0.25)
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line mid-write; the rewrite follows
+                if isinstance(record, dict):
+                    print(format_line(record), flush=True)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs(args) -> int:
+    handlers = {
+        "postmortem": _cmd_obs_postmortem,
+        "diff": _cmd_obs_diff,
+        "tail": _cmd_obs_tail,
+    }
+    return handlers[args.obs_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spllift",
@@ -504,6 +604,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="write the metrics registry (counters/gauges/histograms) "
             "as JSON here",
+        )
+        p.add_argument(
+            "--log",
+            metavar="FILE",
+            default=None,
+            help="append a structured JSONL event log here (run id, job "
+            "digests, span-correlated; workers append to the same file; "
+            "default: $SPLLIFT_LOG)",
         )
 
     analyze = sub.add_parser("analyze", help="run a lifted analysis")
@@ -622,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--report", help="write the batch report JSON here")
     telemetry(batch)
+    batch.add_argument(
+        "--progress",
+        action="store_true",
+        help="live status line (wave, settled/total jobs, store hit "
+        "ratio) on stderr",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     trace = sub.add_parser(
@@ -636,6 +750,98 @@ def build_parser() -> argparse.ArgumentParser:
         "flamegraph.pl / speedscope instead of the summary table",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="operational observability: postmortems, metric diffs, "
+        "event-log tailing",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    postmortem = obs_sub.add_parser(
+        "postmortem",
+        help="reconstruct a dead worker's last moments from a flight "
+        "dump or a batch report carrying flight attachments",
+    )
+    postmortem.add_argument(
+        "file",
+        help="a spllift-flight/v1 dump, or a batch --report JSON whose "
+        "failed/crashed jobs carry flight dumps",
+    )
+    postmortem.add_argument(
+        "--last",
+        type=int,
+        default=50,
+        metavar="N",
+        help="events to show per dump (default 50; 0 = all retained)",
+    )
+    postmortem.set_defaults(handler=_cmd_obs)
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="compare two --metrics snapshots and report counter drift "
+        "(summary-reuse ratios, datalog.* counters, store hit rates)",
+    )
+    diff.add_argument("baseline", help="baseline --metrics snapshot")
+    diff.add_argument("current", help="current --metrics snapshot")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="default relative drift threshold (fraction; default 0.1 "
+        "= ±10%%)",
+    )
+    diff.add_argument(
+        "--threshold-for",
+        action="append",
+        default=[],
+        metavar="PATTERN=FRACTION",
+        help="per-counter threshold override (fnmatch pattern; repeatable)",
+    )
+    diff.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="compare only matching names (repeatable)",
+    )
+    diff.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="skip matching names (repeatable)",
+    )
+    diff.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="report but do not fail on keys present in one snapshot only",
+    )
+    diff.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only violations and the verdict line",
+    )
+    diff.set_defaults(handler=_cmd_obs)
+
+    tail = obs_sub.add_parser(
+        "tail", help="render a structured event log (--log) for humans"
+    )
+    tail.add_argument("file", help="JSONL event log written via --log")
+    tail.add_argument(
+        "--lines",
+        "-n",
+        type=int,
+        default=20,
+        help="show the last N records (default 20; 0 = all)",
+    )
+    tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep the file open and stream new records (live fleets)",
+    )
+    tail.set_defaults(handler=_cmd_obs)
 
     cache = sub.add_parser(
         "cache", help="inspect, prune, or clear the result store"
@@ -700,9 +906,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     finally:
         # Commands are one-shot, but `main` is also called in-process
-        # (tests, scripts): leave no tracing or progress state behind.
+        # (tests, scripts): leave no tracing, progress or log state behind.
         if getattr(args, "trace", None):
             obs.disable_tracing()
+        if getattr(args, "_log_enabled", False):
+            obs.disable_log()
         obs.set_progress(None)
 
 

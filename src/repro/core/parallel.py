@@ -39,6 +39,9 @@ import dataclasses
 import importlib
 import os
 import pickle
+import shutil
+import signal
+import tempfile
 import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -47,6 +50,7 @@ from repro.constraints.serialize import decode_constraints, encode_constraints
 from repro.ifds.problem import ZERO, ZeroFact
 from repro.ir.instructions import Instruction
 from repro.obs import runtime as obs
+from repro.obs.flight import FLIGHT_DIR_ENV, load_spill
 
 __all__ = [
     "PARALLEL_ENV",
@@ -107,6 +111,10 @@ class TaskOutcome:
     result: object = None
     error: Optional[str] = None
     executor: str = "pool"  # pool | inline
+    #: ``spllift-flight/v1`` dump from a dead/failed attempt, when one
+    #: could be captured (worker exception, timeout, crash — including a
+    #: crash on an earlier attempt of a task that later succeeded).
+    flight: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -125,12 +133,22 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _worker_sigterm(signum, frame) -> None:
+    """Record the signal in the flight ring (the spill makes it visible
+    to the parent), then die the default SIGTERM death."""
+    obs.flight().record("signal", "SIGTERM")
+    obs.flight().close_spill()
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
 def _child_main(target, args, connection) -> None:
     """Worker-process entry: run the task, ship the outcome back.
 
     Sends ``("ok", result, telemetry)`` or ``("error", message,
     telemetry)``, where telemetry is the worker's metric snapshot and
-    drained span buffer (:func:`repro.obs.runtime.worker_payload`); a
+    drained span buffer (:func:`repro.obs.runtime.worker_payload`) —
+    plus, on error, the worker's flight dump under ``"flight"``; a
     worker that dies without sending anything is classified as a crash
     (and retried).  Marks the process as a worker so fault-injection
     hooks arm and nested ``parallel=None`` resolution stays sequential.
@@ -138,14 +156,25 @@ def _child_main(target, args, connection) -> None:
     os.environ[_WORKER_ENV] = "1"
     os.environ[PARALLEL_ENV] = "1"
     obs.activate_worker()
+    try:
+        signal.signal(signal.SIGTERM, _worker_sigterm)
+    except (ValueError, OSError):  # not the main thread (tests)
+        pass
     label = getattr(target, "__qualname__", None) or str(target)
     try:
         with obs.tracer().span("pool/task", target=label, run_id=obs.run_id()):
             result = target(*args)
     except BaseException as error:  # noqa: BLE001 — ship, don't swallow
+        obs.flight().record(
+            "exception", type(error).__name__, message=str(error)
+        )
+        telemetry = obs.worker_payload()
+        telemetry["flight"] = obs.flight_dump(
+            f"unhandled exception: {type(error).__name__}"
+        )
         try:
             connection.send(
-                ("error", f"{type(error).__name__}: {error}", obs.worker_payload())
+                ("error", f"{type(error).__name__}: {error}", telemetry)
             )
         finally:
             connection.close()
@@ -195,18 +224,38 @@ class ProcessTaskPool:
         self.max_retries = max_retries
         self.use_pool = use_pool
         self.peak_workers = 0
+        self._crash_flights: Dict[int, dict] = {}
 
     def run(self, tasks: Sequence[Tuple[object, tuple]]) -> List[TaskOutcome]:
         """Execute all tasks; outcomes in submission order."""
         tasks = list(tasks)
         outcomes: Dict[int, TaskOutcome] = {}
         self.peak_workers = 0
+        self._crash_flights: Dict[int, dict] = {}
         obs.ensure_run_id()  # workers inherit it through the environment
         if tasks and self.use_pool:
-            self._run_pool(tasks, outcomes)
+            # Workers spill their flight rings here for the duration of
+            # the batch, so even a SIGKILLed worker leaves evidence.
+            spill_dir = tempfile.mkdtemp(prefix="spllift-flight-")
+            previous_dir = os.environ.get(FLIGHT_DIR_ENV)
+            os.environ[FLIGHT_DIR_ENV] = spill_dir
+            try:
+                self._run_pool(tasks, outcomes, spill_dir)
+            finally:
+                if previous_dir is None:
+                    os.environ.pop(FLIGHT_DIR_ENV, None)
+                else:
+                    os.environ[FLIGHT_DIR_ENV] = previous_dir
+                shutil.rmtree(spill_dir, ignore_errors=True)
         for index, (target, args) in enumerate(tasks):
             if index not in outcomes:
                 outcomes[index] = self._run_inline(index, target, args)
+        # A crash on an early attempt still matters when the retry later
+        # succeeded — attach the dump so the report shows what died.
+        for index, dump in self._crash_flights.items():
+            outcome = outcomes.get(index)
+            if outcome is not None and outcome.flight is None:
+                outcome.flight = dump
         metrics = obs.metrics()
         metrics.gauge_max("pool.peak_workers", self.peak_workers)
         for outcome in outcomes.values():
@@ -240,7 +289,9 @@ class ProcessTaskPool:
             executor="inline",
         )
 
-    def _run_pool(self, tasks, outcomes: Dict[int, TaskOutcome]) -> bool:
+    def _run_pool(
+        self, tasks, outcomes: Dict[int, TaskOutcome], spill_dir: str
+    ) -> bool:
         """Fan tasks over worker processes; ``False`` means no process
         could be started at all (every unsettled task degrades inline)."""
         try:
@@ -362,23 +413,27 @@ class ProcessTaskPool:
                                 attempts=attempt,
                                 seconds=elapsed,
                                 error=str(payload),
+                                flight=telemetry.get("flight")
+                                if isinstance(telemetry, dict)
+                                else None,
                             )
                         else:  # EOF without a message: a crash
                             self._crash(
                                 pending, outcomes, index, target, args,
-                                attempt, process, elapsed,
+                                attempt, process, elapsed, spill_dir,
                             )
                     elif process.sentinel in ready or not process.is_alive():
                         process.join()
                         self._crash(
                             pending, outcomes, index, target, args,
-                            attempt, process, elapsed,
+                            attempt, process, elapsed, spill_dir,
                         )
                     elif (
                         self.task_timeout is not None
                         and elapsed > self.task_timeout
                     ):
-                        process.terminate()
+                        process.terminate()  # SIGTERM — the worker's
+                        # handler notes the signal in its spill, then dies
                         process.join()
                         obs.metrics().inc("pool.tasks_timeout")
                         outcomes[index] = TaskOutcome(
@@ -388,6 +443,12 @@ class ProcessTaskPool:
                             seconds=elapsed,
                             error=f"timed out after {self.task_timeout:g}s "
                             f"(attempt {attempt})",
+                            flight=self._spill_dump(
+                                spill_dir,
+                                process.pid,
+                                f"timeout after {self.task_timeout:g}s "
+                                f"(SIGTERM, attempt {attempt})",
+                            ),
                         )
                     else:
                         continue
@@ -402,11 +463,38 @@ class ProcessTaskPool:
                 entry[4].close()
         return True
 
+    def _spill_dump(
+        self, spill_dir: str, pid, reason: str
+    ) -> Optional[dict]:
+        """Reconstruct a dead worker's flight dump from its spill file."""
+        if not spill_dir or pid is None:
+            return None
+        return load_spill(
+            os.path.join(spill_dir, f"flight-{pid}.jsonl"), reason
+        )
+
     def _crash(
-        self, pending, outcomes, index, target, args, attempt, process, elapsed
+        self,
+        pending,
+        outcomes,
+        index,
+        target,
+        args,
+        attempt,
+        process,
+        elapsed,
+        spill_dir: str = "",
     ) -> None:
         """A worker died without reporting: retry or fail the task."""
         obs.metrics().inc("pool.tasks_crashed")
+        dump = self._spill_dump(
+            spill_dir,
+            process.pid,
+            f"worker crashed (exit code {process.exitcode}, "
+            f"attempt {attempt})",
+        )
+        if dump is not None:
+            self._crash_flights[index] = dump
         if attempt <= self.max_retries:
             obs.metrics().inc("pool.task_retries")
             pending.append((index, target, args, attempt + 1))
@@ -418,6 +506,7 @@ class ProcessTaskPool:
             seconds=elapsed,
             error=f"worker crashed (exit code {process.exitcode}) "
             f"after {attempt} attempt(s)",
+            flight=dump,
         )
 
 

@@ -319,17 +319,30 @@ class IDESolver(Generic[D, V]):
         fifo = self._order == "fifo"
         use_heap = self._use_heap
         progress = obs.progress()
+        flight = obs.flight() if obs.flight_enabled() else None
         tick = 0
         while worklist:
-            # Live progress, masked to one pop in ~1k so the hot loop
-            # pays a mask-and-branch, nothing more.
+            # Live progress and flight pulses, masked to one pop in ~1k
+            # (progress) / ~256 (flight) so the hot loop pays a
+            # mask-and-branch, nothing more.  The pulse is what lets a
+            # postmortem of a worker killed mid-solve show where the
+            # worklist stood in its final moments.
             tick += 1
-            if (tick & 1023) == 0 and progress is not None:
-                progress.tick(
-                    "ide/phase1",
-                    worklist=len(worklist),
-                    jumps=self.stats["jump_functions"],
-                )
+            if (tick & 255) == 0:
+                if flight is not None:
+                    flight.record(
+                        "pulse",
+                        "ide/phase1",
+                        pops=tick,
+                        worklist=len(worklist),
+                        jumps=self.stats["jump_functions"],
+                    )
+                if (tick & 1023) == 0 and progress is not None:
+                    progress.tick(
+                        "ide/phase1",
+                        worklist=len(worklist),
+                        jumps=self.stats["jump_functions"],
+                    )
             # Inlined `_pop` for the default and rpo orders; every
             # propagated entry has a jump-table row, so the lookup can
             # index directly.

@@ -1,4 +1,5 @@
-"""`repro.obs` — zero-dependency telemetry: metrics, tracing, progress.
+"""`repro.obs` — zero-dependency telemetry: metrics, tracing, progress,
+flight recording and structured logging.
 
 Import discipline: this package must import **only the standard
 library** (plus its own submodules), because instrumented modules deep
@@ -7,16 +8,41 @@ modules use ``from repro.obs import runtime as obs`` — a submodule
 import that is safe while ``repro/__init__`` is still executing.
 """
 
-from repro.obs.metrics import HISTOGRAM_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.flight import (
+    FLIGHT_CAPACITY_ENV,
+    FLIGHT_DIR_ENV,
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    FlightTracer,
+    load_flight_dump,
+    load_spill,
+    render_postmortem,
+)
+from repro.obs.log import LOG_ENV, EventLog, format_line, iter_log
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
 from repro.obs.progress import ProgressReporter
 from repro.obs.runtime import (
     RUN_ID_ENV,
     TELEMETRY_ENV,
     absorb_payload,
     activate_worker,
+    disable_flight,
+    disable_log,
     disable_tracing,
+    enable_flight,
+    enable_log,
     enable_tracing,
     ensure_run_id,
+    event_log,
+    flight,
+    flight_dump,
+    flight_enabled,
+    log_event,
     metrics,
     progress,
     publish_stats,
@@ -40,20 +66,42 @@ __all__ = [
     "HISTOGRAM_BOUNDS",
     "Histogram",
     "MetricsRegistry",
+    "render_prometheus",
     "ProgressReporter",
     "RUN_ID_ENV",
     "TELEMETRY_ENV",
+    "FLIGHT_SCHEMA",
+    "FLIGHT_DIR_ENV",
+    "FLIGHT_CAPACITY_ENV",
+    "LOG_ENV",
+    "EventLog",
+    "FlightRecorder",
+    "FlightTracer",
     "NULL_TRACER",
     "NullTracer",
     "Tracer",
     "read_trace",
     "summarize_trace",
     "write_trace",
+    "load_flight_dump",
+    "load_spill",
+    "render_postmortem",
+    "iter_log",
+    "format_line",
     "absorb_payload",
     "activate_worker",
+    "disable_flight",
+    "disable_log",
     "disable_tracing",
+    "enable_flight",
+    "enable_log",
     "enable_tracing",
     "ensure_run_id",
+    "event_log",
+    "flight",
+    "flight_dump",
+    "flight_enabled",
+    "log_event",
     "metrics",
     "progress",
     "publish_stats",

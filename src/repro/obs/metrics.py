@@ -24,7 +24,12 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Histogram", "MetricsRegistry", "HISTOGRAM_BOUNDS"]
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "HISTOGRAM_BOUNDS",
+    "render_prometheus",
+]
 
 #: Exponential bucket upper bounds (seconds when observing latencies):
 #: 1µs, 4µs, 16µs, … ~4.4min, plus the implicit +inf overflow bucket.
@@ -182,3 +187,63 @@ class MetricsRegistry:
             "gauges": dict(sorted(self._gauges.items())),
             "histograms": histograms,
         }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (``GET /metrics`` on ``spllift serve``)
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted registry name into the Prometheus charset."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "spllift_" + (cleaned or "unnamed")
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Render a registry in the Prometheus plaintext exposition format.
+
+    Counters become ``counter`` families, gauges ``gauge``, histograms
+    ``histogram`` with cumulative ``le`` buckets over
+    :data:`HISTOGRAM_BOUNDS` (plus ``+Inf``), ``_sum`` and ``_count``.
+    Names are sanitized (dots → underscores) and prefixed ``spllift_``
+    so they scrape cleanly next to everyone else's metrics.
+    """
+    lines: List[str] = []
+    for name, value in sorted(registry.counters.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in sorted(registry.gauges.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name in sorted(registry._histograms):
+        histogram = registry._histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+            cumulative += histogram.buckets[index]
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{prom}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{prom}_count {histogram.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+

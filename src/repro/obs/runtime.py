@@ -2,21 +2,28 @@
 
 One process holds one :class:`~repro.obs.metrics.MetricsRegistry`
 (always on — recording a counter is a dict update, and only at phase
-boundaries, store operations and pool events, never per propagation)
-and one tracer (a :class:`~repro.obs.trace.NullTracer` until tracing is
-explicitly enabled, so the disabled path is a no-op guard).
+boundaries, store operations and pool events, never per propagation),
+one always-on :class:`~repro.obs.flight.FlightRecorder` (the bounded
+ring a postmortem reads — <2% overhead, bench-gated), one tracer (a
+:class:`~repro.obs.flight.FlightTracer` feeding only the ring until
+tracing is explicitly enabled) and optionally one
+:class:`~repro.obs.log.EventLog` (``--log FILE`` / ``$SPLLIFT_LOG``).
 
 Cross-process flow (``repro.core.parallel`` workers and scheduler jobs):
 
-1. the parent calls :func:`ensure_run_id` / :func:`enable_tracing`,
-   which pin ``$SPLLIFT_RUN_ID`` (a uuid — workers must never mint their
-   own, date-dependent or otherwise) and ``$SPLLIFT_TELEMETRY`` in the
-   environment the workers inherit;
+1. the parent calls :func:`ensure_run_id` / :func:`enable_tracing` /
+   :func:`enable_log`, which pin ``$SPLLIFT_RUN_ID`` (a uuid — workers
+   must never mint their own, date-dependent or otherwise),
+   ``$SPLLIFT_TELEMETRY`` and ``$SPLLIFT_LOG`` in the environment the
+   workers inherit; a pool additionally pins ``$SPLLIFT_FLIGHT_DIR``;
 2. each worker's entry point calls :func:`activate_worker`, installing a
-   **fresh** registry and tracer — under ``fork`` the child would
-   otherwise inherit the parent's buffers and double-report them;
+   **fresh** registry, flight recorder (spilling to
+   ``$SPLLIFT_FLIGHT_DIR/flight-<pid>.jsonl`` so even SIGKILL leaves
+   evidence) and tracer — under ``fork`` the child would otherwise
+   inherit the parent's buffers and double-report them;
 3. the worker ships :func:`worker_payload` (metric snapshot + drained
-   span buffer) back over its existing result pipe;
+   span buffer) back over its existing result pipe — and, on an
+   unhandled exception, a :func:`flight_dump` beside the error;
 4. the parent folds it in with :func:`absorb_payload` — counters add,
    spans interleave on the shared monotonic timeline — so a ``-j 8``
    campaign still yields one registry and one coherent trace.
@@ -28,9 +35,15 @@ import os
 import uuid
 from typing import Dict, List, Optional
 
+from repro.obs.flight import (
+    FLIGHT_DIR_ENV,
+    FlightRecorder,
+    FlightTracer,
+)
+from repro.obs.log import LOG_ENV, EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressReporter
-from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = [
     "RUN_ID_ENV",
@@ -38,11 +51,20 @@ __all__ = [
     "metrics",
     "tracer",
     "progress",
+    "flight",
+    "flight_dump",
+    "event_log",
     "tracing_enabled",
+    "flight_enabled",
     "run_id",
     "ensure_run_id",
     "enable_tracing",
     "disable_tracing",
+    "enable_flight",
+    "disable_flight",
+    "enable_log",
+    "disable_log",
+    "log_event",
     "set_progress",
     "publish_stats",
     "reset",
@@ -61,12 +83,22 @@ TELEMETRY_ENV = "SPLLIFT_TELEMETRY"
 
 
 class _ObsState:
-    __slots__ = ("metrics", "tracer", "progress")
+    __slots__ = (
+        "metrics",
+        "tracer",
+        "progress",
+        "flight",
+        "flight_on",
+        "log",
+    )
 
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
-        self.tracer = NULL_TRACER
+        self.flight = FlightRecorder()
+        self.flight_on = True
+        self.tracer = FlightTracer(self.flight)
         self.progress: Optional[ProgressReporter] = None
+        self.log: Optional[EventLog] = None
 
 
 _state = _ObsState()
@@ -83,7 +115,7 @@ def metrics() -> MetricsRegistry:
 
 
 def tracer():
-    """The active tracer — a :class:`NullTracer` unless tracing is on."""
+    """The active tracer — flight-only until tracing is enabled."""
     return _state.tracer
 
 
@@ -92,8 +124,22 @@ def progress() -> Optional[ProgressReporter]:
     return _state.progress
 
 
+def flight() -> FlightRecorder:
+    """This process's flight recorder (always available)."""
+    return _state.flight
+
+
+def event_log() -> Optional[EventLog]:
+    """The structured event log, or ``None`` when not configured."""
+    return _state.log
+
+
 def tracing_enabled() -> bool:
     return _state.tracer.enabled
+
+
+def flight_enabled() -> bool:
+    return _state.flight_on
 
 
 def run_id() -> Optional[str]:
@@ -119,14 +165,65 @@ def enable_tracing() -> Tracer:
     """Install a recording tracer (idempotent) and mark the environment
     so worker processes activate tracing too."""
     if not isinstance(_state.tracer, Tracer):
-        _state.tracer = Tracer(run_id=ensure_run_id())
+        _state.tracer = Tracer(
+            run_id=ensure_run_id(),
+            flight=_state.flight if _state.flight_on else None,
+        )
         os.environ[TELEMETRY_ENV] = "1"
     return _state.tracer
 
 
 def disable_tracing() -> None:
-    _state.tracer = NULL_TRACER
+    _state.tracer = (
+        FlightTracer(_state.flight) if _state.flight_on else NULL_TRACER
+    )
     os.environ.pop(TELEMETRY_ENV, None)
+
+
+def enable_flight() -> FlightRecorder:
+    """(Re-)arm the always-on flight ring (the default state)."""
+    if not _state.flight_on:
+        _state.flight_on = True
+        if isinstance(_state.tracer, Tracer):
+            _state.tracer.flight = _state.flight
+        else:
+            _state.tracer = FlightTracer(_state.flight)
+    return _state.flight
+
+
+def disable_flight() -> None:
+    """Disarm flight recording (the bench A/B baseline, nothing else)."""
+    _state.flight_on = False
+    if isinstance(_state.tracer, Tracer):
+        _state.tracer.flight = None
+    else:
+        _state.tracer = NULL_TRACER
+
+
+def enable_log(path) -> EventLog:
+    """Open the structured JSONL event log and export it to workers."""
+    if _state.log is not None:
+        _state.log.close()
+    _state.log = EventLog(path, run_id=ensure_run_id())
+    os.environ[LOG_ENV] = str(path)
+    return _state.log
+
+
+def disable_log() -> None:
+    if _state.log is not None:
+        _state.log.close()
+        _state.log = None
+    os.environ.pop(LOG_ENV, None)
+
+
+def log_event(event: str, level: str = "info", **fields) -> None:
+    """Emit one structured event — to the log file (when configured)
+    and, span-correlated, into the flight ring (always)."""
+    span = _state.flight.current_span() if _state.flight_on else None
+    if _state.log is not None:
+        _state.log.event(event, level=level, span=span, **fields)
+    if _state.flight_on:
+        _state.flight.record("log", event, level=level, **fields)
 
 
 def set_progress(reporter: Optional[ProgressReporter]) -> None:
@@ -134,10 +231,24 @@ def set_progress(reporter: Optional[ProgressReporter]) -> None:
 
 
 def reset() -> None:
-    """Fresh registry, null tracer, no progress (tests, worker startup)."""
+    """Fresh registry, flight ring and default tracer, no progress, no
+    log (tests, worker startup)."""
+    _state.flight.close_spill()
+    if _state.log is not None:
+        _state.log.close()
     _state.metrics = MetricsRegistry()
-    _state.tracer = NULL_TRACER
+    _state.flight = FlightRecorder()
+    _state.flight_on = True
+    _state.tracer = FlightTracer(_state.flight)
     _state.progress = None
+    _state.log = None
+
+
+def flight_dump(
+    reason: str, job: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Package this process's ring as a ``spllift-flight/v1`` dict."""
+    return _state.flight.dump(reason, run_id=run_id(), job=job)
 
 
 def publish_stats(prefix: str, stats: Dict[str, object]) -> None:
@@ -146,13 +257,16 @@ def publish_stats(prefix: str, stats: Dict[str, object]) -> None:
     Only plain-int values are counters (booleans and strings — e.g.
     ``worklist_order`` — stay in the dict-only view).  The dict remains
     the per-solve compatibility view; the registry accumulates across
-    solves, which is what campaign-level aggregation wants.
+    solves, which is what campaign-level aggregation wants.  The same
+    deltas land in the flight ring as one ``counters`` event per call.
     """
     inc = _state.metrics.inc
     for name, value in stats.items():
         if isinstance(value, bool) or not isinstance(value, int):
             continue
         inc(f"{prefix}.{name}", value)
+    if _state.flight_on:
+        _state.flight.note_counters(prefix, stats)
 
 
 # ----------------------------------------------------------------------
@@ -163,17 +277,34 @@ def publish_stats(prefix: str, stats: Dict[str, object]) -> None:
 def activate_worker() -> None:
     """Re-initialize telemetry inside a worker process.
 
-    Installs a fresh registry (a forked child inherits the parent's —
-    snapshotting that would double-count every merged counter) and, when
+    Installs a fresh registry and flight ring (a forked child inherits
+    the parent's — snapshotting those would double-count every merged
+    counter and replay the parent's events) and, when
     ``$SPLLIFT_TELEMETRY`` is set, a fresh tracer bound to the worker's
-    own pid.
+    own pid.  With ``$SPLLIFT_FLIGHT_DIR`` set (pool workers), the new
+    ring spills to ``flight-<pid>.jsonl`` so the parent can reconstruct
+    this worker's last moments even after SIGKILL.  With
+    ``$SPLLIFT_LOG`` set, the worker appends to the shared event log.
     """
+    _state.flight.close_spill()
     _state.metrics = MetricsRegistry()
     _state.progress = None
+    spill_dir = os.environ.get(FLIGHT_DIR_ENV)
+    spill_path = (
+        os.path.join(spill_dir, f"flight-{os.getpid()}.jsonl")
+        if spill_dir
+        else None
+    )
+    _state.flight = FlightRecorder(spill_path=spill_path)
+    _state.flight_on = True
     if os.environ.get(TELEMETRY_ENV) == "1":
-        _state.tracer = Tracer(run_id=run_id())
+        _state.tracer = Tracer(run_id=run_id(), flight=_state.flight)
     else:
-        _state.tracer = NULL_TRACER
+        _state.tracer = FlightTracer(_state.flight)
+    if _state.log is not None:
+        _state.log.close()
+    log_path = os.environ.get(LOG_ENV)
+    _state.log = EventLog(log_path, run_id=run_id()) if log_path else None
 
 
 def worker_payload() -> Dict[str, object]:

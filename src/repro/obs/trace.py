@@ -115,11 +115,15 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, run_id: Optional[str] = None) -> None:
+    def __init__(self, run_id: Optional[str] = None, flight=None) -> None:
         self.run_id = run_id
         self._events: List[dict] = []
         self._pid = os.getpid()
         self._tid = threading.get_ident() & 0xFFFF
+        #: Optional flight-recorder sink: while real tracing is on, the
+        #: always-on ring keeps seeing the same span stream it saw when
+        #: the :class:`~repro.obs.flight.FlightTracer` was installed.
+        self.flight = flight
 
     # -- recording -----------------------------------------------------
 
@@ -134,6 +138,11 @@ class Tracer:
         if args:
             event["args"] = args
         self._events.append(event)
+        if self.flight is not None:
+            if ph == "B":
+                self.flight.span_begin(name, args)
+            elif ph == "E":
+                self.flight.span_end(name)
 
     def span(self, name: str, **args) -> _Span:
         """Context manager tracing one nested span."""
@@ -152,6 +161,8 @@ class Tracer:
         if args:
             event["args"] = args
         self._events.append(event)
+        if self.flight is not None:
+            self.flight.record("instant", name, **args)
 
     def complete(
         self,
@@ -182,6 +193,13 @@ class Tracer:
         self._events.append(
             {"name": name, "ph": "E", "ts": end_us, "pid": self._pid, "tid": track}
         )
+        if self.flight is not None:
+            self.flight.record(
+                "complete",
+                name,
+                duration_us=round(float(end_us) - float(start_us), 1),
+                **args,
+            )
 
     # -- aggregation ---------------------------------------------------
 

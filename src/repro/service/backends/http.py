@@ -62,12 +62,24 @@ class HttpStore(InstrumentedStore):
         body: Optional[bytes] = None,
     ) -> bytes:
         """One HTTP round-trip; raises ``urllib.error`` family on failure
-        (including non-2xx statuses, as ``HTTPError``)."""
+        (including non-2xx statuses, as ``HTTPError``).
+
+        Trace context propagates with the request: the campaign run id
+        and the client's innermost open span ride as
+        ``X-SPLLIFT-Run-Id``/``X-SPLLIFT-Parent-Span`` headers, so the
+        server's request spans correlate with the client's timeline.
+        """
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=body, method=method
         )
         if body is not None:
             request.add_header("Content-Type", "application/json")
+        run = obs.run_id()
+        if run:
+            request.add_header("X-SPLLIFT-Run-Id", run)
+        parent = obs.flight().current_span()
+        if parent:
+            request.add_header("X-SPLLIFT-Parent-Span", parent)
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             return response.read()
 

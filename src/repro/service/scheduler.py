@@ -77,6 +77,10 @@ class JobOutcome:
     error: Optional[str] = None
     executor: str = "store"  # store | pool | inline | none
     wait_seconds: float = 0.0  # time spent blocked on DAG predecessors
+    #: ``spllift-flight/v1`` dump captured from a dead/failed worker
+    #: attempt of this job (``spllift obs postmortem`` reads these off
+    #: the batch report).
+    flight: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -106,6 +110,8 @@ class JobOutcome:
             row["facts"] = self.record.get("facts")
         if self.error is not None:
             row["error"] = self.error
+        if self.flight is not None:
+            row["flight"] = self.flight
         return row
 
 
@@ -212,9 +218,33 @@ class BatchScheduler:
         ]
         outcomes: Dict[int, JobOutcome] = {}
         metrics = obs.metrics()
+        reporter = obs.progress()
         peak_workers = 0
         waves = 0
 
+        def tick() -> None:
+            """One stderr status line: wave, settled/total, hit ratio."""
+            if reporter is None:
+                return
+            counts: Dict[str, int] = {}
+            for outcome in outcomes.values():
+                counts[outcome.status] = counts.get(outcome.status, 0) + 1
+            fields: Dict[str, object] = {
+                "wave": max(1, waves),
+                "jobs": f"{len(outcomes)}/{len(jobs)}",
+                "cached": counts.get(CACHED, 0),
+                "computed": counts.get(COMPUTED, 0),
+            }
+            if counts.get(FAILED):
+                fields["failed"] = counts[FAILED]
+            if counts.get(SKIPPED):
+                fields["skipped"] = counts[SKIPPED]
+            ratio = metrics.hit_ratio("store.get_hits", "store.get_misses")
+            if ratio is not None:
+                fields["store hits"] = f"{ratio:.0%}"
+            reporter.tick("batch", **fields)
+
+        obs.log_event("batch.start", jobs=len(jobs))
         with obs.tracer().span(
             "service/batch", jobs=len(jobs), run_id=obs.run_id()
         ):
@@ -226,6 +256,10 @@ class BatchScheduler:
                     outcomes[index] = JobOutcome(
                         job=job, status=CACHED, record=record, executor="store"
                     )
+                    obs.log_event(
+                        "job.cached", label=job.label, digest=job.digest[:12]
+                    )
+            tick()
 
             pending = [
                 index for index in range(len(jobs)) if index not in outcomes
@@ -251,6 +285,12 @@ class BatchScheduler:
                             wait_seconds=(
                                 time.perf_counter() - started if waves else 0.0
                             ),
+                        )
+                        obs.log_event(
+                            "job.skipped",
+                            level="warning",
+                            label=jobs[index].label,
+                            predecessors=predecessors,
                         )
                     else:
                         still_pending.append(index)
@@ -293,6 +333,15 @@ class BatchScheduler:
                             record=task.result,
                             executor=task.executor,
                             wait_seconds=wave_wait,
+                            flight=task.flight,
+                        )
+                        obs.log_event(
+                            "job.computed",
+                            label=jobs[index].label,
+                            digest=jobs[index].digest[:12],
+                            attempts=task.attempts,
+                            seconds=round(task.seconds, 6),
+                            executor=task.executor,
                         )
                     else:
                         outcomes[index] = JobOutcome(
@@ -303,8 +352,18 @@ class BatchScheduler:
                             error=task.error,
                             executor=task.executor,
                             wait_seconds=wave_wait,
+                            flight=task.flight,
+                        )
+                        obs.log_event(
+                            "job.failed",
+                            level="error",
+                            label=jobs[index].label,
+                            digest=jobs[index].digest[:12],
+                            attempts=task.attempts,
+                            error=task.error,
                         )
                 pending = [index for index in pending if index not in outcomes]
+                tick()
 
         ordered = [outcomes[index] for index in range(len(jobs))]
         for outcome in ordered:
@@ -323,12 +382,23 @@ class BatchScheduler:
             workers = 1
         else:
             workers = 0  # everything came from the store (or was skipped)
-        return BatchReport(
+        report = BatchReport(
             outcomes=ordered,
             wall_seconds=time.perf_counter() - started,
             workers=workers,
             waves=max(1, waves),
         )
+        obs.log_event(
+            "batch.done",
+            jobs=len(jobs),
+            cached=report.cached,
+            computed=report.computed,
+            failed=report.failed,
+            skipped=report.skipped,
+            waves=report.waves,
+            wall_seconds=round(report.wall_seconds, 6),
+        )
+        return report
 
 
 def run_batch(

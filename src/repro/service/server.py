@@ -4,12 +4,22 @@ Wraps any *local* store backend (directory or sqlite) and serves the
 wire protocol consumed by
 :class:`~repro.service.backends.http.HttpStore` — GET/HEAD/PUT on
 ``/objects/<digest>`` plus the admin endpoints (``/stats``, ``/clear``,
-``/prune``, ``/health``).  Zero dependencies: ``http.server``'s
+``/prune``, ``/health``) and a Prometheus-style plaintext ``/metrics``
+exposition of this process's :mod:`repro.obs` registry.  Zero
+dependencies: ``http.server``'s
 :class:`~http.server.ThreadingHTTPServer` handles each request on its
 own thread, a server-wide lock serializes store access (record bodies
 are small; correctness beats parallel file I/O here), and the sqlite
 backend's WAL mode means *other processes* on the host can still use
-the same database file directly while it is being served.
+the same database file directly while it is being served.  ``/metrics``
+deliberately never takes the store lock — it reads only the in-process
+registry, so a scrape can never block (or be blocked by) store traffic.
+
+Trace context propagates in: a client that sends ``X-SPLLIFT-Run-Id``
+(and optionally ``X-SPLLIFT-Parent-Span``, see
+:class:`~repro.service.backends.http.HttpStore`) gets a correlated
+server-side ``server/request`` span carrying both ids, so one campaign's
+client and server timelines join on the run id.
 
 The server never trusts the client: a PUT whose body is not a JSON
 object, or whose ``digest`` field disagrees with the URL, is a 400 —
@@ -25,10 +35,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.obs import runtime as obs
+from repro.obs.metrics import render_prometheus
 
 __all__ = ["StoreRequestHandler", "make_server", "serve_store"]
 
 _OBJECTS_PREFIX = "/objects/"
+
+#: Trace-context request headers (sent by the HTTP store client).
+RUN_ID_HEADER = "X-SPLLIFT-Run-Id"
+PARENT_SPAN_HEADER = "X-SPLLIFT-Parent-Span"
 
 
 class StoreRequestHandler(BaseHTTPRequestHandler):
@@ -81,12 +96,45 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     def _locked(self):
         return self.server.store_lock
 
+    def _request_span(self, verb: str):
+        """A server-side span correlated with the client's trace context.
+
+        The client's run id and innermost span arrive as request headers;
+        recording them as span args is what lets ``spllift obs
+        postmortem`` / trace tooling join the two timelines.
+        """
+        args: Dict[str, object] = {"verb": verb, "path": self.path}
+        client_run = self.headers.get(RUN_ID_HEADER)
+        if client_run:
+            args["client_run_id"] = client_run
+        parent = self.headers.get(PARENT_SPAN_HEADER)
+        if parent:
+            args["parent_span"] = parent
+        return obs.tracer().span("server/request", **args)
+
     # ------------------------------------------------------------------
     # Verbs
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        with self._request_span("GET"):
+            self._handle_get()
+
+    def _handle_get(self) -> None:
         obs.metrics().inc("server.requests")
+        if self.path == "/metrics":
+            # Registry only — never the store lock.  A scrape must not
+            # queue behind (or ahead of) store traffic.
+            obs.metrics().inc("server.metrics_requests")
+            body = render_prometheus(obs.metrics()).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         if self.path == "/health":
             store = self._store()
             self._send_json(
@@ -115,6 +163,10 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, record)
 
     def do_HEAD(self) -> None:  # noqa: N802
+        with self._request_span("HEAD"):
+            self._handle_head()
+
+    def _handle_head(self) -> None:
         obs.metrics().inc("server.requests")
         digest = self._digest_from_path()
         if digest is None:
@@ -125,6 +177,10 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self._send_empty(200 if present else 404)
 
     def do_PUT(self) -> None:  # noqa: N802
+        with self._request_span("PUT"):
+            self._handle_put()
+
+    def _handle_put(self) -> None:
         obs.metrics().inc("server.requests")
         digest = self._digest_from_path()
         if digest is None:
@@ -145,6 +201,10 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self._send_empty(204)
 
     def do_POST(self) -> None:  # noqa: N802
+        with self._request_span("POST"):
+            self._handle_post()
+
+    def _handle_post(self) -> None:
         obs.metrics().inc("server.requests")
         if self.path == "/clear":
             with self._locked():

@@ -56,6 +56,25 @@ def _maybe_crash(job: AnalysisJob) -> None:
 
 def execute_job(job: AnalysisJob) -> Dict[str, object]:
     """Run one analysis job and return its store-ready record."""
+    engine = str(job.options.get("engine") or "tabulate")
+    # Before any work (and before the fault-injection hooks): a flight
+    # postmortem must be able to name the job a dead worker was running.
+    obs.flight().note_job(
+        {
+            "label": job.label,
+            "analysis": job.analysis,
+            "fm_mode": job.fm_mode,
+            "digest": job.digest,
+            "engine": engine,
+        }
+    )
+    obs.log_event(
+        "job.start",
+        label=job.label,
+        analysis=job.analysis,
+        digest=job.digest[:12],
+        engine=engine,
+    )
     with obs.tracer().span(
         "service/job",
         label=job.label,
@@ -63,7 +82,15 @@ def execute_job(job: AnalysisJob) -> Dict[str, object]:
         digest=job.digest[:12],
         run_id=obs.run_id(),
     ):
-        return _execute_job(job)
+        record = _execute_job(job)
+    obs.log_event(
+        "job.done",
+        label=job.label,
+        digest=job.digest[:12],
+        facts=record.get("facts"),
+        solve_seconds=record.get("solve_seconds"),
+    )
+    return record
 
 
 def _execute_job(job: AnalysisJob) -> Dict[str, object]:

@@ -1,0 +1,125 @@
+"""Tests for the structured JSONL event log and its runtime wiring."""
+
+import json
+import os
+
+from repro.obs import runtime as obs
+from repro.obs.log import LOG_ENV, EventLog, format_line, iter_log
+
+
+class TestEventLog:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, run_id="run-1")
+        assert log.active
+        log.event("job.start", label="fig1", analysis="taint")
+        log.event("job.done", level="info", facts=42)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "job.start"
+        assert first["run_id"] == "run-1"
+        assert first["pid"] == os.getpid()
+        assert first["label"] == "fig1"
+        assert json.loads(lines[1])["facts"] == 42
+
+    def test_span_field_recorded_when_given(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        record = log.event("job.start", span="service/job")
+        log.close()
+        assert record["span"] == "service/job"
+        assert json.loads(path.read_text())["span"] == "service/job"
+
+    def test_unopenable_path_is_inert(self, tmp_path):
+        log = EventLog(tmp_path / "no" / "such" / "dir" / "x.jsonl")
+        assert not log.active
+        assert log.event("job.start") is None  # best-effort, never raises
+        log.close()
+
+    def test_append_mode_across_processes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = EventLog(path, run_id="r")
+        first.event("batch.start")
+        first.close()
+        second = EventLog(path, run_id="r")  # a worker opening the same file
+        second.event("job.start")
+        second.close()
+        events = [r["event"] for r in iter_log(path)]
+        assert events == ["batch.start", "job.start"]
+
+
+class TestIterLog:
+    def test_skips_torn_and_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"event": "one", "ts": 1.0}\n'
+            "\n"
+            '{"event": "tw'  # torn mid-write
+        )
+        assert [r["event"] for r in iter_log(path)] == ["one"]
+
+    def test_skips_non_object_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('[1, 2]\n{"event": "ok"}\n')
+        assert [r["event"] for r in iter_log(path)] == ["ok"]
+
+
+class TestFormatLine:
+    def test_renders_clock_level_event_and_fields(self):
+        line = format_line({
+            "ts": 1700000000.123,
+            "level": "error",
+            "event": "job.failed",
+            "pid": 42,
+            "span": "service/job",
+            "label": "fig1",
+        })
+        assert "error" in line
+        assert "job.failed" in line
+        assert "pid=42" in line
+        assert "span=service/job" in line
+        assert "label=fig1" in line
+
+    def test_tolerates_missing_fields(self):
+        line = format_line({})
+        assert "--:--:--" in line
+        assert "?" in line
+
+
+class TestRuntimeWiring:
+    def test_enable_log_writes_and_exports_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(LOG_ENV, raising=False)
+        path = tmp_path / "events.jsonl"
+        obs.enable_log(path)
+        try:
+            assert os.environ.get(LOG_ENV) == str(path)
+            obs.log_event("batch.start", jobs=3)
+        finally:
+            obs.disable_log()
+        assert os.environ.get(LOG_ENV) is None
+        (record,) = list(iter_log(path))
+        assert record["event"] == "batch.start"
+        assert record["jobs"] == 3
+        assert record["run_id"]  # enable_log pins a run id
+
+    def test_log_event_carries_innermost_flight_span(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.enable_log(path)
+        try:
+            obs.flight().span_begin("service/job")
+            obs.log_event("job.start", label="fig1")
+            obs.flight().span_end("service/job")
+        finally:
+            obs.disable_log()
+        (record,) = list(iter_log(path))
+        assert record["span"] == "service/job"
+
+    def test_log_event_mirrors_into_flight_ring(self):
+        obs.log_event("job.start", label="fig1")  # no file configured
+        mirrored = [
+            e for e in obs.flight().events() if e["kind"] == "log"
+        ]
+        assert mirrored and mirrored[-1]["name"] == "job.start"
+        assert mirrored[-1]["label"] == "fig1"

@@ -1,0 +1,133 @@
+"""Tests for the store server's observability surface: the Prometheus
+``/metrics`` endpoint, trace-context propagation, and the no-lock-
+inversion guarantee between ``/metrics`` and store traffic."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.service import make_server, open_store
+from repro.service.backends.http import HttpStore
+from repro.service.server import PARENT_SPAN_HEADER, RUN_ID_HEADER
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    monkeypatch.delenv(obs.RUN_ID_ENV, raising=False)
+    obs.reset()
+    yield
+    monkeypatch.delenv(obs.RUN_ID_ENV, raising=False)
+    obs.reset()
+
+
+@pytest.fixture
+def served(tmp_path):
+    store = open_store(f"sqlite://{tmp_path / 'served.db'}")
+    server = make_server(store, port=0)
+    host, port = server.server_address
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, f"http://{host}:{port}"
+    server.shutdown()
+    thread.join(timeout=5)
+
+
+def fetch(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def record(digest):
+    return {"digest": digest, "results": {}, "stats": {}}
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, served):
+        server, url = served
+        obs.metrics().inc("server.requests", 0)  # ensure family exists
+        status, body = fetch(f"{url}/metrics")
+        assert status == 200
+        assert "spllift_server_requests" in body
+        # Counting itself: a second scrape sees the first.
+        status, body = fetch(f"{url}/metrics")
+        assert "spllift_server_metrics_requests" in body
+
+    def test_metrics_never_takes_the_store_lock(self, served):
+        server, url = served
+        # Simulate a slow store operation holding the server-wide lock:
+        # a scrape must still answer, because /metrics reads only the
+        # in-process registry.
+        with server.store_lock:
+            status, body = fetch(f"{url}/metrics", timeout=5.0)
+        assert status == 200
+        assert body.startswith("#") or "spllift_" in body
+
+    def test_concurrent_stats_and_metrics(self, served):
+        """Hammer /stats and /metrics from many threads while PUTs flow;
+        every request must answer — no deadlock, no lock inversion."""
+        server, url = served
+        client = HttpStore(url)
+        failures = []
+
+        def hit(path):
+            for _ in range(10):
+                try:
+                    status, _ = fetch(f"{url}{path}")
+                    if status != 200:
+                        failures.append((path, status))
+                except Exception as error:  # noqa: BLE001 - collect all
+                    failures.append((path, repr(error)))
+
+        threads = [
+            threading.Thread(target=hit, args=(path,))
+            for path in ("/stats", "/metrics", "/stats", "/metrics")
+        ]
+        for thread in threads:
+            thread.start()
+        for index in range(20):
+            client.put(record(f"{index:08x}" + "0" * 56))
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "request thread hung"
+        assert failures == []
+        status, body = fetch(f"{url}/stats")
+        assert json.loads(body)["records"] == 20
+
+
+class TestPropagation:
+    def test_client_sends_trace_context_headers(self, served):
+        server, url = served
+        run = obs.ensure_run_id()
+        obs.flight().span_begin("scheduler/wave")
+        try:
+            HttpStore(url).contains("0" * 64)
+        finally:
+            obs.flight().span_end("scheduler/wave")
+        # The server handler runs in this process: its request span
+        # (recorded via the shared flight ring) carries the client ids.
+        spans = [
+            e for e in obs.flight().events()
+            if e["kind"] == "span_begin" and e["name"] == "server/request"
+        ]
+        assert spans, "server opened no request span"
+        assert spans[-1]["client_run_id"] == run
+        assert spans[-1]["parent_span"] == "scheduler/wave"
+
+    def test_headers_absent_without_run_id(self, served):
+        server, url = served
+        assert obs.run_id() is None
+        HttpStore(url).contains("0" * 64)
+        spans = [
+            e for e in obs.flight().events()
+            if e["kind"] == "span_begin" and e["name"] == "server/request"
+        ]
+        assert spans
+        assert "client_run_id" not in spans[-1]
+        assert "parent_span" not in spans[-1]
+
+    def test_header_names_are_stable(self):
+        assert RUN_ID_HEADER == "X-SPLLIFT-Run-Id"
+        assert PARENT_SPAN_HEADER == "X-SPLLIFT-Parent-Span"
